@@ -1,0 +1,11 @@
+// Package enttrace is a reproduction of "A First Look at Modern
+// Enterprise Traffic" (Pang, Allman, Bennett, Lee, Paxson, Tierney —
+// IMC 2005): a synthetic enterprise-network traffic generator, a
+// Bro-style trace-analysis pipeline, and a benchmark harness that
+// regenerates every table and figure of the paper.
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// per-experiment index, and EXPERIMENTS.md for paper-versus-measured
+// results. The root package is documentation only; the library lives
+// under internal/ and the executables under cmd/.
+package enttrace

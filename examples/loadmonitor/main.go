@@ -1,0 +1,52 @@
+// Loadmonitor reproduces the paper's §6 load assessment (Figures 9–10) on
+// generated traces: per-trace utilization at several averaging timescales
+// — showing how apparent "saturation" vanishes as the window grows — and
+// TCP retransmission rates split internal vs WAN, with keep-alive probes
+// excluded the way the paper excludes NCP/SSH keep-alives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"enttrace/internal/core"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+	"enttrace/internal/stats"
+)
+
+func main() {
+	cfg := enterprise.D4()
+	cfg.Scale = 0.5
+	cfg.Monitored = []int{5, 6, 8, 9, 16, 17} // file + backup heavy subnets, incl. the lossy Veritas trace
+	ds := gen.GenerateDataset(cfg)
+
+	a := core.NewAnalyzer(core.Options{
+		Dataset:         cfg.Name,
+		KnownScanners:   enterprise.KnownScanners(),
+		PayloadAnalysis: true,
+	})
+	for _, tr := range ds.Traces {
+		if err := a.AddTrace(core.TraceInput{
+			Name:      fmt.Sprintf("subnet%02d", tr.Subnet),
+			Monitored: tr.Prefix,
+			Packets:   tr.Packets,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	load := a.Report().Load
+
+	fmt.Println("per-trace utilization (Mbps) and retransmission:")
+	fmt.Printf("%-10s %9s %9s %9s %9s %11s %11s\n",
+		"trace", "peak 1s", "peak 10s", "peak 60s", "median", "retrans ent", "retrans wan")
+	for _, t := range load.Traces {
+		fmt.Printf("%-10s %9.2f %9.2f %9.2f %9.3f %10.2f%% %10.2f%%\n",
+			t.Name, t.Peak1s, t.Peak10s, t.Peak60s, t.Median,
+			t.RetransEnt*100, t.RetransWan*100)
+	}
+	fmt.Printf("\ntraces above 1%% internal retransmission: %s (max %.1f%%)\n",
+		stats.Pct(load.EntOver1Pct), load.MaxRetransEnt*100)
+	fmt.Println("note the trace carrying the lossy Veritas backup connection,")
+	fmt.Println("the reproduction of the paper's one ~5% outlier.")
+}

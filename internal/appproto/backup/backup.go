@@ -1,0 +1,106 @@
+// Package backup models the three backup applications of the paper's
+// §5.2.3 and Table 15: Veritas (separate control and data connections,
+// data strictly client → server), Dantz (control and data multiplexed in
+// one connection with a striking degree of bidirectionality — sometimes
+// tens of MB each way within a single connection), and the "Connected"
+// service backing up to an external site. The paper analyzes backup purely
+// at the transport level (it is a rarity dominated by a few giant
+// connections), so this package's job is to emit connection plans with the
+// right shape; the analyzer side is the ordinary flow accounting.
+package backup
+
+// App identifies a backup application.
+type App string
+
+// The Table 15 applications.
+const (
+	VeritasCtrl App = "VERITAS-BACKUP-CTRL"
+	VeritasData App = "VERITAS-BACKUP-DATA"
+	Dantz       App = "DANTZ"
+	Connected   App = "CONNECTED-BACKUP"
+)
+
+// Transfer is one bulk phase within a connection.
+type Transfer struct {
+	FromClient bool
+	Bytes      int64
+}
+
+// Plan describes one backup connection's transfer schedule.
+type Plan struct {
+	App       App
+	Transfers []Transfer
+}
+
+// ClientBytes sums client → server payload.
+func (p *Plan) ClientBytes() int64 {
+	var n int64
+	for _, t := range p.Transfers {
+		if t.FromClient {
+			n += t.Bytes
+		}
+	}
+	return n
+}
+
+// ServerBytes sums server → client payload.
+func (p *Plan) ServerBytes() int64 {
+	var n int64
+	for _, t := range p.Transfers {
+		if !t.FromClient {
+			n += t.Bytes
+		}
+	}
+	return n
+}
+
+// Bidirectional reports whether both directions carry at least minEach
+// bytes — the Dantz signature the paper highlights.
+func (p *Plan) Bidirectional(minEach int64) bool {
+	return p.ClientBytes() >= minEach && p.ServerBytes() >= minEach
+}
+
+// VeritasControlPlan is the small command exchange on the control
+// connection.
+func VeritasControlPlan() *Plan {
+	return &Plan{App: VeritasCtrl, Transfers: []Transfer{
+		{FromClient: true, Bytes: 400},
+		{FromClient: false, Bytes: 200},
+		{FromClient: true, Bytes: 150},
+		{FromClient: false, Bytes: 80},
+	}}
+}
+
+// VeritasDataPlan is a one-way client → server dump of the given size.
+// Veritas data connections in the traces were exclusively client-to-server.
+func VeritasDataPlan(bytes int64) *Plan {
+	return &Plan{App: VeritasData, Transfers: []Transfer{
+		{FromClient: true, Bytes: bytes},
+	}}
+}
+
+// DantzPlan interleaves client-heavy data with substantial server → client
+// phases (fingerprint/validation exchanges, per the paper's speculation),
+// possibly tens of MB in both directions within one connection.
+func DantzPlan(clientBytes, serverBytes int64) *Plan {
+	p := &Plan{App: Dantz}
+	// Interleave in chunks so the bidirectionality exists *within* the
+	// connection, not merely across connections.
+	const chunks = 8
+	for i := 0; i < chunks; i++ {
+		p.Transfers = append(p.Transfers,
+			Transfer{FromClient: true, Bytes: clientBytes / chunks},
+			Transfer{FromClient: false, Bytes: serverBytes / chunks},
+		)
+	}
+	return p
+}
+
+// ConnectedPlan is the modest client → external-site upload.
+func ConnectedPlan(bytes int64) *Plan {
+	return &Plan{App: Connected, Transfers: []Transfer{
+		{FromClient: true, Bytes: 300},
+		{FromClient: false, Bytes: 100},
+		{FromClient: true, Bytes: bytes},
+	}}
+}

@@ -1,0 +1,69 @@
+package backup
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestVeritasDataOneWay(t *testing.T) {
+	p := VeritasDataPlan(500 << 20)
+	if p.ClientBytes() != 500<<20 {
+		t.Errorf("client bytes = %d", p.ClientBytes())
+	}
+	if p.ServerBytes() != 0 {
+		t.Errorf("Veritas data must be strictly client→server, got %d server bytes", p.ServerBytes())
+	}
+	if p.Bidirectional(1) {
+		t.Error("Veritas data should not be bidirectional")
+	}
+	if p.App != VeritasData {
+		t.Errorf("app = %s", p.App)
+	}
+}
+
+func TestVeritasControlSmall(t *testing.T) {
+	p := VeritasControlPlan()
+	if total := p.ClientBytes() + p.ServerBytes(); total > 10_000 {
+		t.Errorf("control plan = %d bytes, should be tiny", total)
+	}
+}
+
+func TestDantzBidirectionalWithinConnection(t *testing.T) {
+	p := DantzPlan(100<<20, 40<<20)
+	if !p.Bidirectional(10 << 20) {
+		t.Errorf("Dantz should carry tens of MB both ways: c=%d s=%d", p.ClientBytes(), p.ServerBytes())
+	}
+	// Interleaving: direction must alternate, not be two monolithic phases.
+	flips := 0
+	for i := 1; i < len(p.Transfers); i++ {
+		if p.Transfers[i].FromClient != p.Transfers[i-1].FromClient {
+			flips++
+		}
+	}
+	if flips < 4 {
+		t.Errorf("only %d direction changes; bidirectionality should be within-connection", flips)
+	}
+}
+
+func TestConnectedUpload(t *testing.T) {
+	p := ConnectedPlan(2 << 20)
+	if p.ClientBytes() < 2<<20 {
+		t.Errorf("client bytes = %d", p.ClientBytes())
+	}
+	if p.ServerBytes() >= p.ClientBytes() {
+		t.Error("Connected backup is an upload service")
+	}
+}
+
+// Property: byte accounting identities hold for any plan size.
+func TestAccountingProperty(t *testing.T) {
+	f := func(c, s uint32) bool {
+		p := DantzPlan(int64(c), int64(s))
+		// Chunked division may round down by at most `chunks` bytes/dir.
+		cb, sb := p.ClientBytes(), p.ServerBytes()
+		return cb <= int64(c) && cb >= int64(c)-8 && sb <= int64(s) && sb >= int64(s)-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package dcerpc
+
+import (
+	"enttrace/internal/stats"
+)
+
+// Analyzer accumulates the Table 11 function breakdown. One Analyzer
+// serves a whole trace; per-channel bind state is keyed by an opaque
+// channel identifier supplied by the caller (a connection/pipe key).
+type Analyzer struct {
+	// Requests counts request PDUs per function name; Bytes sums stub
+	// bytes (claimed lengths) per function name.
+	Requests *stats.Counter
+	Bytes    *stats.Counter
+	// MappedPorts collects (port → interface) from EPM responses, for
+	// dynamic service-port registration.
+	MappedPorts map[uint16]UUID
+
+	binds map[string]UUID
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		Requests:    stats.NewCounter(),
+		Bytes:       stats.NewCounter(),
+		MappedPorts: make(map[uint16]UUID),
+		binds:       make(map[string]UUID),
+	}
+}
+
+// Stream consumes one direction of a DCE/RPC channel (a named pipe's
+// payload bytes or a stand-alone TCP stream). channel identifies the
+// conversation so binds pair with later requests; fromClient marks the
+// request direction.
+func (a *Analyzer) Stream(channel string, fromClient bool, data []byte) {
+	for len(data) > 0 {
+		p, n, err := Decode(data)
+		if err != nil || n == 0 {
+			return
+		}
+		a.PDU(channel, fromClient, p)
+		data = data[n:]
+	}
+}
+
+// PDU consumes one already-decoded PDU.
+func (a *Analyzer) PDU(channel string, fromClient bool, p *PDU) {
+	switch p.Type {
+	case PTBind:
+		a.binds[channel] = p.Iface
+	case PTBindAck:
+		// Bind-acks on stand-alone channels also reveal the interface.
+		if _, known := a.binds[channel]; !known {
+			a.binds[channel] = p.Iface
+		}
+	case PTRequest:
+		iface := a.binds[channel]
+		fn := FunctionName(iface, p.Opnum)
+		a.Requests.Inc(fn)
+		a.Bytes.Add(fn, int64(p.StubLen))
+	case PTResponse:
+		iface := a.binds[channel]
+		if InterfaceName(iface) == "EPM" {
+			if mapped, port, ok := ParseEpmMapResponse(p); ok {
+				a.MappedPorts[port] = mapped
+			}
+		}
+		a.Bytes.Add(FunctionName(iface, 0), int64(p.StubLen))
+	}
+}
+
+// BoundInterface reports the interface bound on a channel, if any.
+func (a *Analyzer) BoundInterface(channel string) (UUID, bool) {
+	u, ok := a.binds[channel]
+	return u, ok
+}

@@ -1,0 +1,111 @@
+package dns
+
+import (
+	"net/netip"
+	"time"
+
+	"enttrace/internal/stats"
+)
+
+// Transaction is one matched query/response pair (or an unanswered query).
+type Transaction struct {
+	Client, Server netip.Addr
+	QName          string
+	QType          uint16
+	Rcode          uint8
+	Answered       bool
+	Latency        time.Duration
+}
+
+// Analyzer consumes DNS messages observed on the wire and produces the
+// paper's §5.1.3 statistics: per-type request mix, return-code mix,
+// latency distribution, and per-client request counts.
+type Analyzer struct {
+	pending map[pendKey]pend
+	// Done holds completed transactions.
+	Done []Transaction
+
+	Types   *stats.Counter // request type mix
+	Rcodes  *stats.Counter // return code mix (by distinct name+hostpair)
+	Clients *stats.Counter // requests per client
+	Latency *stats.Dist    // seconds
+	seenOp  map[string]struct{}
+}
+
+type pendKey struct {
+	client, server netip.Addr
+	id             uint16
+}
+
+type pend struct {
+	qname string
+	qtype uint16
+	at    time.Time
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		pending: make(map[pendKey]pend),
+		Types:   stats.NewCounter(),
+		Rcodes:  stats.NewCounter(),
+		Clients: stats.NewCounter(),
+		Latency: stats.NewDist(),
+		seenOp:  make(map[string]struct{}),
+	}
+}
+
+// Message feeds one decoded DNS message seen at time ts traveling
+// src → dst.
+func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *Message) {
+	if !m.Response {
+		a.Types.Inc(TypeName(m.QType))
+		a.Clients.Inc(src.String())
+		a.pending[pendKey{client: src, server: dst, id: m.ID}] = pend{qname: m.QName, qtype: m.QType, at: ts}
+		return
+	}
+	key := pendKey{client: dst, server: src, id: m.ID}
+	q, ok := a.pending[key]
+	if !ok {
+		return
+	}
+	delete(a.pending, key)
+	lat := ts.Sub(q.at)
+	a.Latency.Observe(lat.Seconds())
+	// The paper counts success/failure by distinct operation (name,
+	// host pair), not raw message count, to avoid retry skew.
+	opKey := q.qname + "|" + dst.String() + "|" + src.String()
+	if _, dup := a.seenOp[opKey]; !dup {
+		a.seenOp[opKey] = struct{}{}
+		a.Rcodes.Inc(rcodeName(m.Rcode))
+	}
+	a.Done = append(a.Done, Transaction{
+		Client: dst, Server: src,
+		QName: q.qname, QType: q.qtype,
+		Rcode: m.Rcode, Answered: true, Latency: lat,
+	})
+}
+
+// Flush records remaining unanswered queries as transactions.
+func (a *Analyzer) Flush() {
+	for k, q := range a.pending {
+		a.Done = append(a.Done, Transaction{
+			Client: k.client, Server: k.server,
+			QName: q.qname, QType: q.qtype,
+		})
+		delete(a.pending, k)
+	}
+}
+
+func rcodeName(rc uint8) string {
+	switch rc {
+	case RcodeNoError:
+		return "NOERROR"
+	case RcodeNXDomain:
+		return "NXDOMAIN"
+	case RcodeServFail:
+		return "SERVFAIL"
+	default:
+		return "OTHER"
+	}
+}

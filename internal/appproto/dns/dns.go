@@ -1,0 +1,184 @@
+// Package dns implements the DNS wire format (RFC 1035) to the depth the
+// paper's name-service analysis needs: header, question, and answer
+// encoding/decoding for A, AAAA, PTR and MX queries, NOERROR/NXDOMAIN
+// response codes, and compression-pointer-aware name parsing. An Analyzer
+// pairs queries with responses per (host pair, transaction ID) to measure
+// the latency, request-type, and return-code breakdowns of §5.1.3.
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Query types the paper's breakdown reports.
+const (
+	TypeA    uint16 = 1
+	TypeNS   uint16 = 2
+	TypePTR  uint16 = 12
+	TypeMX   uint16 = 15
+	TypeAAAA uint16 = 28
+)
+
+// Response codes.
+const (
+	RcodeNoError  uint8 = 0
+	RcodeServFail uint8 = 2
+	RcodeNXDomain uint8 = 3
+)
+
+// TypeName renders a query type the way the paper's text does.
+func TypeName(t uint16) string {
+	switch t {
+	case TypeA:
+		return "A"
+	case TypeNS:
+		return "NS"
+	case TypePTR:
+		return "PTR"
+	case TypeMX:
+		return "MX"
+	case TypeAAAA:
+		return "AAAA"
+	default:
+		return fmt.Sprintf("TYPE%d", t)
+	}
+}
+
+// Message is a parsed DNS message (only the fields the analysis uses).
+type Message struct {
+	ID       uint16
+	Response bool
+	Rcode    uint8
+	// Question section (first entry only; multi-question messages do not
+	// occur in the workloads).
+	QName string
+	QType uint16
+	// Answer count as claimed by the header.
+	AnswerCount uint16
+}
+
+// Errors returned by Decode.
+var (
+	ErrShortMessage = errors.New("dns: message too short")
+	ErrBadName      = errors.New("dns: malformed name")
+)
+
+// Encode serializes a message. Responses repeat the question section and
+// carry AnswerCount synthetic A answers (enough for size realism; the
+// analyzer never inspects answer bodies).
+func Encode(m *Message) []byte {
+	buf := make([]byte, 0, 12+len(m.QName)+32)
+	var flags uint16
+	if m.Response {
+		flags |= 0x8000
+		flags |= 0x0400 // AA, typical of the site's authoritative servers
+		flags |= uint16(m.Rcode) & 0x000f
+	} else {
+		flags |= 0x0100 // RD
+	}
+	buf = append(buf, byte(m.ID>>8), byte(m.ID))
+	buf = append(buf, byte(flags>>8), byte(flags))
+	buf = append(buf, 0, 1) // QDCOUNT = 1
+	an := m.AnswerCount
+	if !m.Response {
+		an = 0
+	}
+	buf = append(buf, byte(an>>8), byte(an))
+	buf = append(buf, 0, 0, 0, 0) // NSCOUNT, ARCOUNT
+	buf = appendName(buf, m.QName)
+	buf = append(buf, byte(m.QType>>8), byte(m.QType), 0, 1) // QTYPE, QCLASS IN
+	for i := uint16(0); i < an; i++ {
+		// Compression pointer to the question name at offset 12.
+		buf = append(buf, 0xc0, 12)
+		buf = append(buf, byte(TypeA>>8), byte(TypeA), 0, 1)
+		buf = append(buf, 0, 0, 0, 60) // TTL
+		buf = append(buf, 0, 4, 10, 0, byte(i>>8), byte(i))
+	}
+	return buf
+}
+
+func appendName(buf []byte, name string) []byte {
+	if name == "" || name == "." {
+		return append(buf, 0)
+	}
+	for _, label := range strings.Split(strings.TrimSuffix(name, "."), ".") {
+		if len(label) > 63 {
+			label = label[:63]
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+	}
+	return append(buf, 0)
+}
+
+// Decode parses a DNS message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < 12 {
+		return nil, ErrShortMessage
+	}
+	m := &Message{
+		ID:          uint16(data[0])<<8 | uint16(data[1]),
+		Response:    data[2]&0x80 != 0,
+		Rcode:       data[3] & 0x0f,
+		AnswerCount: uint16(data[6])<<8 | uint16(data[7]),
+	}
+	qd := uint16(data[4])<<8 | uint16(data[5])
+	if qd == 0 {
+		return m, nil
+	}
+	name, off, err := decodeName(data, 12)
+	if err != nil {
+		return nil, err
+	}
+	m.QName = name
+	if off+4 > len(data) {
+		return nil, ErrShortMessage
+	}
+	m.QType = uint16(data[off])<<8 | uint16(data[off+1])
+	return m, nil
+}
+
+// decodeName parses a possibly-compressed name starting at off, returning
+// the dotted name and the offset just past it.
+func decodeName(data []byte, off int) (string, int, error) {
+	var labels []string
+	end := -1 // offset after the name at the original position
+	jumps := 0
+	for {
+		if off >= len(data) {
+			return "", 0, ErrBadName
+		}
+		b := data[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			return strings.Join(labels, "."), end, nil
+		case b&0xc0 == 0xc0:
+			if off+1 >= len(data) {
+				return "", 0, ErrBadName
+			}
+			if end < 0 {
+				end = off + 2
+			}
+			off = int(b&0x3f)<<8 | int(data[off+1])
+			jumps++
+			if jumps > 16 {
+				return "", 0, ErrBadName
+			}
+		default:
+			l := int(b)
+			if off+1+l > len(data) {
+				return "", 0, ErrBadName
+			}
+			labels = append(labels, string(data[off+1:off+1+l]))
+			off += 1 + l
+			if len(labels) > 128 {
+				return "", 0, ErrBadName
+			}
+		}
+	}
+}

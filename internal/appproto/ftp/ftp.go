@@ -1,0 +1,182 @@
+// Package ftp implements the FTP control-channel dialogue (RFC 959) to
+// the depth the paper's "bulk" category needs: command/reply codec, PASV
+// port negotiation (which is how the analyzer associates data connections
+// with control sessions), and transfer accounting. FTP is half of the
+// paper's bulk category (with HPSS); its hallmark is a tiny control
+// connection steering a separate high-volume data connection.
+package ftp
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Command is one client control-channel command.
+type Command struct {
+	Verb string // USER, PASS, PASV, RETR, STOR, QUIT, ...
+	Arg  string
+}
+
+// Reply is one server control-channel reply.
+type Reply struct {
+	Code int
+	Text string
+}
+
+// EncodeCommand serializes a command line.
+func EncodeCommand(c Command) []byte {
+	if c.Arg == "" {
+		return []byte(c.Verb + "\r\n")
+	}
+	return []byte(c.Verb + " " + c.Arg + "\r\n")
+}
+
+// EncodeReply serializes a reply line.
+func EncodeReply(r Reply) []byte {
+	return []byte(fmt.Sprintf("%d %s\r\n", r.Code, r.Text))
+}
+
+// EncodePasvReply builds the 227 reply advertising a data port at the
+// given IPv4 address.
+func EncodePasvReply(ip [4]byte, port uint16) []byte {
+	return EncodeReply(Reply{
+		Code: 227,
+		Text: fmt.Sprintf("Entering Passive Mode (%d,%d,%d,%d,%d,%d)",
+			ip[0], ip[1], ip[2], ip[3], port>>8, port&0xff),
+	})
+}
+
+// ParseCommands parses a client control stream.
+func ParseCommands(stream []byte) []Command {
+	var out []Command
+	for _, line := range bytes.Split(stream, []byte("\r\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		verb, arg, _ := strings.Cut(string(line), " ")
+		verb = strings.ToUpper(strings.TrimSpace(verb))
+		if len(verb) < 3 || len(verb) > 4 || !isAlpha(verb) {
+			continue
+		}
+		out = append(out, Command{Verb: verb, Arg: strings.TrimSpace(arg)})
+	}
+	return out
+}
+
+func isAlpha(s string) bool {
+	for _, r := range s {
+		if r < 'A' || r > 'Z' {
+			return false
+		}
+	}
+	return true
+}
+
+// ParseReplies parses a server control stream.
+func ParseReplies(stream []byte) []Reply {
+	var out []Reply
+	for _, line := range bytes.Split(stream, []byte("\r\n")) {
+		if len(line) < 4 || line[3] != ' ' {
+			continue
+		}
+		code, err := strconv.Atoi(string(line[:3]))
+		if err != nil || code < 100 || code > 599 {
+			continue
+		}
+		out = append(out, Reply{Code: code, Text: string(line[4:])})
+	}
+	return out
+}
+
+// PasvPort extracts the advertised data port from a 227 reply, with ok
+// false when the reply is not a parseable PASV response.
+func PasvPort(r Reply) (port uint16, ok bool) {
+	if r.Code != 227 {
+		return 0, false
+	}
+	open := strings.IndexByte(r.Text, '(')
+	close := strings.IndexByte(r.Text, ')')
+	if open < 0 || close < open {
+		return 0, false
+	}
+	parts := strings.Split(r.Text[open+1:close], ",")
+	if len(parts) != 6 {
+		return 0, false
+	}
+	hi, err1 := strconv.Atoi(strings.TrimSpace(parts[4]))
+	lo, err2 := strconv.Atoi(strings.TrimSpace(parts[5]))
+	if err1 != nil || err2 != nil || hi < 0 || hi > 255 || lo < 0 || lo > 255 {
+		return 0, false
+	}
+	return uint16(hi)<<8 | uint16(lo), true
+}
+
+// Session summarizes one parsed control connection.
+type Session struct {
+	User       string
+	Transfers  int // RETR + STOR commands
+	Retrievals int
+	Stores     int
+	// DataPorts lists ports advertised by PASV replies, in order.
+	DataPorts []uint16
+	LoggedIn  bool
+	Completed int // 226 transfer-complete replies
+}
+
+// Analyze pairs a control connection's two directions into a Session.
+func Analyze(clientStream, serverStream []byte) Session {
+	var s Session
+	for _, c := range ParseCommands(clientStream) {
+		switch c.Verb {
+		case "USER":
+			s.User = c.Arg
+		case "RETR":
+			s.Transfers++
+			s.Retrievals++
+		case "STOR":
+			s.Transfers++
+			s.Stores++
+		}
+	}
+	for _, r := range ParseReplies(serverStream) {
+		switch {
+		case r.Code == 230:
+			s.LoggedIn = true
+		case r.Code == 226:
+			s.Completed++
+		case r.Code == 227:
+			if p, ok := PasvPort(r); ok {
+				s.DataPorts = append(s.DataPorts, p)
+			}
+		}
+	}
+	return s
+}
+
+// Dialogue builds the canonical control exchange for a passive-mode
+// retrieval, returning alternating turns (server speaks first).
+type Turn struct {
+	FromClient bool
+	Data       []byte
+}
+
+// RetrievalDialogue produces the control conversation for fetching one
+// file over a PASV data connection on dataPort.
+func RetrievalDialogue(user, file string, serverIP [4]byte, dataPort uint16) []Turn {
+	return []Turn{
+		{Data: EncodeReply(Reply{220, "FTP server ready"})},
+		{FromClient: true, Data: EncodeCommand(Command{"USER", user})},
+		{Data: EncodeReply(Reply{331, "Password required"})},
+		{FromClient: true, Data: EncodeCommand(Command{"PASS", "guest"})},
+		{Data: EncodeReply(Reply{230, "User logged in"})},
+		{FromClient: true, Data: EncodeCommand(Command{"PASV", ""})},
+		{Data: EncodePasvReply(serverIP, dataPort)},
+		{FromClient: true, Data: EncodeCommand(Command{"RETR", file})},
+		{Data: EncodeReply(Reply{150, "Opening BINARY mode data connection"})},
+		{Data: EncodeReply(Reply{226, "Transfer complete"})},
+		{FromClient: true, Data: EncodeCommand(Command{"QUIT", ""})},
+		{Data: EncodeReply(Reply{221, "Goodbye"})},
+	}
+}

@@ -1,0 +1,126 @@
+package ftp
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandRoundTrip(t *testing.T) {
+	cmds := []Command{
+		{"USER", "anonymous"},
+		{"PASS", "guest"},
+		{"PASV", ""},
+		{"RETR", "pub/data.tar"},
+		{"QUIT", ""},
+	}
+	var stream []byte
+	for _, c := range cmds {
+		stream = append(stream, EncodeCommand(c)...)
+	}
+	got := ParseCommands(stream)
+	if len(got) != len(cmds) {
+		t.Fatalf("parsed %d commands, want %d", len(got), len(cmds))
+	}
+	for i, c := range cmds {
+		if got[i] != c {
+			t.Errorf("command %d = %+v, want %+v", i, got[i], c)
+		}
+	}
+}
+
+func TestReplyRoundTrip(t *testing.T) {
+	replies := []Reply{{220, "ready"}, {230, "logged in"}, {226, "done"}}
+	var stream []byte
+	for _, r := range replies {
+		stream = append(stream, EncodeReply(r)...)
+	}
+	got := ParseReplies(stream)
+	if len(got) != 3 {
+		t.Fatalf("parsed %d replies", len(got))
+	}
+	for i, r := range replies {
+		if got[i] != r {
+			t.Errorf("reply %d = %+v", i, got[i])
+		}
+	}
+}
+
+func TestPasvPort(t *testing.T) {
+	r := ParseReplies(EncodePasvReply([4]byte{128, 3, 10, 2}, 51234))
+	if len(r) != 1 {
+		t.Fatal("pasv reply not parsed")
+	}
+	port, ok := PasvPort(r[0])
+	if !ok || port != 51234 {
+		t.Errorf("port = %d ok=%v", port, ok)
+	}
+	if _, ok := PasvPort(Reply{Code: 226, Text: "done"}); ok {
+		t.Error("non-227 should not parse")
+	}
+	if _, ok := PasvPort(Reply{Code: 227, Text: "no tuple here"}); ok {
+		t.Error("malformed 227 should not parse")
+	}
+}
+
+func TestAnalyzeRetrievalDialogue(t *testing.T) {
+	turns := RetrievalDialogue("alice", "big.iso", [4]byte{128, 3, 10, 2}, 40001)
+	var cli, srv []byte
+	for _, turn := range turns {
+		if turn.FromClient {
+			cli = append(cli, turn.Data...)
+		} else {
+			srv = append(srv, turn.Data...)
+		}
+	}
+	s := Analyze(cli, srv)
+	if s.User != "alice" || !s.LoggedIn {
+		t.Errorf("session = %+v", s)
+	}
+	if s.Transfers != 1 || s.Retrievals != 1 || s.Stores != 0 {
+		t.Errorf("transfers: %+v", s)
+	}
+	if s.Completed != 1 {
+		t.Errorf("completed = %d", s.Completed)
+	}
+	if len(s.DataPorts) != 1 || s.DataPorts[0] != 40001 {
+		t.Errorf("data ports = %v", s.DataPorts)
+	}
+}
+
+func TestGarbageStreams(t *testing.T) {
+	if got := ParseCommands([]byte("\x00\x01 binary junk\r\nlowercase arg\r\n")); len(got) != 0 {
+		t.Errorf("garbage commands: %v", got)
+	}
+	if got := ParseReplies([]byte("not a reply\r\n99 too low\r\nxyz 1\r\n")); len(got) != 0 {
+		t.Errorf("garbage replies: %v", got)
+	}
+}
+
+// Property: PASV round-trips every port.
+func TestPasvProperty(t *testing.T) {
+	f := func(port uint16, ip [4]byte) bool {
+		replies := ParseReplies(EncodePasvReply(ip, port))
+		if len(replies) != 1 {
+			return false
+		}
+		got, ok := PasvPort(replies[0])
+		return ok && got == port
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsers never panic and never invent commands from arbitrary
+// bytes lacking CRLF structure.
+func TestParseFuzz(t *testing.T) {
+	f := func(data []byte) bool {
+		_ = ParseCommands(data)
+		_ = ParseReplies(data)
+		_ = Analyze(data, data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,244 @@
+// Package http implements a compact HTTP/1.x message codec and stream
+// analyzer sufficient for the paper's §5.1.1 web characterization:
+// request methods (GET/POST/conditional GET), response status codes,
+// Content-Type accounting, body sizes, and identification of automated
+// clients (the site scanner, Google bots, and applications such as
+// iFolder that run on top of HTTP), which Table 6 shows dominate internal
+// web traffic.
+package http
+
+import (
+	"bytes"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Request is one parsed HTTP request.
+type Request struct {
+	Method    string
+	URI       string
+	Host      string
+	UserAgent string
+	// Conditional marks requests bearing If-Modified-Since (or
+	// If-None-Match), the paper's "conditional GET".
+	Conditional bool
+	BodyLen     int
+}
+
+// Response is one parsed HTTP response.
+type Response struct {
+	Status      int
+	ContentType string
+	BodyLen     int
+}
+
+// ContentClass buckets a MIME type the way Table 7 does.
+func ContentClass(mime string) string {
+	mime = strings.ToLower(mime)
+	switch {
+	case mime == "":
+		return "other"
+	case strings.HasPrefix(mime, "text/"):
+		return "text"
+	case strings.HasPrefix(mime, "image/"):
+		return "image"
+	case strings.HasPrefix(mime, "application/"):
+		return "application"
+	default:
+		return "other" // audio, video, multipart, ...
+	}
+}
+
+// Automated-client classes of Table 6.
+const (
+	ClientBrowser = "browser"
+	ClientScanner = "scan1"
+	ClientGoogle1 = "google1"
+	ClientGoogle2 = "google2"
+	ClientIFolder = "ifolder"
+)
+
+// ClassifyAgent maps a User-Agent to the paper's automated-client classes.
+// This mirrors how the authors separated non-browsing activity from user
+// browsing before computing the rest of the HTTP statistics.
+func ClassifyAgent(ua string) string {
+	low := strings.ToLower(ua)
+	switch {
+	case strings.Contains(low, "site-scanner"):
+		return ClientScanner
+	case strings.Contains(low, "googlebot-1"):
+		return ClientGoogle1
+	case strings.Contains(low, "googlebot-2"):
+		return ClientGoogle2
+	case strings.Contains(low, "ifolder"):
+		return ClientIFolder
+	default:
+		return ClientBrowser
+	}
+}
+
+// Automated reports whether the class is one of the Table 6 automated
+// activities.
+func Automated(class string) bool { return class != ClientBrowser }
+
+// EncodeRequest serializes a request with a Content-Length body.
+func EncodeRequest(r *Request) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s %s HTTP/1.1\r\n", r.Method, r.URI)
+	fmt.Fprintf(&b, "Host: %s\r\n", r.Host)
+	if r.UserAgent != "" {
+		fmt.Fprintf(&b, "User-Agent: %s\r\n", r.UserAgent)
+	}
+	if r.Conditional {
+		b.WriteString("If-Modified-Since: Thu, 01 Jul 2004 00:00:00 GMT\r\n")
+	}
+	if r.BodyLen > 0 {
+		fmt.Fprintf(&b, "Content-Length: %d\r\n", r.BodyLen)
+	}
+	b.WriteString("\r\n")
+	if r.BodyLen > 0 {
+		b.Write(fillBody(r.BodyLen))
+	}
+	return b.Bytes()
+}
+
+// EncodeResponse serializes a response with a Content-Length body.
+func EncodeResponse(r *Response) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "HTTP/1.1 %d %s\r\n", r.Status, statusText(r.Status))
+	if r.ContentType != "" {
+		fmt.Fprintf(&b, "Content-Type: %s\r\n", r.ContentType)
+	}
+	fmt.Fprintf(&b, "Content-Length: %d\r\n", r.BodyLen)
+	b.WriteString("Connection: keep-alive\r\n\r\n")
+	if r.BodyLen > 0 {
+		b.Write(fillBody(r.BodyLen))
+	}
+	return b.Bytes()
+}
+
+func statusText(code int) string {
+	switch code {
+	case 200:
+		return "OK"
+	case 206:
+		return "Partial Content"
+	case 304:
+		return "Not Modified"
+	case 404:
+		return "Not Found"
+	case 500:
+		return "Internal Server Error"
+	default:
+		return "Status"
+	}
+}
+
+// fillBody produces n deterministic filler bytes.
+func fillBody(n int) []byte {
+	b := make([]byte, n)
+	const pat = "abcdefghijklmnopqrstuvwxyz0123456789"
+	for i := range b {
+		b[i] = pat[i%len(pat)]
+	}
+	return b
+}
+
+// ParseRequests parses a reassembled client→server stream into requests.
+// Parsing is tolerant: a malformed head terminates the parse, returning
+// what was recognized.
+func ParseRequests(stream []byte) []Request {
+	var out []Request
+	for len(stream) > 0 {
+		head, rest, ok := splitHead(stream)
+		if !ok {
+			break
+		}
+		lines := strings.Split(head, "\r\n")
+		parts := strings.SplitN(lines[0], " ", 3)
+		if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+			break
+		}
+		r := Request{Method: parts[0], URI: parts[1]}
+		cl := 0
+		for _, ln := range lines[1:] {
+			name, val, found := strings.Cut(ln, ":")
+			if !found {
+				continue
+			}
+			val = strings.TrimSpace(val)
+			switch strings.ToLower(name) {
+			case "host":
+				r.Host = val
+			case "user-agent":
+				r.UserAgent = val
+			case "if-modified-since", "if-none-match":
+				r.Conditional = true
+			case "content-length":
+				cl, _ = strconv.Atoi(val)
+			}
+		}
+		if cl > len(rest) {
+			cl = len(rest) // truncated capture
+		}
+		r.BodyLen = cl
+		out = append(out, r)
+		stream = rest[cl:]
+	}
+	return out
+}
+
+// ParseResponses parses a reassembled server→client stream into responses.
+func ParseResponses(stream []byte) []Response {
+	var out []Response
+	for len(stream) > 0 {
+		head, rest, ok := splitHead(stream)
+		if !ok {
+			break
+		}
+		lines := strings.Split(head, "\r\n")
+		parts := strings.SplitN(lines[0], " ", 3)
+		if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+			break
+		}
+		status, err := strconv.Atoi(parts[1])
+		if err != nil {
+			break
+		}
+		r := Response{Status: status}
+		cl := 0
+		for _, ln := range lines[1:] {
+			name, val, found := strings.Cut(ln, ":")
+			if !found {
+				continue
+			}
+			val = strings.TrimSpace(val)
+			switch strings.ToLower(name) {
+			case "content-type":
+				if semi := strings.IndexByte(val, ';'); semi >= 0 {
+					val = val[:semi]
+				}
+				r.ContentType = val
+			case "content-length":
+				cl, _ = strconv.Atoi(val)
+			}
+		}
+		if cl > len(rest) {
+			cl = len(rest)
+		}
+		r.BodyLen = cl
+		out = append(out, r)
+		stream = rest[cl:]
+	}
+	return out
+}
+
+// splitHead cuts the header block (up to CRLFCRLF) from a stream.
+func splitHead(stream []byte) (head string, rest []byte, ok bool) {
+	idx := bytes.Index(stream, []byte("\r\n\r\n"))
+	if idx < 0 {
+		return "", nil, false
+	}
+	return string(stream[:idx]), stream[idx+4:], true
+}

@@ -1,0 +1,222 @@
+package http
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	r := &Request{Method: "GET", URI: "/index.html", Host: "www.lbl.gov", UserAgent: "Mozilla/4.0"}
+	got := ParseRequests(EncodeRequest(r))
+	if len(got) != 1 {
+		t.Fatalf("parsed %d requests", len(got))
+	}
+	if got[0].Method != "GET" || got[0].URI != "/index.html" || got[0].Host != "www.lbl.gov" {
+		t.Errorf("got %+v", got[0])
+	}
+	if got[0].Conditional {
+		t.Error("unexpected conditional")
+	}
+}
+
+func TestConditionalGet(t *testing.T) {
+	r := &Request{Method: "GET", URI: "/logo.gif", Host: "intranet", Conditional: true}
+	got := ParseRequests(EncodeRequest(r))
+	if len(got) != 1 || !got[0].Conditional {
+		t.Errorf("conditional lost: %+v", got)
+	}
+}
+
+func TestPostWithBody(t *testing.T) {
+	r := &Request{Method: "POST", URI: "/ifolder/sync", Host: "files", UserAgent: "Novell iFolder client", BodyLen: 500}
+	got := ParseRequests(EncodeRequest(r))
+	if len(got) != 1 || got[0].BodyLen != 500 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	r := &Response{Status: 200, ContentType: "image/gif", BodyLen: 1234}
+	got := ParseResponses(EncodeResponse(r))
+	if len(got) != 1 {
+		t.Fatalf("parsed %d responses", len(got))
+	}
+	if got[0].Status != 200 || got[0].ContentType != "image/gif" || got[0].BodyLen != 1234 {
+		t.Errorf("got %+v", got[0])
+	}
+}
+
+func TestPipelinedTransactions(t *testing.T) {
+	var stream []byte
+	for i := 0; i < 5; i++ {
+		stream = append(stream, EncodeRequest(&Request{Method: "GET", URI: "/a", Host: "h"})...)
+	}
+	got := ParseRequests(stream)
+	if len(got) != 5 {
+		t.Errorf("parsed %d pipelined requests", len(got))
+	}
+	var respStream []byte
+	sizes := []int{10, 0, 32780, 5, 100}
+	for _, n := range sizes {
+		respStream = append(respStream, EncodeResponse(&Response{Status: 200, ContentType: "text/html", BodyLen: n})...)
+	}
+	resps := ParseResponses(respStream)
+	if len(resps) != 5 {
+		t.Fatalf("parsed %d responses", len(resps))
+	}
+	for i, n := range sizes {
+		if resps[i].BodyLen != n {
+			t.Errorf("response %d body = %d, want %d", i, resps[i].BodyLen, n)
+		}
+	}
+}
+
+func TestTruncatedBodyTolerated(t *testing.T) {
+	full := EncodeResponse(&Response{Status: 200, ContentType: "application/zip", BodyLen: 10000})
+	got := ParseResponses(full[:200]) // capture cut mid-body
+	if len(got) != 1 {
+		t.Fatalf("parsed %d", len(got))
+	}
+	if got[0].BodyLen >= 10000 || got[0].ContentType != "application/zip" {
+		t.Errorf("got %+v", got[0])
+	}
+}
+
+func TestGarbageStream(t *testing.T) {
+	if got := ParseRequests([]byte("\x16\x03\x01 tls handshake not http\r\n\r\n")); len(got) != 0 {
+		t.Errorf("garbage parsed as %d requests", len(got))
+	}
+	if got := ParseResponses([]byte("random text\r\n\r\nmore")); len(got) != 0 {
+		t.Errorf("garbage parsed as %d responses", len(got))
+	}
+	if got := ParseRequests(nil); got != nil {
+		t.Error("nil stream should give nil")
+	}
+}
+
+func TestContentClass(t *testing.T) {
+	cases := map[string]string{
+		"text/html":                "text",
+		"text/css":                 "text",
+		"image/png":                "image",
+		"application/octet-stream": "application",
+		"application/pdf":          "application",
+		"audio/mpeg":               "other",
+		"video/mp4":                "other",
+		"multipart/mixed":          "other",
+		"":                         "other",
+		"IMAGE/GIF":                "image",
+	}
+	for mime, want := range cases {
+		if got := ContentClass(mime); got != want {
+			t.Errorf("ContentClass(%q) = %q, want %q", mime, got, want)
+		}
+	}
+}
+
+func TestContentTypeParamStripped(t *testing.T) {
+	stream := EncodeResponse(&Response{Status: 200, ContentType: "text/html", BodyLen: 2})
+	stream = bytes.Replace(stream, []byte("Content-Type: text/html"), []byte("Content-Type: text/html; charset=utf-8"), 1)
+	got := ParseResponses(stream)
+	if len(got) != 1 || got[0].ContentType != "text/html" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestClassifyAgent(t *testing.T) {
+	cases := map[string]string{
+		"Mozilla/5.0":               ClientBrowser,
+		"LBNL-Site-Scanner/1.2":     ClientScanner,
+		"Googlebot-1.0 (via cache)": ClientGoogle1,
+		"Googlebot-2.1 crawler":     ClientGoogle2,
+		"Novell iFolder client 2.0": ClientIFolder,
+		"":                          ClientBrowser,
+	}
+	for ua, want := range cases {
+		if got := ClassifyAgent(ua); got != want {
+			t.Errorf("ClassifyAgent(%q) = %q, want %q", ua, got, want)
+		}
+	}
+	if Automated(ClientBrowser) {
+		t.Error("browser is not automated")
+	}
+	if !Automated(ClientScanner) || !Automated(ClientIFolder) {
+		t.Error("scanner/ifolder are automated")
+	}
+}
+
+func TestStatus304NoBody(t *testing.T) {
+	got := ParseResponses(EncodeResponse(&Response{Status: 304}))
+	if len(got) != 1 || got[0].Status != 304 || got[0].BodyLen != 0 {
+		t.Errorf("got %+v", got)
+	}
+}
+
+// Property: any sequence of well-formed transactions parses back with
+// matching methods, statuses, and body lengths.
+func TestStreamRoundTripProperty(t *testing.T) {
+	f := func(bodies []uint16, conditional []bool) bool {
+		if len(bodies) > 20 {
+			bodies = bodies[:20]
+		}
+		var reqStream, respStream []byte
+		for i, n := range bodies {
+			cond := i < len(conditional) && conditional[i]
+			method := "GET"
+			if n%7 == 0 && n > 0 {
+				method = "POST"
+			}
+			bodyLen := 0
+			if method == "POST" {
+				bodyLen = int(n % 2048)
+			}
+			reqStream = append(reqStream, EncodeRequest(&Request{Method: method, URI: "/x", Host: "h", Conditional: cond, BodyLen: bodyLen})...)
+			respStream = append(respStream, EncodeResponse(&Response{Status: 200, ContentType: "text/plain", BodyLen: int(n % 4096)})...)
+		}
+		reqs := ParseRequests(reqStream)
+		resps := ParseResponses(respStream)
+		if len(reqs) != len(bodies) || len(resps) != len(bodies) {
+			return false
+		}
+		for i, n := range bodies {
+			if resps[i].BodyLen != int(n%4096) {
+				return false
+			}
+			wantCond := i < len(conditional) && conditional[i]
+			if reqs[i].Conditional != wantCond {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsers never panic on arbitrary bytes.
+func TestParseFuzzProperty(t *testing.T) {
+	f := func(data []byte) bool {
+		_ = ParseRequests(data)
+		_ = ParseResponses(data)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkParseRequests(b *testing.B) {
+	var stream []byte
+	for i := 0; i < 10; i++ {
+		stream = append(stream, EncodeRequest(&Request{Method: "GET", URI: "/path/to/resource", Host: "server.lbl.gov", UserAgent: "Mozilla/4.0"})...)
+	}
+	b.SetBytes(int64(len(stream)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := ParseRequests(stream); len(got) != 10 {
+			b.Fatal("parse failure")
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package imap
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func split(turns []Turn) (client, server []byte) {
+	for _, t := range turns {
+		if t.FromClient {
+			client = append(client, t.Data...)
+		} else {
+			server = append(server, t.Data...)
+		}
+	}
+	return
+}
+
+func TestPlaintextSession(t *testing.T) {
+	s := &Session{User: "alice", Polls: 3, BytesPerPoll: 5000, PollInterval: 10 * time.Minute}
+	turns := s.Turns()
+	client, server := split(turns)
+	r := Parse(client, server)
+	if !r.LoggedIn {
+		t.Error("login not detected")
+	}
+	if r.FetchCount != 3 {
+		t.Errorf("fetches = %d, want 3", r.FetchCount)
+	}
+	if r.FetchedBytes != 15000 {
+		t.Errorf("fetched = %d, want 15000", r.FetchedBytes)
+	}
+}
+
+func TestPollPacing(t *testing.T) {
+	s := &Session{User: "bob", Polls: 5, BytesPerPoll: 100, PollInterval: 10 * time.Minute}
+	var total time.Duration
+	for _, turn := range s.Turns() {
+		total += turn.Delay
+	}
+	if want := 40 * time.Minute; total != want {
+		t.Errorf("total poll delay = %v, want %v (4 intervals)", total, want)
+	}
+}
+
+func TestServerSendsBulk(t *testing.T) {
+	s := &Session{User: "c", Polls: 2, BytesPerPoll: 20000}
+	client, server := split(s.Turns())
+	if len(server) < 40000 {
+		t.Errorf("server bytes = %d, want > 40000", len(server))
+	}
+	if len(client) > 2000 {
+		t.Errorf("client bytes = %d, should be small control traffic", len(client))
+	}
+}
+
+func TestTLSSessionOpaque(t *testing.T) {
+	s := &Session{User: "d", Polls: 4, BytesPerPoll: 8000, TLS: true, PollInterval: 10 * time.Minute}
+	turns := s.Turns()
+	client, server := split(turns)
+	if !IsTLS(client) || !IsTLS(server) {
+		t.Error("TLS session should start with handshake records")
+	}
+	// Opaque payload: the plaintext parser must find nothing.
+	r := Parse(client, server)
+	if r.LoggedIn || r.FetchCount != 0 {
+		t.Errorf("TLS stream leaked plaintext structure: %+v", r)
+	}
+	// Bulk direction is server → client.
+	if len(server) < 4*8000 {
+		t.Errorf("server bytes = %d", len(server))
+	}
+}
+
+func TestIsTLSNegative(t *testing.T) {
+	if IsTLS([]byte("a1 LOGIN alice secret\r\n")) {
+		t.Error("plaintext misdetected as TLS")
+	}
+	if IsTLS(nil) || IsTLS([]byte{0x16}) {
+		t.Error("short streams misdetected")
+	}
+}
+
+func TestTLSRecordFraming(t *testing.T) {
+	rec := tlsRecord(0x17, 500)
+	if len(rec) != 505 {
+		t.Fatalf("record len = %d", len(rec))
+	}
+	if got := int(rec[3])<<8 | int(rec[4]); got != 500 {
+		t.Errorf("framed length = %d", got)
+	}
+	// Deterministic: same inputs, same bytes.
+	rec2 := tlsRecord(0x17, 500)
+	for i := range rec {
+		if rec[i] != rec2[i] {
+			t.Fatal("record generation not deterministic")
+		}
+	}
+}
+
+// Property: fetched-byte accounting matches polls × size for any session
+// shape.
+func TestFetchAccountingProperty(t *testing.T) {
+	f := func(polls, size uint8) bool {
+		s := &Session{User: "u", Polls: int(polls % 8), BytesPerPoll: int(size)*10 + 1}
+		client, server := split(s.Turns())
+		r := Parse(client, server)
+		return r.FetchCount == s.Polls && r.FetchedBytes == s.Polls*s.BytesPerPoll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseGarbage(t *testing.T) {
+	r := Parse([]byte("{not-a-number}"), []byte("x{99"))
+	if r.FetchedBytes != 0 {
+		t.Errorf("garbage literals parsed: %+v", r)
+	}
+}

@@ -1,0 +1,93 @@
+package ncp
+
+import (
+	"net/netip"
+
+	"enttrace/internal/stats"
+)
+
+// Analyzer accumulates Table 14's request/byte mix, Figure 7's requests
+// per host pair, Figure 8's size distributions, and the request success
+// rate from completion codes.
+type Analyzer struct {
+	Requests             *stats.Counter
+	Bytes                *stats.Counter
+	ReqSizes, ReplySizes *stats.Dist
+	PerPair              map[[2]netip.Addr]int64
+	OK, Failed           int64
+
+	// pending pairs replies to requests by (pair, sequence).
+	pending map[pendKey]uint8
+}
+
+type pendKey struct {
+	client, server netip.Addr
+	seq            uint8
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		Requests:   stats.NewCounter(),
+		Bytes:      stats.NewCounter(),
+		ReqSizes:   stats.NewDist(),
+		ReplySizes: stats.NewDist(),
+		PerPair:    make(map[[2]netip.Addr]int64),
+		pending:    make(map[pendKey]uint8),
+	}
+}
+
+func pairOf(a, b netip.Addr) [2]netip.Addr {
+	if a.Compare(b) > 0 {
+		a, b = b, a
+	}
+	return [2]netip.Addr{a, b}
+}
+
+// Stream consumes one direction of an NCP connection's reassembled bytes.
+func (a *Analyzer) Stream(src, dst netip.Addr, data []byte) {
+	for len(data) > 0 {
+		m, n, err := Decode(data)
+		if err != nil || n == 0 {
+			return
+		}
+		a.message(src, dst, m)
+		data = data[n:]
+	}
+}
+
+func (a *Analyzer) message(src, dst netip.Addr, m *Msg) {
+	name := FnName(m.Function)
+	if m.Request {
+		a.Requests.Inc(name)
+		a.ReqSizes.Observe(float64(hdrLen + m.PayloadLen))
+		a.PerPair[pairOf(src, dst)]++
+		if m.Function == FnWriteFile {
+			a.Bytes.Add(name, int64(m.PayloadLen))
+		}
+		a.pending[pendKey{client: src, server: dst, seq: m.Sequence}] = m.Function
+		return
+	}
+	key := pendKey{client: dst, server: src, seq: m.Sequence}
+	if _, ok := a.pending[key]; ok {
+		delete(a.pending, key)
+	}
+	a.ReplySizes.Observe(float64(hdrLen + m.PayloadLen))
+	if m.Completion == 0 {
+		a.OK++
+		if m.Function == FnReadFile {
+			a.Bytes.Add(FnName(m.Function), int64(m.PayloadLen))
+		}
+	} else {
+		a.Failed++
+	}
+}
+
+// SuccessRate is successful replies over all replies.
+func (a *Analyzer) SuccessRate() float64 {
+	total := a.OK + a.Failed
+	if total == 0 {
+		return 0
+	}
+	return float64(a.OK) / float64(total)
+}

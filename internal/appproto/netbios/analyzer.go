@@ -1,0 +1,137 @@
+package netbios
+
+import (
+	"net/netip"
+	"time"
+
+	"enttrace/internal/stats"
+)
+
+// Analyzer accumulates the §5.1.3 Netbios/NS statistics: request-type mix,
+// name-type mix, per-client spread, and the failure rate counted per
+// distinct (name, host pair) operation.
+type Analyzer struct {
+	Ops       *stats.Counter // request type mix (query/refresh/...)
+	NameTypes *stats.Counter // workstation/server vs domain/browser
+	Clients   *stats.Counter // requests per client
+	Rcodes    *stats.Counter // per-distinct-operation outcome
+
+	pending map[pendKey]pendVal
+	seenOp  map[string]struct{}
+}
+
+type pendKey struct {
+	client, server netip.Addr
+	id             uint16
+}
+
+type pendVal struct {
+	name string
+	op   uint8
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		Ops:       stats.NewCounter(),
+		NameTypes: stats.NewCounter(),
+		Clients:   stats.NewCounter(),
+		Rcodes:    stats.NewCounter(),
+		pending:   make(map[pendKey]pendVal),
+		seenOp:    make(map[string]struct{}),
+	}
+}
+
+// Message feeds one decoded NS message traveling src → dst at ts.
+func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *NSMessage) {
+	if !m.Response {
+		a.Ops.Inc(OpName(m.Op))
+		if m.Op == OpQuery {
+			a.NameTypes.Inc(SuffixClass(m.Suffix))
+		}
+		a.Clients.Inc(src.String())
+		a.pending[pendKey{client: src, server: dst, id: m.ID}] = pendVal{name: m.Name, op: m.Op}
+		return
+	}
+	key := pendKey{client: dst, server: src, id: m.ID}
+	q, ok := a.pending[key]
+	if !ok {
+		return
+	}
+	delete(a.pending, key)
+	if q.op != OpQuery {
+		return // outcome accounting covers queries only, like the paper
+	}
+	opKey := q.name + "|" + dst.String() + "|" + src.String()
+	if _, dup := a.seenOp[opKey]; dup {
+		return
+	}
+	a.seenOp[opKey] = struct{}{}
+	if m.Rcode == RcodeNXDomain {
+		a.Rcodes.Inc("NXDOMAIN")
+	} else {
+		a.Rcodes.Inc("NOERROR")
+	}
+}
+
+// FailureRate is the fraction of distinct query operations that returned
+// NXDOMAIN — the paper reports 36–50%.
+func (a *Analyzer) FailureRate() float64 {
+	return a.Rcodes.Fraction("NXDOMAIN")
+}
+
+// SSNAnalyzer tracks Session Service handshakes per host pair for the
+// Netbios/SSN success-rate row of Table 9.
+type SSNAnalyzer struct {
+	// outcome per host pair: positive beats negative beats none.
+	pairs map[pairKey]uint8
+}
+
+type pairKey struct{ a, b netip.Addr }
+
+// NewSSNAnalyzer returns an empty SSN analyzer.
+func NewSSNAnalyzer() *SSNAnalyzer {
+	return &SSNAnalyzer{pairs: make(map[pairKey]uint8)}
+}
+
+func canonPair(x, y netip.Addr) pairKey {
+	if x.Compare(y) > 0 {
+		x, y = y, x
+	}
+	return pairKey{x, y}
+}
+
+// Frame feeds one session-service frame type observed between client and
+// server.
+func (s *SSNAnalyzer) Frame(client, server netip.Addr, typ uint8) {
+	k := canonPair(client, server)
+	cur := s.pairs[k]
+	switch typ {
+	case SSNRequest:
+		if cur == 0 {
+			s.pairs[k] = SSNRequest
+		}
+	case SSNPositiveResponse:
+		s.pairs[k] = SSNPositiveResponse
+	case SSNNegativeResponse:
+		if cur != SSNPositiveResponse {
+			s.pairs[k] = SSNNegativeResponse
+		}
+	}
+}
+
+// Summary reports (successful, rejected, unanswered, total) host pairs.
+func (s *SSNAnalyzer) Summary() (ok, rejected, unanswered, total int) {
+	for _, v := range s.pairs {
+		total++
+		switch v {
+		case SSNPositiveResponse:
+			ok++
+		case SSNNegativeResponse:
+			rejected++
+		default:
+			unanswered++
+		}
+	}
+	return
+}

@@ -1,0 +1,215 @@
+// Package netbios implements the two NetBIOS services the paper analyzes:
+// the Name Service (UDP 137 — a DNS-like query/registration protocol with
+// first-level-encoded names and a type suffix) and the Session Service
+// (TCP 139 — the framing layer under CIFS, with its own session-request
+// handshake whose success rate Table 9 reports).
+package netbios
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name Service opcodes (the paper's "request types").
+const (
+	OpQuery    uint8 = 0
+	OpRegister uint8 = 5
+	OpRelease  uint8 = 6
+	OpWACK     uint8 = 7
+	OpRefresh  uint8 = 8
+	OpStatus   uint8 = 10 // node status check
+)
+
+// OpName renders an opcode the way the paper's text does.
+func OpName(op uint8) string {
+	switch op {
+	case OpQuery:
+		return "query"
+	case OpRegister:
+		return "register"
+	case OpRelease:
+		return "release"
+	case OpRefresh:
+		return "refresh"
+	case OpStatus:
+		return "status"
+	case OpWACK:
+		return "wack"
+	default:
+		return fmt.Sprintf("op%d", op)
+	}
+}
+
+// Name type suffixes (the 16th byte of a NetBIOS name).
+const (
+	SuffixWorkstation uint8 = 0x00
+	SuffixServer      uint8 = 0x20
+	SuffixDomain      uint8 = 0x1C
+	SuffixBrowser     uint8 = 0x1D
+)
+
+// SuffixClass groups suffixes into the paper's two reported classes.
+func SuffixClass(s uint8) string {
+	switch s {
+	case SuffixWorkstation, SuffixServer:
+		return "workstation/server"
+	case SuffixDomain, SuffixBrowser, 0x1B, 0x1E:
+		return "domain/browser"
+	default:
+		return "other"
+	}
+}
+
+// Rcode values (shared numbering with DNS).
+const (
+	RcodeNoError  uint8 = 0
+	RcodeNXDomain uint8 = 3
+)
+
+// NSMessage is a parsed Name Service message.
+type NSMessage struct {
+	ID       uint16
+	Response bool
+	Op       uint8
+	Rcode    uint8
+	Name     string // decoded NetBIOS name, trailing spaces trimmed
+	Suffix   uint8
+}
+
+// Decode errors.
+var (
+	ErrShort   = errors.New("netbios: message too short")
+	ErrBadName = errors.New("netbios: malformed encoded name")
+)
+
+// EncodeNS serializes a Name Service message.
+func EncodeNS(m *NSMessage) []byte {
+	buf := make([]byte, 0, 50)
+	buf = append(buf, byte(m.ID>>8), byte(m.ID))
+	var flags uint16
+	flags |= uint16(m.Op&0x0f) << 11
+	if m.Response {
+		flags |= 0x8000
+		flags |= uint16(m.Rcode) & 0x000f
+	} else {
+		flags |= 0x0110 // RD + B (broadcast) typical of NBNS
+	}
+	buf = append(buf, byte(flags>>8), byte(flags))
+	if m.Response {
+		buf = append(buf, 0, 0, 0, 1, 0, 0, 0, 0) // ANCOUNT = 1
+	} else {
+		buf = append(buf, 0, 1, 0, 0, 0, 0, 0, 0) // QDCOUNT = 1
+	}
+	buf = append(buf, 0x20) // encoded-name length, always 32
+	buf = append(buf, encodeName(m.Name, m.Suffix)...)
+	buf = append(buf, 0)       // terminating scope
+	buf = append(buf, 0, 0x20) // NB type
+	buf = append(buf, 0, 1)    // IN class
+	if m.Response {
+		buf = append(buf, 0, 0, 0, 60, 0, 6, 0, 0, 10, 0, 0, 1) // TTL, RDLEN, flags+addr
+	}
+	return buf
+}
+
+// encodeName performs RFC 1001 first-level encoding: the 16-byte
+// space-padded name (with the suffix as byte 16) becomes 32 bytes of
+// nibble+'A'.
+func encodeName(name string, suffix uint8) []byte {
+	raw := make([]byte, 16)
+	for i := range raw {
+		raw[i] = ' '
+	}
+	up := strings.ToUpper(name)
+	if len(up) > 15 {
+		up = up[:15]
+	}
+	copy(raw, up)
+	raw[15] = suffix
+	out := make([]byte, 32)
+	for i, b := range raw {
+		out[2*i] = 'A' + (b >> 4)
+		out[2*i+1] = 'A' + (b & 0x0f)
+	}
+	return out
+}
+
+func decodeName(enc []byte) (string, uint8, error) {
+	if len(enc) < 32 {
+		return "", 0, ErrBadName
+	}
+	raw := make([]byte, 16)
+	for i := 0; i < 16; i++ {
+		hi, lo := enc[2*i], enc[2*i+1]
+		if hi < 'A' || hi > 'P' || lo < 'A' || lo > 'P' {
+			return "", 0, ErrBadName
+		}
+		raw[i] = (hi-'A')<<4 | (lo - 'A')
+	}
+	suffix := raw[15]
+	return strings.TrimRight(string(raw[:15]), " "), suffix, nil
+}
+
+// DecodeNS parses a Name Service message.
+func DecodeNS(data []byte) (*NSMessage, error) {
+	if len(data) < 12 {
+		return nil, ErrShort
+	}
+	flags := uint16(data[2])<<8 | uint16(data[3])
+	m := &NSMessage{
+		ID:       uint16(data[0])<<8 | uint16(data[1]),
+		Response: flags&0x8000 != 0,
+		Op:       uint8(flags >> 11 & 0x0f),
+		Rcode:    uint8(flags & 0x0f),
+	}
+	// Name section: length byte then 32 encoded bytes.
+	if len(data) < 13+32 {
+		return nil, ErrShort
+	}
+	if data[12] != 0x20 {
+		return nil, ErrBadName
+	}
+	name, suffix, err := decodeName(data[13 : 13+32])
+	if err != nil {
+		return nil, err
+	}
+	m.Name, m.Suffix = name, suffix
+	return m, nil
+}
+
+// Session Service packet types (TCP 139 framing).
+const (
+	SSNMessage          uint8 = 0x00
+	SSNRequest          uint8 = 0x81
+	SSNPositiveResponse uint8 = 0x82
+	SSNNegativeResponse uint8 = 0x83
+	SSNKeepAlive        uint8 = 0x85
+)
+
+// SSNHeader is the 4-byte Session Service frame header.
+type SSNHeader struct {
+	Type   uint8
+	Length int // payload length (17-bit)
+}
+
+// EncodeSSN builds a session-service frame around payload.
+func EncodeSSN(typ uint8, payload []byte) []byte {
+	out := make([]byte, 4+len(payload))
+	out[0] = typ
+	out[1] = byte(len(payload) >> 16 & 0x01)
+	out[2] = byte(len(payload) >> 8)
+	out[3] = byte(len(payload))
+	copy(out[4:], payload)
+	return out
+}
+
+// DecodeSSNHeader parses a session-service frame header.
+func DecodeSSNHeader(data []byte) (SSNHeader, error) {
+	if len(data) < 4 {
+		return SSNHeader{}, ErrShort
+	}
+	return SSNHeader{
+		Type:   data[0],
+		Length: int(data[1]&0x01)<<16 | int(data[2])<<8 | int(data[3]),
+	}, nil
+}

@@ -1,0 +1,101 @@
+package sunrpc
+
+import (
+	"net/netip"
+
+	"enttrace/internal/stats"
+)
+
+// Analyzer accumulates the paper's NFS statistics: Table 13's per-procedure
+// request/byte mix, Figure 7's requests per host pair, Figure 8's
+// request/reply size distributions, and the request success rate.
+type Analyzer struct {
+	Requests *stats.Counter // per ProcName
+	Bytes    *stats.Counter // file payload bytes per ProcName
+	// ReqSizes and ReplySizes are the Figure 8 message-size samples
+	// (RPC message bytes, headers excluded per the figure caption —
+	// we record the full RPC body which is the analogous quantity).
+	ReqSizes, ReplySizes *stats.Dist
+	// PerPair counts requests per client-server host pair (Figure 7).
+	PerPair map[[2]netip.Addr]int64
+	// OK and Failed count replies by outcome.
+	OK, Failed int64
+
+	pendingProc map[pendKey]uint32
+}
+
+type pendKey struct {
+	client, server netip.Addr
+	xid            uint32
+}
+
+// NewAnalyzer returns an empty analyzer.
+func NewAnalyzer() *Analyzer {
+	return &Analyzer{
+		Requests:    stats.NewCounter(),
+		Bytes:       stats.NewCounter(),
+		ReqSizes:    stats.NewDist(),
+		ReplySizes:  stats.NewDist(),
+		PerPair:     make(map[[2]netip.Addr]int64),
+		pendingProc: make(map[pendKey]uint32),
+	}
+}
+
+func pairOf(a, b netip.Addr) [2]netip.Addr {
+	if a.Compare(b) > 0 {
+		a, b = b, a
+	}
+	return [2]netip.Addr{a, b}
+}
+
+// Message feeds one raw RPC message (UDP payload or one TCP record)
+// traveling src → dst.
+func (a *Analyzer) Message(src, dst netip.Addr, raw []byte) {
+	// Peek the type to know whether a matched proc is needed.
+	m, err := Decode(raw, 0)
+	if err != nil {
+		return
+	}
+	if m.Type == MsgCall {
+		if m.Prog != ProgNFS {
+			return
+		}
+		a.pendingProc[pendKey{client: src, server: dst, xid: m.XID}] = m.Proc
+		name := ProcName(m.Proc)
+		a.Requests.Inc(name)
+		if m.Proc == ProcWrite {
+			a.Bytes.Add(name, int64(m.DataLen))
+		}
+		a.ReqSizes.Observe(float64(len(raw)))
+		a.PerPair[pairOf(src, dst)]++
+		return
+	}
+	key := pendKey{client: dst, server: src, xid: m.XID}
+	proc, ok := a.pendingProc[key]
+	if !ok {
+		return
+	}
+	delete(a.pendingProc, key)
+	m, err = Decode(raw, proc)
+	if err != nil {
+		return
+	}
+	if m.Status == NFSOK {
+		a.OK++
+		if proc == ProcRead {
+			a.Bytes.Add(ProcName(proc), int64(m.DataLen))
+		}
+	} else {
+		a.Failed++
+	}
+	a.ReplySizes.Observe(float64(len(raw)))
+}
+
+// SuccessRate is successful replies over all matched replies.
+func (a *Analyzer) SuccessRate() float64 {
+	total := a.OK + a.Failed
+	if total == 0 {
+		return 0
+	}
+	return float64(a.OK) / float64(total)
+}

@@ -1,0 +1,137 @@
+package categories
+
+import (
+	"testing"
+
+	"enttrace/internal/layers"
+)
+
+func TestClassifyWellKnown(t *testing.T) {
+	r := NewRegistry()
+	cases := []struct {
+		transport         uint8
+		orig, resp        uint16
+		wantName, wantCat string
+	}{
+		{layers.ProtoTCP, 40000, 80, "HTTP", Web},
+		{layers.ProtoTCP, 40000, 443, "HTTPS", Web},
+		{layers.ProtoTCP, 40000, 25, "SMTP", Email},
+		{layers.ProtoTCP, 40000, 993, "IMAP/S", Email},
+		{layers.ProtoUDP, 5353, 53, "DNS", Name},
+		{layers.ProtoTCP, 40000, 53, "DNS", Name},
+		{layers.ProtoUDP, 137, 137, "Netbios-NS", Name},
+		{layers.ProtoTCP, 40000, 2049, "NFS", NetFile},
+		{layers.ProtoUDP, 800, 2049, "NFS", NetFile},
+		{layers.ProtoTCP, 40000, 524, "NCP", NetFile},
+		{layers.ProtoTCP, 40000, 445, "CIFS", Windows},
+		{layers.ProtoTCP, 40000, 139, "Netbios-SSN", Windows},
+		{layers.ProtoTCP, 40000, 135, "DCE/RPC-EPM", Windows},
+		{layers.ProtoTCP, 40000, 497, "Dantz", Backup},
+		{layers.ProtoTCP, 40000, 13724, "Veritas-Data", Backup},
+		{layers.ProtoTCP, 40000, 22, "SSH", Interactive},
+		{layers.ProtoUDP, 40000, 123, "NTP", NetMgnt},
+		{layers.ProtoUDP, 40000, 9875, "SAP", NetMgnt},
+		{layers.ProtoTCP, 40000, 515, "LPD", Misc},
+		{layers.ProtoTCP, 40000, 21, "FTP", Bulk},
+	}
+	for _, c := range cases {
+		name, cat := r.Classify(c.transport, c.orig, c.resp)
+		if name != c.wantName || cat != c.wantCat {
+			t.Errorf("Classify(%d, %d, %d) = (%q, %q), want (%q, %q)",
+				c.transport, c.orig, c.resp, name, cat, c.wantName, c.wantCat)
+		}
+	}
+}
+
+func TestClassifyUnknown(t *testing.T) {
+	r := NewRegistry()
+	if _, cat := r.Classify(layers.ProtoTCP, 45000, 49999); cat != OtherTCP {
+		t.Errorf("unknown TCP → %q", cat)
+	}
+	if _, cat := r.Classify(layers.ProtoUDP, 45000, 49999); cat != OtherUDP {
+		t.Errorf("unknown UDP → %q", cat)
+	}
+	if name, cat := r.Classify(layers.ProtoICMP, 0, 0); name != "" || cat != "" {
+		t.Errorf("ICMP should be unclassified, got (%q, %q)", name, cat)
+	}
+}
+
+func TestClassifyOriginatorPortFallback(t *testing.T) {
+	r := NewRegistry()
+	// FTP active data: server port 20 originates to an ephemeral port.
+	name, cat := r.Classify(layers.ProtoTCP, 20, 40001)
+	if name != "FTP" || cat != Bulk {
+		t.Errorf("FTP data = (%q, %q)", name, cat)
+	}
+}
+
+func TestUDPOnlyProtocolNotTCP(t *testing.T) {
+	r := NewRegistry()
+	// Netbios-NS is UDP-only in the registry; TCP 137 is other-tcp.
+	if _, cat := r.Classify(layers.ProtoTCP, 40000, 137); cat != OtherTCP {
+		t.Errorf("TCP 137 → %q, want other-tcp", cat)
+	}
+}
+
+func TestDynamicRegistration(t *testing.T) {
+	r := NewRegistry()
+	if _, cat := r.Classify(layers.ProtoTCP, 40000, 1891); cat != OtherTCP {
+		t.Fatal("port should start unknown")
+	}
+	r.Register(layers.ProtoTCP, 1891, "Spoolss", Windows)
+	name, cat := r.Classify(layers.ProtoTCP, 40000, 1891)
+	if name != "Spoolss" || cat != Windows {
+		t.Errorf("dynamic = (%q, %q)", name, cat)
+	}
+}
+
+func TestPortOf(t *testing.T) {
+	if p, ok := PortOf("SMTP"); !ok || p != 25 {
+		t.Errorf("PortOf(SMTP) = %d, %v", p, ok)
+	}
+	if _, ok := PortOf("nonexistent"); ok {
+		t.Error("unknown protocol should return false")
+	}
+}
+
+func TestProtosByCategory(t *testing.T) {
+	email := Protos(Email)
+	if len(email) != 6 {
+		t.Errorf("email protocols = %v", email)
+	}
+	for i := 1; i < len(email); i++ {
+		if email[i] < email[i-1] {
+			t.Error("protos not sorted")
+		}
+	}
+}
+
+func TestAllCategoriesCovered(t *testing.T) {
+	// Every well-known protocol's category must appear in All.
+	inAll := make(map[string]bool)
+	for _, c := range All {
+		inAll[c] = true
+	}
+	for _, cat := range []string{Backup, Bulk, Email, Interactive, Name, NetFile, NetMgnt, Streaming, Web, Windows, Misc} {
+		if !inAll[cat] {
+			t.Errorf("category %q missing from All", cat)
+		}
+		if len(Protos(cat)) == 0 {
+			t.Errorf("category %q has no protocols", cat)
+		}
+	}
+}
+
+func TestNoPortCollisions(t *testing.T) {
+	// Each (transport, port) resolves deterministically; building the
+	// registry twice gives identical classifications for every well-known
+	// port.
+	r1, r2 := NewRegistry(), NewRegistry()
+	for _, p := range [...]uint16{25, 53, 80, 137, 139, 443, 445, 524, 2049} {
+		n1, c1 := r1.Classify(layers.ProtoTCP, 40000, p)
+		n2, c2 := r2.Classify(layers.ProtoTCP, 40000, p)
+		if n1 != n2 || c1 != c2 {
+			t.Errorf("port %d classification unstable", p)
+		}
+	}
+}

@@ -1,0 +1,276 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"enttrace/internal/appproto/dcerpc"
+	"enttrace/internal/appproto/dns"
+	"enttrace/internal/appproto/ftp"
+	"enttrace/internal/appproto/netbios"
+	"enttrace/internal/appproto/smtp"
+	"enttrace/internal/appproto/sunrpc"
+	"enttrace/internal/categories"
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+	"enttrace/internal/reassembly"
+)
+
+// dispatcher routes per-packet application payloads to protocol analyzers
+// for one trace. UDP protocols are parsed per datagram; TCP protocols are
+// reassembled per direction and parsed when the trace ends (except
+// Endpoint Mapper traffic, which is parsed incrementally so that mapped
+// ephemeral ports can be registered before the services using them are
+// classified).
+type dispatcher struct {
+	a     *Analyzer
+	conns map[*flows.Conn]*connApp
+}
+
+// connApp buffers one TCP connection's two directions.
+type connApp struct {
+	kind      string // registry protocol name at attach time
+	cliStream *reassembly.Stream
+	srvStream *reassembly.Stream
+	cliBuf    reassembly.BufferConsumer
+	srvBuf    reassembly.BufferConsumer
+	epmCli    *rpcStream
+	epmSrv    *rpcStream
+	ftpSrv    *ftpCtl
+	sawCliISN bool
+	sawSrvISN bool
+}
+
+func newDispatcher(a *Analyzer) *dispatcher {
+	return &dispatcher{a: a, conns: make(map[*flows.Conn]*connApp)}
+}
+
+// bufferedProtos are the TCP protocols whose payloads are reassembled.
+var bufferedProtos = map[string]int{
+	"HTTP":        4 << 20,
+	"FTP":         1 << 20,
+	"SMTP":        1 << 20,
+	"IMAP4":       1 << 20,
+	"CIFS":        2 << 20,
+	"Netbios-SSN": 2 << 20,
+	"NCP":         2 << 20,
+	"NFS":         2 << 20,
+	"Spoolss":     1 << 20, // dynamically mapped DCE/RPC service ports
+}
+
+func (d *dispatcher) packet(ts time.Time, conn *flows.Conn, dir flows.Dir, p *layers.Packet) {
+	if !d.a.opts.PayloadAnalysis {
+		return
+	}
+	if p.Layers.Has(layers.LayerUDP) {
+		d.udpMessage(ts, p)
+		return
+	}
+	if !p.Layers.Has(layers.LayerTCP) {
+		return
+	}
+	app := d.conns[conn]
+	if app == nil {
+		name, _ := d.a.opts.Registry.Classify(conn.Proto, conn.Key.SrcPort, conn.Key.DstPort)
+		app = &connApp{kind: name}
+		if name == "FTP" && conn.Key.DstPort == 21 {
+			// The control channel is parsed incrementally so PASV data
+			// ports are registered before the data connection arrives.
+			app.ftpSrv = &ftpCtl{d: d}
+			app.cliBuf.Limit = bufferedProtos[name]
+			app.cliStream = reassembly.NewStream(&app.cliBuf)
+			app.srvStream = reassembly.NewStream(app.ftpSrv)
+			d.conns[conn] = app
+		} else if name == "DCE/RPC-EPM" {
+			app.epmCli = &rpcStream{d: d, channel: fmt.Sprintf("%p/c", conn), fromClient: true}
+			app.epmSrv = &rpcStream{d: d, channel: fmt.Sprintf("%p/s", conn), fromClient: false}
+			app.cliStream = reassembly.NewStream(app.epmCli)
+			app.srvStream = reassembly.NewStream(app.epmSrv)
+		} else if limit, ok := bufferedProtos[name]; ok {
+			app.cliBuf.Limit = limit
+			app.srvBuf.Limit = limit
+			app.cliStream = reassembly.NewStream(&app.cliBuf)
+			app.srvStream = reassembly.NewStream(&app.srvBuf)
+		}
+		d.conns[conn] = app
+	}
+	if app.cliStream == nil {
+		return
+	}
+	stream := app.cliStream
+	if dir == flows.DirResp {
+		stream = app.srvStream
+	}
+	if p.TCP.Flags&layers.TCPSyn != 0 {
+		stream.SetISN(p.TCP.Seq + 1)
+		return
+	}
+	if len(p.Payload) > 0 {
+		stream.Segment(p.TCP.Seq, p.Payload)
+	}
+}
+
+// udpMessage parses datagram-based application protocols immediately.
+func (d *dispatcher) udpMessage(ts time.Time, p *layers.Packet) {
+	if len(p.Payload) == 0 {
+		return
+	}
+	src, _ := p.NetSrc()
+	dst, _ := p.NetDst()
+	switch {
+	case p.UDP.DstPort == 53 || p.UDP.SrcPort == 53:
+		if m, err := dns.Decode(p.Payload); err == nil {
+			local := d.a.opts.IsLocal(src) && d.a.opts.IsLocal(dst)
+			if local {
+				d.a.apps.dnsInt.Message(ts, src, dst, m)
+			} else {
+				d.a.apps.dnsWan.Message(ts, src, dst, m)
+			}
+		}
+	case p.UDP.DstPort == 137 || p.UDP.SrcPort == 137:
+		if m, err := netbios.DecodeNS(p.Payload); err == nil {
+			d.a.apps.nbns.Message(ts, src, dst, m)
+		}
+	case p.UDP.DstPort == 2049 || p.UDP.SrcPort == 2049:
+		d.a.apps.nfs.Message(src, dst, p.Payload)
+		d.a.apps.markNFSPair(src, dst, true)
+	}
+}
+
+// finish closes all streams and runs the protocol analyzers over kept
+// (non-scanner) connections.
+func (d *dispatcher) finish(kept map[*flows.Conn]bool) {
+	apps := d.a.apps
+	isLocal := d.a.opts.IsLocal
+	// Transport-level accumulation happens for every kept conn even
+	// without payloads (email figures, windows success rates, backup).
+	for conn := range kept {
+		apps.transportConn(conn, d.a.opts)
+	}
+	if !d.a.opts.PayloadAnalysis {
+		return
+	}
+	for conn, app := range d.conns {
+		if !kept[conn] {
+			continue
+		}
+		if app.cliStream != nil {
+			app.cliStream.Close()
+			app.srvStream.Close()
+		}
+		client, server := conn.Key.Src, conn.Key.Dst
+		wan := connWAN(conn, isLocal)
+		switch app.kind {
+		case "HTTP":
+			apps.httpConn(conn, wan, app.cliBuf.Buf, app.srvBuf.Buf)
+		case "SMTP":
+			res := smtp.Parse(app.cliBuf.Buf, app.srvBuf.Buf)
+			apps.smtpParsed(wan, res)
+		case "CIFS":
+			apps.cifsStreams(conn, false, app.cliBuf.Buf, app.srvBuf.Buf)
+		case "Netbios-SSN":
+			apps.ssnFrames(client, server, app.cliBuf.Buf, app.srvBuf.Buf)
+			apps.cifsStreams(conn, true, app.cliBuf.Buf, app.srvBuf.Buf)
+		case "NCP":
+			apps.ncp.Stream(client, server, app.cliBuf.Buf)
+			apps.ncp.Stream(server, client, app.srvBuf.Buf)
+			apps.markNCPKeepAlive(conn)
+		case "NFS":
+			sunrpc.SplitRecords(app.cliBuf.Buf, func(rec []byte) {
+				apps.nfs.Message(client, server, rec)
+			})
+			sunrpc.SplitRecords(app.srvBuf.Buf, func(rec []byte) {
+				apps.nfs.Message(server, client, rec)
+			})
+			apps.markNFSPair(client, server, false)
+		case "Spoolss":
+			ch := fmt.Sprintf("%p", conn)
+			apps.rpc.Stream(ch, true, app.cliBuf.Buf)
+			apps.rpc.Stream(ch, false, app.srvBuf.Buf)
+		case "FTP":
+			if app.ftpSrv != nil {
+				apps.ftpSession(ftp.Analyze(app.cliBuf.Buf, app.ftpSrv.buf))
+			}
+		}
+	}
+}
+
+// ftpCtl accumulates the server side of an FTP control connection,
+// registering PASV-advertised data ports the moment the 227 reply is
+// seen so the subsequent data connection is classified as bulk.
+type ftpCtl struct {
+	d   *dispatcher
+	buf []byte
+	// scanned marks how far PASV scanning has progressed.
+	scanned int
+}
+
+// Data implements reassembly.Consumer.
+func (f *ftpCtl) Data(b []byte) {
+	f.buf = append(f.buf, b...)
+	// Scan only complete lines.
+	for {
+		idx := -1
+		for i := f.scanned; i+1 < len(f.buf); i++ {
+			if f.buf[i] == '\r' && f.buf[i+1] == '\n' {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		line := f.buf[f.scanned:idx]
+		f.scanned = idx + 2
+		for _, r := range ftp.ParseReplies(append(append([]byte{}, line...), '\r', '\n')) {
+			if port, ok := ftp.PasvPort(r); ok {
+				f.d.a.opts.Registry.Register(layers.ProtoTCP, port, "FTP-Data", categories.Bulk)
+			}
+		}
+	}
+}
+
+// Gap implements reassembly.Consumer.
+func (f *ftpCtl) Gap(n int) {}
+
+// rpcStream incrementally parses DCE/RPC PDUs from a reassembled EPM
+// stream, registering endpoint-mapped ports the moment the map response
+// is seen so later connections to those ports are classified.
+type rpcStream struct {
+	d          *dispatcher
+	channel    string
+	fromClient bool
+	buf        []byte
+}
+
+// Data implements reassembly.Consumer.
+func (r *rpcStream) Data(b []byte) {
+	r.buf = append(r.buf, b...)
+	for {
+		p, n, err := dcerpc.Decode(r.buf)
+		if err != nil || n == 0 || n > len(r.buf) {
+			return
+		}
+		// Only consume complete PDUs; Decode clamps n to the buffer, so
+		// compare against the header's fragment length.
+		if len(r.buf) >= 10 {
+			fragLen := int(uint16(r.buf[8]) | uint16(r.buf[9])<<8)
+			if fragLen > len(r.buf) {
+				return // wait for more bytes
+			}
+		}
+		apps := r.d.a.apps
+		apps.rpc.PDU(r.channel, r.fromClient, p)
+		if iface, port, ok := dcerpc.ParseEpmMapResponse(p); ok {
+			name := dcerpc.InterfaceName(iface)
+			if name == "unknown" {
+				name = "DCE/RPC"
+			}
+			r.d.a.opts.Registry.Register(layers.ProtoTCP, port, name, categories.Windows)
+		}
+		r.buf = r.buf[n:]
+	}
+}
+
+// Gap implements reassembly.Consumer.
+func (r *rpcStream) Gap(n int) { r.buf = nil }

@@ -1,0 +1,451 @@
+package core
+
+import (
+	"net/netip"
+
+	"enttrace/internal/appproto/cifs"
+	"enttrace/internal/appproto/dcerpc"
+	"enttrace/internal/appproto/dns"
+	"enttrace/internal/appproto/ftp"
+	"enttrace/internal/appproto/http"
+	"enttrace/internal/appproto/ncp"
+	"enttrace/internal/appproto/netbios"
+	"enttrace/internal/appproto/smtp"
+	"enttrace/internal/appproto/sunrpc"
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+	"enttrace/internal/stats"
+)
+
+// appAggregates holds dataset-wide application-level state.
+type appAggregates struct {
+	// Name services.
+	dnsInt, dnsWan *dns.Analyzer
+	nbns           *netbios.Analyzer
+	ssn            *netbios.SSNAnalyzer
+
+	// Windows.
+	cifs *cifs.Analyzer
+	rpc  *dcerpc.Analyzer
+	// winPairs tracks Table 9 outcomes per (service, host pair).
+	winPairs map[string]map[layers.HostPair]flows.State
+
+	// File services.
+	nfs                        *sunrpc.Analyzer
+	ncp                        *ncp.Analyzer
+	nfsUDP                     map[layers.HostPair]bool
+	nfsTCP                     map[layers.HostPair]bool
+	ncpConns, ncpKeepAliveOnly int64
+
+	// Email: transport-level per-connection samples.
+	email *emailAgg
+
+	// HTTP.
+	http *httpAgg
+
+	// Interactive: SSH connection shapes (§5's observation that SSH is
+	// both a login facility and a file-mover).
+	sshConns, sshBulk   int64
+	sshPkts, sshPayload int64
+
+	// Bulk: FTP control sessions and data volumes.
+	ftpSessions []ftp.Session
+	bulkConns   *stats.Counter
+	bulkBytes   *stats.Counter
+
+	// Backup: per-protocol connection and byte counts.
+	backupConns *stats.Counter
+	backupBytes *stats.Counter
+	// dantzBidir counts Dantz connections with >= 100 KB both ways.
+	dantzConns, dantzBidir int64
+}
+
+func newAppAggregates() *appAggregates {
+	return &appAggregates{
+		dnsInt:      dns.NewAnalyzer(),
+		dnsWan:      dns.NewAnalyzer(),
+		nbns:        netbios.NewAnalyzer(),
+		ssn:         netbios.NewSSNAnalyzer(),
+		cifs:        cifs.NewAnalyzer(),
+		rpc:         dcerpc.NewAnalyzer(),
+		winPairs:    make(map[string]map[layers.HostPair]flows.State),
+		nfs:         sunrpc.NewAnalyzer(),
+		ncp:         ncp.NewAnalyzer(),
+		nfsUDP:      make(map[layers.HostPair]bool),
+		nfsTCP:      make(map[layers.HostPair]bool),
+		email:       newEmailAgg(),
+		http:        newHTTPAgg(),
+		bulkConns:   stats.NewCounter(),
+		bulkBytes:   stats.NewCounter(),
+		backupConns: stats.NewCounter(),
+		backupBytes: stats.NewCounter(),
+	}
+}
+
+func (ap *appAggregates) ftpSession(s ftp.Session) {
+	ap.ftpSessions = append(ap.ftpSessions, s)
+}
+
+// transportConn accumulates everything derivable without payloads.
+func (ap *appAggregates) transportConn(c *flows.Conn, opts Options) {
+	name, _ := opts.Registry.Classify(c.Proto, c.Key.SrcPort, c.Key.DstPort)
+	wan := connWAN(c, opts.IsLocal)
+	switch name {
+	case "SMTP", "IMAP4", "IMAP/S", "POP3", "POP/S", "LDAP":
+		ap.email.conn(name, wan, c)
+	case "HTTP", "HTTPS":
+		ap.http.transportConn(name, wan, c)
+	case "Netbios-SSN":
+		ap.winPair("Netbios/SSN", c)
+	case "CIFS":
+		ap.winPair("CIFS", c)
+	case "DCE/RPC-EPM":
+		ap.winPair("Endpoint Mapper", c)
+	case "Dantz":
+		ap.backupConns.Inc("DANTZ")
+		ap.backupBytes.Add("DANTZ", c.PayloadBytes())
+		ap.dantzConns++
+		if c.OrigBytes >= 100<<10 && c.RespBytes >= 100<<10 {
+			ap.dantzBidir++
+		}
+	case "Veritas-Ctrl":
+		ap.backupConns.Inc("VERITAS-BACKUP-CTRL")
+		ap.backupBytes.Add("VERITAS-BACKUP-CTRL", c.PayloadBytes())
+	case "Veritas-Data":
+		ap.backupConns.Inc("VERITAS-BACKUP-DATA")
+		ap.backupBytes.Add("VERITAS-BACKUP-DATA", c.PayloadBytes())
+	case "Connected-Backup":
+		ap.backupConns.Inc("CONNECTED-BACKUP")
+		ap.backupBytes.Add("CONNECTED-BACKUP", c.PayloadBytes())
+	case "SSH":
+		ap.sshConns++
+		if c.PayloadBytes() >= 200<<10 {
+			ap.sshBulk++
+		}
+		ap.sshPkts += c.Packets()
+		ap.sshPayload += c.PayloadBytes()
+	case "FTP", "FTP-Data", "HPSS":
+		ap.bulkConns.Inc(name)
+		ap.bulkBytes.Add(name, c.PayloadBytes())
+	case "NCP":
+		ap.ncpConns++
+	case "NFS":
+		if c.Proto == layers.ProtoTCP {
+			ap.markNFSPair(c.Key.Src, c.Key.Dst, false)
+		}
+	}
+}
+
+// winPair folds one connection into the Table 9 per-host-pair state.
+func (ap *appAggregates) winPair(service string, c *flows.Conn) {
+	m := ap.winPairs[service]
+	if m == nil {
+		m = make(map[layers.HostPair]flows.State)
+		ap.winPairs[service] = m
+	}
+	pair := c.HostPair()
+	cur, seen := m[pair]
+	st := c.State
+	switch {
+	case !seen:
+		m[pair] = st
+	case st == flows.StateEstablished || cur == flows.StateEstablished:
+		m[pair] = flows.StateEstablished
+	case st == flows.StateRejected || cur == flows.StateRejected:
+		m[pair] = flows.StateRejected
+	default:
+		m[pair] = st
+	}
+}
+
+func (ap *appAggregates) markNFSPair(a, b netip.Addr, udp bool) {
+	pair := layers.NewHostPair(a, b)
+	if udp {
+		ap.nfsUDP[pair] = true
+	} else {
+		ap.nfsTCP[pair] = true
+	}
+}
+
+// markNCPKeepAlive classifies an NCP connection that carried nothing but
+// keep-alive probes.
+func (ap *appAggregates) markNCPKeepAlive(c *flows.Conn) {
+	if c.KeepAliveRetrans > 0 && c.OrigBytes <= c.KeepAliveRetrans+4 && c.RespBytes == 0 {
+		ap.ncpKeepAliveOnly++
+	}
+}
+
+func (ap *appAggregates) smtpParsed(wan bool, res smtp.Result) {
+	ap.email.smtpParsed(wan, res)
+}
+
+func (ap *appAggregates) ssnFrames(client, server netip.Addr, cliStream, srvStream []byte) {
+	walk := func(from netip.Addr, to netip.Addr, stream []byte) {
+		for len(stream) >= 4 {
+			h, err := netbios.DecodeSSNHeader(stream)
+			if err != nil {
+				return
+			}
+			ap.ssn.Frame(from, to, h.Type)
+			adv := 4 + h.Length
+			if adv > len(stream) {
+				return
+			}
+			stream = stream[adv:]
+		}
+	}
+	walk(client, server, cliStream)
+	walk(server, client, srvStream)
+}
+
+// cifsStreams feeds both directions of a CIFS connection through the
+// command analyzer, routing named-pipe payloads to the DCE/RPC analyzer.
+func (ap *appAggregates) cifsStreams(conn *flows.Conn, framed bool, cliStream, srvStream []byte) {
+	key := conn.Key
+	sink := func(fromClient bool, pipe string, payload []byte) {
+		ap.rpc.Stream(key.String()+pipe, fromClient, payload)
+	}
+	ap.cifs.PipeSink = sink
+	ap.cifs.Stream(true, framed, cliStream)
+	ap.cifs.Stream(false, framed, srvStream)
+	ap.cifs.PipeSink = nil
+}
+
+// emailAgg collects Figures 5–6 and Table 8.
+type emailAgg struct {
+	bytesByProto *stats.Counter
+	// Duration and size distributions keyed by proto+locality.
+	durations map[string]*stats.Dist
+	sizes     map[string]*stats.Dist // client→server for SMTP, server→client for IMAP
+	// Host-pair success per proto+locality.
+	pairs map[string]map[layers.HostPair]bool // pair → any success
+	// Parsed SMTP outcomes.
+	smtpAccepted, smtpRejected int64
+}
+
+func newEmailAgg() *emailAgg {
+	return &emailAgg{
+		bytesByProto: stats.NewCounter(),
+		durations:    make(map[string]*stats.Dist),
+		sizes:        make(map[string]*stats.Dist),
+		pairs:        make(map[string]map[layers.HostPair]bool),
+	}
+}
+
+func locKey(proto string, wan bool) string {
+	if wan {
+		return proto + "/wan"
+	}
+	return proto + "/ent"
+}
+
+func (e *emailAgg) conn(proto string, wan bool, c *flows.Conn) {
+	table8Key := proto
+	switch proto {
+	case "IMAP/S":
+		table8Key = "SIMAP"
+	case "POP3", "POP/S", "LDAP":
+		table8Key = "Other"
+	}
+	e.bytesByProto.Add(table8Key, c.PayloadBytes())
+	key := locKey(proto, wan)
+	if d := c.Duration(); d > 0 && c.Successful() {
+		dist := e.durations[key]
+		if dist == nil {
+			dist = stats.NewDist()
+			e.durations[key] = dist
+		}
+		dist.Observe(d.Seconds())
+	}
+	size := c.OrigBytes // SMTP: flow toward the server
+	if proto == "IMAP/S" || proto == "IMAP4" || proto == "POP3" || proto == "POP/S" {
+		size = c.RespBytes // mailbox data flows to the client
+	}
+	if c.Successful() {
+		dist := e.sizes[key]
+		if dist == nil {
+			dist = stats.NewDist()
+			e.sizes[key] = dist
+		}
+		dist.Observe(float64(size))
+	}
+	pm := e.pairs[key]
+	if pm == nil {
+		pm = make(map[layers.HostPair]bool)
+		e.pairs[key] = pm
+	}
+	pm[c.HostPair()] = pm[c.HostPair()] || c.Successful()
+}
+
+func (e *emailAgg) smtpParsed(wan bool, res smtp.Result) {
+	if res.Accepted {
+		e.smtpAccepted++
+	}
+	if res.Rejected {
+		e.smtpRejected++
+	}
+}
+
+// successRate computes the per-host-pair success fraction for one
+// proto+locality key.
+func (e *emailAgg) successRate(key string) (float64, int) {
+	pm := e.pairs[key]
+	if len(pm) == 0 {
+		return 0, 0
+	}
+	ok := 0
+	for _, s := range pm {
+		if s {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(pm)), len(pm)
+}
+
+// httpAgg collects §5.1.1: Table 6, Figures 3–4, Table 7, conditional-GET
+// and success-rate statistics.
+type httpAgg struct {
+	// Transport-level (all datasets).
+	connPairs        map[string]map[layers.HostPair]bool // locality → pair success
+	httpsConnsByPair map[layers.HostPair]int64
+
+	// Payload-level (full-snaplen datasets).
+	reqTotal    map[string]int64 // locality → request count
+	dataTotal   map[string]int64 // locality → response body bytes
+	byClass     map[string]*struct{ Reqs, Bytes int64 }
+	automated   map[netip.Addr]bool                               // clients seen acting automated
+	fanServers  map[netip.Addr]map[string]map[netip.Addr]struct{} // client → locality → servers
+	contentReq  map[string]*stats.Counter                         // locality → content-class requests
+	contentLen  map[string]*stats.Counter                         // locality → content-class bytes
+	replySizes  map[string]*stats.Dist                            // locality → body size dist
+	conditional map[string]*struct{ Cond, Total, CondBytes, Bytes int64 }
+	methods     *stats.Counter
+	statusOK    int64
+	statusAll   int64
+}
+
+func newHTTPAgg() *httpAgg {
+	return &httpAgg{
+		connPairs:        make(map[string]map[layers.HostPair]bool),
+		httpsConnsByPair: make(map[layers.HostPair]int64),
+		reqTotal:         make(map[string]int64),
+		dataTotal:        make(map[string]int64),
+		byClass:          make(map[string]*struct{ Reqs, Bytes int64 }),
+		automated:        make(map[netip.Addr]bool),
+		fanServers:       make(map[netip.Addr]map[string]map[netip.Addr]struct{}),
+		contentReq:       make(map[string]*stats.Counter),
+		contentLen:       make(map[string]*stats.Counter),
+		replySizes:       make(map[string]*stats.Dist),
+		conditional:      make(map[string]*struct{ Cond, Total, CondBytes, Bytes int64 }),
+		methods:          stats.NewCounter(),
+	}
+}
+
+func httpLoc(wan bool) string {
+	if wan {
+		return "wan"
+	}
+	return "ent"
+}
+
+func (h *httpAgg) transportConn(name string, wan bool, c *flows.Conn) {
+	if name == "HTTPS" {
+		h.httpsConnsByPair[c.HostPair()]++
+		return
+	}
+	key := httpLoc(wan)
+	pm := h.connPairs[key]
+	if pm == nil {
+		pm = make(map[layers.HostPair]bool)
+		h.connPairs[key] = pm
+	}
+	pm[c.HostPair()] = pm[c.HostPair()] || c.Successful()
+}
+
+// conn processes one parsed HTTP connection.
+func (h *httpAgg) conn(c *flows.Conn, wan bool, reqs []http.Request, resps []http.Response) {
+	loc := httpLoc(wan)
+	client, server := c.Key.Src, c.Key.Dst
+	for i, r := range reqs {
+		class := http.ClassifyAgent(r.UserAgent)
+		var body int
+		var resp *http.Response
+		if i < len(resps) {
+			resp = &resps[i]
+			body = resp.BodyLen
+		}
+		if !wan {
+			// Table 6 covers internal HTTP.
+			h.reqTotal[loc]++
+			h.dataTotal[loc] += int64(body)
+			if http.Automated(class) {
+				e := h.byClass[class]
+				if e == nil {
+					e = &struct{ Reqs, Bytes int64 }{}
+					h.byClass[class] = e
+				}
+				e.Reqs++
+				e.Bytes += int64(body)
+			}
+		} else {
+			h.reqTotal[loc]++
+			h.dataTotal[loc] += int64(body)
+		}
+		if http.Automated(class) {
+			h.automated[client] = true
+			continue // remaining stats exclude automated activity
+		}
+		h.methods.Inc(r.Method)
+		// Fan-out.
+		fl := h.fanServers[client]
+		if fl == nil {
+			fl = make(map[string]map[netip.Addr]struct{})
+			h.fanServers[client] = fl
+		}
+		if fl[loc] == nil {
+			fl[loc] = make(map[netip.Addr]struct{})
+		}
+		fl[loc][server] = struct{}{}
+		// Conditional GETs and their byte savings.
+		cond := h.conditional[loc]
+		if cond == nil {
+			cond = &struct{ Cond, Total, CondBytes, Bytes int64 }{}
+			h.conditional[loc] = cond
+		}
+		cond.Total++
+		cond.Bytes += int64(body)
+		if r.Conditional {
+			cond.Cond++
+			cond.CondBytes += int64(body)
+		}
+		if resp == nil {
+			continue
+		}
+		h.statusAll++
+		if resp.Status == 200 || resp.Status == 206 || resp.Status == 304 {
+			h.statusOK++
+		}
+		if resp.Status == 200 || resp.Status == 206 {
+			cls := http.ContentClass(resp.ContentType)
+			if h.contentReq[loc] == nil {
+				h.contentReq[loc] = stats.NewCounter()
+				h.contentLen[loc] = stats.NewCounter()
+			}
+			h.contentReq[loc].Inc(cls)
+			h.contentLen[loc].Add(cls, int64(resp.BodyLen))
+			if resp.BodyLen > 0 {
+				if h.replySizes[loc] == nil {
+					h.replySizes[loc] = stats.NewDist()
+				}
+				h.replySizes[loc].Observe(float64(resp.BodyLen))
+			}
+		}
+	}
+}
+
+// httpConn is the dispatcher entry point.
+func (ap *appAggregates) httpConn(c *flows.Conn, wan bool, cliStream, srvStream []byte) {
+	reqs := http.ParseRequests(cliStream)
+	resps := http.ParseResponses(srvStream)
+	ap.http.conn(c, wan, reqs, resps)
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"enttrace/internal/stats"
+)
+
+// WriteFigureData exports every figure's data series as tab-separated
+// files under dir (one file per figure, one column block per series),
+// ready for gnuplot or any plotting tool. File names embed the dataset,
+// e.g. "D3-fig04-http-reply-sizes.tsv".
+func WriteFigureData(dir string, r *Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, series map[string][]stats.CDFPoint) error {
+		var b strings.Builder
+		b.WriteString("# x\tF(x)\tseries\n")
+		keys := make([]string, 0, len(series))
+		for k := range series {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			for _, p := range series[k] {
+				fmt.Fprintf(&b, "%g\t%g\t%s\n", p.X, p.F, k)
+			}
+			b.WriteString("\n")
+		}
+		path := filepath.Join(dir, fmt.Sprintf("%s-%s.tsv", r.Dataset, name))
+		return os.WriteFile(path, []byte(b.String()), 0o644)
+	}
+
+	figures := []struct {
+		name   string
+		series map[string][]stats.CDFPoint
+	}{
+		{"fig02-fan", map[string][]stats.CDFPoint{
+			"fan-in-ent":  r.Figure2.FanInEnt,
+			"fan-in-wan":  r.Figure2.FanInWan,
+			"fan-out-ent": r.Figure2.FanOutEnt,
+			"fan-out-wan": r.Figure2.FanOutWan,
+		}},
+		{"fig03-http-fanout", map[string][]stats.CDFPoint{
+			"ent": r.HTTP.FanOutEnt,
+			"wan": r.HTTP.FanOutWan,
+		}},
+		{"fig04-http-reply-sizes", map[string][]stats.CDFPoint{
+			"ent": r.HTTP.ReplySizeEnt,
+			"wan": r.HTTP.ReplySizeWan,
+		}},
+		{"fig05-email-durations", map[string][]stats.CDFPoint{
+			"smtp-ent":  r.Email.SMTPDurEnt,
+			"smtp-wan":  r.Email.SMTPDurWan,
+			"imaps-ent": r.Email.IMAPSDurEnt,
+			"imaps-wan": r.Email.IMAPSDurWan,
+		}},
+		{"fig06-email-sizes", map[string][]stats.CDFPoint{
+			"smtp-ent":  r.Email.SMTPSizeEnt,
+			"smtp-wan":  r.Email.SMTPSizeWan,
+			"imaps-ent": r.Email.IMAPSSizeEnt,
+			"imaps-wan": r.Email.IMAPSSizeWan,
+		}},
+		{"fig07-reqs-per-pair", map[string][]stats.CDFPoint{
+			"nfs": r.FileSvc.NFSPerPair,
+			"ncp": r.FileSvc.NCPPerPair,
+		}},
+		{"fig08-file-msg-sizes", map[string][]stats.CDFPoint{
+			"nfs-req":   r.FileSvc.NFSReqSizes,
+			"nfs-reply": r.FileSvc.NFSReplySizes,
+			"ncp-req":   r.FileSvc.NCPReqSizes,
+			"ncp-reply": r.FileSvc.NCPReplySizes,
+		}},
+		{"fig09-utilization", map[string][]stats.CDFPoint{
+			"peak-1s":  r.Load.Peak1s,
+			"peak-10s": r.Load.Peak10s,
+			"peak-60s": r.Load.Peak60s,
+		}},
+	}
+	for _, f := range figures {
+		if err := write(f.name, f.series); err != nil {
+			return err
+		}
+	}
+
+	// Figure 10 is a per-trace scatter, not a CDF.
+	var b strings.Builder
+	b.WriteString("# trace\tretrans-ent\tretrans-wan\tent-data-pkts\twan-data-pkts\n")
+	for _, t := range r.Load.Traces {
+		fmt.Fprintf(&b, "%s\t%g\t%g\t%d\t%d\n", t.Name, t.RetransEnt, t.RetransWan, t.EntDataPkts, t.WanDataPkts)
+	}
+	return os.WriteFile(filepath.Join(dir, fmt.Sprintf("%s-fig10-retransmission.tsv", r.Dataset)), []byte(b.String()), 0o644)
+}

@@ -1,0 +1,130 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+	"enttrace/internal/stats"
+)
+
+// traceLoad bins one trace's wire bytes per second.
+type traceLoad struct {
+	name    string
+	start   time.Time
+	started bool
+	bins    []int64
+}
+
+func newTraceLoad(name string) *traceLoad {
+	return &traceLoad{name: name}
+}
+
+func (t *traceLoad) packet(ts time.Time, wireLen int) {
+	if !t.started {
+		t.start = ts
+		t.started = true
+	}
+	sec := int(ts.Sub(t.start) / time.Second)
+	if sec < 0 {
+		sec = 0
+	}
+	for len(t.bins) <= sec {
+		t.bins = append(t.bins, 0)
+	}
+	t.bins[sec] += int64(wireLen)
+}
+
+// TraceLoad is one trace's Figure 9 / Figure 10 numbers.
+type TraceLoad struct {
+	Name string
+	// Peak utilization (Mbps) over 1, 10 and 60-second windows.
+	Peak1s, Peak10s, Peak60s float64
+	// Per-second utilization summary (Mbps).
+	Min, P25, Median, P75, Max, Avg float64
+	// Retransmission rates (retransmitted data packets over data
+	// packets), split by locality; keep-alives excluded per §6.
+	RetransEnt, RetransWan float64
+	// Data-packet counts backing the rates (the paper only plots traces
+	// with ≥ 1000 packets in a category).
+	EntDataPkts, WanDataPkts int64
+	// Seconds at or above 90% of capacity (saturation dwell).
+	SaturatedSeconds int
+	// Hurst is the variance-time Hurst estimate over the per-second
+	// byte series (self-similarity extension; HurstOK false when the
+	// trace is too short to estimate).
+	Hurst   float64
+	HurstOK bool
+}
+
+// loadAgg accumulates per-trace load stats for a dataset.
+type loadAgg struct {
+	traces []TraceLoad
+}
+
+func newLoadAgg() *loadAgg { return &loadAgg{} }
+
+func windowPeak(bins []int64, w int) float64 {
+	var best int64
+	var sum int64
+	for i, v := range bins {
+		sum += v
+		if i >= w {
+			sum -= bins[i-w]
+		}
+		if sum > best {
+			best = sum
+		}
+	}
+	return float64(best) / float64(w)
+}
+
+func (l *loadAgg) finishTrace(t *traceLoad, kept []*flows.Conn, isLocal func(netip.Addr) bool, capacityMbps float64) {
+	tl := TraceLoad{Name: t.name}
+	if len(t.bins) > 0 {
+		toMbps := func(bytesPerSec float64) float64 { return bytesPerSec * 8 / 1e6 }
+		tl.Peak1s = toMbps(windowPeak(t.bins, 1))
+		tl.Peak10s = toMbps(windowPeak(t.bins, 10))
+		tl.Peak60s = toMbps(windowPeak(t.bins, 60))
+		d := stats.NewDist()
+		var total int64
+		for _, v := range t.bins {
+			d.Observe(toMbps(float64(v)))
+			total += v
+			if toMbps(float64(v)) >= 0.9*capacityMbps {
+				tl.SaturatedSeconds++
+			}
+		}
+		series := make([]float64, len(t.bins))
+		for i, v := range t.bins {
+			series[i] = float64(v)
+		}
+		tl.Hurst, tl.HurstOK = stats.HurstVT(series)
+		tl.Min, tl.Max = d.Min(), d.Max()
+		tl.P25, tl.Median, tl.P75 = d.Quantile(0.25), d.Median(), d.Quantile(0.75)
+		tl.Avg = d.Mean()
+	}
+	var entData, entRetrans, wanData, wanRetrans int64
+	for _, c := range kept {
+		if c.Proto != layers.ProtoTCP {
+			continue
+		}
+		wan := connWAN(c, isLocal)
+		if wan {
+			wanData += c.DataPkts - c.KeepAliveRetrans
+			wanRetrans += c.Retrans
+		} else {
+			entData += c.DataPkts - c.KeepAliveRetrans
+			entRetrans += c.Retrans
+		}
+	}
+	tl.EntDataPkts, tl.WanDataPkts = entData, wanData
+	if entData > 0 {
+		tl.RetransEnt = float64(entRetrans) / float64(entData)
+	}
+	if wanData > 0 {
+		tl.RetransWan = float64(wanRetrans) / float64(wanData)
+	}
+	l.traces = append(l.traces, tl)
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"net/netip"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"enttrace/internal/enterprise"
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+)
+
+func TestWindowPeak(t *testing.T) {
+	bins := []int64{0, 100, 900, 100, 0, 0}
+	if got := windowPeak(bins, 1); got != 900 {
+		t.Errorf("peak 1 = %v", got)
+	}
+	if got := windowPeak(bins, 2); got != 500 {
+		t.Errorf("peak 2 = %v, want (900+100)/2", got)
+	}
+	if got := windowPeak(bins, 6); got*6 != 1100 {
+		t.Errorf("peak 6 = %v", got)
+	}
+}
+
+func TestWindowPeakShortTrace(t *testing.T) {
+	// Window larger than the trace still averages over the window size,
+	// matching how a 60-second window dilutes a 10-second burst.
+	bins := []int64{600}
+	if got := windowPeak(bins, 60); got != 10 {
+		t.Errorf("peak = %v, want 600/60", got)
+	}
+}
+
+// Property: peaks are monotonically non-increasing along chains of
+// window sizes where each divides the next. (For non-divisible pairs the
+// claim is false in discrete time — a 2-bin peak average can undercut a
+// 5-bin one when values alternate — so the figure uses 1/10/60 s windows,
+// a divisible chain.)
+func TestWindowPeakMonotoneProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		bins := make([]int64, len(raw))
+		for i, v := range raw {
+			bins[i] = int64(v)
+		}
+		prev := windowPeak(bins, 1)
+		for _, w := range []int{2, 10, 30, 60} {
+			cur := windowPeak(bins, w)
+			if cur > prev+1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTraceLoadBinning(t *testing.T) {
+	tl := newTraceLoad("x")
+	t0 := time.Unix(500, 0)
+	tl.packet(t0, 1000)
+	tl.packet(t0.Add(200*time.Millisecond), 500)
+	tl.packet(t0.Add(3*time.Second), 100)
+	if len(tl.bins) != 4 {
+		t.Fatalf("bins = %d", len(tl.bins))
+	}
+	if tl.bins[0] != 1500 || tl.bins[3] != 100 || tl.bins[1] != 0 {
+		t.Errorf("bins = %v", tl.bins)
+	}
+}
+
+func TestFinishTraceRetransSplit(t *testing.T) {
+	agg := newLoadAgg()
+	tl := newTraceLoad("t")
+	tl.packet(time.Unix(0, 0), 1000)
+	local1 := netip.MustParseAddr("128.3.1.1")
+	local2 := netip.MustParseAddr("128.3.1.2")
+	remote := netip.MustParseAddr("8.8.8.8")
+	ent := &flows.Conn{
+		Key:   layers.FlowKey{Proto: layers.ProtoTCP, Src: local1, Dst: local2},
+		Proto: layers.ProtoTCP, DataPkts: 1000, Retrans: 5, KeepAliveRetrans: 100,
+	}
+	wan := &flows.Conn{
+		Key:   layers.FlowKey{Proto: layers.ProtoTCP, Src: local1, Dst: remote},
+		Proto: layers.ProtoTCP, DataPkts: 2000, Retrans: 40,
+	}
+	udp := &flows.Conn{
+		Key:   layers.FlowKey{Proto: layers.ProtoUDP, Src: local1, Dst: local2},
+		Proto: layers.ProtoUDP, DataPkts: 500,
+	}
+	agg.finishTrace(tl, []*flows.Conn{ent, wan, udp}, enterprise.IsLocal, 100)
+	got := agg.traces[0]
+	// Keep-alives excluded from the denominator.
+	wantEnt := 5.0 / 900.0
+	if diff := got.RetransEnt - wantEnt; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("ent rate = %v, want %v", got.RetransEnt, wantEnt)
+	}
+	if got.RetransWan != 0.02 {
+		t.Errorf("wan rate = %v", got.RetransWan)
+	}
+	if got.EntDataPkts != 900 || got.WanDataPkts != 2000 {
+		t.Errorf("denominators: %d/%d", got.EntDataPkts, got.WanDataPkts)
+	}
+}
+
+func TestSaturationDwell(t *testing.T) {
+	agg := newLoadAgg()
+	tl := newTraceLoad("sat")
+	t0 := time.Unix(0, 0)
+	// One second at 100 Mbps (12.5 MB), then quiet.
+	tl.packet(t0, 12_500_000)
+	tl.packet(t0.Add(5*time.Second), 100)
+	agg.finishTrace(tl, nil, enterprise.IsLocal, 100)
+	got := agg.traces[0]
+	if got.SaturatedSeconds != 1 {
+		t.Errorf("saturated seconds = %d", got.SaturatedSeconds)
+	}
+	if got.Peak1s < 99 || got.Peak1s > 101 {
+		t.Errorf("peak 1s = %v Mbps", got.Peak1s)
+	}
+	if got.Peak60s >= got.Peak10s || got.Peak10s >= got.Peak1s {
+		t.Errorf("peaks should decay: %v/%v/%v", got.Peak1s, got.Peak10s, got.Peak60s)
+	}
+}
+
+// enterpriseD3ForFig gives apps_test a config without import cycles.
+func enterpriseD3ForFig() enterprise.Config { return enterprise.D3() }

@@ -1,0 +1,784 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"enttrace/internal/categories"
+	"enttrace/internal/flows"
+	"enttrace/internal/stats"
+)
+
+// Report carries every reproduced table and figure for one dataset.
+type Report struct {
+	Dataset string
+
+	Table1 DatasetStats
+	Table2 map[string]float64 // network-layer packet fractions
+	Table3 TransportBreakdown
+	Scan   ScanSummary
+
+	Figure1 []CategoryRow
+	Figure2 FanReport
+	Origins map[string]float64
+
+	HTTP        HTTPReport
+	Email       EmailReport
+	Names       NameServiceReport
+	Windows     WindowsReport
+	FileSvc     FileServiceReport
+	Bulk        BulkReport
+	Interactive InteractiveReport
+	Backup      BackupReport
+	Load        LoadReport
+
+	// Roles is the host-role census (extension: the paper's cited
+	// role-classification direction), summed over traces.
+	Roles map[string]int
+
+	Findings []string // Table 5: computed qualitative findings
+}
+
+// DatasetStats is Table 1's per-dataset row (measured, not configured).
+type DatasetStats struct {
+	Packets        int64
+	Traces         int
+	MonitoredHosts int
+	LocalHosts     int
+	RemoteHosts    int
+}
+
+// TransportBreakdown is Table 3.
+type TransportBreakdown struct {
+	TotalBytes int64
+	TotalConns int64
+	BytesFrac  map[string]float64
+	ConnsFrac  map[string]float64
+}
+
+// ScanSummary reports the §3 scanner removal.
+type ScanSummary struct {
+	Scanners        int
+	RemovedConns    int
+	TotalConns      int
+	RemovedFraction float64
+}
+
+// CategoryRow is one Figure 1 bar: the category's share of unicast
+// payload bytes and connections, split enterprise vs WAN-crossing.
+type CategoryRow struct {
+	Category string
+	BytesEnt float64
+	BytesWan float64
+	ConnsEnt float64
+	ConnsWan float64
+	// Multicast shares (the text's 5–10% observations).
+	BytesMulticast float64
+	ConnsMulticast float64
+}
+
+// BytesTotal is the category's total share of bytes.
+func (c CategoryRow) BytesTotal() float64 { return c.BytesEnt + c.BytesWan }
+
+// ConnsTotal is the category's total share of connections.
+func (c CategoryRow) ConnsTotal() float64 { return c.ConnsEnt + c.ConnsWan }
+
+// FanReport is Figure 2: fan-in and fan-out CDFs, enterprise vs WAN peers.
+type FanReport struct {
+	FanInEnt, FanInWan, FanOutEnt, FanOutWan []stats.CDFPoint
+	// OnlyInternalFanIn/Out: fraction of monitored hosts whose peers are
+	// all internal.
+	OnlyInternalFanIn  float64
+	OnlyInternalFanOut float64
+	Hosts              int
+}
+
+// HTTPReport is §5.1.1.
+type HTTPReport struct {
+	// Table 6: internal HTTP automated-activity shares.
+	InternalRequests int64
+	InternalBytes    int64
+	Automated        map[string]AutomatedShare
+	// Figure 3: fan-out CDFs (clients → distinct servers).
+	FanOutEnt, FanOutWan     []stats.CDFPoint
+	NEntClients, NWanClients int
+	// Connection success by host pair.
+	SuccessEnt, SuccessWan float64
+	PairsEnt, PairsWan     int
+	// Conditional GET shares.
+	CondEnt, CondWan           float64
+	CondBytesEnt, CondBytesWan float64
+	// Table 7: content classes.
+	ContentReqEnt, ContentReqWan   map[string]float64
+	ContentByteEnt, ContentByteWan map[string]float64
+	// Figure 4: reply body sizes.
+	ReplySizeEnt, ReplySizeWan []stats.CDFPoint
+	// GET share of requests and request success rate.
+	GETFrac, RequestSuccess float64
+	// HTTPS: the anomalous busiest pair's connection count.
+	MaxHTTPSConnsPerPair int64
+}
+
+// AutomatedShare is one Table 6 row.
+type AutomatedShare struct {
+	ReqFrac, ByteFrac float64
+}
+
+// EmailReport is §5.1.2.
+type EmailReport struct {
+	// Table 8: bytes by protocol.
+	Bytes map[string]int64
+	// Figure 5: connection durations (seconds).
+	SMTPDurEnt, SMTPDurWan               []stats.CDFPoint
+	IMAPSDurEnt, IMAPSDurWan             []stats.CDFPoint
+	MedianSMTPDurEnt, MedianSMTPDurWan   float64
+	MedianIMAPSDurEnt, MedianIMAPSDurWan float64
+	// Figure 6: flow sizes (bytes).
+	SMTPSizeEnt, SMTPSizeWan   []stats.CDFPoint
+	IMAPSSizeEnt, IMAPSSizeWan []stats.CDFPoint
+	// Success rates by host pair.
+	SMTPSuccessEnt, SMTPSuccessWan, IMAPSSuccess float64
+}
+
+// NameServiceReport is §5.1.3.
+type NameServiceReport struct {
+	DNSMedianLatencyEntMs float64
+	DNSMedianLatencyWanMs float64
+	DNSTypes              map[string]float64
+	DNSRcodes             map[string]float64
+	// Top-10 client share of requests (the paper: DNS concentrated, NBNS
+	// spread with top ten < 40%).
+	DNSTop10ClientShare  float64
+	NBNSTop10ClientShare float64
+	NBNSOps              map[string]float64
+	NBNSNameTypes        map[string]float64
+	NBNSFailureRate      float64
+}
+
+// WindowsReport is §5.2.1.
+type WindowsReport struct {
+	// Table 9: per-service host-pair outcomes.
+	Table9 map[string]ServiceOutcome
+	// Netbios/SSN application-level handshake success.
+	SSNHandshakeSuccess float64
+	// Table 10: CIFS command mix.
+	CIFSRequests map[string]float64
+	CIFSBytes    map[string]float64
+	// Table 11: DCE/RPC function mix.
+	RPCRequests map[string]float64
+	RPCBytes    map[string]float64
+	// Total raw counts for context.
+	CIFSTotalRequests, RPCTotalRequests int64
+}
+
+// ServiceOutcome is one Table 9 column.
+type ServiceOutcome struct {
+	Pairs                         int
+	Success, Rejected, Unanswered float64
+}
+
+// FileServiceReport is §5.2.2.
+type FileServiceReport struct {
+	// Table 12-ish: totals.
+	NFSRequests, NCPRequests   int64
+	NFSDataBytes, NCPDataBytes int64
+	// Tables 13–14: request mixes.
+	NFSRequestMix, NCPRequestMix map[string]float64
+	NFSByteMix, NCPByteMix       map[string]float64
+	// Figure 7: requests per host pair.
+	NFSPerPair, NCPPerPair []stats.CDFPoint
+	// Top-3 pair share of requests (heavy hitters).
+	NFSTop3Share, NCPTop3Share float64
+	// Figure 8: message sizes.
+	NFSReqSizes, NFSReplySizes []stats.CDFPoint
+	NCPReqSizes, NCPReplySizes []stats.CDFPoint
+	// Success rates.
+	NFSSuccess, NCPSuccess float64
+	// UDP vs TCP host pairs for NFS.
+	NFSUDPPairs, NFSTCPPairs int
+	// NCP keep-alive-only connection fraction.
+	NCPKeepAliveOnlyFrac float64
+}
+
+// InteractiveReport quantifies the paper's two §3/§5 remarks about
+// interactive traffic: packets are small (the category's packet share is
+// about twice its byte share) and SSH moonlights as a bulk mover.
+type InteractiveReport struct {
+	SSHConns int64
+	// SSHBulkFrac is the fraction of SSH connections moving ≥200 KB —
+	// file copies and tunnels rather than keystrokes.
+	SSHBulkFrac float64
+	// MeanSSHPayloadPerPkt is the average payload per packet (bytes),
+	// small for keystroke-dominated traffic.
+	MeanSSHPayloadPerPkt float64
+}
+
+// BulkReport covers the bulk category's constituents: FTP sessions
+// (control-channel level) and the data volumes moved by FTP and HPSS.
+type BulkReport struct {
+	FTPSessions  int
+	FTPTransfers int
+	FTPLoginRate float64
+	FTPDataConns int64
+	FTPDataBytes int64
+	HPSSBytes    int64
+}
+
+// BackupReport is Table 15.
+type BackupReport struct {
+	Conns map[string]int64
+	Bytes map[string]int64
+	// DantzBidirFrac: Dantz connections with ≥100 KB in both directions.
+	DantzBidirFrac float64
+}
+
+// LoadReport is §6.
+type LoadReport struct {
+	Traces []TraceLoad
+	// Figure 9 aggregate distributions over traces.
+	Peak1s, Peak10s, Peak60s []stats.CDFPoint
+	MedianOfMedians          float64
+	MaxRetransEnt            float64
+	// MedianHurst is the median per-trace Hurst estimate (self-similarity
+	// extension; 0 when no trace was long enough).
+	MedianHurst float64
+	// Fractions of traces whose retransmission rate exceeds 1%.
+	EntOver1Pct, WanOver1Pct float64
+}
+
+// Report finalizes all accumulated state into the dataset report.
+func (a *Analyzer) Report() *Report {
+	r := &Report{Dataset: a.opts.Dataset}
+	r.Table1 = DatasetStats{
+		Packets:        a.totalPackets,
+		Traces:         a.traceCount,
+		MonitoredHosts: len(a.monitoredHosts),
+		LocalHosts:     len(a.localHosts),
+		RemoteHosts:    len(a.remoteHosts),
+	}
+	r.Table2 = counterFractions(a.netLayer)
+	r.Table3 = TransportBreakdown{
+		TotalBytes: a.transBytes.Total(),
+		TotalConns: a.transConns.Total(),
+		BytesFrac:  counterFractions(a.transBytes),
+		ConnsFrac:  counterFractions(a.transConns),
+	}
+	r.Scan = ScanSummary{
+		Scanners:     len(a.scanners),
+		RemovedConns: a.removedConns,
+		TotalConns:   a.totalConns,
+	}
+	if a.totalConns > 0 {
+		r.Scan.RemovedFraction = float64(a.removedConns) / float64(a.totalConns)
+	}
+	r.Figure1 = a.categoryRows()
+	r.Figure2 = a.fanReport()
+	r.Origins = counterFractions(a.origins)
+	r.HTTP = a.httpReport()
+	r.Email = a.emailReport()
+	r.Names = a.nameReport()
+	r.Windows = a.windowsReport()
+	r.FileSvc = a.fileReport()
+	r.Bulk = a.bulkReport()
+	r.Interactive = a.interactiveReport()
+	r.Backup = a.backupReport()
+	r.Load = a.loadReport()
+	r.Roles = make(map[string]int)
+	for role, n := range a.roleCounts {
+		r.Roles[string(role)] = n
+	}
+	r.Findings = a.findings(r)
+	return r
+}
+
+func counterFractions(c *stats.Counter) map[string]float64 {
+	out := make(map[string]float64)
+	for _, k := range c.Keys() {
+		out[k] = c.Fraction(k)
+	}
+	return out
+}
+
+func (a *Analyzer) categoryRows() []CategoryRow {
+	var totalBytes, totalConns int64
+	for _, s := range a.catBytes {
+		totalBytes += s.Ent + s.Wan
+	}
+	for _, s := range a.catConns {
+		totalConns += s.Ent + s.Wan
+	}
+	if totalBytes == 0 {
+		totalBytes = 1
+	}
+	if totalConns == 0 {
+		totalConns = 1
+	}
+	var rows []CategoryRow
+	for _, cat := range categories.All {
+		row := CategoryRow{Category: cat}
+		if s := a.catBytes[cat]; s != nil {
+			row.BytesEnt = float64(s.Ent) / float64(totalBytes)
+			row.BytesWan = float64(s.Wan) / float64(totalBytes)
+		}
+		if s := a.catConns[cat]; s != nil {
+			row.ConnsEnt = float64(s.Ent) / float64(totalConns)
+			row.ConnsWan = float64(s.Wan) / float64(totalConns)
+		}
+		if s := a.catBytes[cat+"/multicast"]; s != nil {
+			row.BytesMulticast = float64(s.Ent+s.Wan) / float64(totalBytes)
+		}
+		if s := a.catConns[cat+"/multicast"]; s != nil {
+			row.ConnsMulticast = float64(s.Ent+s.Wan) / float64(totalConns)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+func (a *Analyzer) fanReport() FanReport {
+	fr := FanReport{Hosts: len(a.fanAgg)}
+	fiEnt, fiWan := stats.NewDist(), stats.NewDist()
+	foEnt, foWan := stats.NewDist(), stats.NewDist()
+	onlyIntIn, onlyIntOut, haveIn, haveOut := 0, 0, 0, 0
+	for _, s := range a.fanAgg {
+		if s.FanIn() > 0 {
+			haveIn++
+			fiEnt.Observe(float64(s.FanInLocal))
+			fiWan.Observe(float64(s.FanInRemote))
+			if s.FanInRemote == 0 {
+				onlyIntIn++
+			}
+		}
+		if s.FanOut() > 0 {
+			haveOut++
+			foEnt.Observe(float64(s.FanOutLocal))
+			foWan.Observe(float64(s.FanOutRemote))
+			if s.FanOutRemote == 0 {
+				onlyIntOut++
+			}
+		}
+	}
+	const pts = 64
+	fr.FanInEnt = fiEnt.CDF(pts)
+	fr.FanInWan = fiWan.CDF(pts)
+	fr.FanOutEnt = foEnt.CDF(pts)
+	fr.FanOutWan = foWan.CDF(pts)
+	if haveIn > 0 {
+		fr.OnlyInternalFanIn = float64(onlyIntIn) / float64(haveIn)
+	}
+	if haveOut > 0 {
+		fr.OnlyInternalFanOut = float64(onlyIntOut) / float64(haveOut)
+	}
+	return fr
+}
+
+func (a *Analyzer) httpReport() HTTPReport {
+	h := a.apps.http
+	r := HTTPReport{Automated: make(map[string]AutomatedShare)}
+	r.InternalRequests = h.reqTotal["ent"]
+	r.InternalBytes = h.dataTotal["ent"]
+	for class, e := range h.byClass {
+		share := AutomatedShare{}
+		if r.InternalRequests > 0 {
+			share.ReqFrac = float64(e.Reqs) / float64(r.InternalRequests)
+		}
+		if r.InternalBytes > 0 {
+			share.ByteFrac = float64(e.Bytes) / float64(r.InternalBytes)
+		}
+		r.Automated[class] = share
+	}
+	// Figure 3 fan-out.
+	fanEnt, fanWan := stats.NewDist(), stats.NewDist()
+	for client, byLoc := range h.fanServers {
+		if h.automated[client] {
+			continue
+		}
+		if n := len(byLoc["ent"]); n > 0 {
+			fanEnt.Observe(float64(n))
+		}
+		if n := len(byLoc["wan"]); n > 0 {
+			fanWan.Observe(float64(n))
+		}
+	}
+	r.FanOutEnt, r.FanOutWan = fanEnt.CDF(64), fanWan.CDF(64)
+	r.NEntClients, r.NWanClients = fanEnt.N(), fanWan.N()
+	// Success by pair.
+	rate := func(loc string) (float64, int) {
+		pm := h.connPairs[loc]
+		if len(pm) == 0 {
+			return 0, 0
+		}
+		ok := 0
+		for _, s := range pm {
+			if s {
+				ok++
+			}
+		}
+		return float64(ok) / float64(len(pm)), len(pm)
+	}
+	r.SuccessEnt, r.PairsEnt = rate("ent")
+	r.SuccessWan, r.PairsWan = rate("wan")
+	if c := h.conditional["ent"]; c != nil && c.Total > 0 {
+		r.CondEnt = float64(c.Cond) / float64(c.Total)
+		if c.Bytes > 0 {
+			r.CondBytesEnt = float64(c.CondBytes) / float64(c.Bytes)
+		}
+	}
+	if c := h.conditional["wan"]; c != nil && c.Total > 0 {
+		r.CondWan = float64(c.Cond) / float64(c.Total)
+		if c.Bytes > 0 {
+			r.CondBytesWan = float64(c.CondBytes) / float64(c.Bytes)
+		}
+	}
+	if h.contentReq["ent"] != nil {
+		r.ContentReqEnt = counterFractions(h.contentReq["ent"])
+		r.ContentByteEnt = counterFractions(h.contentLen["ent"])
+	}
+	if h.contentReq["wan"] != nil {
+		r.ContentReqWan = counterFractions(h.contentReq["wan"])
+		r.ContentByteWan = counterFractions(h.contentLen["wan"])
+	}
+	if h.replySizes["ent"] != nil {
+		r.ReplySizeEnt = h.replySizes["ent"].CDF(128)
+	}
+	if h.replySizes["wan"] != nil {
+		r.ReplySizeWan = h.replySizes["wan"].CDF(128)
+	}
+	if t := h.methods.Total(); t > 0 {
+		r.GETFrac = h.methods.Fraction("GET")
+	}
+	if h.statusAll > 0 {
+		r.RequestSuccess = float64(h.statusOK) / float64(h.statusAll)
+	}
+	for _, n := range h.httpsConnsByPair {
+		if n > r.MaxHTTPSConnsPerPair {
+			r.MaxHTTPSConnsPerPair = n
+		}
+	}
+	return r
+}
+
+func (a *Analyzer) emailReport() EmailReport {
+	e := a.apps.email
+	r := EmailReport{Bytes: make(map[string]int64)}
+	for _, k := range e.bytesByProto.Keys() {
+		r.Bytes[k] = e.bytesByProto.Get(k)
+	}
+	cdf := func(key string) []stats.CDFPoint {
+		if d := e.durations[key]; d != nil {
+			return d.CDF(96)
+		}
+		return nil
+	}
+	scdf := func(key string) []stats.CDFPoint {
+		if d := e.sizes[key]; d != nil {
+			return d.CDF(96)
+		}
+		return nil
+	}
+	med := func(key string) float64 {
+		if d := e.durations[key]; d != nil {
+			return d.Median()
+		}
+		return 0
+	}
+	r.SMTPDurEnt, r.SMTPDurWan = cdf("SMTP/ent"), cdf("SMTP/wan")
+	r.IMAPSDurEnt, r.IMAPSDurWan = cdf("IMAP/S/ent"), cdf("IMAP/S/wan")
+	r.MedianSMTPDurEnt, r.MedianSMTPDurWan = med("SMTP/ent"), med("SMTP/wan")
+	r.MedianIMAPSDurEnt, r.MedianIMAPSDurWan = med("IMAP/S/ent"), med("IMAP/S/wan")
+	r.SMTPSizeEnt, r.SMTPSizeWan = scdf("SMTP/ent"), scdf("SMTP/wan")
+	r.IMAPSSizeEnt, r.IMAPSSizeWan = scdf("IMAP/S/ent"), scdf("IMAP/S/wan")
+	r.SMTPSuccessEnt, _ = e.successRate("SMTP/ent")
+	r.SMTPSuccessWan, _ = e.successRate("SMTP/wan")
+	entOK, entN := e.successRate("IMAP/S/ent")
+	wanOK, wanN := e.successRate("IMAP/S/wan")
+	if entN+wanN > 0 {
+		r.IMAPSSuccess = (entOK*float64(entN) + wanOK*float64(wanN)) / float64(entN+wanN)
+	}
+	return r
+}
+
+func (a *Analyzer) nameReport() NameServiceReport {
+	ap := a.apps
+	r := NameServiceReport{
+		DNSMedianLatencyEntMs: ap.dnsInt.Latency.Median() * 1000,
+		DNSMedianLatencyWanMs: ap.dnsWan.Latency.Median() * 1000,
+		NBNSFailureRate:       ap.nbns.FailureRate(),
+	}
+	combined := stats.NewCounter()
+	combined.Merge(ap.dnsInt.Types)
+	combined.Merge(ap.dnsWan.Types)
+	r.DNSTypes = counterFractions(combined)
+	rcodes := stats.NewCounter()
+	rcodes.Merge(ap.dnsInt.Rcodes)
+	rcodes.Merge(ap.dnsWan.Rcodes)
+	r.DNSRcodes = counterFractions(rcodes)
+	r.NBNSOps = counterFractions(ap.nbns.Ops)
+	r.NBNSNameTypes = counterFractions(ap.nbns.NameTypes)
+	dnsClients := stats.NewCounter()
+	dnsClients.Merge(ap.dnsInt.Clients)
+	dnsClients.Merge(ap.dnsWan.Clients)
+	r.DNSTop10ClientShare = topNShare(dnsClients, 10)
+	r.NBNSTop10ClientShare = topNShare(ap.nbns.Clients, 10)
+	return r
+}
+
+func topNShare(c *stats.Counter, n int) float64 {
+	keys := c.Keys()
+	if len(keys) > n {
+		keys = keys[:n]
+	}
+	var top int64
+	for _, k := range keys {
+		top += c.Get(k)
+	}
+	if c.Total() == 0 {
+		return 0
+	}
+	return float64(top) / float64(c.Total())
+}
+
+func (a *Analyzer) windowsReport() WindowsReport {
+	ap := a.apps
+	r := WindowsReport{Table9: make(map[string]ServiceOutcome)}
+	for service, pairs := range ap.winPairs {
+		o := ServiceOutcome{Pairs: len(pairs)}
+		var ok, rej, un int
+		for _, st := range pairs {
+			switch st {
+			case flows.StateEstablished, flows.StateActive:
+				ok++
+			case flows.StateRejected:
+				rej++
+			default:
+				un++
+			}
+		}
+		if o.Pairs > 0 {
+			o.Success = float64(ok) / float64(o.Pairs)
+			o.Rejected = float64(rej) / float64(o.Pairs)
+			o.Unanswered = float64(un) / float64(o.Pairs)
+		}
+		r.Table9[service] = o
+	}
+	if ok, rej, un, total := ap.ssn.Summary(); total > 0 {
+		_ = rej
+		_ = un
+		r.SSNHandshakeSuccess = float64(ok) / float64(total)
+	}
+	r.CIFSRequests = counterFractions(ap.cifs.Requests)
+	r.CIFSBytes = counterFractions(ap.cifs.Bytes)
+	r.RPCRequests = counterFractions(ap.rpc.Requests)
+	r.RPCBytes = counterFractions(ap.rpc.Bytes)
+	r.CIFSTotalRequests = ap.cifs.Requests.Total()
+	r.RPCTotalRequests = ap.rpc.Requests.Total()
+	return r
+}
+
+func (a *Analyzer) fileReport() FileServiceReport {
+	ap := a.apps
+	r := FileServiceReport{
+		NFSRequests:   ap.nfs.Requests.Total(),
+		NCPRequests:   ap.ncp.Requests.Total(),
+		NFSDataBytes:  ap.nfs.Bytes.Total(),
+		NCPDataBytes:  ap.ncp.Bytes.Total(),
+		NFSRequestMix: counterFractions(ap.nfs.Requests),
+		NCPRequestMix: counterFractions(ap.ncp.Requests),
+		NFSByteMix:    counterFractions(ap.nfs.Bytes),
+		NCPByteMix:    counterFractions(ap.ncp.Bytes),
+		NFSSuccess:    ap.nfs.SuccessRate(),
+		NCPSuccess:    ap.ncp.SuccessRate(),
+		NFSUDPPairs:   len(ap.nfsUDP),
+		NFSTCPPairs:   len(ap.nfsTCP),
+	}
+	nfsPairs := stats.NewDist()
+	var nfsCounts []int64
+	for _, n := range ap.nfs.PerPair {
+		nfsPairs.Observe(float64(n))
+		nfsCounts = append(nfsCounts, n)
+	}
+	ncpPairs := stats.NewDist()
+	var ncpCounts []int64
+	for _, n := range ap.ncp.PerPair {
+		ncpPairs.Observe(float64(n))
+		ncpCounts = append(ncpCounts, n)
+	}
+	r.NFSPerPair = nfsPairs.CDF(64)
+	r.NCPPerPair = ncpPairs.CDF(64)
+	r.NFSTop3Share = topShare(nfsCounts, 3)
+	r.NCPTop3Share = topShare(ncpCounts, 3)
+	r.NFSReqSizes = ap.nfs.ReqSizes.CDF(128)
+	r.NFSReplySizes = ap.nfs.ReplySizes.CDF(128)
+	r.NCPReqSizes = ap.ncp.ReqSizes.CDF(128)
+	r.NCPReplySizes = ap.ncp.ReplySizes.CDF(128)
+	if ap.ncpConns > 0 {
+		r.NCPKeepAliveOnlyFrac = float64(ap.ncpKeepAliveOnly) / float64(ap.ncpConns)
+	}
+	return r
+}
+
+func topShare(counts []int64, n int) float64 {
+	if len(counts) == 0 {
+		return 0
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
+	var total, top int64
+	for i, c := range counts {
+		total += c
+		if i < n {
+			top += c
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(top) / float64(total)
+}
+
+func (a *Analyzer) interactiveReport() InteractiveReport {
+	ap := a.apps
+	r := InteractiveReport{SSHConns: ap.sshConns}
+	if ap.sshConns > 0 {
+		r.SSHBulkFrac = float64(ap.sshBulk) / float64(ap.sshConns)
+	}
+	if ap.sshPkts > 0 {
+		r.MeanSSHPayloadPerPkt = float64(ap.sshPayload) / float64(ap.sshPkts)
+	}
+	return r
+}
+
+func (a *Analyzer) bulkReport() BulkReport {
+	ap := a.apps
+	r := BulkReport{
+		FTPSessions:  len(ap.ftpSessions),
+		FTPDataConns: ap.bulkConns.Get("FTP-Data"),
+		FTPDataBytes: ap.bulkBytes.Get("FTP-Data"),
+		HPSSBytes:    ap.bulkBytes.Get("HPSS"),
+	}
+	logins := 0
+	for _, s := range ap.ftpSessions {
+		r.FTPTransfers += s.Transfers
+		if s.LoggedIn {
+			logins++
+		}
+	}
+	if r.FTPSessions > 0 {
+		r.FTPLoginRate = float64(logins) / float64(r.FTPSessions)
+	}
+	return r
+}
+
+func (a *Analyzer) backupReport() BackupReport {
+	ap := a.apps
+	r := BackupReport{Conns: make(map[string]int64), Bytes: make(map[string]int64)}
+	for _, k := range ap.backupConns.Keys() {
+		r.Conns[k] = ap.backupConns.Get(k)
+	}
+	for _, k := range ap.backupBytes.Keys() {
+		r.Bytes[k] = ap.backupBytes.Get(k)
+	}
+	if ap.dantzConns > 0 {
+		r.DantzBidirFrac = float64(ap.dantzBidir) / float64(ap.dantzConns)
+	}
+	return r
+}
+
+func (a *Analyzer) loadReport() LoadReport {
+	r := LoadReport{Traces: a.load.traces}
+	p1, p10, p60 := stats.NewDist(), stats.NewDist(), stats.NewDist()
+	med := stats.NewDist()
+	entOver, wanOver, entTraces, wanTraces := 0, 0, 0, 0
+	for _, t := range r.Traces {
+		p1.Observe(t.Peak1s)
+		p10.Observe(t.Peak10s)
+		p60.Observe(t.Peak60s)
+		med.Observe(t.Median)
+		if t.RetransEnt > r.MaxRetransEnt {
+			r.MaxRetransEnt = t.RetransEnt
+		}
+		if t.EntDataPkts >= 1000 {
+			entTraces++
+			if t.RetransEnt > 0.01 {
+				entOver++
+			}
+		}
+		if t.WanDataPkts >= 1000 {
+			wanTraces++
+			if t.RetransWan > 0.01 {
+				wanOver++
+			}
+		}
+	}
+	hursts := stats.NewDist()
+	for _, t := range r.Traces {
+		if t.HurstOK {
+			hursts.Observe(t.Hurst)
+		}
+	}
+	r.MedianHurst = hursts.Median()
+	r.Peak1s, r.Peak10s, r.Peak60s = p1.CDF(64), p10.CDF(64), p60.CDF(64)
+	r.MedianOfMedians = med.Median()
+	if entTraces > 0 {
+		r.EntOver1Pct = float64(entOver) / float64(entTraces)
+	}
+	if wanTraces > 0 {
+		r.WanOver1Pct = float64(wanOver) / float64(wanTraces)
+	}
+	return r
+}
+
+// findings produces Table 5's qualitative summary from the measured data.
+func (a *Analyzer) findings(r *Report) []string {
+	var f []string
+	if auto, ok := maxAutomated(r.HTTP); ok {
+		f = append(f, fmt.Sprintf("§5.1.1 Automated HTTP clients account for %s of internal requests and %s of internal HTTP bytes (largest: %s).",
+			stats.Pct(totalAutomatedReq(r.HTTP)), stats.Pct(totalAutomatedBytes(r.HTTP)), auto))
+	}
+	if r.Email.MedianIMAPSDurEnt > 0 && r.Email.MedianIMAPSDurWan > 0 {
+		f = append(f, fmt.Sprintf("§5.1.2 Internal IMAP/S connections last %.0fx longer than WAN ones (medians %.1fs vs %.1fs).",
+			r.Email.MedianIMAPSDurEnt/r.Email.MedianIMAPSDurWan, r.Email.MedianIMAPSDurEnt, r.Email.MedianIMAPSDurWan))
+	}
+	if r.Names.NBNSFailureRate > 0 {
+		f = append(f, fmt.Sprintf("§5.1.3 Netbios/NS queries fail %s of the time vs %s for DNS.",
+			stats.Pct(r.Names.NBNSFailureRate), stats.Pct(r.Names.DNSRcodes["NXDOMAIN"])))
+	}
+	if pipes := r.Windows.CIFSRequests["RPC Pipes"]; pipes > 0 {
+		f = append(f, fmt.Sprintf("§5.2.1 DCE/RPC named pipes carry %s of CIFS requests; Windows File Sharing %s.",
+			stats.Pct(pipes), stats.Pct(r.Windows.CIFSRequests["Windows File Sharing"])))
+	}
+	rw := r.FileSvc.NFSRequestMix["Read"] + r.FileSvc.NFSRequestMix["Write"] + r.FileSvc.NFSRequestMix["GetAttr"]
+	if rw > 0 {
+		f = append(f, fmt.Sprintf("§5.2.2 Read/write/attr operations make up %s of NFS requests.", stats.Pct(rw)))
+	}
+	if r.Backup.Conns["DANTZ"] > 0 {
+		f = append(f, fmt.Sprintf("§5.2.3 %s of Dantz connections carry ≥100KB in both directions; Veritas data flows only client→server.",
+			stats.Pct(r.Backup.DantzBidirFrac)))
+	}
+	return f
+}
+
+func maxAutomated(h HTTPReport) (string, bool) {
+	best, bestV := "", 0.0
+	for k, v := range h.Automated {
+		if v.ByteFrac > bestV {
+			best, bestV = k, v.ByteFrac
+		}
+	}
+	return best, best != ""
+}
+
+func totalAutomatedReq(h HTTPReport) float64 {
+	var t float64
+	for _, v := range h.Automated {
+		t += v.ReqFrac
+	}
+	return t
+}
+
+func totalAutomatedBytes(h HTTPReport) float64 {
+	var t float64
+	for _, v := range h.Automated {
+		t += v.ByteFrac
+	}
+	return t
+}

@@ -1,0 +1,71 @@
+package flows
+
+import (
+	"testing"
+	"time"
+
+	"enttrace/internal/layers"
+)
+
+// TestUDPTimeoutAblation quantifies the DESIGN.md ablation: how the UDP
+// inactivity timeout changes the connection count for periodic traffic.
+// A 45-second announcement period must split into one flow per
+// announcement below the period and merge above it — the mechanism behind
+// the paper's stable net-mgnt connection share.
+func TestUDPTimeoutAblation(t *testing.T) {
+	build := func(timeout time.Duration) int {
+		tbl := NewTable(Config{UDPTimeout: timeout})
+		frame := layers.BuildUDP(layers.UDPOpts{
+			FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB},
+			SrcPort:   9875, DstPort: 9875, Payload: make([]byte, 200),
+		})
+		var p layers.Packet
+		if err := layers.Decode(frame, len(frame), &p); err != nil {
+			t.Fatal(err)
+		}
+		// 20 announcements, 45 s apart.
+		for i := 0; i < 20; i++ {
+			tbl.Packet(t0(int64(i)*45_000), &p, len(frame))
+		}
+		tbl.Flush()
+		return len(tbl.Conns())
+	}
+	if got := build(10 * time.Second); got != 20 {
+		t.Errorf("10s timeout → %d conns, want 20 (one per announcement)", got)
+	}
+	if got := build(30 * time.Second); got != 20 {
+		t.Errorf("30s timeout → %d conns, want 20", got)
+	}
+	if got := build(60 * time.Second); got != 1 {
+		t.Errorf("60s timeout → %d conns, want 1 (merged)", got)
+	}
+}
+
+// TestUDPTimeoutMonotone: larger timeouts can only merge flows, never
+// split them.
+func TestUDPTimeoutMonotone(t *testing.T) {
+	counts := make([]int, 0, 3)
+	for _, timeout := range []time.Duration{5 * time.Second, 30 * time.Second, 2 * time.Minute} {
+		tbl := NewTable(Config{UDPTimeout: timeout})
+		frame := layers.BuildUDP(layers.UDPOpts{
+			FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB},
+			SrcPort:   427, DstPort: 427, Payload: make([]byte, 60),
+		})
+		var p layers.Packet
+		if err := layers.Decode(frame, len(frame), &p); err != nil {
+			t.Fatal(err)
+		}
+		// Irregular gaps: 3 s, 40 s, 8 s, 90 s, 3 s.
+		at := []int64{0, 3, 43, 51, 141, 144}
+		for _, sec := range at {
+			tbl.Packet(t0(sec*1000), &p, len(frame))
+		}
+		tbl.Flush()
+		counts = append(counts, len(tbl.Conns()))
+	}
+	for i := 1; i < len(counts); i++ {
+		if counts[i] > counts[i-1] {
+			t.Errorf("conn counts not monotone under growing timeout: %v", counts)
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package flows
+
+import (
+	"net/netip"
+)
+
+// FanStats holds, for one host, the set sizes the paper's §4 reports:
+// fan-in (distinct hosts that originate conversations to it) and fan-out
+// (distinct hosts it originates conversations to), split by whether the
+// peer is local to the enterprise.
+type FanStats struct {
+	FanInLocal, FanInRemote   int
+	FanOutLocal, FanOutRemote int
+}
+
+// FanIn is total distinct originating peers.
+func (f FanStats) FanIn() int { return f.FanInLocal + f.FanInRemote }
+
+// FanOut is total distinct contacted peers.
+func (f FanStats) FanOut() int { return f.FanOutLocal + f.FanOutRemote }
+
+// FanInOut computes per-host fan statistics over a set of connections.
+// isLocal classifies an address as inside the enterprise; only hosts for
+// which monitored(addr) is true get an entry (the paper computes fan only
+// for monitored hosts). Multicast flows are excluded.
+func FanInOut(conns []*Conn, monitored, isLocal func(netip.Addr) bool) map[netip.Addr]*FanStats {
+	type peerSet map[netip.Addr]struct{}
+	fanIn := make(map[netip.Addr]peerSet)
+	fanOut := make(map[netip.Addr]peerSet)
+	for _, c := range conns {
+		if c.Multicast {
+			continue
+		}
+		orig, resp := c.Key.Src, c.Key.Dst
+		if monitored(resp) {
+			if _, ok := fanIn[resp]; !ok {
+				fanIn[resp] = make(peerSet)
+			}
+			fanIn[resp][orig] = struct{}{}
+		}
+		if monitored(orig) {
+			if _, ok := fanOut[orig]; !ok {
+				fanOut[orig] = make(peerSet)
+			}
+			fanOut[orig][resp] = struct{}{}
+		}
+	}
+	out := make(map[netip.Addr]*FanStats)
+	get := func(h netip.Addr) *FanStats {
+		s := out[h]
+		if s == nil {
+			s = &FanStats{}
+			out[h] = s
+		}
+		return s
+	}
+	for h, peers := range fanIn {
+		s := get(h)
+		for p := range peers {
+			if isLocal(p) {
+				s.FanInLocal++
+			} else {
+				s.FanInRemote++
+			}
+		}
+	}
+	for h, peers := range fanOut {
+		s := get(h)
+		for p := range peers {
+			if isLocal(p) {
+				s.FanOutLocal++
+			} else {
+				s.FanOutRemote++
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Package flows implements transport-level connection tracking in the
+// style of Bro's connection summaries, which the paper's analysis is built
+// on. It groups decoded packets into bidirectional connections (TCP by
+// handshake state, UDP and ICMP by canonical flow key with an inactivity
+// timeout), accounts payload bytes per direction using header-implied
+// lengths (so snaplen-truncated traces are counted correctly), classifies
+// TCP connection outcomes (successful / rejected / unanswered — the
+// categories of the paper's Table 9), and detects retransmissions and TCP
+// keep-alives in sequence space (the inputs to Figure 10).
+package flows
+
+import (
+	"time"
+
+	"enttrace/internal/layers"
+)
+
+// Dir distinguishes the two directions of a connection.
+type Dir int
+
+// Direction values.
+const (
+	DirOrig Dir = iota // originator → responder
+	DirResp            // responder → originator
+)
+
+// State summarizes a TCP connection's fate, mirroring the paper's
+// "successful / rejected / unanswered" accounting. Non-TCP connections are
+// always StateActive.
+type State int
+
+// Connection states.
+const (
+	// StateActive covers UDP/ICMP flows and TCP connections seen only
+	// mid-stream (no handshake observed in the trace).
+	StateActive State = iota
+	// StateAttempted is a SYN with no response at all ("unanswered").
+	StateAttempted
+	// StateRejected is a SYN answered by RST.
+	StateRejected
+	// StateEstablished is a completed SYN / SYN-ACK handshake.
+	StateEstablished
+)
+
+// String names the state as the paper's tables do.
+func (s State) String() string {
+	switch s {
+	case StateAttempted:
+		return "unanswered"
+	case StateRejected:
+		return "rejected"
+	case StateEstablished:
+		return "successful"
+	default:
+		return "active"
+	}
+}
+
+// dirTrack carries per-direction TCP sequence tracking.
+type dirTrack struct {
+	maxSeqEnd uint32 // highest seq+len observed
+	seen      bool
+}
+
+// Conn is one tracked connection.
+type Conn struct {
+	// Key is oriented originator → responder.
+	Key   layers.FlowKey
+	Proto uint8
+	Start time.Time
+	Last  time.Time
+	// Packet and header-implied payload byte counts per direction.
+	OrigPkts, RespPkts   int64
+	OrigBytes, RespBytes int64
+	// WireBytes is total frame bytes in both directions (for load).
+	WireBytes int64
+	State     State
+	// sawSYN/sawSYNACK/sawRST drive state classification.
+	sawSYN, sawSYNACK bool
+	sawRSTFromResp    bool
+	sawFin            [2]bool
+	// Retransmission accounting (TCP only).
+	Retrans          int64 // retransmitted data packets, keep-alives excluded
+	KeepAliveRetrans int64 // 1-byte snd_nxt-1 probes (NCP/SSH keep-alives)
+	// DataPkts counts payload-carrying packets (the denominator of the
+	// paper's retransmission rate).
+	DataPkts int64
+	track    [2]dirTrack
+	// Multicast marks flows addressed to a multicast group.
+	Multicast bool
+	// finished marks connections already emitted (timeout or FIN/RST).
+	finished bool
+}
+
+// Duration is the time between the first and last packet.
+func (c *Conn) Duration() time.Duration { return c.Last.Sub(c.Start) }
+
+// PayloadBytes is total payload in both directions.
+func (c *Conn) PayloadBytes() int64 { return c.OrigBytes + c.RespBytes }
+
+// Packets is total packets in both directions.
+func (c *Conn) Packets() int64 { return c.OrigPkts + c.RespPkts }
+
+// Successful reports whether the connection counts as successful for the
+// paper's success-rate metrics: an established TCP handshake, or any
+// non-TCP flow that saw a response.
+func (c *Conn) Successful() bool {
+	if c.Proto == layers.ProtoTCP {
+		return c.State == StateEstablished || c.State == StateActive && c.RespPkts > 0
+	}
+	return c.RespPkts > 0
+}
+
+// HostPair returns the unordered endpoint pair.
+func (c *Conn) HostPair() layers.HostPair {
+	return layers.NewHostPair(c.Key.Src, c.Key.Dst)
+}
+
+// Config parameterizes a Table.
+type Config struct {
+	// UDPTimeout ends a UDP flow after this much inactivity. Default 30 s.
+	UDPTimeout time.Duration
+	// ICMPTimeout is the ICMP flow inactivity bound. Default 10 s.
+	ICMPTimeout time.Duration
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.UDPTimeout == 0 {
+		out.UDPTimeout = 30 * time.Second
+	}
+	if out.ICMPTimeout == 0 {
+		out.ICMPTimeout = 10 * time.Second
+	}
+	return out
+}
+
+// Table tracks all live connections in a trace. Feed it decoded packets in
+// timestamp order via Packet, then call Flush; Conns returns every
+// connection observed.
+type Table struct {
+	cfg  Config
+	live map[layers.FlowKey]*Conn
+	done []*Conn
+}
+
+// NewTable returns an empty connection table.
+func NewTable(cfg Config) *Table {
+	return &Table{cfg: cfg.withDefaults(), live: make(map[layers.FlowKey]*Conn)}
+}
+
+// Packet feeds one decoded packet. wireLen is the frame's original wire
+// length. It returns the connection and the packet's direction within it,
+// or nil for packets with no transport flow (ARP, IPX, fragments).
+func (t *Table) Packet(ts time.Time, p *layers.Packet, wireLen int) (*Conn, Dir) {
+	key, ok := layers.FlowKeyOf(p)
+	if !ok {
+		return nil, DirOrig
+	}
+	if p.Layers.Has(layers.LayerICMP) {
+		// Echo exchanges pair request and reply into one flow by ID.
+		key.SrcPort, key.DstPort = 0, 0
+		if p.ICMP.Type == layers.ICMPEchoRequest || p.ICMP.Type == layers.ICMPEchoReply {
+			key.SrcPort = p.ICMP.ID
+			key.DstPort = p.ICMP.ID
+		}
+	}
+	canon, flipped := key.Canonical()
+	conn := t.live[canon]
+	if conn != nil && t.expired(conn, ts) {
+		t.finish(conn)
+		conn = nil
+	}
+	isNew := conn == nil
+	if isNew {
+		conn = &Conn{Key: key, Proto: key.Proto, Start: ts, Last: ts}
+		if p.Eth.Dst.Multicast() {
+			conn.Multicast = true
+		}
+		if dst, ok := p.NetDst(); ok && dst.Is4() && dst.IsMulticast() {
+			conn.Multicast = true
+		}
+		t.live[canon] = conn
+	}
+	// Direction relative to the connection's originator.
+	dir := DirOrig
+	if key != conn.Key {
+		dir = DirResp
+	}
+	_ = flipped
+	conn.Last = ts
+	conn.WireBytes += int64(wireLen)
+	payload := int64(p.PayloadLen)
+	if dir == DirOrig {
+		conn.OrigPkts++
+		conn.OrigBytes += payload
+	} else {
+		conn.RespPkts++
+		conn.RespBytes += payload
+	}
+	if payload > 0 {
+		conn.DataPkts++
+	}
+	if p.Layers.Has(layers.LayerTCP) {
+		t.tcpUpdate(conn, dir, &p.TCP, p.PayloadLen, isNew)
+	}
+	return conn, dir
+}
+
+func (t *Table) expired(c *Conn, now time.Time) bool {
+	switch c.Proto {
+	case layers.ProtoUDP:
+		return now.Sub(c.Last) > t.cfg.UDPTimeout
+	case layers.ProtoICMP:
+		return now.Sub(c.Last) > t.cfg.ICMPTimeout
+	}
+	return false
+}
+
+func (t *Table) tcpUpdate(c *Conn, dir Dir, tcp *layers.TCP, payloadLen int, isNew bool) {
+	syn := tcp.Flags&layers.TCPSyn != 0
+	ack := tcp.Flags&layers.TCPAck != 0
+	rst := tcp.Flags&layers.TCPRst != 0
+	fin := tcp.Flags&layers.TCPFin != 0
+
+	if syn && !ack {
+		// Pure SYN defines the originator. If the first packet we saw was
+		// actually from the responder (e.g. simultaneous capture start),
+		// reorient the connection.
+		if dir == DirResp && !c.sawSYN {
+			c.reorient()
+			dir = DirOrig
+		}
+		c.sawSYN = true
+	}
+	if syn && ack && dir == DirResp {
+		c.sawSYNACK = true
+	}
+	if rst && dir == DirResp && c.sawSYN && !c.sawSYNACK {
+		c.sawRSTFromResp = true
+	}
+	if fin {
+		c.sawFin[dir] = true
+	}
+	c.State = c.classify()
+
+	// Sequence-space retransmission detection, per direction.
+	tr := &c.track[dir]
+	seqEnd := tcp.Seq + uint32(payloadLen)
+	if syn || fin {
+		seqEnd++
+	}
+	if !tr.seen {
+		tr.seen = true
+		tr.maxSeqEnd = seqEnd
+		return
+	}
+	if payloadLen > 0 && int32(seqEnd-tr.maxSeqEnd) <= 0 {
+		// Entirely old data: a retransmission. The paper excludes TCP
+		// keep-alives (1 garbage byte at snd_nxt-1) from load analysis.
+		if payloadLen == 1 && tcp.Seq == tr.maxSeqEnd-1 {
+			c.KeepAliveRetrans++
+		} else {
+			c.Retrans++
+		}
+		return
+	}
+	if int32(seqEnd-tr.maxSeqEnd) > 0 {
+		tr.maxSeqEnd = seqEnd
+	}
+}
+
+// reorient swaps originator and responder on a connection whose first
+// packet turned out to be from the responder.
+func (c *Conn) reorient() {
+	c.Key = c.Key.Reverse()
+	c.OrigPkts, c.RespPkts = c.RespPkts, c.OrigPkts
+	c.OrigBytes, c.RespBytes = c.RespBytes, c.OrigBytes
+	c.track[0], c.track[1] = c.track[1], c.track[0]
+	c.sawFin[0], c.sawFin[1] = c.sawFin[1], c.sawFin[0]
+}
+
+func (c *Conn) classify() State {
+	switch {
+	case c.sawSYNACK:
+		return StateEstablished
+	case c.sawRSTFromResp:
+		return StateRejected
+	case c.sawSYN && c.RespPkts == 0:
+		return StateAttempted
+	case c.sawSYN && c.RespPkts > 0:
+		// Response seen but no SYN-ACK captured (e.g. truncated trace
+		// start); treat as established for success accounting.
+		return StateEstablished
+	default:
+		return StateActive
+	}
+}
+
+func (t *Table) finish(c *Conn) {
+	if !c.finished {
+		c.finished = true
+		t.done = append(t.done, c)
+	}
+	canon, _ := c.Key.Canonical()
+	if t.live[canon] == c {
+		delete(t.live, canon)
+	}
+}
+
+// Flush finalizes all live connections (end of trace).
+func (t *Table) Flush() {
+	for _, c := range t.live {
+		c.finished = true
+		t.done = append(t.done, c)
+	}
+	t.live = make(map[layers.FlowKey]*Conn)
+}
+
+// Conns returns all finalized connections, in no particular order. Call
+// Flush first to include still-live flows.
+func (t *Table) Conns() []*Conn { return t.done }
+
+// Live returns the number of currently tracked connections.
+func (t *Table) Live() int { return len(t.live) }

@@ -1,0 +1,343 @@
+package flows
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"enttrace/internal/layers"
+)
+
+var (
+	macA = layers.MAC{0, 1, 2, 3, 4, 5}
+	macB = layers.MAC{6, 7, 8, 9, 10, 11}
+	ipA  = netip.MustParseAddr("10.0.0.1")
+	ipB  = netip.MustParseAddr("10.0.0.2")
+	ipC  = netip.MustParseAddr("192.168.9.9")
+)
+
+func t0(ms int64) time.Time { return time.Unix(100, 0).Add(time.Duration(ms) * time.Millisecond) }
+
+func feedTCP(t *testing.T, tbl *Table, ts time.Time, src, dst netip.Addr, sp, dp uint16, seq, ack uint32, flags uint8, payload []byte) (*Conn, Dir) {
+	t.Helper()
+	frame := layers.BuildTCP(layers.TCPOpts{
+		FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: dst},
+		SrcPort:   sp, DstPort: dp, Seq: seq, Ack: ack, Flags: flags, Payload: payload,
+	})
+	var p layers.Packet
+	if err := layers.Decode(frame, len(frame), &p); err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Packet(ts, &p, len(frame))
+}
+
+func feedUDP(t *testing.T, tbl *Table, ts time.Time, src, dst netip.Addr, sp, dp uint16, n int) (*Conn, Dir) {
+	t.Helper()
+	frame := layers.BuildUDP(layers.UDPOpts{
+		FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: dst},
+		SrcPort:   sp, DstPort: dp, Payload: make([]byte, n),
+	})
+	var p layers.Packet
+	if err := layers.Decode(frame, len(frame), &p); err != nil {
+		t.Fatal(err)
+	}
+	return tbl.Packet(ts, &p, len(frame))
+}
+
+func TestTCPHandshakeEstablished(t *testing.T) {
+	tbl := NewTable(Config{})
+	c1, d1 := feedTCP(t, tbl, t0(0), ipA, ipB, 3000, 80, 100, 0, layers.TCPSyn, nil)
+	if d1 != DirOrig {
+		t.Error("SYN should be originator direction")
+	}
+	c2, d2 := feedTCP(t, tbl, t0(1), ipB, ipA, 80, 3000, 500, 101, layers.TCPSyn|layers.TCPAck, nil)
+	if c1 != c2 {
+		t.Fatal("same connection expected")
+	}
+	if d2 != DirResp {
+		t.Error("SYN-ACK should be responder direction")
+	}
+	feedTCP(t, tbl, t0(2), ipA, ipB, 3000, 80, 101, 501, layers.TCPAck, []byte("hello"))
+	if c1.State != StateEstablished {
+		t.Errorf("state = %v", c1.State)
+	}
+	if !c1.Successful() {
+		t.Error("established conn should be successful")
+	}
+	if c1.OrigBytes != 5 || c1.RespBytes != 0 {
+		t.Errorf("bytes orig=%d resp=%d", c1.OrigBytes, c1.RespBytes)
+	}
+	if c1.Key.Src != ipA || c1.Key.Dst != ipB {
+		t.Errorf("orientation: %v", c1.Key)
+	}
+	if c1.Duration() != 2*time.Millisecond {
+		t.Errorf("duration = %v", c1.Duration())
+	}
+	tbl.Flush()
+	if len(tbl.Conns()) != 1 {
+		t.Errorf("conns = %d", len(tbl.Conns()))
+	}
+}
+
+func TestTCPRejected(t *testing.T) {
+	tbl := NewTable(Config{})
+	c, _ := feedTCP(t, tbl, t0(0), ipA, ipB, 3000, 445, 1, 0, layers.TCPSyn, nil)
+	feedTCP(t, tbl, t0(1), ipB, ipA, 445, 3000, 0, 2, layers.TCPRst|layers.TCPAck, nil)
+	if c.State != StateRejected {
+		t.Errorf("state = %v, want rejected", c.State)
+	}
+	if c.Successful() {
+		t.Error("rejected conn counted successful")
+	}
+	if c.State.String() != "rejected" {
+		t.Errorf("string = %s", c.State)
+	}
+}
+
+func TestTCPUnanswered(t *testing.T) {
+	tbl := NewTable(Config{})
+	c, _ := feedTCP(t, tbl, t0(0), ipA, ipB, 3000, 139, 1, 0, layers.TCPSyn, nil)
+	feedTCP(t, tbl, t0(500), ipA, ipB, 3000, 139, 1, 0, layers.TCPSyn, nil) // retry
+	if c.State != StateAttempted {
+		t.Errorf("state = %v, want attempted", c.State)
+	}
+	if c.Successful() {
+		t.Error("unanswered conn counted successful")
+	}
+	if c.OrigPkts != 2 {
+		t.Errorf("pkts = %d", c.OrigPkts)
+	}
+}
+
+func TestTCPReorientOnLateSYN(t *testing.T) {
+	// Trace catches the server's data packet before the client's SYN
+	// (possible with the merged unidirectional streams).
+	tbl := NewTable(Config{})
+	c, _ := feedTCP(t, tbl, t0(0), ipB, ipA, 80, 3000, 900, 0, layers.TCPAck, []byte("srv"))
+	feedTCP(t, tbl, t0(1), ipA, ipB, 3000, 80, 100, 0, layers.TCPSyn, nil)
+	if c.Key.Src != ipA {
+		t.Errorf("conn should reorient to SYN sender: %v", c.Key)
+	}
+	if c.RespBytes != 3 || c.OrigBytes != 0 {
+		t.Errorf("bytes not swapped: orig=%d resp=%d", c.OrigBytes, c.RespBytes)
+	}
+}
+
+func TestMidstreamActive(t *testing.T) {
+	tbl := NewTable(Config{})
+	c, _ := feedTCP(t, tbl, t0(0), ipA, ipB, 9, 10, 5, 0, layers.TCPAck, []byte("x"))
+	feedTCP(t, tbl, t0(1), ipB, ipA, 10, 9, 50, 6, layers.TCPAck, []byte("y"))
+	if c.State != StateActive {
+		t.Errorf("state = %v", c.State)
+	}
+	if !c.Successful() {
+		t.Error("bidirectional midstream flow should count successful")
+	}
+}
+
+func TestRetransmissionDetection(t *testing.T) {
+	tbl := NewTable(Config{})
+	c, _ := feedTCP(t, tbl, t0(0), ipA, ipB, 1, 2, 1000, 0, layers.TCPAck, []byte("abcd"))
+	feedTCP(t, tbl, t0(1), ipA, ipB, 1, 2, 1004, 0, layers.TCPAck, []byte("efgh"))
+	feedTCP(t, tbl, t0(2), ipA, ipB, 1, 2, 1004, 0, layers.TCPAck, []byte("efgh")) // retransmission
+	feedTCP(t, tbl, t0(3), ipA, ipB, 1, 2, 1000, 0, layers.TCPAck, []byte("abcd")) // older retransmission
+	if c.Retrans != 2 {
+		t.Errorf("retrans = %d, want 2", c.Retrans)
+	}
+	if c.KeepAliveRetrans != 0 {
+		t.Errorf("keepalives = %d", c.KeepAliveRetrans)
+	}
+	// New data after retransmissions is not counted.
+	feedTCP(t, tbl, t0(4), ipA, ipB, 1, 2, 1008, 0, layers.TCPAck, []byte("ijkl"))
+	if c.Retrans != 2 {
+		t.Errorf("retrans after new data = %d", c.Retrans)
+	}
+}
+
+func TestKeepAliveDetection(t *testing.T) {
+	// NCP-style keep-alive: 1 byte at snd_nxt-1, repeatedly.
+	tbl := NewTable(Config{})
+	c, _ := feedTCP(t, tbl, t0(0), ipA, ipB, 1, 524, 100, 0, layers.TCPAck, []byte("ab"))
+	for i := 1; i <= 3; i++ {
+		feedTCP(t, tbl, t0(int64(i*1000)), ipA, ipB, 1, 524, 101, 0, layers.TCPAck, []byte("b"))
+	}
+	if c.KeepAliveRetrans != 3 {
+		t.Errorf("keepalives = %d, want 3", c.KeepAliveRetrans)
+	}
+	if c.Retrans != 0 {
+		t.Errorf("retrans = %d, want 0", c.Retrans)
+	}
+}
+
+func TestSYNRetransNotData(t *testing.T) {
+	tbl := NewTable(Config{})
+	c, _ := feedTCP(t, tbl, t0(0), ipA, ipB, 1, 2, 9, 0, layers.TCPSyn, nil)
+	feedTCP(t, tbl, t0(3000), ipA, ipB, 1, 2, 9, 0, layers.TCPSyn, nil)
+	if c.Retrans != 0 {
+		t.Errorf("SYN retransmission should not count as data retrans, got %d", c.Retrans)
+	}
+}
+
+func TestUDPFlowAggregation(t *testing.T) {
+	tbl := NewTable(Config{})
+	c1, _ := feedUDP(t, tbl, t0(0), ipA, ipB, 5000, 53, 30)
+	c2, d2 := feedUDP(t, tbl, t0(5), ipB, ipA, 53, 5000, 100)
+	if c1 != c2 || d2 != DirResp {
+		t.Error("reply should join the same flow as responder")
+	}
+	if !c1.Successful() {
+		t.Error("answered UDP flow should be successful")
+	}
+	if c1.OrigBytes != 30 || c1.RespBytes != 100 {
+		t.Errorf("bytes: %d/%d", c1.OrigBytes, c1.RespBytes)
+	}
+}
+
+func TestUDPTimeoutSplitsFlows(t *testing.T) {
+	tbl := NewTable(Config{UDPTimeout: time.Second})
+	c1, _ := feedUDP(t, tbl, t0(0), ipA, ipB, 5000, 123, 48)
+	c2, _ := feedUDP(t, tbl, t0(5000), ipA, ipB, 5000, 123, 48) // 5 s later
+	if c1 == c2 {
+		t.Error("flow should have timed out and split")
+	}
+	tbl.Flush()
+	if n := len(tbl.Conns()); n != 2 {
+		t.Errorf("conns = %d, want 2", n)
+	}
+}
+
+func TestICMPEchoPairing(t *testing.T) {
+	tbl := NewTable(Config{})
+	build := func(typ uint8, id uint16, src, dst netip.Addr) *layers.Packet {
+		frame := layers.BuildICMP(layers.ICMPOpts{
+			FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: src, DstIP: dst},
+			Type:      typ, ID: id, Seq: 1,
+		})
+		var p layers.Packet
+		if err := layers.Decode(frame, len(frame), &p); err != nil {
+			t.Fatal(err)
+		}
+		return &p
+	}
+	c1, _ := tbl.Packet(t0(0), build(layers.ICMPEchoRequest, 7, ipA, ipB), 60)
+	c2, d := tbl.Packet(t0(1), build(layers.ICMPEchoReply, 7, ipB, ipA), 60)
+	if c1 != c2 || d != DirResp {
+		t.Error("echo reply should pair with request")
+	}
+	c3, _ := tbl.Packet(t0(2), build(layers.ICMPEchoRequest, 8, ipA, ipB), 60)
+	if c3 == c1 {
+		t.Error("different echo ID should be a distinct flow")
+	}
+}
+
+func TestMulticastFlagged(t *testing.T) {
+	tbl := NewTable(Config{})
+	group := netip.MustParseAddr("239.2.11.71")
+	frame := layers.BuildUDP(layers.UDPOpts{
+		FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: layers.MulticastMAC(group), SrcIP: ipA, DstIP: group},
+		SrcPort:   3000, DstPort: 5004, Payload: make([]byte, 200),
+	})
+	var p layers.Packet
+	if err := layers.Decode(frame, len(frame), &p); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := tbl.Packet(t0(0), &p, len(frame))
+	if !c.Multicast {
+		t.Error("multicast flow not flagged")
+	}
+}
+
+func TestNonIPIgnored(t *testing.T) {
+	tbl := NewTable(Config{})
+	frame := layers.BuildARP(layers.ARPOpts{SrcMAC: macA, DstMAC: layers.Broadcast, Op: 1, SenderHW: macA, SenderIP: ipA, TargetIP: ipB})
+	var p layers.Packet
+	if err := layers.Decode(frame, len(frame), &p); err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := tbl.Packet(t0(0), &p, len(frame)); c != nil {
+		t.Error("ARP should not create a connection")
+	}
+}
+
+func TestWireBytesAccounting(t *testing.T) {
+	tbl := NewTable(Config{})
+	c, _ := feedUDP(t, tbl, t0(0), ipA, ipB, 1, 2, 100)
+	want := int64(14 + 20 + 8 + 100)
+	if c.WireBytes != want {
+		t.Errorf("wire bytes = %d, want %d", c.WireBytes, want)
+	}
+}
+
+func TestFanInOut(t *testing.T) {
+	tbl := NewTable(Config{})
+	// A (monitored, local) talks to B (local) and C (remote).
+	feedUDP(t, tbl, t0(0), ipA, ipB, 1000, 53, 10)
+	feedUDP(t, tbl, t0(1), ipA, ipC, 1001, 53, 10)
+	// C contacts A.
+	feedUDP(t, tbl, t0(2), ipC, ipA, 2000, 80, 10)
+	tbl.Flush()
+	local := func(a netip.Addr) bool { return a == ipA || a == ipB }
+	monitored := func(a netip.Addr) bool { return a == ipA }
+	fan := FanInOut(tbl.Conns(), monitored, local)
+	s := fan[ipA]
+	if s == nil {
+		t.Fatal("no stats for monitored host")
+	}
+	if s.FanOutLocal != 1 || s.FanOutRemote != 1 || s.FanOut() != 2 {
+		t.Errorf("fan-out: %+v", s)
+	}
+	if s.FanInRemote != 1 || s.FanInLocal != 0 || s.FanIn() != 1 {
+		t.Errorf("fan-in: %+v", s)
+	}
+	if _, ok := fan[ipB]; ok {
+		t.Error("unmonitored host should have no entry")
+	}
+}
+
+func TestFanInOutExcludesMulticast(t *testing.T) {
+	tbl := NewTable(Config{})
+	group := netip.MustParseAddr("224.0.1.1")
+	frame := layers.BuildUDP(layers.UDPOpts{
+		FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: layers.MulticastMAC(group), SrcIP: ipA, DstIP: group},
+		SrcPort:   427, DstPort: 427, Payload: make([]byte, 50),
+	})
+	var p layers.Packet
+	if err := layers.Decode(frame, len(frame), &p); err != nil {
+		t.Fatal(err)
+	}
+	tbl.Packet(t0(0), &p, len(frame))
+	tbl.Flush()
+	all := func(netip.Addr) bool { return true }
+	fan := FanInOut(tbl.Conns(), all, all)
+	if s := fan[ipA]; s != nil && s.FanOut() != 0 {
+		t.Errorf("multicast contributed to fan-out: %+v", s)
+	}
+}
+
+func TestManyConnsDistinct(t *testing.T) {
+	tbl := NewTable(Config{})
+	for i := 0; i < 100; i++ {
+		feedTCP(t, tbl, t0(int64(i)), ipA, ipB, uint16(10000+i), 80, 1, 0, layers.TCPSyn, nil)
+	}
+	tbl.Flush()
+	if n := len(tbl.Conns()); n != 100 {
+		t.Errorf("conns = %d, want 100", n)
+	}
+}
+
+func BenchmarkTablePacket(b *testing.B) {
+	tbl := NewTable(Config{})
+	frame := layers.BuildTCP(layers.TCPOpts{
+		FrameOpts: layers.FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB},
+		SrcPort:   3000, DstPort: 80, Seq: 1, Flags: layers.TCPAck, Payload: make([]byte, 512),
+	})
+	var p layers.Packet
+	if err := layers.Decode(frame, len(frame), &p); err != nil {
+		b.Fatal(err)
+	}
+	ts := t0(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl.Packet(ts, &p, len(frame))
+	}
+}

@@ -1,0 +1,80 @@
+package gen
+
+import (
+	"io"
+	"net/netip"
+
+	"enttrace/internal/enterprise"
+	"enttrace/internal/pcap"
+)
+
+// Trace is one monitored-subnet capture: the paper's unit of analysis for
+// per-trace figures (utilization, retransmission rate).
+type Trace struct {
+	Subnet  int
+	Tap     int
+	Packets []*pcap.Packet
+	// Prefix is the monitored subnet's address block; analyses use it to
+	// decide which hosts were "monitored" in this trace.
+	Prefix netip.Prefix
+}
+
+// Dataset is a full capture campaign (all subnets, all taps).
+type Dataset struct {
+	Config enterprise.Config
+	Traces []Trace
+}
+
+// GenerateDataset runs the tap rotation for a dataset configuration,
+// applying the dataset snaplen exactly as the capture hardware would.
+func GenerateDataset(cfg enterprise.Config) *Dataset {
+	net := enterprise.NewNetwork(cfg)
+	ds := &Dataset{Config: cfg}
+	for _, subnet := range cfg.Monitored {
+		for tap := 0; tap < cfg.PerTap; tap++ {
+			pkts := GenerateTrace(net, subnet, tap)
+			applySnaplen(pkts, cfg.Snaplen)
+			ds.Traces = append(ds.Traces, Trace{
+				Subnet:  subnet,
+				Tap:     tap,
+				Packets: pkts,
+				Prefix:  enterprise.SubnetPrefix(subnet),
+			})
+		}
+	}
+	return ds
+}
+
+func applySnaplen(pkts []*pcap.Packet, snaplen uint32) {
+	if snaplen == 0 {
+		return
+	}
+	for _, p := range pkts {
+		if uint32(len(p.Data)) > snaplen {
+			p.Data = p.Data[:snaplen]
+		}
+	}
+}
+
+// TotalPackets counts packets across all traces.
+func (d *Dataset) TotalPackets() int {
+	n := 0
+	for _, t := range d.Traces {
+		n += len(t.Packets)
+	}
+	return n
+}
+
+// WriteTrace writes one trace as a pcap file.
+func WriteTrace(w io.Writer, cfg enterprise.Config, t Trace) error {
+	pw, err := pcap.NewWriter(w, cfg.Snaplen, pcap.LinkTypeEthernet)
+	if err != nil {
+		return err
+	}
+	for _, p := range t.Packets {
+		if err := pw.WriteCaptured(p.Timestamp, p.Data, p.OrigLen); err != nil {
+			return err
+		}
+	}
+	return nil
+}

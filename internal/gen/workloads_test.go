@@ -1,0 +1,102 @@
+package gen
+
+import (
+	"testing"
+
+	"enttrace/internal/categories"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+)
+
+// TestEveryCategoryGenerated verifies a single full-scale client-subnet
+// trace carries traffic in every Figure 1 category — the property the
+// whole reproduction depends on.
+func TestEveryCategoryGenerated(t *testing.T) {
+	net := enterprise.NewNetwork(enterprise.D4())
+	pkts := GenerateTrace(net, 5, 0)
+	tbl := flows.NewTable(flows.Config{})
+	var p layers.Packet
+	for _, pk := range pkts {
+		if err := layers.Decode(pk.Data, pk.OrigLen, &p); err != nil {
+			t.Fatal(err)
+		}
+		tbl.Packet(pk.Timestamp, &p, pk.OrigLen)
+	}
+	tbl.Flush()
+	reg := categories.NewRegistry()
+	seen := map[string]bool{}
+	for _, c := range tbl.Conns() {
+		_, cat := reg.Classify(c.Proto, c.Key.SrcPort, c.Key.DstPort)
+		if cat != "" {
+			seen[cat] = true
+		}
+	}
+	for _, cat := range categories.All {
+		if !seen[cat] {
+			t.Errorf("category %q absent from generated trace", cat)
+		}
+	}
+}
+
+// TestVantageAsymmetry verifies the generator's vantage story: the auth
+// subnet's trace carries far more CIFS sessions than an ordinary client
+// subnet's, and the mail subnet's trace carries far more SMTP.
+func TestVantageAsymmetry(t *testing.T) {
+	cfg := enterprise.D0()
+	cfg.Scale = 0.5
+	net := enterprise.NewNetwork(cfg)
+	countPort := func(subnet int, port uint16) int {
+		pkts := GenerateTrace(net, subnet, 0)
+		tbl := flows.NewTable(flows.Config{})
+		var p layers.Packet
+		for _, pk := range pkts {
+			if err := layers.Decode(pk.Data, pk.OrigLen, &p); err != nil {
+				t.Fatal(err)
+			}
+			tbl.Packet(pk.Timestamp, &p, pk.OrigLen)
+		}
+		tbl.Flush()
+		n := 0
+		for _, c := range tbl.Conns() {
+			if c.Key.DstPort == port {
+				n++
+			}
+		}
+		return n
+	}
+	authCIFS := countPort(enterprise.SubnetAuth, 445) + countPort(enterprise.SubnetAuth, 139)
+	clientCIFS := countPort(5, 445) + countPort(5, 139)
+	if authCIFS <= 2*clientCIFS {
+		t.Errorf("auth vantage CIFS = %d, client subnet = %d; want strong asymmetry", authCIFS, clientCIFS)
+	}
+	mailSMTP := countPort(enterprise.SubnetMail, 25)
+	clientSMTP := countPort(5, 25)
+	if mailSMTP <= 2*clientSMTP {
+		t.Errorf("mail vantage SMTP = %d, client subnet = %d", mailSMTP, clientSMTP)
+	}
+}
+
+// TestScaleKnob: halving Scale roughly halves trace volume.
+func TestScaleKnob(t *testing.T) {
+	big := enterprise.D3()
+	big.Scale = 0.6
+	small := enterprise.D3()
+	small.Scale = 0.15
+	nBig := len(GenerateTrace(enterprise.NewNetwork(big), 4, 0))
+	nSmall := len(GenerateTrace(enterprise.NewNetwork(small), 4, 0))
+	ratio := float64(nBig) / float64(nSmall)
+	if ratio < 1.8 || ratio > 9 {
+		t.Errorf("scale 4x → packet ratio %.1f (big=%d small=%d)", ratio, nBig, nSmall)
+	}
+}
+
+// TestD0ShorterThanD3: the 10-minute dataset generates much less per
+// trace than the hour-long ones.
+func TestD0ShorterThanD3(t *testing.T) {
+	n0 := len(GenerateTrace(enterprise.NewNetwork(enterprise.D0()), 5, 0))
+	n3 := len(GenerateTrace(enterprise.NewNetwork(enterprise.D3()), 5, 0))
+	if n0*2 > n3 {
+		t.Errorf("D0 trace %d packets vs D3 %d; want D0 ≪ D3", n0, n3)
+	}
+}

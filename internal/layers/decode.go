@@ -1,0 +1,294 @@
+package layers
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net/netip"
+)
+
+// Decode errors. Truncation below the snaplen is not an error — the packet
+// is marked Truncated and decoding stops at the missing bytes — but a frame
+// too short to even hold an Ethernet header is.
+var (
+	ErrShortFrame = errors.New("layers: frame shorter than Ethernet header")
+)
+
+var be = binary.BigEndian
+
+// Decode parses an Ethernet frame into p, which is reset first. origLen is
+// the wire length before any snaplen truncation (pass len(data) when the
+// capture is complete). Unknown upper protocols are not an error: decoding
+// stops with whatever was recognized and the rest as payload.
+func Decode(data []byte, origLen int, p *Packet) error {
+	p.Reset()
+	if origLen < len(data) {
+		origLen = len(data)
+	}
+	p.Truncated = origLen > len(data)
+	if len(data) < 14 {
+		return ErrShortFrame
+	}
+	copy(p.Eth.Dst[:], data[0:6])
+	copy(p.Eth.Src[:], data[6:12])
+	et := be.Uint16(data[12:14])
+	p.Layers |= LayerEthernet
+	rest := data[14:]
+	if et >= 0x0600 {
+		p.Eth.EtherType = et
+		p.Eth.Length802 = 0
+	} else {
+		// 802.3: the field is a length. The only 802.3 traffic the traces
+		// carry is "raw" Novell IPX, recognizable by the 0xFFFF checksum at
+		// the head of the payload.
+		p.Eth.EtherType = 0
+		p.Eth.Length802 = et
+		if len(rest) >= 2 && be.Uint16(rest[0:2]) == 0xFFFF {
+			return decodeIPX(rest, p)
+		}
+		p.Payload = rest
+		p.PayloadLen = len(rest) + (origLen - len(data))
+		p.Layers |= LayerPayload
+		return nil
+	}
+	switch et {
+	case EtherTypeIPv4:
+		return decodeIPv4(rest, origLen-14, p)
+	case EtherTypeIPv6:
+		return decodeIPv6(rest, origLen-14, p)
+	case EtherTypeARP:
+		return decodeARP(rest, p)
+	case EtherTypeIPX:
+		return decodeIPX(rest, p)
+	default:
+		p.Payload = rest
+		p.PayloadLen = len(rest) + (origLen - len(data))
+		p.Layers |= LayerPayload
+		return nil
+	}
+}
+
+func decodeARP(data []byte, p *Packet) error {
+	if len(data) < 8 {
+		p.Truncated = true
+		return nil
+	}
+	p.ARP = ARP{Op: be.Uint16(data[6:8])}
+	hlen, plen := int(data[4]), int(data[5])
+	p.Layers |= LayerARP
+	if hlen == 6 && plen == 4 && len(data) >= 8+2*(6+4) {
+		copy(p.ARP.SenderHW[:], data[8:14])
+		p.ARP.SenderIP = netip.AddrFrom4([4]byte(data[14:18]))
+		copy(p.ARP.TargetHW[:], data[18:24])
+		p.ARP.TargetIP = netip.AddrFrom4([4]byte(data[24:28]))
+	}
+	return nil
+}
+
+func decodeIPX(data []byte, p *Packet) error {
+	if len(data) < 30 {
+		p.Truncated = true
+		return nil
+	}
+	p.IPX = IPX{
+		Length:     be.Uint16(data[2:4]),
+		Hops:       data[4],
+		PacketType: data[5],
+		DstNet:     be.Uint32(data[6:10]),
+		DstSocket:  be.Uint16(data[16:18]),
+		SrcNet:     be.Uint32(data[18:22]),
+		SrcSocket:  be.Uint16(data[28:30]),
+	}
+	copy(p.IPX.DstNode[:], data[10:16])
+	copy(p.IPX.SrcNode[:], data[22:28])
+	p.Layers |= LayerIPX
+	if len(data) > 30 {
+		p.Payload = data[30:]
+		p.PayloadLen = len(p.Payload)
+		p.Layers |= LayerPayload
+	}
+	return nil
+}
+
+func decodeIPv4(data []byte, wireLen int, p *Packet) error {
+	if len(data) < 20 {
+		p.Truncated = true
+		return nil
+	}
+	if data[0]>>4 != 4 {
+		return fmt.Errorf("layers: IPv4 version field is %d", data[0]>>4)
+	}
+	ihl := data[0] & 0x0f
+	hlen := int(ihl) * 4
+	if hlen < 20 {
+		return fmt.Errorf("layers: IPv4 IHL %d too small", ihl)
+	}
+	p.IP4 = IPv4{
+		IHL:      ihl,
+		TOS:      data[1],
+		Length:   be.Uint16(data[2:4]),
+		ID:       be.Uint16(data[4:6]),
+		Flags:    data[6] >> 5,
+		FragOff:  be.Uint16(data[6:8]) & 0x1fff,
+		TTL:      data[8],
+		Protocol: data[9],
+		Checksum: be.Uint16(data[10:12]),
+		Src:      netip.AddrFrom4([4]byte(data[12:16])),
+		Dst:      netip.AddrFrom4([4]byte(data[16:20])),
+	}
+	p.Layers |= LayerIPv4
+	if len(data) < hlen {
+		p.Truncated = true
+		return nil
+	}
+	// Bound the transport view by the IP total length when the frame has
+	// Ethernet padding.
+	totalLen := int(p.IP4.Length)
+	body := data[hlen:]
+	if totalLen >= hlen && totalLen-hlen < len(body) {
+		body = body[:totalLen-hlen]
+	}
+	transportWire := totalLen - hlen
+	if transportWire < len(body) {
+		transportWire = len(body)
+	}
+	if p.IP4.Fragment() && p.IP4.FragOff != 0 {
+		// Non-first fragment: no transport header to parse.
+		p.Payload = body
+		p.PayloadLen = transportWire
+		p.Layers |= LayerPayload
+		return nil
+	}
+	return decodeTransport(p.IP4.Protocol, body, transportWire, p)
+}
+
+func decodeIPv6(data []byte, wireLen int, p *Packet) error {
+	if len(data) < 40 {
+		p.Truncated = true
+		return nil
+	}
+	if data[0]>>4 != 6 {
+		return fmt.Errorf("layers: IPv6 version field is %d", data[0]>>4)
+	}
+	p.IP6 = IPv6{
+		TrafficClass: data[0]<<4 | data[1]>>4,
+		FlowLabel:    be.Uint32(data[0:4]) & 0xfffff,
+		Length:       be.Uint16(data[4:6]),
+		NextHeader:   data[6],
+		HopLimit:     data[7],
+		Src:          netip.AddrFrom16([16]byte(data[8:24])),
+		Dst:          netip.AddrFrom16([16]byte(data[24:40])),
+	}
+	p.Layers |= LayerIPv6
+	body := data[40:]
+	if int(p.IP6.Length) < len(body) {
+		body = body[:p.IP6.Length]
+	}
+	return decodeTransport(p.IP6.NextHeader, body, int(p.IP6.Length), p)
+}
+
+func decodeTransport(proto uint8, data []byte, wireLen int, p *Packet) error {
+	if wireLen < len(data) {
+		wireLen = len(data)
+	}
+	switch proto {
+	case ProtoTCP:
+		return decodeTCP(data, wireLen, p)
+	case ProtoUDP:
+		return decodeUDP(data, wireLen, p)
+	case ProtoICMP:
+		return decodeICMP(data, wireLen, p)
+	default:
+		p.Payload = data
+		p.PayloadLen = wireLen
+		if len(data) > 0 {
+			p.Layers |= LayerPayload
+		}
+		return nil
+	}
+}
+
+func decodeTCP(data []byte, wireLen int, p *Packet) error {
+	if len(data) < 20 {
+		p.Truncated = true
+		return nil
+	}
+	off := data[12] >> 4
+	hlen := int(off) * 4
+	if hlen < 20 {
+		return fmt.Errorf("layers: TCP data offset %d too small", off)
+	}
+	p.TCP = TCP{
+		SrcPort:    be.Uint16(data[0:2]),
+		DstPort:    be.Uint16(data[2:4]),
+		Seq:        be.Uint32(data[4:8]),
+		Ack:        be.Uint32(data[8:12]),
+		DataOffset: off,
+		Flags:      data[13] & 0x3f,
+		Window:     be.Uint16(data[14:16]),
+		Checksum:   be.Uint16(data[16:18]),
+		Urgent:     be.Uint16(data[18:20]),
+	}
+	p.Layers |= LayerTCP
+	p.PayloadLen = wireLen - hlen
+	if p.PayloadLen < 0 {
+		p.PayloadLen = 0
+	}
+	if len(data) < hlen {
+		p.Truncated = true
+		return nil
+	}
+	p.Payload = data[hlen:]
+	if p.PayloadLen > 0 {
+		p.Layers |= LayerPayload
+	}
+	return nil
+}
+
+func decodeUDP(data []byte, wireLen int, p *Packet) error {
+	if len(data) < 8 {
+		p.Truncated = true
+		return nil
+	}
+	p.UDP = UDP{
+		SrcPort:  be.Uint16(data[0:2]),
+		DstPort:  be.Uint16(data[2:4]),
+		Length:   be.Uint16(data[4:6]),
+		Checksum: be.Uint16(data[6:8]),
+	}
+	p.Layers |= LayerUDP
+	p.PayloadLen = int(p.UDP.Length) - 8
+	if p.PayloadLen < 0 {
+		p.PayloadLen = wireLen - 8
+	}
+	body := data[8:]
+	if p.PayloadLen < len(body) {
+		body = body[:p.PayloadLen]
+	}
+	p.Payload = body
+	if p.PayloadLen > 0 {
+		p.Layers |= LayerPayload
+	}
+	return nil
+}
+
+func decodeICMP(data []byte, wireLen int, p *Packet) error {
+	if len(data) < 4 {
+		p.Truncated = true
+		return nil
+	}
+	p.ICMP = ICMP{Type: data[0], Code: data[1], Checksum: be.Uint16(data[2:4])}
+	if len(data) >= 8 && (p.ICMP.Type == ICMPEchoRequest || p.ICMP.Type == ICMPEchoReply) {
+		p.ICMP.ID = be.Uint16(data[4:6])
+		p.ICMP.Seq = be.Uint16(data[6:8])
+	}
+	p.Layers |= LayerICMP
+	if len(data) > 8 {
+		p.Payload = data[8:]
+	}
+	p.PayloadLen = wireLen - 8
+	if p.PayloadLen < 0 {
+		p.PayloadLen = 0
+	}
+	return nil
+}

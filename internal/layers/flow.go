@@ -1,0 +1,66 @@
+package layers
+
+import (
+	"fmt"
+	"net/netip"
+)
+
+// FlowKey identifies a unidirectional transport flow. It is comparable and
+// therefore usable directly as a map key, like gopacket's Flow.
+type FlowKey struct {
+	Proto            uint8
+	Src, Dst         netip.Addr
+	SrcPort, DstPort uint16
+}
+
+// Reverse returns the key of the opposite direction.
+func (k FlowKey) Reverse() FlowKey {
+	return FlowKey{Proto: k.Proto, Src: k.Dst, Dst: k.Src, SrcPort: k.DstPort, DstPort: k.SrcPort}
+}
+
+// Canonical returns a direction-independent key (the lexicographically
+// smaller endpoint first) and whether the key was flipped. Both directions
+// of a connection canonicalize to the same value, the property connection
+// tables rely on.
+func (k FlowKey) Canonical() (FlowKey, bool) {
+	if k.Src.Compare(k.Dst) > 0 || (k.Src == k.Dst && k.SrcPort > k.DstPort) {
+		return k.Reverse(), true
+	}
+	return k, false
+}
+
+// String renders "proto src:sport > dst:dport".
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d %s:%d > %s:%d", k.Proto, k.Src, k.SrcPort, k.Dst, k.DstPort)
+}
+
+// HostPair is an unordered pair of network addresses; the paper counts
+// operation success/failure by distinct host pair.
+type HostPair struct {
+	A, B netip.Addr
+}
+
+// NewHostPair returns the canonical (ordered) pair for two addresses.
+func NewHostPair(x, y netip.Addr) HostPair {
+	if x.Compare(y) > 0 {
+		x, y = y, x
+	}
+	return HostPair{A: x, B: y}
+}
+
+// FlowKeyOf extracts the flow key from a decoded packet. ICMP packets use
+// type/code-independent zero ports so an echo exchange aggregates into one
+// flow. The second return is false for non-IP packets.
+func FlowKeyOf(p *Packet) (FlowKey, bool) {
+	src, ok := p.NetSrc()
+	if !ok {
+		return FlowKey{}, false
+	}
+	dst, _ := p.NetDst()
+	proto, _ := p.IPProto()
+	k := FlowKey{Proto: proto, Src: src, Dst: dst}
+	if sp, dp, ok := p.Ports(); ok {
+		k.SrcPort, k.DstPort = sp, dp
+	}
+	return k, true
+}

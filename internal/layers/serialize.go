@@ -1,0 +1,258 @@
+package layers
+
+import "net/netip"
+
+// internetChecksum computes the RFC 1071 one's-complement sum over data,
+// seeded with sum (for pseudo-header folding).
+func internetChecksum(sum uint32, data []byte) uint32 {
+	n := len(data)
+	for i := 0; i+1 < n; i += 2 {
+		sum += uint32(data[i])<<8 | uint32(data[i+1])
+	}
+	if n%2 == 1 {
+		sum += uint32(data[n-1]) << 8
+	}
+	return sum
+}
+
+func foldChecksum(sum uint32) uint16 {
+	for sum > 0xffff {
+		sum = (sum >> 16) + (sum & 0xffff)
+	}
+	return ^uint16(sum)
+}
+
+func pseudoHeaderSum(src, dst netip.Addr, proto uint8, length int) uint32 {
+	var sum uint32
+	if src.Is4() {
+		s, d := src.As4(), dst.As4()
+		sum = internetChecksum(sum, s[:])
+		sum = internetChecksum(sum, d[:])
+	} else {
+		s, d := src.As16(), dst.As16()
+		sum = internetChecksum(sum, s[:])
+		sum = internetChecksum(sum, d[:])
+	}
+	sum += uint32(proto)
+	sum += uint32(length)
+	return sum
+}
+
+// FrameOpts carries the addressing shared by every frame builder.
+type FrameOpts struct {
+	SrcMAC, DstMAC MAC
+	SrcIP, DstIP   netip.Addr
+	TTL            uint8 // default 64
+	IPID           uint16
+	TOS            uint8
+}
+
+func (o *FrameOpts) ttl() uint8 {
+	if o.TTL == 0 {
+		return 64
+	}
+	return o.TTL
+}
+
+func putEthernet(buf []byte, src, dst MAC, etherType uint16) {
+	copy(buf[0:6], dst[:])
+	copy(buf[6:12], src[:])
+	be.PutUint16(buf[12:14], etherType)
+}
+
+func buildIPv4(o *FrameOpts, proto uint8, transport []byte) []byte {
+	totalLen := 20 + len(transport)
+	frame := make([]byte, 14+totalLen)
+	putEthernet(frame, o.SrcMAC, o.DstMAC, EtherTypeIPv4)
+	ip := frame[14:]
+	ip[0] = 0x45 // version 4, IHL 5
+	ip[1] = o.TOS
+	be.PutUint16(ip[2:4], uint16(totalLen))
+	be.PutUint16(ip[4:6], o.IPID)
+	ip[6] = 0x40 // DF
+	ip[8] = o.ttl()
+	ip[9] = proto
+	src, dst := o.SrcIP.As4(), o.DstIP.As4()
+	copy(ip[12:16], src[:])
+	copy(ip[16:20], dst[:])
+	be.PutUint16(ip[10:12], foldChecksum(internetChecksum(0, ip[:20])))
+	copy(ip[20:], transport)
+	return frame
+}
+
+// TCPOpts describes one TCP segment for BuildTCP.
+type TCPOpts struct {
+	FrameOpts
+	SrcPort, DstPort uint16
+	Seq, Ack         uint32
+	Flags            uint8
+	Window           uint16
+	Payload          []byte
+}
+
+// BuildTCP serializes a full Ethernet/IPv4/TCP frame with valid checksums.
+func BuildTCP(o TCPOpts) []byte {
+	if o.Window == 0 {
+		o.Window = 65535
+	}
+	seg := make([]byte, 20+len(o.Payload))
+	be.PutUint16(seg[0:2], o.SrcPort)
+	be.PutUint16(seg[2:4], o.DstPort)
+	be.PutUint32(seg[4:8], o.Seq)
+	be.PutUint32(seg[8:12], o.Ack)
+	seg[12] = 5 << 4
+	seg[13] = o.Flags
+	be.PutUint16(seg[14:16], o.Window)
+	copy(seg[20:], o.Payload)
+	sum := pseudoHeaderSum(o.SrcIP, o.DstIP, ProtoTCP, len(seg))
+	be.PutUint16(seg[16:18], foldChecksum(internetChecksum(sum, seg)))
+	return buildIPv4(&o.FrameOpts, ProtoTCP, seg)
+}
+
+// UDPOpts describes one UDP datagram for BuildUDP.
+type UDPOpts struct {
+	FrameOpts
+	SrcPort, DstPort uint16
+	Payload          []byte
+}
+
+// BuildUDP serializes a full Ethernet/IPv4/UDP frame (or IPv6 when the
+// addresses are v6) with valid checksums.
+func BuildUDP(o UDPOpts) []byte {
+	dg := make([]byte, 8+len(o.Payload))
+	be.PutUint16(dg[0:2], o.SrcPort)
+	be.PutUint16(dg[2:4], o.DstPort)
+	be.PutUint16(dg[4:6], uint16(len(dg)))
+	copy(dg[8:], o.Payload)
+	sum := pseudoHeaderSum(o.SrcIP, o.DstIP, ProtoUDP, len(dg))
+	be.PutUint16(dg[6:8], foldChecksum(internetChecksum(sum, dg)))
+	if o.SrcIP.Is4() {
+		return buildIPv4(&o.FrameOpts, ProtoUDP, dg)
+	}
+	return buildIPv6(&o.FrameOpts, ProtoUDP, dg)
+}
+
+func buildIPv6(o *FrameOpts, next uint8, transport []byte) []byte {
+	frame := make([]byte, 14+40+len(transport))
+	putEthernet(frame, o.SrcMAC, o.DstMAC, EtherTypeIPv6)
+	ip := frame[14:]
+	ip[0] = 6 << 4
+	be.PutUint16(ip[4:6], uint16(len(transport)))
+	ip[6] = next
+	ip[7] = o.ttl()
+	src, dst := o.SrcIP.As16(), o.DstIP.As16()
+	copy(ip[8:24], src[:])
+	copy(ip[24:40], dst[:])
+	copy(ip[40:], transport)
+	return frame
+}
+
+// ICMPOpts describes one ICMP message for BuildICMP.
+type ICMPOpts struct {
+	FrameOpts
+	Type, Code uint8
+	ID, Seq    uint16
+	Payload    []byte
+}
+
+// BuildICMP serializes a full Ethernet/IPv4/ICMP frame.
+func BuildICMP(o ICMPOpts) []byte {
+	msg := make([]byte, 8+len(o.Payload))
+	msg[0] = o.Type
+	msg[1] = o.Code
+	be.PutUint16(msg[4:6], o.ID)
+	be.PutUint16(msg[6:8], o.Seq)
+	copy(msg[8:], o.Payload)
+	be.PutUint16(msg[2:4], foldChecksum(internetChecksum(0, msg)))
+	return buildIPv4(&o.FrameOpts, ProtoICMP, msg)
+}
+
+// ARPOpts describes an ARP request or reply for BuildARP.
+type ARPOpts struct {
+	SrcMAC, DstMAC     MAC // Ethernet addressing (DstMAC usually Broadcast for requests)
+	Op                 uint16
+	SenderHW, TargetHW MAC
+	SenderIP, TargetIP netip.Addr
+}
+
+// BuildARP serializes an Ethernet ARP frame (hardware Ethernet, protocol
+// IPv4), padded to the 60-byte Ethernet minimum.
+func BuildARP(o ARPOpts) []byte {
+	frame := make([]byte, 60)
+	putEthernet(frame, o.SrcMAC, o.DstMAC, EtherTypeARP)
+	a := frame[14:]
+	be.PutUint16(a[0:2], 1) // Ethernet
+	be.PutUint16(a[2:4], uint16(EtherTypeIPv4))
+	a[4], a[5] = 6, 4
+	be.PutUint16(a[6:8], o.Op)
+	copy(a[8:14], o.SenderHW[:])
+	sip := o.SenderIP.As4()
+	copy(a[14:18], sip[:])
+	copy(a[18:24], o.TargetHW[:])
+	tip := o.TargetIP.As4()
+	copy(a[24:28], tip[:])
+	return frame
+}
+
+// IPXOpts describes an IPX datagram for BuildIPX.
+type IPXOpts struct {
+	SrcMAC, DstMAC       MAC
+	SrcNet, DstNet       uint32
+	SrcSocket, DstSocket uint16
+	PacketType           uint8
+	Payload              []byte
+	// Raw8023 selects the "raw" Novell encapsulation (802.3 length field,
+	// 0xFFFF checksum) instead of EtherType 0x8137.
+	Raw8023 bool
+}
+
+// BuildIPX serializes an IPX frame in either encapsulation.
+func BuildIPX(o IPXOpts) []byte {
+	ipxLen := 30 + len(o.Payload)
+	frame := make([]byte, 14+ipxLen)
+	copy(frame[0:6], o.DstMAC[:])
+	copy(frame[6:12], o.SrcMAC[:])
+	if o.Raw8023 {
+		be.PutUint16(frame[12:14], uint16(ipxLen))
+	} else {
+		be.PutUint16(frame[12:14], EtherTypeIPX)
+	}
+	x := frame[14:]
+	be.PutUint16(x[0:2], 0xFFFF) // checksum: none
+	be.PutUint16(x[2:4], uint16(ipxLen))
+	x[5] = o.PacketType
+	be.PutUint32(x[6:10], o.DstNet)
+	copy(x[10:16], o.DstMAC[:])
+	be.PutUint16(x[16:18], o.DstSocket)
+	be.PutUint32(x[18:22], o.SrcNet)
+	copy(x[22:28], o.SrcMAC[:])
+	be.PutUint16(x[28:30], o.SrcSocket)
+	copy(x[30:], o.Payload)
+	if len(frame) < 60 {
+		padded := make([]byte, 60)
+		copy(padded, frame)
+		frame = padded
+	}
+	return frame
+}
+
+// MulticastMAC maps an IPv4 multicast group address to its Ethernet
+// multicast MAC (01:00:5e + low 23 bits).
+func MulticastMAC(group netip.Addr) MAC {
+	g := group.As4()
+	return MAC{0x01, 0x00, 0x5e, g[1] & 0x7f, g[2], g[3]}
+}
+
+// VerifyIPv4Checksum recomputes the header checksum of a serialized IPv4
+// header and reports whether it is consistent. Used by tests and by the
+// analyzer's sanity pass.
+func VerifyIPv4Checksum(ipHeader []byte) bool {
+	if len(ipHeader) < 20 {
+		return false
+	}
+	hlen := int(ipHeader[0]&0x0f) * 4
+	if hlen < 20 || hlen > len(ipHeader) {
+		return false
+	}
+	return foldChecksum(internetChecksum(0, ipHeader[:hlen])) == 0
+}

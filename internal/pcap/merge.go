@@ -1,0 +1,126 @@
+package pcap
+
+import (
+	"container/heap"
+	"io"
+)
+
+// PacketSource yields packets in timestamp order, ending with io.EOF. Both
+// *Reader and in-memory traces satisfy it.
+type PacketSource interface {
+	Next() (*Packet, error)
+}
+
+// SliceSource adapts an in-memory packet slice to PacketSource.
+type SliceSource struct {
+	pkts []*Packet
+	idx  int
+}
+
+// NewSliceSource returns a source over pkts; the slice is not copied and
+// must already be in timestamp order.
+func NewSliceSource(pkts []*Packet) *SliceSource { return &SliceSource{pkts: pkts} }
+
+// Next implements PacketSource.
+func (s *SliceSource) Next() (*Packet, error) {
+	if s.idx >= len(s.pkts) {
+		return nil, io.EOF
+	}
+	p := s.pkts[s.idx]
+	s.idx++
+	return p, nil
+}
+
+type mergeEntry struct {
+	pkt *Packet
+	src int
+}
+
+type mergeHeap []mergeEntry
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	return h[i].pkt.Timestamp.Before(h[j].pkt.Timestamp)
+}
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Merger performs a timestamp-ordered k-way merge over several packet
+// sources — the software analogue of the paper's merge of four
+// clock-synchronized NIC streams into one bidirectional trace.
+type Merger struct {
+	sources []PacketSource
+	h       mergeHeap
+	primed  bool
+	err     error
+}
+
+// NewMerger returns a merger over the given sources. Each source must
+// itself be timestamp-ordered.
+func NewMerger(sources ...PacketSource) *Merger {
+	return &Merger{sources: sources}
+}
+
+func (m *Merger) prime() error {
+	for i, s := range m.sources {
+		p, err := s.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		m.h = append(m.h, mergeEntry{pkt: p, src: i})
+	}
+	heap.Init(&m.h)
+	m.primed = true
+	return nil
+}
+
+// Next implements PacketSource, returning the globally earliest packet.
+func (m *Merger) Next() (*Packet, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if !m.primed {
+		if err := m.prime(); err != nil {
+			m.err = err
+			return nil, err
+		}
+	}
+	if len(m.h) == 0 {
+		m.err = io.EOF
+		return nil, io.EOF
+	}
+	e := heap.Pop(&m.h).(mergeEntry)
+	next, err := m.sources[e.src].Next()
+	if err == nil {
+		heap.Push(&m.h, mergeEntry{pkt: next, src: e.src})
+	} else if err != io.EOF {
+		m.err = err
+		return nil, err
+	}
+	return e.pkt, nil
+}
+
+// ReadAll drains any PacketSource into a slice.
+func ReadAll(src PacketSource) ([]*Packet, error) {
+	var pkts []*Packet
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			return pkts, nil
+		}
+		if err != nil {
+			return pkts, err
+		}
+		pkts = append(pkts, p)
+	}
+}

@@ -1,0 +1,191 @@
+// Package reassembly reconstructs in-order TCP byte streams from decoded
+// segments, one Stream per flow direction. It tolerates the realities of
+// the paper's traces: out-of-order arrival, retransmission (overlapping
+// sequence ranges keep the first copy, the behaviour of most monitors),
+// and capture gaps (a receiver ACKing data the trace never contains —
+// which the paper observed and attributed to incomplete capture). Gaps are
+// skipped after a configurable amount of buffered out-of-order data, with
+// the skip reported to the consumer so application analyzers can resync.
+package reassembly
+
+import (
+	"sort"
+)
+
+// Consumer receives the reassembled byte stream of one flow direction.
+type Consumer interface {
+	// Data delivers the next in-order chunk.
+	Data(b []byte)
+	// Gap reports that n bytes were skipped (lost to capture or truncation)
+	// before the following Data call.
+	Gap(n int)
+}
+
+// Stream reassembles one direction of a TCP connection.
+type Stream struct {
+	consumer Consumer
+	next     uint32 // next expected sequence number
+	started  bool
+	// pending holds out-of-order segments keyed by sequence number.
+	pending []segment
+	// pendingBytes tracks buffered volume for the gap-skip policy.
+	pendingBytes int
+	// MaxPending is the buffered-bytes threshold beyond which the stream
+	// declares a gap and skips forward. Default 256 KB.
+	MaxPending int
+	closed     bool
+}
+
+type segment struct {
+	seq  uint32
+	data []byte
+}
+
+// NewStream returns a stream delivering to consumer.
+func NewStream(consumer Consumer) *Stream {
+	return &Stream{consumer: consumer, MaxPending: 256 << 10}
+}
+
+// seqLess reports a < b in 32-bit sequence space.
+func seqLess(a, b uint32) bool { return int32(a-b) < 0 }
+
+// SetISN establishes the initial sequence number (the SYN's seq + 1).
+// Calling it is optional; if not called, the first data segment's sequence
+// number seeds the stream.
+func (s *Stream) SetISN(seq uint32) {
+	if !s.started {
+		s.next = seq
+		s.started = true
+	}
+}
+
+// Segment feeds one TCP segment's payload at the given sequence number.
+func (s *Stream) Segment(seq uint32, data []byte) {
+	if s.closed || len(data) == 0 {
+		return
+	}
+	if !s.started {
+		s.next = seq
+		s.started = true
+	}
+	// Drop or trim data entirely in the past (retransmission).
+	if seqLess(seq, s.next) {
+		overlap := s.next - seq
+		if uint32(len(data)) <= overlap {
+			return
+		}
+		data = data[overlap:]
+		seq = s.next
+	}
+	if seq == s.next {
+		s.consumer.Data(data)
+		s.next += uint32(len(data))
+		s.drainPending()
+		return
+	}
+	s.insertPending(seq, data)
+	if s.pendingBytes > s.MaxPending {
+		s.skipToPending()
+	}
+}
+
+func (s *Stream) insertPending(seq uint32, data []byte) {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	idx := sort.Search(len(s.pending), func(i int) bool {
+		return !seqLess(s.pending[i].seq, seq)
+	})
+	if idx < len(s.pending) && s.pending[idx].seq == seq {
+		// Duplicate out-of-order retransmission: keep the longer copy.
+		if len(cp) > len(s.pending[idx].data) {
+			s.pendingBytes += len(cp) - len(s.pending[idx].data)
+			s.pending[idx].data = cp
+		}
+		return
+	}
+	s.pending = append(s.pending, segment{})
+	copy(s.pending[idx+1:], s.pending[idx:])
+	s.pending[idx] = segment{seq: seq, data: cp}
+	s.pendingBytes += len(cp)
+}
+
+func (s *Stream) drainPending() {
+	for len(s.pending) > 0 {
+		seg := s.pending[0]
+		if seqLess(s.next, seg.seq) {
+			return
+		}
+		s.pending = s.pending[1:]
+		s.pendingBytes -= len(seg.data)
+		if seqLess(seg.seq, s.next) {
+			overlap := s.next - seg.seq
+			if uint32(len(seg.data)) <= overlap {
+				continue
+			}
+			seg.data = seg.data[overlap:]
+		}
+		s.consumer.Data(seg.data)
+		s.next += uint32(len(seg.data))
+	}
+}
+
+// skipToPending declares the bytes between next and the earliest pending
+// segment lost, reports the gap, and resumes from the buffer.
+func (s *Stream) skipToPending() {
+	if len(s.pending) == 0 {
+		return
+	}
+	gap := s.pending[0].seq - s.next
+	s.consumer.Gap(int(gap))
+	s.next = s.pending[0].seq
+	s.drainPending()
+}
+
+// Close flushes any buffered segments (reporting gaps between them) and
+// marks the stream finished. Used at FIN/RST or end of trace.
+func (s *Stream) Close() {
+	if s.closed {
+		return
+	}
+	for len(s.pending) > 0 {
+		s.skipToPending()
+	}
+	s.closed = true
+}
+
+// PendingBytes reports how much out-of-order data is buffered.
+func (s *Stream) PendingBytes() int { return s.pendingBytes }
+
+// BufferConsumer is a Consumer that accumulates the stream into memory,
+// recording gap positions. It is the consumer used by most application
+// analyzers in this repository.
+type BufferConsumer struct {
+	Buf     []byte
+	Gaps    int
+	GapByte int
+	// Limit bounds growth; excess data is counted but discarded. Zero
+	// means unlimited.
+	Limit int
+	// Overflow counts bytes dropped due to Limit.
+	Overflow int
+}
+
+// Data implements Consumer.
+func (b *BufferConsumer) Data(d []byte) {
+	if b.Limit > 0 && len(b.Buf)+len(d) > b.Limit {
+		keep := b.Limit - len(b.Buf)
+		if keep < 0 {
+			keep = 0
+		}
+		b.Buf = append(b.Buf, d[:keep]...)
+		b.Overflow += len(d) - keep
+		return
+	}
+	b.Buf = append(b.Buf, d...)
+}
+
+// Gap implements Consumer.
+func (b *BufferConsumer) Gap(n int) {
+	b.Gaps++
+	b.GapByte += n
+}

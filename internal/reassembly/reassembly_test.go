@@ -1,0 +1,223 @@
+package reassembly
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInOrderDelivery(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.Segment(100, []byte("hello "))
+	s.Segment(106, []byte("world"))
+	if string(c.Buf) != "hello world" {
+		t.Errorf("buf = %q", c.Buf)
+	}
+	if c.Gaps != 0 {
+		t.Errorf("gaps = %d", c.Gaps)
+	}
+}
+
+func TestOutOfOrderReorder(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.SetISN(1000)
+	s.Segment(1006, []byte("world"))
+	if len(c.Buf) != 0 {
+		t.Fatalf("early delivery: %q", c.Buf)
+	}
+	s.Segment(1000, []byte("hello "))
+	if string(c.Buf) != "hello world" {
+		t.Errorf("buf = %q", c.Buf)
+	}
+	if s.PendingBytes() != 0 {
+		t.Errorf("pending = %d", s.PendingBytes())
+	}
+}
+
+func TestRetransmissionDropped(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.Segment(0, []byte("abcd"))
+	s.Segment(0, []byte("abcd")) // full retransmission
+	s.Segment(2, []byte("cdef")) // partial overlap extends
+	if string(c.Buf) != "abcdef" {
+		t.Errorf("buf = %q", c.Buf)
+	}
+}
+
+func TestGapSkipAfterThreshold(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.MaxPending = 10
+	s.SetISN(0)
+	// Lost [0,100); deliver at 100 beyond the pending budget.
+	s.Segment(100, bytes.Repeat([]byte{'x'}, 11))
+	if c.Gaps != 1 || c.GapByte != 100 {
+		t.Errorf("gaps=%d gapbytes=%d", c.Gaps, c.GapByte)
+	}
+	if len(c.Buf) != 11 {
+		t.Errorf("buf len = %d", len(c.Buf))
+	}
+}
+
+func TestCloseFlushesPending(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.SetISN(0)
+	s.Segment(10, []byte("BB"))
+	s.Segment(20, []byte("CC"))
+	s.Close()
+	if string(c.Buf) != "BBCC" {
+		t.Errorf("buf = %q", c.Buf)
+	}
+	if c.Gaps != 2 {
+		t.Errorf("gaps = %d, want 2", c.Gaps)
+	}
+	if c.GapByte != 10+8 {
+		t.Errorf("gap bytes = %d, want 18", c.GapByte)
+	}
+	// Post-close segments ignored.
+	s.Segment(30, []byte("DD"))
+	if string(c.Buf) != "BBCC" {
+		t.Error("segment accepted after close")
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	start := uint32(0xFFFFFFFE)
+	s.SetISN(start)
+	s.Segment(start, []byte("ab")) // crosses the wrap
+	s.Segment(0, []byte("cd"))     // post-wrap
+	if string(c.Buf) != "abcd" {
+		t.Errorf("buf = %q", c.Buf)
+	}
+}
+
+func TestDuplicateOutOfOrderKeepsLonger(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.SetISN(0)
+	s.Segment(10, []byte("XY"))
+	s.Segment(10, []byte("XYZ")) // longer duplicate
+	s.Segment(0, bytes.Repeat([]byte{'a'}, 10))
+	if string(c.Buf) != "aaaaaaaaaaXYZ" {
+		t.Errorf("buf = %q", c.Buf)
+	}
+}
+
+func TestEmptySegmentIgnored(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.Segment(5, nil)
+	s.Segment(5, []byte{})
+	if len(c.Buf) != 0 || s.PendingBytes() != 0 {
+		t.Error("empty segments should be no-ops")
+	}
+}
+
+func TestBufferConsumerLimit(t *testing.T) {
+	c := BufferConsumer{Limit: 4}
+	c.Data([]byte("abcdef"))
+	if string(c.Buf) != "abcd" || c.Overflow != 2 {
+		t.Errorf("buf=%q overflow=%d", c.Buf, c.Overflow)
+	}
+	c.Data([]byte("gh"))
+	if c.Overflow != 4 {
+		t.Errorf("overflow = %d", c.Overflow)
+	}
+}
+
+// Property: feeding a random permutation of contiguous chunks reproduces
+// the original byte stream with no gaps.
+func TestPermutationProperty(t *testing.T) {
+	f := func(seed int64, nChunks uint8) bool {
+		n := int(nChunks%20) + 1
+		rng := rand.New(rand.NewSource(seed))
+		orig := make([]byte, 0, n*8)
+		type chunk struct {
+			seq  uint32
+			data []byte
+		}
+		chunks := make([]chunk, 0, n)
+		seq := rng.Uint32()
+		isn := seq
+		for i := 0; i < n; i++ {
+			sz := rng.Intn(8) + 1
+			data := make([]byte, sz)
+			rng.Read(data)
+			chunks = append(chunks, chunk{seq: seq, data: data})
+			orig = append(orig, data...)
+			seq += uint32(sz)
+		}
+		rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
+		var c BufferConsumer
+		s := NewStream(&c)
+		s.SetISN(isn)
+		for _, ch := range chunks {
+			s.Segment(ch.seq, ch.data)
+		}
+		s.Close()
+		return c.Gaps == 0 && bytes.Equal(c.Buf, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: with duplicated chunks mixed in, output still equals original.
+func TestRetransmissionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(15) + 1
+		orig := make([]byte, 0)
+		type chunk struct {
+			seq  uint32
+			data []byte
+		}
+		var chunks []chunk
+		seq := uint32(1 << 31) // exercise high sequence space
+		isn := seq
+		for i := 0; i < n; i++ {
+			sz := rng.Intn(10) + 1
+			data := make([]byte, sz)
+			rng.Read(data)
+			chunks = append(chunks, chunk{seq, data})
+			if rng.Intn(2) == 0 { // duplicate some chunks
+				chunks = append(chunks, chunk{seq, data})
+			}
+			orig = append(orig, data...)
+			seq += uint32(sz)
+		}
+		rng.Shuffle(len(chunks), func(i, j int) { chunks[i], chunks[j] = chunks[j], chunks[i] })
+		var c BufferConsumer
+		s := NewStream(&c)
+		s.SetISN(isn)
+		for _, ch := range chunks {
+			s.Segment(ch.seq, ch.data)
+		}
+		s.Close()
+		return bytes.Equal(c.Buf, orig)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkInOrderStream(b *testing.B) {
+	data := bytes.Repeat([]byte{0xaa}, 1460)
+	b.SetBytes(int64(len(data)))
+	var c BufferConsumer
+	c.Limit = 1 // avoid unbounded growth; we measure reassembly cost
+	s := NewStream(&c)
+	seq := uint32(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Segment(seq, data)
+		seq += uint32(len(data))
+	}
+}

@@ -1,0 +1,199 @@
+// Package roles infers host roles from connection patterns — the analysis
+// direction the paper cites as related work (Tan et al., "Role
+// Classification of Hosts within Enterprise Networks") and leaves to
+// future study. Given a trace's connection summaries it classifies each
+// host as a server (high fan-in concentrated on few local ports), a
+// client (fan-out dominated), a peer (balanced, many symmetric
+// conversations — the SrvLoc pattern), or inactive.
+package roles
+
+import (
+	"net/netip"
+	"sort"
+
+	"enttrace/internal/flows"
+)
+
+// Role is an inferred host role.
+type Role string
+
+// Role values.
+const (
+	Server Role = "server"
+	Client Role = "client"
+	Peer   Role = "peer"
+	Quiet  Role = "quiet"
+)
+
+// HostProfile carries the evidence behind a classification.
+type HostProfile struct {
+	Addr netip.Addr
+	Role Role
+	// FanIn/FanOut are distinct-peer counts as originator target/source.
+	FanIn, FanOut int
+	// ServicePorts lists the local ports that received connections from
+	// at least MinClientsPerService distinct peers, most popular first.
+	ServicePorts []uint16
+	// ConnsIn/ConnsOut are raw connection counts.
+	ConnsIn, ConnsOut int64
+}
+
+// Config tunes the classifier.
+type Config struct {
+	// MinClientsPerService is the distinct-peer threshold for a local
+	// port to count as a service. Default 3.
+	MinClientsPerService int
+	// ServerFanInRatio: fan-in must exceed fan-out by this factor for a
+	// server verdict. Default 2.
+	ServerFanInRatio float64
+	// PeerSymmetry: |fanIn-fanOut| / max ≤ this for a peer verdict when
+	// both sides are substantial. Default 0.5.
+	PeerSymmetry float64
+	// MinPeerDegree: both fan directions must reach this for peer.
+	// Default 5.
+	MinPeerDegree int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MinClientsPerService == 0 {
+		c.MinClientsPerService = 3
+	}
+	if c.ServerFanInRatio == 0 {
+		c.ServerFanInRatio = 2
+	}
+	if c.PeerSymmetry == 0 {
+		c.PeerSymmetry = 0.5
+	}
+	if c.MinPeerDegree == 0 {
+		c.MinPeerDegree = 5
+	}
+	return c
+}
+
+// Classify profiles every host appearing as an endpoint of conns.
+// Multicast flows are ignored.
+func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
+	cfg = cfg.withDefaults()
+	type portClients map[uint16]map[netip.Addr]struct{}
+	inPeers := make(map[netip.Addr]map[netip.Addr]struct{})
+	outPeers := make(map[netip.Addr]map[netip.Addr]struct{})
+	services := make(map[netip.Addr]portClients)
+	connsIn := make(map[netip.Addr]int64)
+	connsOut := make(map[netip.Addr]int64)
+
+	addPeer := func(m map[netip.Addr]map[netip.Addr]struct{}, h, peer netip.Addr) {
+		set := m[h]
+		if set == nil {
+			set = make(map[netip.Addr]struct{})
+			m[h] = set
+		}
+		set[peer] = struct{}{}
+	}
+	for _, c := range conns {
+		if c.Multicast {
+			continue
+		}
+		orig, resp := c.Key.Src, c.Key.Dst
+		addPeer(outPeers, orig, resp)
+		addPeer(inPeers, resp, orig)
+		connsOut[orig]++
+		connsIn[resp]++
+		pc := services[resp]
+		if pc == nil {
+			pc = make(portClients)
+			services[resp] = pc
+		}
+		clients := pc[c.Key.DstPort]
+		if clients == nil {
+			clients = make(map[netip.Addr]struct{})
+			pc[c.Key.DstPort] = clients
+		}
+		clients[orig] = struct{}{}
+	}
+
+	hosts := make(map[netip.Addr]struct{})
+	for h := range inPeers {
+		hosts[h] = struct{}{}
+	}
+	for h := range outPeers {
+		hosts[h] = struct{}{}
+	}
+	out := make(map[netip.Addr]*HostProfile, len(hosts))
+	for h := range hosts {
+		p := &HostProfile{
+			Addr:     h,
+			FanIn:    len(inPeers[h]),
+			FanOut:   len(outPeers[h]),
+			ConnsIn:  connsIn[h],
+			ConnsOut: connsOut[h],
+		}
+		type svc struct {
+			port uint16
+			n    int
+		}
+		var svcs []svc
+		for port, clients := range services[h] {
+			if len(clients) >= cfg.MinClientsPerService {
+				svcs = append(svcs, svc{port, len(clients)})
+			}
+		}
+		sort.Slice(svcs, func(i, j int) bool {
+			if svcs[i].n != svcs[j].n {
+				return svcs[i].n > svcs[j].n
+			}
+			return svcs[i].port < svcs[j].port
+		})
+		for _, s := range svcs {
+			p.ServicePorts = append(p.ServicePorts, s.port)
+		}
+		p.Role = classifyOne(p, cfg)
+		out[h] = p
+	}
+	return out
+}
+
+func classifyOne(p *HostProfile, cfg Config) Role {
+	fi, fo := float64(p.FanIn), float64(p.FanOut)
+	switch {
+	case p.FanIn == 0 && p.FanOut == 0:
+		return Quiet
+	case len(p.ServicePorts) > 0 && fi >= cfg.ServerFanInRatio*fo:
+		return Server
+	case p.FanIn >= cfg.MinPeerDegree && p.FanOut >= cfg.MinPeerDegree &&
+		absDiff(fi, fo)/maxf(fi, fo) <= cfg.PeerSymmetry:
+		return Peer
+	case p.FanOut >= p.FanIn:
+		return Client
+	default:
+		// In-dominated but no qualifying service port: likely a server
+		// whose clients are few, or a probe target; call it server when a
+		// port saw repeat business, client otherwise.
+		if len(p.ServicePorts) > 0 {
+			return Server
+		}
+		return Client
+	}
+}
+
+func absDiff(a, b float64) float64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Summary counts hosts by role.
+func Summary(profiles map[netip.Addr]*HostProfile) map[Role]int {
+	out := make(map[Role]int)
+	for _, p := range profiles {
+		out[p.Role]++
+	}
+	return out
+}

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestHurstTooShort(t *testing.T) {
+	if _, ok := HurstVT(make([]float64, 30)); ok {
+		t.Error("short series should not estimate")
+	}
+}
+
+func TestHurstIIDNearHalf(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	series := make([]float64, 4096)
+	for i := range series {
+		series[i] = rng.Float64()
+	}
+	h, ok := HurstVT(series)
+	if !ok {
+		t.Fatal("estimate failed")
+	}
+	if h < 0.35 || h > 0.65 {
+		t.Errorf("iid H = %v, want ≈0.5", h)
+	}
+}
+
+func TestHurstPersistentSeriesHigh(t *testing.T) {
+	// A long-memory series built by superposing on/off sources with
+	// heavy-tailed on periods — the classic self-similar construction.
+	rng := rand.New(rand.NewSource(11))
+	n := 8192
+	series := make([]float64, n)
+	for src := 0; src < 60; src++ {
+		pos := 0
+		for pos < n {
+			// Pareto(α≈1.2) burst lengths.
+			burst := int(math.Pow(rng.Float64(), -1/1.2))
+			if burst > n/4 {
+				burst = n / 4
+			}
+			on := rng.Intn(2) == 0
+			for i := 0; i < burst && pos < n; i++ {
+				if on {
+					series[pos]++
+				}
+				pos++
+			}
+		}
+	}
+	h, ok := HurstVT(series)
+	if !ok {
+		t.Fatal("estimate failed")
+	}
+	if h <= 0.6 {
+		t.Errorf("long-memory H = %v, want > 0.6", h)
+	}
+}
+
+func TestHurstConstantSeries(t *testing.T) {
+	series := make([]float64, 1024)
+	for i := range series {
+		series[i] = 5
+	}
+	if _, ok := HurstVT(series); ok {
+		t.Error("zero-variance series should not estimate")
+	}
+}
+
+func TestAggregatedVariance(t *testing.T) {
+	series := []float64{1, 3, 1, 3, 1, 3, 1, 3}
+	// Block size 2 → every block mean is 2 → variance 0.
+	if v := aggregatedVariance(series, 2); v != 0 {
+		t.Errorf("var = %v, want 0", v)
+	}
+	if v := aggregatedVariance(series, 1); v == 0 {
+		t.Error("raw variance should be positive")
+	}
+}
+
+func TestSlope(t *testing.T) {
+	xs := []float64{0, 1, 2, 3}
+	ys := []float64{1, 3, 5, 7}
+	if got := slope(xs, ys); math.Abs(got-2) > 1e-12 {
+		t.Errorf("slope = %v, want 2", got)
+	}
+	if got := slope([]float64{1, 1}, []float64{2, 3}); got != 0 {
+		t.Errorf("degenerate slope = %v", got)
+	}
+}

@@ -1,0 +1,292 @@
+// Package stats provides the small statistical toolkit used throughout the
+// enterprise-traffic reproduction: counters keyed by string, empirical
+// distributions with quantiles and CDF extraction, log-spaced histograms,
+// and fraction formatting that mirrors the way the paper reports numbers
+// (percentages, ranges such as "45%–65%", GB/MB volumes).
+//
+// The paper reports almost everything as fractions and distribution shapes
+// rather than absolute values, so this package is deliberately exact: it
+// keeps all samples (or exact counts) rather than sketching, because the
+// reproduction operates at a scale where exactness is affordable.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Counter accumulates named counts, e.g. packets per network-layer protocol.
+// The zero value is not ready to use; call NewCounter.
+type Counter struct {
+	counts map[string]int64
+	total  int64
+}
+
+// NewCounter returns an empty Counter.
+func NewCounter() *Counter {
+	return &Counter{counts: make(map[string]int64)}
+}
+
+// Add increments key by n (n may be negative, though callers never do that
+// in practice).
+func (c *Counter) Add(key string, n int64) {
+	c.counts[key] += n
+	c.total += n
+}
+
+// Inc increments key by one.
+func (c *Counter) Inc(key string) { c.Add(key, 1) }
+
+// Get returns the count for key (zero if absent).
+func (c *Counter) Get(key string) int64 { return c.counts[key] }
+
+// Total returns the sum over all keys.
+func (c *Counter) Total() int64 { return c.total }
+
+// Fraction returns count(key)/total, or 0 if the counter is empty.
+func (c *Counter) Fraction(key string) float64 {
+	if c.total == 0 {
+		return 0
+	}
+	return float64(c.counts[key]) / float64(c.total)
+}
+
+// Keys returns all keys sorted by descending count, ties broken by name, so
+// table rows come out in a stable, paper-like order.
+func (c *Counter) Keys() []string {
+	keys := make([]string, 0, len(c.counts))
+	for k := range c.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if c.counts[keys[i]] != c.counts[keys[j]] {
+			return c.counts[keys[i]] > c.counts[keys[j]]
+		}
+		return keys[i] < keys[j]
+	})
+	return keys
+}
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return len(c.counts) }
+
+// Merge adds all counts from other into c.
+func (c *Counter) Merge(other *Counter) {
+	for k, v := range other.counts {
+		c.Add(k, v)
+	}
+}
+
+// Dist is an empirical distribution over float64 samples. It keeps every
+// sample; Sort is amortized across quantile queries.
+type Dist struct {
+	samples []float64
+	sorted  bool
+}
+
+// NewDist returns an empty distribution.
+func NewDist() *Dist { return &Dist{} }
+
+// Observe adds a sample.
+func (d *Dist) Observe(v float64) {
+	d.samples = append(d.samples, v)
+	d.sorted = false
+}
+
+// N returns the number of samples.
+func (d *Dist) N() int { return len(d.samples) }
+
+func (d *Dist) ensureSorted() {
+	if !d.sorted {
+		sort.Float64s(d.samples)
+		d.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
+// sorted samples. Returns 0 for an empty distribution.
+func (d *Dist) Quantile(q float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	if q <= 0 {
+		return d.samples[0]
+	}
+	if q >= 1 {
+		return d.samples[len(d.samples)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return d.samples[idx]
+}
+
+// Median is Quantile(0.5).
+func (d *Dist) Median() float64 { return d.Quantile(0.5) }
+
+// Min returns the smallest sample (0 if empty).
+func (d *Dist) Min() float64 { return d.Quantile(0) }
+
+// Max returns the largest sample (0 if empty).
+func (d *Dist) Max() float64 { return d.Quantile(1) }
+
+// Mean returns the arithmetic mean (0 if empty).
+func (d *Dist) Mean() float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum / float64(len(d.samples))
+}
+
+// Sum returns the total of all samples.
+func (d *Dist) Sum() float64 {
+	var sum float64
+	for _, v := range d.samples {
+		sum += v
+	}
+	return sum
+}
+
+// CDFAt returns the empirical CDF evaluated at x: the fraction of samples
+// <= x.
+func (d *Dist) CDFAt(x float64) float64 {
+	if len(d.samples) == 0 {
+		return 0
+	}
+	d.ensureSorted()
+	// First index with sample > x.
+	idx := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))
+	return float64(idx) / float64(len(d.samples))
+}
+
+// CDFPoint is one (x, F(x)) point of an empirical CDF.
+type CDFPoint struct {
+	X float64
+	F float64
+}
+
+// CDF returns up to maxPoints points of the empirical CDF, evenly spaced in
+// rank, always including the minimum and maximum. It is the series behind
+// every "Cumulative Fraction" figure in the paper.
+func (d *Dist) CDF(maxPoints int) []CDFPoint {
+	n := len(d.samples)
+	if n == 0 {
+		return nil
+	}
+	d.ensureSorted()
+	if maxPoints < 2 {
+		maxPoints = 2
+	}
+	if maxPoints > n {
+		maxPoints = n
+	}
+	if maxPoints == 1 {
+		return []CDFPoint{{X: d.samples[n-1], F: 1}}
+	}
+	pts := make([]CDFPoint, 0, maxPoints)
+	for i := 0; i < maxPoints; i++ {
+		rank := i * (n - 1) / (maxPoints - 1)
+		pts = append(pts, CDFPoint{X: d.samples[rank], F: float64(rank+1) / float64(n)})
+	}
+	return pts
+}
+
+// Histogram counts samples into log10-spaced bins, mirroring the log-scale
+// x axes used by the paper's size and duration figures.
+type Histogram struct {
+	// binsPerDecade controls resolution; 5 gives bins at 1, 1.58, 2.51, ...
+	binsPerDecade int
+	counts        map[int]int64
+	total         int64
+}
+
+// NewHistogram returns a histogram with the given number of log-spaced bins
+// per decade (minimum 1).
+func NewHistogram(binsPerDecade int) *Histogram {
+	if binsPerDecade < 1 {
+		binsPerDecade = 1
+	}
+	return &Histogram{binsPerDecade: binsPerDecade, counts: make(map[int]int64)}
+}
+
+// Observe adds a sample; non-positive samples land in the lowest bin.
+func (h *Histogram) Observe(v float64) {
+	h.counts[h.binIndex(v)]++
+	h.total++
+}
+
+func (h *Histogram) binIndex(v float64) int {
+	if v < 1 {
+		return math.MinInt32
+	}
+	return int(math.Floor(math.Log10(v) * float64(h.binsPerDecade)))
+}
+
+// BinLow returns the lower edge of the bin with the given index.
+func (h *Histogram) BinLow(idx int) float64 {
+	if idx == math.MinInt32 {
+		return 0
+	}
+	return math.Pow(10, float64(idx)/float64(h.binsPerDecade))
+}
+
+// Bin is one histogram bin with its lower edge and count.
+type Bin struct {
+	Low   float64
+	Count int64
+}
+
+// Bins returns non-empty bins sorted by lower edge.
+func (h *Histogram) Bins() []Bin {
+	idxs := make([]int, 0, len(h.counts))
+	for i := range h.counts {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	bins := make([]Bin, 0, len(idxs))
+	for _, i := range idxs {
+		bins = append(bins, Bin{Low: h.BinLow(i), Count: h.counts[i]})
+	}
+	return bins
+}
+
+// Total returns the number of observed samples.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Pct formats a fraction as the paper does: "0.0%" below one-in-a-thousand,
+// one decimal below 2%, integers above.
+func Pct(f float64) string {
+	p := f * 100
+	switch {
+	case p == 0:
+		return "0%"
+	case p < 0.05:
+		return "0.0%"
+	case p < 2:
+		return fmt.Sprintf("%.1f%%", p)
+	default:
+		return fmt.Sprintf("%.0f%%", p)
+	}
+}
+
+// Bytes formats a byte count with the unit the paper uses in the nearest
+// table (MB for email/file tables, GB for the transport table).
+func Bytes(n int64) string {
+	switch {
+	case n >= 10*1000*1000*1000:
+		return fmt.Sprintf("%.2fGB", float64(n)/1e9)
+	case n >= 1000*1000:
+		return fmt.Sprintf("%.0fMB", float64(n)/1e6)
+	case n >= 100*1000:
+		return fmt.Sprintf("%.1fMB", float64(n)/1e6)
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
