@@ -61,7 +61,9 @@ func dataset(b *testing.B, name string, subnets int) *gen.Dataset {
 }
 
 // analyze runs the full pipeline; this is the measured unit for every
-// table/figure benchmark.
+// table/figure benchmark. AddTrace feeds the sharded streaming pipeline
+// (Workers 0 = GOMAXPROCS); determinism_test.go pins down that the
+// worker count cannot change any number these benchmarks assert on.
 func analyze(b *testing.B, ds *gen.Dataset) *core.Report {
 	b.Helper()
 	a := core.NewAnalyzer(core.Options{

@@ -1,13 +1,16 @@
 // Command entanalyze runs the paper's analysis pipeline over existing
 // libpcap traces (for example, files produced by entgen, or any Ethernet
-// capture) and prints the reproduced tables.
+// capture) and prints the reproduced tables. Traces are streamed — packets
+// are decoded in batches and sharded across workers, so multi-GB captures
+// are analyzed without materializing them in memory.
 //
 // Usage:
 //
-//	entanalyze [-payload] [-monitored 128.3.5.0/24] trace1.pcap [trace2.pcap ...]
+//	entanalyze [-payload] [-workers N] [-monitored 128.3.5.0/24] trace1.pcap [trace2.pcap ...]
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -15,13 +18,13 @@ import (
 
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
-	"enttrace/internal/pcap"
 )
 
 func main() {
 	payload := flag.Bool("payload", true, "enable application-payload analysis")
 	monitored := flag.String("monitored", "128.3.0.0/16", "monitored prefix for fan-in/out")
 	dataset := flag.String("name", "pcap", "label for the report")
+	workers := flag.Int("workers", 0, "pipeline shard workers (0 = GOMAXPROCS); results are identical for any count")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: entanalyze [flags] trace.pcap ...")
@@ -36,6 +39,7 @@ func main() {
 		Dataset:         *dataset,
 		KnownScanners:   enterprise.KnownScanners(),
 		PayloadAnalysis: *payload,
+		Workers:         *workers,
 	})
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
@@ -43,22 +47,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		r, err := pcap.NewReader(f)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-			os.Exit(1)
-		}
-		pkts, err := r.ReadAll()
-		if err != nil {
+		before := a.PacketsSeen()
+		if err := a.AddTraceReader(path, prefix, bufio.NewReaderSize(f, 1<<20)); err != nil {
+			f.Close()
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)
 		}
 		f.Close()
-		if err := a.AddTrace(core.TraceInput{Name: path, Monitored: prefix, Packets: pkts}); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		fmt.Fprintf(os.Stderr, "%s: %d packets\n", path, len(pkts))
+		fmt.Fprintf(os.Stderr, "%s: %d packets\n", path, a.PacketsSeen()-before)
 	}
 	fmt.Print(core.RenderText(a.Report()))
 }

@@ -25,6 +25,7 @@ func main() {
 	datasets := flag.String("datasets", "D0,D1,D2,D3,D4", "comma-separated dataset names")
 	subnets := flag.Int("subnets", 0, "limit monitored subnets per dataset (0 = all)")
 	figdir := flag.String("figdir", "", "directory for per-figure TSV data series (empty = skip)")
+	workers := flag.Int("workers", 0, "pipeline shard workers (0 = GOMAXPROCS); results are identical for any count")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -48,6 +49,7 @@ func main() {
 			Dataset:         cfg.Name,
 			KnownScanners:   enterprise.KnownScanners(),
 			PayloadAnalysis: cfg.Snaplen >= 1500,
+			Workers:         *workers,
 		})
 		for _, tr := range ds.Traces {
 			if err := a.AddTrace(core.TraceInput{

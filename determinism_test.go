@@ -1,0 +1,117 @@
+// Determinism and throughput guarantees of the sharded streaming
+// pipeline: the parallel path must produce a Report deeply equal to the
+// sequential path's for every worker count, and the benchmark pair below
+// measures the packets/sec gain of sharding (EXPERIMENTS.md records the
+// numbers).
+package enttrace_test
+
+import (
+	"reflect"
+	"testing"
+
+	"enttrace/internal/core"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+)
+
+// analyzeWorkers runs a dataset through the pipeline with the given
+// worker count.
+func analyzeWorkers(tb testing.TB, ds *gen.Dataset, workers int) *core.Report {
+	tb.Helper()
+	a := core.NewAnalyzer(core.Options{
+		Dataset:         ds.Config.Name,
+		KnownScanners:   enterprise.KnownScanners(),
+		PayloadAnalysis: ds.Config.Snaplen >= 1500,
+		Workers:         workers,
+	})
+	for _, tr := range ds.Traces {
+		if err := a.AddTrace(core.TraceInput{
+			Name:      tr.Prefix.String(),
+			Monitored: tr.Prefix,
+			Packets:   tr.Packets,
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return a.Report()
+}
+
+func determinismDataset(tb testing.TB, name string, scale float64) *gen.Dataset {
+	tb.Helper()
+	var cfg enterprise.Config
+	for _, c := range enterprise.AllDatasets() {
+		if c.Name == name {
+			cfg = c
+		}
+	}
+	if cfg.Name == "" {
+		tb.Fatalf("unknown dataset %s", name)
+	}
+	cfg.Scale = scale
+	// Keep the vantage subnets (tail holds DNS/print for D3-D4) plus a
+	// few client subnets, like the benchmark harness does.
+	if len(cfg.Monitored) > 4 {
+		head := cfg.Monitored[:2]
+		tail := cfg.Monitored[len(cfg.Monitored)-2:]
+		cfg.Monitored = append(append([]int{}, head...), tail...)
+	}
+	cfg.PerTap = 1
+	return gen.GenerateDataset(cfg)
+}
+
+// TestParallelReportIdentical is the pipeline's core guarantee: worker
+// counts 1, 4, and 8 produce deeply equal reports, on both a
+// payload-parsing dataset (D3) and a header-only one (D1).
+func TestParallelReportIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end analysis in -short mode")
+	}
+	for _, dsName := range []string{"D3", "D1"} {
+		ds := determinismDataset(t, dsName, 0.2)
+		base := analyzeWorkers(t, ds, 1)
+		for _, workers := range []int{4, 8} {
+			got := analyzeWorkers(t, ds, workers)
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("%s: report with %d workers differs from sequential report",
+					dsName, workers)
+				diffReports(t, base, got)
+			}
+		}
+	}
+}
+
+// diffReports narrows a report mismatch down to the top-level section,
+// so a determinism regression names the subsystem that broke.
+func diffReports(t *testing.T, a, b *core.Report) {
+	t.Helper()
+	va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
+	for i := 0; i < va.NumField(); i++ {
+		if !reflect.DeepEqual(va.Field(i).Interface(), vb.Field(i).Interface()) {
+			t.Errorf("  section %s differs", va.Type().Field(i).Name)
+		}
+	}
+}
+
+// benchWorkers times the full analysis at a given worker count and
+// reports throughput in packets/sec.
+func benchWorkers(b *testing.B, dsName string, workers int) {
+	ds := determinismDataset(b, dsName, 0.15)
+	var pkts int64
+	for _, tr := range ds.Traces {
+		pkts += int64(len(tr.Packets))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzeWorkers(b, ds, workers)
+	}
+	b.StopTimer()
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(pkts)*float64(b.N)/elapsed, "pkts/sec")
+	}
+}
+
+func BenchmarkPipelineD3Workers1(b *testing.B) { benchWorkers(b, "D3", 1) }
+func BenchmarkPipelineD3Workers2(b *testing.B) { benchWorkers(b, "D3", 2) }
+func BenchmarkPipelineD3Workers4(b *testing.B) { benchWorkers(b, "D3", 4) }
+func BenchmarkPipelineD4Workers1(b *testing.B) { benchWorkers(b, "D4", 1) }
+func BenchmarkPipelineD4Workers4(b *testing.B) { benchWorkers(b, "D4", 4) }

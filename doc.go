@@ -4,6 +4,11 @@
 // Bro-style trace-analysis pipeline, and a benchmark harness that
 // regenerates every table and figure of the paper.
 //
+// The analysis core runs on a concurrent, flow-sharded streaming
+// pipeline (internal/pipeline): traces feed in incrementally, packets
+// are sharded by canonical 5-tuple across lock-free workers, and the
+// report is bit-identical for any worker count.
+//
 // See README.md for the layout, DESIGN.md for the system inventory and
 // per-experiment index, and EXPERIMENTS.md for paper-versus-measured
 // results. The root package is documentation only; the library lives

@@ -26,10 +26,13 @@ func main() {
 	ds := gen.GenerateDataset(cfg)
 	fmt.Printf("  %d traces, %d packets\n\n", len(ds.Traces), ds.TotalPackets())
 
+	// Workers 0 shards the streaming pipeline across GOMAXPROCS; the
+	// report is bit-identical for any worker count.
 	a := core.NewAnalyzer(core.Options{
 		Dataset:         cfg.Name,
 		KnownScanners:   enterprise.KnownScanners(),
 		PayloadAnalysis: true,
+		Workers:         0,
 	})
 	for _, tr := range ds.Traces {
 		if err := a.AddTrace(core.TraceInput{

@@ -1,0 +1,3 @@
+module enttrace
+
+go 1.24

@@ -11,13 +11,16 @@
 package core
 
 import (
+	"io"
 	"net/netip"
+	"time"
 
 	"enttrace/internal/categories"
 	"enttrace/internal/enterprise"
 	"enttrace/internal/flows"
 	"enttrace/internal/layers"
 	"enttrace/internal/pcap"
+	"enttrace/internal/pipeline"
 	"enttrace/internal/roles"
 	"enttrace/internal/scan"
 	"enttrace/internal/stats"
@@ -40,6 +43,12 @@ type Options struct {
 	// LinkCapacityMbps is the subnet link speed for utilization; the
 	// paper's networks were 100 Mbps.
 	LinkCapacityMbps float64
+	// Workers is the streaming pipeline's shard count; 0 uses GOMAXPROCS.
+	// Reports are bit-identical for any worker count.
+	Workers int
+	// BatchSize is packets per pipeline dispatch batch; 0 uses the
+	// pipeline default.
+	BatchSize int
 }
 
 func (o *Options) fill() {
@@ -123,52 +132,106 @@ func NewAnalyzer(opts Options) *Analyzer {
 	}
 }
 
-// AddTrace processes one trace through the full pipeline.
+// AddTrace processes one in-memory trace through the streaming pipeline.
 func (a *Analyzer) AddTrace(tr TraceInput) error {
-	a.traceCount++
-	tbl := flows.NewTable(flows.Config{})
-	disp := newDispatcher(a)
-	perSec := newTraceLoad(tr.Name)
+	return a.addSource(tr.Name, tr.Monitored, pcap.NewSliceSource(tr.Packets))
+}
 
-	var p layers.Packet
-	for _, pk := range tr.Packets {
-		a.totalPackets++
-		if err := layers.Decode(pk.Data, pk.OrigLen, &p); err != nil {
-			a.netLayer.Inc("undecodable")
-			continue
-		}
-		a.countNetLayer(&p)
-		a.recordHosts(&p, tr.Monitored)
-		perSec.packet(pk.Timestamp, pk.OrigLen)
-		conn, dir := tbl.Packet(pk.Timestamp, &p, pk.OrigLen)
-		if conn != nil {
-			disp.packet(pk.Timestamp, conn, dir, &p)
-		}
+// AddTraceReader streams one pcap trace through the pipeline without
+// materializing it: packets are read incrementally, decoded in batches,
+// and sharded across the configured worker count.
+func (a *Analyzer) AddTraceReader(name string, monitored netip.Prefix, r io.Reader) error {
+	src, err := pcap.NewReader(r)
+	if err != nil {
+		return err
 	}
-	tbl.Flush()
-	conns := tbl.Conns()
+	return a.addSource(name, monitored, src)
+}
+
+// addSource runs one trace through the sharded pipeline and merges the
+// per-shard results deterministically: packet-level accumulators merge in
+// shard order (all integer/set unions), and everything order-sensitive —
+// scanner detection, dynamic port registration, application parsing —
+// replays in global first-packet order, which is identical for any
+// worker count.
+func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.Source) error {
+	var sinks []*shardSink
+	res, err := pipeline.Run(src, pipeline.Config{
+		Workers:   a.opts.Workers,
+		BatchSize: a.opts.BatchSize,
+		NewSink: func(shard int, base time.Time) pipeline.Sink {
+			s := newShardSink(&a.opts, monitored, base)
+			sinks = append(sinks, s)
+			return s
+		},
+	})
+	if err != nil {
+		return err
+	}
+	a.traceCount++
+	a.totalPackets += res.Packets
+
+	// Packet-level merges, in shard order.
+	shardBins := make([][]int64, 0, len(sinks))
+	for _, s := range sinks {
+		a.netLayer.Merge(s.netLayer)
+		unionHosts(a.monitoredHosts, s.monHosts)
+		unionHosts(a.localHosts, s.localHosts)
+		unionHosts(a.remoteHosts, s.remoteHosts)
+		shardBins = append(shardBins, s.bins)
+	}
+	perSec := mergedTraceLoad(name, shardBins)
+
+	// Canonical connection order: by first packet, across all shards.
+	recs := res.SortedConns()
+	conns := make([]*flows.Conn, len(recs))
+	for i, rec := range recs {
+		conns[i] = rec.Conn
+	}
 	a.totalConns += len(conns)
 
 	// §3 scanner removal, per trace.
-	res := scan.Filter(conns, a.opts.KnownScanners)
-	a.removedConns += res.RemovedConns
-	for _, s := range res.Scanners {
+	fres := scan.Filter(conns, a.opts.KnownScanners)
+	a.removedConns += fres.RemovedConns
+	for _, s := range fres.Scanners {
 		a.scanners[s] = struct{}{}
 	}
-	kept := res.Kept
+	kept := fres.Kept
+	keptBy := keptSet(kept)
+
+	// Application replay: UDP messages, dynamic registrations, transport
+	// accumulation, payload parsing — all in canonical order. Dynamic
+	// registrations must precede the connection-level accumulation below,
+	// which classifies against the registry.
+	streams := make(map[*flows.Conn]*connStreams)
+	for _, s := range sinks {
+		for c, st := range s.conns {
+			streams[c] = st
+		}
+	}
+	a.replayApps(recs, streams, mergeUDPEvents(sinks), keptBy)
 
 	// Connection-level accumulation.
 	for _, c := range kept {
 		a.accumulateConn(c)
 	}
-	a.accumulateFan(kept, tr.Monitored)
+	a.accumulateFan(kept, monitored)
 	for role, n := range roles.Summary(roles.Classify(kept, roles.Config{})) {
 		a.roleCounts[role] += n
 	}
-	disp.finish(keptSet(kept))
 	a.load.finishTrace(perSec, kept, a.opts.IsLocal, a.opts.LinkCapacityMbps)
 	return nil
 }
+
+func unionHosts(dst, src map[netip.Addr]struct{}) {
+	for h := range src {
+		dst[h] = struct{}{}
+	}
+}
+
+// PacketsSeen returns the running packet total across all traces added
+// so far, for progress reporting by streaming callers.
+func (a *Analyzer) PacketsSeen() int64 { return a.totalPackets }
 
 func keptSet(conns []*flows.Conn) map[*flows.Conn]bool {
 	m := make(map[*flows.Conn]bool, len(conns))
@@ -176,42 +239,6 @@ func keptSet(conns []*flows.Conn) map[*flows.Conn]bool {
 		m[c] = true
 	}
 	return m
-}
-
-func (a *Analyzer) countNetLayer(p *layers.Packet) {
-	switch {
-	case p.Layers.Has(layers.LayerIPv4), p.Layers.Has(layers.LayerIPv6):
-		a.netLayer.Inc("IP")
-	case p.Layers.Has(layers.LayerARP):
-		a.netLayer.Inc("ARP")
-	case p.Layers.Has(layers.LayerIPX):
-		a.netLayer.Inc("IPX")
-	default:
-		a.netLayer.Inc("Other")
-	}
-}
-
-func (a *Analyzer) recordHosts(p *layers.Packet, monitored netip.Prefix) {
-	record := func(addr netip.Addr) {
-		if !addr.IsValid() || addr.IsMulticast() {
-			return
-		}
-		switch {
-		case monitored.Contains(addr):
-			a.monitoredHosts[addr] = struct{}{}
-			a.localHosts[addr] = struct{}{}
-		case a.opts.IsLocal(addr):
-			a.localHosts[addr] = struct{}{}
-		default:
-			a.remoteHosts[addr] = struct{}{}
-		}
-	}
-	if src, ok := p.NetSrc(); ok {
-		record(src)
-	}
-	if dst, ok := p.NetDst(); ok {
-		record(dst)
-	}
 }
 
 // accumulateConn feeds Table 3, Figure 1, and the §4 origin mix.

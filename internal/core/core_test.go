@@ -1,10 +1,14 @@
 package core
 
 import (
+	"bytes"
+	"reflect"
 	"testing"
+	"time"
 
 	"enttrace/internal/enterprise"
 	"enttrace/internal/gen"
+	"enttrace/internal/pcap"
 )
 
 // analyzeScaled generates a scaled-down dataset and runs the full
@@ -186,6 +190,53 @@ func TestEndToEndD3Shape(t *testing.T) {
 	// Findings present.
 	if len(r.Findings) < 4 {
 		t.Errorf("findings = %v", r.Findings)
+	}
+}
+
+// TestAddTraceReaderMatchesAddTrace drives the streaming entry point:
+// feeding a serialized pcap through AddTraceReader must produce the same
+// report as handing AddTrace the same packets in memory.
+func TestAddTraceReaderMatchesAddTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end analysis in -short mode")
+	}
+	cfg := enterprise.D3()
+	cfg.Monitored = []int{2, enterprise.SubnetPrint}
+	cfg.Scale = 0.1
+	ds := gen.GenerateDataset(cfg)
+	newAnalyzer := func(workers int) *Analyzer {
+		return NewAnalyzer(Options{
+			Dataset:         "D3",
+			KnownScanners:   enterprise.KnownScanners(),
+			PayloadAnalysis: true,
+			Workers:         workers,
+		})
+	}
+	// The pcap format stores microseconds; truncate before the in-memory
+	// run so both paths see identical timestamps.
+	inMem := newAnalyzer(1)
+	streamed := newAnalyzer(4)
+	for _, tr := range ds.Traces {
+		var buf bytes.Buffer
+		if err := gen.WriteTrace(&buf, cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+		var trunc []*pcap.Packet
+		for _, p := range tr.Packets {
+			cp := *p
+			cp.Timestamp = p.Timestamp.Truncate(time.Microsecond)
+			trunc = append(trunc, &cp)
+		}
+		if err := inMem.AddTrace(TraceInput{Name: tr.Prefix.String(), Monitored: tr.Prefix, Packets: trunc}); err != nil {
+			t.Fatal(err)
+		}
+		if err := streamed.AddTraceReader(tr.Prefix.String(), tr.Prefix, &buf); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := inMem.Report(), streamed.Report()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("streamed report differs from in-memory report")
 	}
 }
 

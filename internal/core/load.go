@@ -36,6 +36,24 @@ func (t *traceLoad) packet(ts time.Time, wireLen int) {
 	t.bins[sec] += int64(wireLen)
 }
 
+// mergedTraceLoad rebuilds a trace's per-second byte series from the
+// pipeline shards' bins. Every shard bins against the same base (the
+// trace's first packet), so the merge is an element-wise integer sum —
+// exact, and independent of shard count and order.
+func mergedTraceLoad(name string, shardBins [][]int64) *traceLoad {
+	t := newTraceLoad(name)
+	for _, bins := range shardBins {
+		for len(t.bins) < len(bins) {
+			t.bins = append(t.bins, 0)
+		}
+		for i, v := range bins {
+			t.bins[i] += v
+		}
+	}
+	t.started = len(t.bins) > 0
+	return t
+}
+
 // TraceLoad is one trace's Figure 9 / Figure 10 numbers.
 type TraceLoad struct {
 	Name string

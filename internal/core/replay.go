@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"enttrace/internal/appproto/dcerpc"
+	"enttrace/internal/appproto/dns"
+	"enttrace/internal/appproto/ftp"
+	"enttrace/internal/appproto/netbios"
+	"enttrace/internal/appproto/smtp"
+	"enttrace/internal/appproto/sunrpc"
+	"enttrace/internal/categories"
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+	"enttrace/internal/pipeline"
+)
+
+// replayApps runs the application-level analysis that the sequential
+// dispatcher used to interleave with packet processing. Everything here
+// happens in a canonical order — UDP messages by global packet index,
+// then connections by first-packet index — so the result is identical
+// for any worker count:
+//
+//  1. Captured UDP messages feed the datagram analyzers in arrival order.
+//  2. Every connection (kept or not — the sequential path also parsed
+//     scanner traffic incrementally) replays its dynamic registrations:
+//     Endpoint Mapper responses and FTP PASV replies register service
+//     ports before any later-starting connection is classified.
+//  3. Kept connections accumulate transport-level statistics.
+//  4. Kept connections parse their reassembled payloads.
+func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Conn]*connStreams, events []udpEvent, kept map[*flows.Conn]bool) {
+	apps := a.apps
+	isLocal := a.opts.IsLocal
+
+	// Phase 3 (numbering above): transport-level accumulation happens for
+	// every kept conn even without payloads (email figures, windows
+	// success rates, backup).
+	transport := func() {
+		for _, rec := range recs {
+			if kept[rec.Conn] {
+				apps.transportConn(rec.Conn, a.opts)
+			}
+		}
+	}
+	if !a.opts.PayloadAnalysis {
+		transport()
+		return
+	}
+
+	a.replayUDP(events)
+
+	// Phase 2: dynamic port registrations, in first-packet order.
+	for _, rec := range recs {
+		app := streams[rec.Conn]
+		if app == nil {
+			continue
+		}
+		name, _ := a.opts.Registry.Classify(rec.Conn.Proto, rec.Conn.Key.SrcPort, rec.Conn.Key.DstPort)
+		switch {
+		case name == "FTP" && rec.Conn.Key.DstPort == 21:
+			if kept[rec.Conn] {
+				app.cliStream.Close()
+				app.srvStream.Close()
+			}
+			a.replayFTPRegistrations(app.srvBuf.Buf)
+		case name == "DCE/RPC-EPM":
+			if kept[rec.Conn] {
+				// The sequential path closed kept EPM streams at trace
+				// end, flushing still-pending out-of-order data through
+				// the PDU parser; mirror that before reading segments.
+				app.cliStream.Close()
+				app.srvStream.Close()
+			}
+			// Channel keys carry the trace ordinal: FirstIdx restarts at
+			// zero every trace, and the RPC analyzer's bind state
+			// persists for the Analyzer's lifetime.
+			ch := fmt.Sprintf("t%d/%d", a.traceCount, rec.FirstIdx)
+			a.replayEPM(ch+"/c", true, app.epmCli.segments())
+			a.replayEPM(ch+"/s", false, app.epmSrv.segments())
+		}
+	}
+
+	transport()
+
+	// Phase 4: per-connection payload parsing, in first-packet order.
+	for _, rec := range recs {
+		conn := rec.Conn
+		if !kept[conn] {
+			continue
+		}
+		app := streams[conn]
+		if app == nil {
+			continue
+		}
+		name, _ := a.opts.Registry.Classify(conn.Proto, conn.Key.SrcPort, conn.Key.DstPort)
+		client, server := conn.Key.Src, conn.Key.Dst
+		wan := connWAN(conn, isLocal)
+		if app.cliStream != nil && name != "DCE/RPC-EPM" && !(name == "FTP" && conn.Key.DstPort == 21) {
+			app.cliStream.Close()
+			app.srvStream.Close()
+		}
+		switch name {
+		case "HTTP":
+			apps.httpConn(conn, wan, app.cliBuf.Buf, app.srvBuf.Buf)
+		case "SMTP":
+			apps.smtpParsed(wan, smtp.Parse(app.cliBuf.Buf, app.srvBuf.Buf))
+		case "CIFS":
+			apps.cifsStreams(conn, false, app.cliBuf.Buf, app.srvBuf.Buf)
+		case "Netbios-SSN":
+			apps.ssnFrames(client, server, app.cliBuf.Buf, app.srvBuf.Buf)
+			apps.cifsStreams(conn, true, app.cliBuf.Buf, app.srvBuf.Buf)
+		case "NCP":
+			apps.ncp.Stream(client, server, app.cliBuf.Buf)
+			apps.ncp.Stream(server, client, app.srvBuf.Buf)
+			apps.markNCPKeepAlive(conn)
+		case "NFS":
+			sunrpc.SplitRecords(app.cliBuf.Buf, func(rec []byte) {
+				apps.nfs.Message(client, server, rec)
+			})
+			sunrpc.SplitRecords(app.srvBuf.Buf, func(rec []byte) {
+				apps.nfs.Message(server, client, rec)
+			})
+			apps.markNFSPair(client, server, false)
+		case "Spoolss":
+			ch := fmt.Sprintf("t%d/%d", a.traceCount, rec.FirstIdx)
+			apps.rpc.Stream(ch, true, app.cliBuf.Buf)
+			apps.rpc.Stream(ch, false, app.srvBuf.Buf)
+		case "FTP":
+			if conn.Key.DstPort == 21 {
+				apps.ftpSession(ftp.Analyze(app.cliBuf.Buf, app.srvBuf.Buf))
+			}
+		}
+	}
+}
+
+// udpAppPorts reports whether a datagram belongs to one of the
+// message-based application protocols replayUDP dispatches on. Capture
+// (shardSink.captureUDP) and dispatch share this predicate so the two
+// cannot drift: a port added to the switch below must be added here.
+func udpAppPorts(srcPort, dstPort uint16) bool {
+	switch {
+	case dstPort == 53 || srcPort == 53,
+		dstPort == 137 || srcPort == 137,
+		dstPort == 2049 || srcPort == 2049:
+		return true
+	}
+	return false
+}
+
+// replayUDP feeds captured datagrams through the message analyzers in
+// arrival order — the order the sequential path parsed them in.
+func (a *Analyzer) replayUDP(events []udpEvent) {
+	apps := a.apps
+	for _, ev := range events {
+		switch {
+		case ev.dstPort == 53 || ev.srcPort == 53:
+			if m, err := dns.Decode(ev.payload); err == nil {
+				if a.opts.IsLocal(ev.src) && a.opts.IsLocal(ev.dst) {
+					apps.dnsInt.Message(ev.ts, ev.src, ev.dst, m)
+				} else {
+					apps.dnsWan.Message(ev.ts, ev.src, ev.dst, m)
+				}
+			}
+		case ev.dstPort == 137 || ev.srcPort == 137:
+			if m, err := netbios.DecodeNS(ev.payload); err == nil {
+				apps.nbns.Message(ev.ts, ev.src, ev.dst, m)
+			}
+		case ev.dstPort == 2049 || ev.srcPort == 2049:
+			apps.nfs.Message(ev.src, ev.dst, ev.payload)
+			apps.markNFSPair(ev.src, ev.dst, true)
+		}
+	}
+}
+
+// replayFTPRegistrations scans complete reply lines of an FTP control
+// stream's server side and registers PASV-advertised data ports, exactly
+// as the incremental parser did at the moment each 227 reply was seen.
+func (a *Analyzer) replayFTPRegistrations(srv []byte) {
+	scanned := 0
+	for {
+		idx := -1
+		for i := scanned; i+1 < len(srv); i++ {
+			if srv[i] == '\r' && srv[i+1] == '\n' {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			return
+		}
+		line := srv[scanned:idx]
+		scanned = idx + 2
+		for _, r := range ftp.ParseReplies(append(append([]byte{}, line...), '\r', '\n')) {
+			if port, ok := ftp.PasvPort(r); ok {
+				a.opts.Registry.Register(layers.ProtoTCP, port, "FTP-Data", categories.Bulk)
+			}
+		}
+	}
+}
+
+// replayEPM walks complete DCE/RPC PDUs out of each contiguous stream
+// segment of an Endpoint Mapper connection, accumulating PDU statistics
+// and registering endpoint-mapped service ports. Parsing restarts at
+// segment (gap) boundaries, like the incremental parser's buffer reset.
+func (a *Analyzer) replayEPM(channel string, fromClient bool, segs [][]byte) {
+	for _, seg := range segs {
+		buf := seg
+		for {
+			p, n, err := dcerpc.Decode(buf)
+			if err != nil || n == 0 || n > len(buf) {
+				break
+			}
+			// Only consume complete PDUs; Decode clamps n to the buffer,
+			// so compare against the header's fragment length.
+			if len(buf) >= 10 {
+				fragLen := int(uint16(buf[8]) | uint16(buf[9])<<8)
+				if fragLen > len(buf) {
+					break // the incremental parser would wait for more bytes
+				}
+			}
+			a.apps.rpc.PDU(channel, fromClient, p)
+			if iface, port, ok := dcerpc.ParseEpmMapResponse(p); ok {
+				name := dcerpc.InterfaceName(iface)
+				if name == "unknown" {
+					name = "DCE/RPC"
+				}
+				a.opts.Registry.Register(layers.ProtoTCP, port, name, categories.Windows)
+			}
+			buf = buf[n:]
+		}
+	}
+}
+
+// mergeUDPEvents collects every shard's captured datagrams into global
+// arrival order.
+func mergeUDPEvents(sinks []*shardSink) []udpEvent {
+	var n int
+	for _, s := range sinks {
+		n += len(s.udp)
+	}
+	if n == 0 {
+		return nil
+	}
+	events := make([]udpEvent, 0, n)
+	for _, s := range sinks {
+		events = append(events, s.udp...)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i].idx < events[j].idx })
+	return events
+}

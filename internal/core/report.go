@@ -758,9 +758,10 @@ func (a *Analyzer) findings(r *Report) []string {
 }
 
 func maxAutomated(h HTTPReport) (string, bool) {
+	// Ties break by name so the finding text is deterministic.
 	best, bestV := "", 0.0
 	for k, v := range h.Automated {
-		if v.ByteFrac > bestV {
+		if v.ByteFrac > bestV || (v.ByteFrac == bestV && best != "" && k < best) {
 			best, bestV = k, v.ByteFrac
 		}
 	}

@@ -1,0 +1,260 @@
+package core
+
+import (
+	"net/netip"
+	"time"
+
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+	"enttrace/internal/reassembly"
+	"enttrace/internal/stats"
+)
+
+// bufferedProtos are the TCP protocols whose payloads are reassembled.
+var bufferedProtos = map[string]int{
+	"HTTP":        4 << 20,
+	"FTP":         1 << 20,
+	"SMTP":        1 << 20,
+	"IMAP4":       1 << 20,
+	"CIFS":        2 << 20,
+	"Netbios-SSN": 2 << 20,
+	"NCP":         2 << 20,
+	"NFS":         2 << 20,
+	"Spoolss":     1 << 20, // dynamically mapped DCE/RPC service ports
+}
+
+// unknownStreamLimit bounds reassembly for TCP connections the registry
+// cannot classify when they attach. An unclassified ephemeral-port
+// service may be registered later in the trace (DCE/RPC endpoint
+// mapping, FTP PASV), so the stream is kept around for the
+// deterministic replay to classify and parse. The limit matches the
+// Spoolss entry above — the one dynamically mapped protocol the replay
+// actually parses. This buffering is the streaming pipeline's main
+// memory trade-off: up to 2 MB per unclassified high-port connection
+// until trace end (see DESIGN.md §3).
+const unknownStreamLimit = 1 << 20
+
+// shardSink is the analysis layer's per-shard state: packet-level
+// accumulators that merge cheaply after the run, plus the reassembled
+// application streams and captured UDP messages that the deterministic
+// replay consumes. It is owned by one pipeline worker; nothing here is
+// shared while packets flow.
+type shardSink struct {
+	opts      *Options
+	monitored netip.Prefix
+	base      time.Time
+
+	// Packet-level accumulators (merged across shards in shard order).
+	netLayer                          *stats.Counter
+	monHosts, localHosts, remoteHosts map[netip.Addr]struct{}
+	// bins holds wire bytes per second since base (the trace's first
+	// packet, fixed by the router before any worker starts).
+	bins []int64
+
+	// Deferred application state, replayed in global packet order.
+	conns map[*flows.Conn]*connStreams
+	udp   []udpEvent
+}
+
+// udpEvent is one captured datagram for an application protocol the
+// paper parses per message (DNS, Netbios/NS, NFS-over-UDP).
+type udpEvent struct {
+	idx              int64
+	ts               time.Time
+	src, dst         netip.Addr
+	srcPort, dstPort uint16
+	payload          []byte
+}
+
+// connStreams buffers one TCP connection's two directions until replay.
+type connStreams struct {
+	// kind is the registry protocol name when the connection attached;
+	// replay re-classifies, so this only records the buffering decision.
+	kind                 string
+	cliStream, srvStream *reassembly.Stream
+	cliBuf, srvBuf       reassembly.BufferConsumer
+	// epmCli/epmSrv replace the buffers for Endpoint Mapper connections,
+	// preserving gap boundaries so replay can resynchronize PDU parsing
+	// exactly where the incremental parser would have.
+	epmCli, epmSrv *segBuffer
+}
+
+func newShardSink(opts *Options, monitored netip.Prefix, base time.Time) *shardSink {
+	return &shardSink{
+		opts:        opts,
+		monitored:   monitored,
+		base:        base,
+		netLayer:    stats.NewCounter(),
+		monHosts:    make(map[netip.Addr]struct{}),
+		localHosts:  make(map[netip.Addr]struct{}),
+		remoteHosts: make(map[netip.Addr]struct{}),
+		conns:       make(map[*flows.Conn]*connStreams),
+	}
+}
+
+// Undecodable implements pipeline.Sink.
+func (s *shardSink) Undecodable(idx int64) {
+	s.netLayer.Inc("undecodable")
+}
+
+// Packet implements pipeline.Sink.
+func (s *shardSink) Packet(idx int64, ts time.Time, p *layers.Packet, wireLen int, conn *flows.Conn, dir flows.Dir) {
+	s.countNetLayer(p)
+	s.recordHosts(p)
+	s.bin(ts, wireLen)
+	if !s.opts.PayloadAnalysis || conn == nil {
+		return
+	}
+	if p.Layers.Has(layers.LayerUDP) {
+		s.captureUDP(idx, ts, p)
+		return
+	}
+	if !p.Layers.Has(layers.LayerTCP) {
+		return
+	}
+	app := s.conns[conn]
+	if app == nil {
+		name, _ := s.opts.Registry.Classify(conn.Proto, conn.Key.SrcPort, conn.Key.DstPort)
+		app = newConnStreams(name, conn)
+		s.conns[conn] = app
+	}
+	if app.cliStream == nil {
+		return
+	}
+	stream := app.cliStream
+	if dir == flows.DirResp {
+		stream = app.srvStream
+	}
+	if p.TCP.Flags&layers.TCPSyn != 0 {
+		stream.SetISN(p.TCP.Seq + 1)
+		return
+	}
+	if len(p.Payload) > 0 {
+		stream.Segment(p.TCP.Seq, p.Payload)
+	}
+}
+
+// newConnStreams decides, from the attach-time classification, whether
+// and how a connection's payload is buffered for replay.
+func newConnStreams(name string, conn *flows.Conn) *connStreams {
+	app := &connStreams{kind: name}
+	switch {
+	case name == "FTP" && conn.Key.DstPort == 21:
+		// Control channel: the client side is size-capped like any other
+		// buffered protocol; the server side is kept whole so replay can
+		// register PASV data ports before classifying later connections.
+		app.cliBuf.Limit = bufferedProtos[name]
+		app.cliStream = reassembly.NewStream(&app.cliBuf)
+		app.srvStream = reassembly.NewStream(&app.srvBuf)
+	case name == "DCE/RPC-EPM":
+		app.epmCli = &segBuffer{}
+		app.epmSrv = &segBuffer{}
+		app.cliStream = reassembly.NewStream(app.epmCli)
+		app.srvStream = reassembly.NewStream(app.epmSrv)
+	default:
+		limit, buffered := bufferedProtos[name]
+		if !buffered && name == "" && conn.Key.DstPort > 1023 {
+			// Unclassified ephemeral port: it may be endpoint-mapped
+			// later in the trace. Well-known unregistered ports cannot
+			// be (EPM and PASV always map ephemeral ports), so scan
+			// probes and other low-port junk are not buffered.
+			limit, buffered = unknownStreamLimit, true
+		}
+		if buffered {
+			app.cliBuf.Limit = limit
+			app.srvBuf.Limit = limit
+			app.cliStream = reassembly.NewStream(&app.cliBuf)
+			app.srvStream = reassembly.NewStream(&app.srvBuf)
+		}
+	}
+	return app
+}
+
+// captureUDP records datagrams for the message-based analyzers. The
+// payload slice references the capture buffer, which outlives the run.
+func (s *shardSink) captureUDP(idx int64, ts time.Time, p *layers.Packet) {
+	if len(p.Payload) == 0 || !udpAppPorts(p.UDP.SrcPort, p.UDP.DstPort) {
+		return
+	}
+	src, _ := p.NetSrc()
+	dst, _ := p.NetDst()
+	s.udp = append(s.udp, udpEvent{
+		idx: idx, ts: ts, src: src, dst: dst,
+		srcPort: p.UDP.SrcPort, dstPort: p.UDP.DstPort,
+		payload: p.Payload,
+	})
+}
+
+func (s *shardSink) countNetLayer(p *layers.Packet) {
+	switch {
+	case p.Layers.Has(layers.LayerIPv4), p.Layers.Has(layers.LayerIPv6):
+		s.netLayer.Inc("IP")
+	case p.Layers.Has(layers.LayerARP):
+		s.netLayer.Inc("ARP")
+	case p.Layers.Has(layers.LayerIPX):
+		s.netLayer.Inc("IPX")
+	default:
+		s.netLayer.Inc("Other")
+	}
+}
+
+func (s *shardSink) recordHosts(p *layers.Packet) {
+	record := func(addr netip.Addr) {
+		if !addr.IsValid() || addr.IsMulticast() {
+			return
+		}
+		switch {
+		case s.monitored.Contains(addr):
+			s.monHosts[addr] = struct{}{}
+			s.localHosts[addr] = struct{}{}
+		case s.opts.IsLocal(addr):
+			s.localHosts[addr] = struct{}{}
+		default:
+			s.remoteHosts[addr] = struct{}{}
+		}
+	}
+	if src, ok := p.NetSrc(); ok {
+		record(src)
+	}
+	if dst, ok := p.NetDst(); ok {
+		record(dst)
+	}
+}
+
+func (s *shardSink) bin(ts time.Time, wireLen int) {
+	sec := int(ts.Sub(s.base) / time.Second)
+	if sec < 0 {
+		sec = 0
+	}
+	for len(s.bins) <= sec {
+		s.bins = append(s.bins, 0)
+	}
+	s.bins[sec] += int64(wireLen)
+}
+
+// segBuffer accumulates a reassembled stream as gap-delimited contiguous
+// segments. PDU parsers resynchronize at segment boundaries, mirroring
+// the incremental parser's buffer reset on Gap.
+type segBuffer struct {
+	segs [][]byte
+	cur  []byte
+}
+
+// Data implements reassembly.Consumer.
+func (b *segBuffer) Data(d []byte) { b.cur = append(b.cur, d...) }
+
+// Gap implements reassembly.Consumer.
+func (b *segBuffer) Gap(n int) {
+	if len(b.cur) > 0 {
+		b.segs = append(b.segs, b.cur)
+		b.cur = nil
+	}
+}
+
+// segments returns every contiguous stream region in order.
+func (b *segBuffer) segments() [][]byte {
+	if len(b.cur) > 0 {
+		return append(b.segs, b.cur)
+	}
+	return b.segs
+}

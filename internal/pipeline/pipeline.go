@@ -1,0 +1,286 @@
+// Package pipeline is the concurrent, flow-sharded streaming engine under
+// the analysis core. It reads packets incrementally from a Source (an
+// in-memory slice or a pcap stream), batches them, and shards them by
+// canonical 5-tuple hash across N workers. Each worker owns a private
+// connection table and whatever per-shard state the caller's Sink
+// maintains, so the hot path — decode, flow tracking, TCP reassembly —
+// runs without locks. Because a connection's packets all hash to the same
+// shard, per-connection state never crosses a worker boundary.
+//
+// Determinism: every packet carries a global index assigned in read
+// order, and every connection records the index of its first packet.
+// Result.SortedConns returns the dataset's connections in first-packet
+// order regardless of worker count, which is what lets the analysis layer
+// produce bit-identical reports for 1 or N workers: all cross-connection
+// accumulation is replayed in that canonical order after the workers
+// finish.
+package pipeline
+
+import (
+	"io"
+	"runtime"
+	"sort"
+	"time"
+
+	"enttrace/internal/flows"
+	"enttrace/internal/layers"
+	"enttrace/internal/pcap"
+)
+
+// Source yields packets in capture order, ending with a bare io.EOF.
+// It is pcap's PacketSource: *pcap.Reader, pcap.SliceSource, and
+// pcap.Merger all satisfy it directly.
+type Source = pcap.PacketSource
+
+// isEOF recognizes a clean end of stream. Only a bare io.EOF counts:
+// pcap.Reader wraps read failures — including an io.EOF hit midway
+// through a record — in descriptive errors, and those must propagate.
+func isEOF(err error) bool {
+	return err == io.EOF
+}
+
+// Sink receives per-packet callbacks on one shard. A Sink is owned by a
+// single worker goroutine and needs no synchronization; all cross-shard
+// aggregation happens after Run returns, when the caller walks
+// Result.Shards in shard order.
+type Sink interface {
+	// Packet is called for every successfully decoded packet routed to
+	// this shard, in global read order within the shard. conn is nil for
+	// packets with no transport flow (ARP, IPX, fragments); p is reused
+	// between calls and must not be retained, though slices into the
+	// capture data (p.Payload) remain valid.
+	Packet(idx int64, ts time.Time, p *layers.Packet, wireLen int, conn *flows.Conn, dir flows.Dir)
+	// Undecodable is called for packets layers.Decode rejects.
+	Undecodable(idx int64)
+}
+
+// Config parameterizes a pipeline run.
+type Config struct {
+	// Workers is the shard count; <= 0 uses GOMAXPROCS.
+	Workers int
+	// BatchSize is the number of packets handed to a worker per channel
+	// operation; <= 0 uses DefaultBatchSize.
+	BatchSize int
+	// Flows configures each shard's connection table.
+	Flows flows.Config
+	// NewSink builds the per-shard sink. It is called serially (shard 0
+	// first) before any packet is processed; base is the first packet's
+	// timestamp. May be nil for flow-tracking-only runs.
+	NewSink func(shard int, base time.Time) Sink
+}
+
+// DefaultBatchSize amortizes channel overhead without hurting locality.
+const DefaultBatchSize = 256
+
+// ConnRecord pairs a finished connection with the global index of its
+// first packet — the pipeline's canonical ordering key.
+type ConnRecord struct {
+	Conn     *flows.Conn
+	FirstIdx int64
+	Shard    int
+}
+
+// ShardResult is one worker's output.
+type ShardResult struct {
+	Shard int
+	Sink  Sink
+	Conns []ConnRecord
+}
+
+// Result is a full pipeline run over one trace.
+type Result struct {
+	Shards []ShardResult
+	// Packets is the total read from the source, decodable or not.
+	Packets int64
+	// Base is the first packet's timestamp (zero for an empty source).
+	// Per-shard sinks receive it through Config.NewSink before any
+	// packet is processed.
+	Base time.Time
+}
+
+// SortedConns merges every shard's connections into first-packet order.
+// The order is identical for any worker count.
+func (r *Result) SortedConns() []ConnRecord {
+	var n int
+	for _, s := range r.Shards {
+		n += len(s.Conns)
+	}
+	out := make([]ConnRecord, 0, n)
+	for _, s := range r.Shards {
+		out = append(out, s.Conns...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].FirstIdx < out[j].FirstIdx })
+	return out
+}
+
+// item is one routed packet.
+type item struct {
+	idx int64
+	p   *pcap.Packet
+}
+
+// worker owns one shard: a connection table, the caller's sink, and the
+// first-packet index of every connection it has seen.
+type worker struct {
+	shard    int
+	tbl      *flows.Table
+	sink     Sink
+	firstIdx map[*flows.Conn]int64
+	pkt      layers.Packet
+	in       chan []item
+}
+
+func newWorker(shard int, cfg Config, base time.Time) *worker {
+	w := &worker{
+		shard:    shard,
+		tbl:      flows.NewTable(cfg.Flows),
+		firstIdx: make(map[*flows.Conn]int64),
+	}
+	if cfg.NewSink != nil {
+		w.sink = cfg.NewSink(shard, base)
+	}
+	return w
+}
+
+func (w *worker) process(it item) {
+	pk := it.p
+	if err := layers.Decode(pk.Data, pk.OrigLen, &w.pkt); err != nil {
+		if w.sink != nil {
+			w.sink.Undecodable(it.idx)
+		}
+		return
+	}
+	conn, dir := w.tbl.Packet(pk.Timestamp, &w.pkt, pk.OrigLen)
+	if conn != nil {
+		if _, seen := w.firstIdx[conn]; !seen {
+			w.firstIdx[conn] = it.idx
+		}
+	}
+	if w.sink != nil {
+		w.sink.Packet(it.idx, pk.Timestamp, &w.pkt, pk.OrigLen, conn, dir)
+	}
+}
+
+func (w *worker) drain() {
+	for batch := range w.in {
+		for _, it := range batch {
+			w.process(it)
+		}
+	}
+}
+
+func (w *worker) finish() ShardResult {
+	w.tbl.Flush()
+	conns := w.tbl.Conns()
+	recs := make([]ConnRecord, len(conns))
+	for i, c := range conns {
+		recs[i] = ConnRecord{Conn: c, FirstIdx: w.firstIdx[c], Shard: w.shard}
+	}
+	return ShardResult{Shard: w.shard, Sink: w.sink, Conns: recs}
+}
+
+// Run streams every packet from src through the sharded pipeline and
+// returns the per-shard results. On a source read error the packets
+// already routed are still drained and the error returned.
+func Run(src Source, cfg Config) (*Result, error) {
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	batchSize := cfg.BatchSize
+	if batchSize <= 0 {
+		batchSize = DefaultBatchSize
+	}
+
+	first, err := src.Next()
+	if err != nil {
+		if isEOF(err) {
+			return &Result{}, nil
+		}
+		return nil, err
+	}
+	base := first.Timestamp
+	res := &Result{Base: base}
+
+	if workers == 1 {
+		return runSerial(src, first, cfg, res)
+	}
+
+	ws := make([]*worker, workers)
+	for i := 0; i < workers; i++ {
+		ws[i] = newWorker(i, cfg, base)
+		ws[i].in = make(chan []item, 4)
+	}
+	done := make(chan int, workers)
+	for _, w := range ws {
+		w := w
+		go func() {
+			w.drain()
+			done <- w.shard
+		}()
+	}
+
+	pending := make([][]item, workers)
+	flush := func(s int) {
+		if len(pending[s]) > 0 {
+			ws[s].in <- pending[s]
+			pending[s] = make([]item, 0, batchSize)
+		}
+	}
+
+	var readErr error
+	pk := first
+	var idx int64
+	for {
+		s := shardOf(pk.Data, workers)
+		pending[s] = append(pending[s], item{idx: idx, p: pk})
+		if len(pending[s]) >= batchSize {
+			flush(s)
+		}
+		idx++
+		pk, err = src.Next()
+		if err != nil {
+			if !isEOF(err) {
+				readErr = err
+			}
+			break
+		}
+	}
+	res.Packets = idx
+	for s := range ws {
+		flush(s)
+		close(ws[s].in)
+	}
+	for range ws {
+		<-done
+	}
+	for _, w := range ws {
+		res.Shards = append(res.Shards, w.finish())
+	}
+	return res, readErr
+}
+
+// runSerial is the single-worker fast path: no goroutines, no channels.
+// It is the sequential baseline the parallel path is benchmarked against
+// and must produce byte-identical results to it.
+func runSerial(src Source, first *pcap.Packet, cfg Config, res *Result) (*Result, error) {
+	w := newWorker(0, cfg, first.Timestamp)
+	var readErr error
+	pk := first
+	var idx int64
+	for {
+		w.process(item{idx: idx, p: pk})
+		idx++
+		var err error
+		pk, err = src.Next()
+		if err != nil {
+			if !isEOF(err) {
+				readErr = err
+			}
+			break
+		}
+	}
+	res.Packets = idx
+	res.Shards = []ShardResult{w.finish()}
+	return res, readErr
+}

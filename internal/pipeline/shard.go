@@ -1,0 +1,142 @@
+package pipeline
+
+import "encoding/binary"
+
+// shardOf routes a raw Ethernet frame to a shard with a header-only
+// 5-tuple parse — no allocation, no full decode. The only property the
+// router needs is that every packet of one connection (as built by
+// layers.Decode + flows.Table) lands on the same shard:
+//
+//   - TCP/UDP packets hash the canonical (proto, addr pair, port pair).
+//   - ICMP and non-first IP fragments hash with zero ports, a superset of
+//     the flow table's keying (echo-ID refinement still stays on-shard
+//     because both directions share the address pair).
+//   - Non-IP frames (ARP, IPX) never form connections; they hash by
+//     header bytes purely for load spreading.
+//
+// Full decoding happens later, on the shard worker, in parallel.
+func shardOf(data []byte, workers int) int {
+	if workers <= 1 {
+		return 0
+	}
+	h := uint64(fnvOffset)
+	if len(data) < 14 {
+		return 0
+	}
+	et := binary.BigEndian.Uint16(data[12:14])
+	if et != etherTypeIPv4 && et != etherTypeIPv6 {
+		// Connection-less link traffic: spread by the first header bytes.
+		for _, b := range data[:14] {
+			h = (h ^ uint64(b)) * fnvPrime
+		}
+		return int(h % uint64(workers))
+	}
+	ip := data[14:]
+	var src, dst []byte
+	var proto byte
+	var ports []byte
+	switch et {
+	case etherTypeIPv4:
+		if len(ip) < 20 || ip[0]>>4 != 4 {
+			// Decode either fails or finds no addresses — no connection
+			// forms, so any shard is consistent.
+			return 0
+		}
+		hlen := int(ip[0]&0x0f) * 4
+		if hlen < 20 {
+			return 0
+		}
+		proto = ip[9]
+		src, dst = ip[12:16], ip[16:20]
+		// Ports participate in the hash only when layers.Decode would
+		// parse the transport header: not a later fragment, the header
+		// captured in full (TCP 20 / UDP 8 bytes), and the IP total
+		// length not cutting it short. Otherwise the flow table keys
+		// the packet with zero ports, and the hash must match.
+		fragOff := binary.BigEndian.Uint16(ip[6:8]) & 0x1fff
+		if fragOff == 0 && (proto == protoTCP || proto == protoUDP) && len(ip) >= hlen {
+			bodyLen := len(ip) - hlen
+			if totalLen := int(binary.BigEndian.Uint16(ip[2:4])); totalLen >= hlen && totalLen-hlen < bodyLen {
+				bodyLen = totalLen - hlen
+			}
+			if bodyLen >= transportHeaderLen(proto) {
+				ports = ip[hlen : hlen+4]
+			}
+		}
+	case etherTypeIPv6:
+		if len(ip) < 40 || ip[0]>>4 != 6 {
+			return 0
+		}
+		proto = ip[6]
+		src, dst = ip[8:24], ip[24:40]
+		if proto == protoTCP || proto == protoUDP {
+			bodyLen := len(ip) - 40
+			if payLen := int(binary.BigEndian.Uint16(ip[4:6])); payLen < bodyLen {
+				bodyLen = payLen
+			}
+			if bodyLen >= transportHeaderLen(proto) {
+				ports = ip[40:44]
+			}
+		}
+	}
+	// Canonicalize direction: hash the (addr, port) endpoints in sorted
+	// order so both directions of a connection collide.
+	var sp, dp uint16
+	if ports != nil {
+		sp = binary.BigEndian.Uint16(ports[0:2])
+		dp = binary.BigEndian.Uint16(ports[2:4])
+	}
+	if swap := compareEndpoint(src, sp, dst, dp) > 0; swap {
+		src, dst = dst, src
+		sp, dp = dp, sp
+	}
+	h = (h ^ uint64(proto)) * fnvPrime
+	for _, b := range src {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	for _, b := range dst {
+		h = (h ^ uint64(b)) * fnvPrime
+	}
+	h = (h ^ uint64(sp)) * fnvPrime
+	h = (h ^ uint64(dp)) * fnvPrime
+	return int(h % uint64(workers))
+}
+
+// transportHeaderLen is the minimum captured bytes layers.Decode needs
+// to parse ports out of a transport header.
+func transportHeaderLen(proto byte) int {
+	if proto == protoTCP {
+		return 20
+	}
+	return 8 // UDP
+}
+
+// compareEndpoint orders (addr, port) endpoints bytewise.
+func compareEndpoint(a []byte, ap uint16, b []byte, bp uint16) int {
+	for i := range a {
+		switch {
+		case a[i] < b[i]:
+			return -1
+		case a[i] > b[i]:
+			return 1
+		}
+	}
+	switch {
+	case ap < bp:
+		return -1
+	case ap > bp:
+		return 1
+	}
+	return 0
+}
+
+const (
+	etherTypeIPv4 = 0x0800
+	etherTypeIPv6 = 0x86DD
+	protoICMP     = 1
+	protoTCP      = 6
+	protoUDP      = 17
+
+	fnvOffset uint64 = 0xcbf29ce484222325
+	fnvPrime  uint64 = 0x100000001b3
+)
