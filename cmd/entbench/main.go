@@ -1,0 +1,122 @@
+// Command entbench is the perf-telemetry CLI: it runs the repository's
+// benchmark suite (the table/figure analysis units plus the pipeline and
+// hot-path micro-benchmarks), writes a structured BENCH_<n>.json report,
+// and optionally gates against a baseline report — the command CI uses to
+// fail pull requests that regress allocation counts on the hot path.
+//
+// Usage:
+//
+//	entbench                                  # run all, write BENCH_<n>.json
+//	entbench -run 'pipeline/'                 # subset
+//	entbench -o BENCH_baseline.json           # write/refresh the committed baseline
+//	entbench -against BENCH_baseline.json -tolerance 10%   # CI gate
+//
+// Gating model: allocs/op and B/op are compared under -tolerance (they
+// are stable for a given Go version); ns/op and pkts/sec are compared
+// only when -time-tolerance is set, since wall-clock numbers do not
+// transfer between machines. Exit status 1 means a gate tripped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+
+	"enttrace/internal/bench"
+)
+
+func main() {
+	outDir := flag.String("out", ".", "directory for the numbered BENCH_<n>.json report")
+	outFile := flag.String("o", "", "exact output path (overrides -out)")
+	runFilter := flag.String("run", "", "regexp selecting benchmarks to run")
+	against := flag.String("against", "", "baseline BENCH_*.json to compare the new report against")
+	tolerance := flag.String("tolerance", "10%", "allowed allocs/op and B/op growth vs the baseline")
+	timeTolerance := flag.String("time-tolerance", "", "allowed ns/op growth and pkts/sec decay; empty disables wall-clock gating")
+	list := flag.Bool("list", false, "list benchmark names and exit")
+	flag.Parse()
+
+	if *list {
+		for _, bm := range bench.Suite() {
+			fmt.Println(bm.Name)
+		}
+		return
+	}
+
+	var filter *regexp.Regexp
+	if *runFilter != "" {
+		var err error
+		if filter, err = regexp.Compile(*runFilter); err != nil {
+			fatalf("bad -run pattern: %v", err)
+		}
+	}
+	tol := bench.Tolerances{Alloc: parsePercent(*tolerance, "-tolerance")}
+	if *timeTolerance != "" {
+		tol.Time = parsePercent(*timeTolerance, "-time-tolerance")
+	}
+
+	rep := bench.RunSuite(filter, func(line string) { fmt.Fprintln(os.Stderr, line) })
+	if len(rep.Metrics) == 0 {
+		fatalf("no benchmarks matched -run %q", *runFilter)
+	}
+	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+
+	path := *outFile
+	if path == "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatalf("creating -out directory: %v", err)
+		}
+		var err error
+		if path, err = bench.NextPath(*outDir); err != nil {
+			fatalf("choosing report path: %v", err)
+		}
+	}
+	if err := rep.WriteFile(path); err != nil {
+		fatalf("writing report: %v", err)
+	}
+	fmt.Printf("wrote %s (%d metrics)\n", path, len(rep.Metrics))
+
+	if *against == "" {
+		return
+	}
+	baseline, err := bench.ReadFile(*against)
+	if err != nil {
+		fatalf("loading baseline: %v", err)
+	}
+	cmp := bench.Compare(baseline, rep, tol)
+	for _, d := range cmp.Deltas {
+		fmt.Println(d)
+	}
+	for _, name := range cmp.NewInCurrent {
+		fmt.Printf("%-34s (new, no baseline)\n", name)
+	}
+	for _, name := range cmp.MissingInCurrent {
+		fmt.Printf("%-34s MISSING from this run\n", name)
+	}
+	if cmp.Regressed() {
+		fmt.Printf("FAIL: regression vs %s (tolerance %s)\n", *against, *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("PASS: no regression vs %s (tolerance %s)\n", *against, *tolerance)
+}
+
+// parsePercent accepts "10%", "10", or "0.1" (all meaning ten percent).
+func parsePercent(s, flagName string) float64 {
+	trimmed := strings.TrimSuffix(strings.TrimSpace(s), "%")
+	v, err := strconv.ParseFloat(trimmed, 64)
+	if err != nil || v < 0 {
+		fatalf("bad %s value %q", flagName, s)
+	}
+	if v >= 1 || strings.HasSuffix(strings.TrimSpace(s), "%") {
+		v /= 100
+	}
+	return v
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "entbench: "+format+"\n", args...)
+	os.Exit(1)
+}

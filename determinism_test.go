@@ -9,6 +9,7 @@ import (
 	"reflect"
 	"testing"
 
+	"enttrace/internal/bench"
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
 	"enttrace/internal/gen"
@@ -115,3 +116,17 @@ func BenchmarkPipelineD3Workers2(b *testing.B) { benchWorkers(b, "D3", 2) }
 func BenchmarkPipelineD3Workers4(b *testing.B) { benchWorkers(b, "D3", 4) }
 func BenchmarkPipelineD4Workers1(b *testing.B) { benchWorkers(b, "D4", 1) }
 func BenchmarkPipelineD4Workers4(b *testing.B) { benchWorkers(b, "D4", 4) }
+
+// benchStreamWorkers times the streaming entry point — pcap bytes through
+// AddTraceReader — which is where per-packet read allocations live (the
+// in-memory benchmarks above hand the pipeline pre-built packets). The
+// workload definition lives in bench.StreamBenchmark, shared with the
+// entbench CI telemetry suite so the two cannot drift; here it runs over
+// the determinism harness's dataset.
+func benchStreamWorkers(b *testing.B, dsName string, workers int) {
+	bench.StreamBenchmark(b, determinismDataset(b, dsName, 0.15), workers)
+}
+
+func BenchmarkPipelineStreamD3Workers1(b *testing.B) { benchStreamWorkers(b, "D3", 1) }
+func BenchmarkPipelineStreamD3Workers4(b *testing.B) { benchStreamWorkers(b, "D3", 4) }
+func BenchmarkPipelineStreamD3Workers8(b *testing.B) { benchStreamWorkers(b, "D3", 8) }

@@ -1,0 +1,207 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"regexp"
+	"testing"
+)
+
+func sampleReport() *Report {
+	r := NewReport()
+	r.Add(Metric{Name: "pipeline/stream/workers=4", Iterations: 10, NsPerOp: 1e6, AllocsPerOp: 50000, BytesPerOp: 4 << 20, PktsPerSec: 6e5})
+	r.Add(Metric{Name: "decode/d3", Iterations: 100, NsPerOp: 2e5, AllocsPerOp: 0, BytesPerOp: 0, PktsPerSec: 5e6})
+	return r
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	want := sampleReport()
+	want.CreatedAt = "2026-07-26T00:00:00Z"
+	if err := want.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	// Metrics must be name-sorted regardless of Add order.
+	if got.Metrics[0].Name != "decode/d3" {
+		t.Errorf("metrics not sorted: %q first", got.Metrics[0].Name)
+	}
+}
+
+func TestReadFileRejectsBadSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := os.WriteFile(path, []byte(`{"schema": 99}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("schema 99 accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{not json`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestNextPath(t *testing.T) {
+	dir := t.TempDir()
+	p1, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p1) != "BENCH_1.json" {
+		t.Fatalf("first path = %s", p1)
+	}
+	if err := os.WriteFile(p1, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := NextPath(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(p2) != "BENCH_2.json" {
+		t.Fatalf("second path = %s", p2)
+	}
+}
+
+func TestCompareWithinTolerancePasses(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	m := cur.Metric("pipeline/stream/workers=4")
+	m.AllocsPerOp = int64(float64(m.AllocsPerOp) * 1.05) // +5% < 10%
+	c := Compare(base, cur, Tolerances{Alloc: 0.10})
+	if c.Regressed() {
+		t.Errorf("5%% growth under 10%% tolerance regressed: %+v", c.Deltas)
+	}
+}
+
+func TestCompareAllocRegressionTrips(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Metric("pipeline/stream/workers=4").AllocsPerOp *= 2
+	c := Compare(base, cur, Tolerances{Alloc: 0.10})
+	if !c.Regressed() {
+		t.Fatal("2x allocs under 10% tolerance passed")
+	}
+	var hit bool
+	for _, d := range c.Deltas {
+		if d.Regressed && d.Metric == "pipeline/stream/workers=4" && d.Field == "allocs/op" {
+			hit = true
+		}
+	}
+	if !hit {
+		t.Errorf("regression not attributed to allocs/op: %+v", c.Deltas)
+	}
+}
+
+func TestCompareZeroBaselineSlack(t *testing.T) {
+	// decode/d3 has 0 allocs/op at baseline; a couple of allocs of noise
+	// must not trip the gate, but a real allocation leak must.
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Metric("decode/d3").AllocsPerOp = 2
+	if c := Compare(base, cur, Tolerances{Alloc: 0.10}); c.Regressed() {
+		t.Error("2 allocs of noise on a zero baseline regressed")
+	}
+	cur.Metric("decode/d3").AllocsPerOp = 5000
+	if c := Compare(base, cur, Tolerances{Alloc: 0.10}); !c.Regressed() {
+		t.Error("5000 allocs on a zero baseline passed")
+	}
+}
+
+func TestCompareTimeGatingOptIn(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Metric("decode/d3").NsPerOp *= 3
+	if c := Compare(base, cur, Tolerances{Alloc: 0.10}); c.Regressed() {
+		t.Error("time regression gated without a time tolerance")
+	}
+	if c := Compare(base, cur, Tolerances{Alloc: 0.10, Time: 0.5}); !c.Regressed() {
+		t.Error("3x slower passed a 50% time tolerance")
+	}
+}
+
+func TestCompareThroughputGating(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Metric("pipeline/stream/workers=4").PktsPerSec /= 3
+	if c := Compare(base, cur, Tolerances{Alloc: 0.10, Time: 0.5}); !c.Regressed() {
+		t.Error("3x slower throughput passed a 50% time tolerance")
+	}
+}
+
+func TestCompareMissingMetricRegresses(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Metrics = cur.Metrics[:1] // drop one benchmark
+	c := Compare(base, cur, Tolerances{Alloc: 0.10})
+	if !c.Regressed() {
+		t.Error("vanished benchmark passed")
+	}
+	if len(c.MissingInCurrent) != 1 {
+		t.Errorf("missing = %v", c.MissingInCurrent)
+	}
+}
+
+func TestCompareNewMetricInformational(t *testing.T) {
+	base := sampleReport()
+	cur := sampleReport()
+	cur.Add(Metric{Name: "brand/new", AllocsPerOp: 1e6})
+	c := Compare(base, cur, Tolerances{Alloc: 0.10})
+	if c.Regressed() {
+		t.Error("new benchmark with no baseline regressed")
+	}
+	if len(c.NewInCurrent) != 1 || c.NewInCurrent[0] != "brand/new" {
+		t.Errorf("new = %v", c.NewInCurrent)
+	}
+}
+
+// TestRunSuiteFiltered smoke-tests the programmatic runner on the
+// cheapest entry; full-suite execution lives in entbench and CI.
+func TestRunSuiteFiltered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real benchmark")
+	}
+	rep := RunSuite(regexp.MustCompile(`^decode/d3$`), nil)
+	if len(rep.Metrics) != 1 {
+		t.Fatalf("got %d metrics, want 1", len(rep.Metrics))
+	}
+	m := rep.Metrics[0]
+	if m.Name != "decode/d3" || m.Iterations == 0 || m.NsPerOp <= 0 {
+		t.Errorf("suspicious metric: %+v", m)
+	}
+	if m.AllocsPerOp != 0 {
+		t.Errorf("decode allocates %d allocs/op, want 0 (zero-alloc contract)", m.AllocsPerOp)
+	}
+	if m.PktsPerSec <= 0 {
+		t.Errorf("pkts/sec missing: %+v", m)
+	}
+}
+
+func TestSuiteNamesUniqueAndStable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, bm := range Suite() {
+		if seen[bm.Name] {
+			t.Errorf("duplicate suite name %q", bm.Name)
+		}
+		seen[bm.Name] = true
+	}
+	// The CI gate keys on these names; renaming them silently would turn
+	// the baseline comparison into a no-op.
+	for _, want := range []string{"decode/d3", "pcap/read-trace-pooled",
+		"pipeline/stream/workers=1", "pipeline/stream/workers=4",
+		"pipeline/stream/workers=8", "analyze/D0", "analyze/D4"} {
+		if !seen[want] {
+			t.Errorf("suite is missing %q", want)
+		}
+	}
+}

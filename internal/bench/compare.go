@@ -1,0 +1,120 @@
+package bench
+
+import "fmt"
+
+// Absolute slack added on top of the relative tolerance, so noise on
+// near-zero baselines (a benchmark measuring 0–2 allocs/op) cannot trip
+// the gate: a regression must exceed BOTH the relative band and this
+// floor. Set deliberately small — the hot-path benchmarks this package
+// guards sit at thousands of allocs/op, where the relative band governs.
+const (
+	allocSlack = 8    // allocs/op
+	bytesSlack = 1024 // B/op
+)
+
+// Tolerances configures Compare. Values are fractions (0.10 = 10%).
+type Tolerances struct {
+	// Alloc bounds growth of allocs_per_op and bytes_per_op. Allocation
+	// counts are deterministic enough to gate in CI.
+	Alloc float64
+	// Time bounds growth of ns_per_op (and decay of pkts_per_sec); <= 0
+	// disables time gating, the default for CI where machines differ.
+	Time float64
+}
+
+// Delta is one field's baseline-to-current movement.
+type Delta struct {
+	Metric   string  `json:"metric"`
+	Field    string  `json:"field"`
+	Baseline float64 `json:"baseline"`
+	Current  float64 `json:"current"`
+	// Change is the relative movement, signed so that positive always
+	// means "worse" (more time, more allocation, less throughput).
+	Change    float64 `json:"change"`
+	Regressed bool    `json:"regressed"`
+}
+
+func (d Delta) String() string {
+	verdict := "ok"
+	if d.Regressed {
+		verdict = "REGRESSED"
+	}
+	return fmt.Sprintf("%-34s %-13s %14.1f -> %14.1f  %+6.1f%%  %s",
+		d.Metric, d.Field, d.Baseline, d.Current, d.Change*100, verdict)
+}
+
+// Comparison is the full result of comparing two reports.
+type Comparison struct {
+	Deltas []Delta
+	// MissingInCurrent lists baseline metrics the current run did not
+	// produce — treated as regressions (a benchmark silently vanished).
+	MissingInCurrent []string
+	// NewInCurrent lists metrics with no baseline — informational only.
+	NewInCurrent []string
+}
+
+// Regressed reports whether any gate tripped.
+func (c *Comparison) Regressed() bool {
+	if len(c.MissingInCurrent) > 0 {
+		return true
+	}
+	for _, d := range c.Deltas {
+		if d.Regressed {
+			return true
+		}
+	}
+	return false
+}
+
+// Compare evaluates current against baseline under tol. Metrics are
+// matched by name; see Tolerances for what gates.
+func Compare(baseline, current *Report, tol Tolerances) *Comparison {
+	c := &Comparison{}
+	seen := make(map[string]bool)
+	for _, bm := range baseline.Metrics {
+		cm := current.Metric(bm.Name)
+		if cm == nil {
+			c.MissingInCurrent = append(c.MissingInCurrent, bm.Name)
+			continue
+		}
+		seen[bm.Name] = true
+		c.Deltas = append(c.Deltas,
+			deltaMore(bm.Name, "allocs/op", float64(bm.AllocsPerOp), float64(cm.AllocsPerOp), tol.Alloc, allocSlack),
+			deltaMore(bm.Name, "B/op", float64(bm.BytesPerOp), float64(cm.BytesPerOp), tol.Alloc, bytesSlack),
+			deltaMore(bm.Name, "ns/op", bm.NsPerOp, cm.NsPerOp, tol.Time, 0),
+		)
+		if bm.PktsPerSec > 0 && cm.PktsPerSec > 0 {
+			c.Deltas = append(c.Deltas, deltaLess(bm.Name, "pkts/sec", bm.PktsPerSec, cm.PktsPerSec, tol.Time))
+		}
+	}
+	for _, cm := range current.Metrics {
+		if !seen[cm.Name] {
+			c.NewInCurrent = append(c.NewInCurrent, cm.Name)
+		}
+	}
+	return c
+}
+
+// deltaMore gates a lower-is-better field: regression when current
+// exceeds both the relative band and the absolute slack. tol <= 0
+// disables gating for the field.
+func deltaMore(metric, field string, base, cur, tol, slack float64) Delta {
+	d := Delta{Metric: metric, Field: field, Baseline: base, Current: cur}
+	if base > 0 {
+		d.Change = cur/base - 1
+	} else if cur > 0 {
+		d.Change = 1
+	}
+	d.Regressed = tol > 0 && cur > base*(1+tol)+slack
+	return d
+}
+
+// deltaLess gates a higher-is-better field (throughput).
+func deltaLess(metric, field string, base, cur, tol float64) Delta {
+	d := Delta{Metric: metric, Field: field, Baseline: base, Current: cur}
+	if base > 0 {
+		d.Change = 1 - cur/base // positive = slower = worse
+	}
+	d.Regressed = tol > 0 && cur < base*(1-tol)
+	return d
+}

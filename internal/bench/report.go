@@ -1,0 +1,115 @@
+// Package bench is the repository's perf-telemetry subsystem: it runs the
+// reproduction's benchmarks programmatically (via testing.Benchmark),
+// records the results as a structured, machine-readable report
+// (BENCH_<n>.json), and compares reports so CI can fail on a performance
+// regression. The cmd/entbench command is its CLI.
+//
+// Telemetry model: wall-clock numbers (ns/op, pkts/sec) vary with the
+// host, so regressions in them are only gated when a time tolerance is
+// explicitly configured; allocation counts (allocs/op, B/op) are stable
+// for a given Go version and are the default CI gate — they are how the
+// zero-allocation hot-path contract stays enforced after this PR.
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_*.json layout.
+const SchemaVersion = 1
+
+// Metric is one benchmark's measurement.
+type Metric struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+	// NsPerOp is wall time per operation (one op = the unit the
+	// benchmark defines, e.g. one full trace analysis).
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// PktsPerSec is set by packet-throughput benchmarks (0 otherwise).
+	PktsPerSec float64 `json:"pkts_per_sec,omitempty"`
+}
+
+// Report is one entbench run.
+type Report struct {
+	Schema    int    `json:"schema"`
+	CreatedAt string `json:"created_at,omitempty"`
+	GoVersion string `json:"go_version"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+	// Metrics are sorted by name for diff-friendly files.
+	Metrics []Metric `json:"metrics"`
+}
+
+// NewReport returns an empty report stamped with the runtime environment.
+func NewReport() *Report {
+	return &Report{
+		Schema:    SchemaVersion,
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// Add appends a metric, keeping Metrics sorted by name.
+func (r *Report) Add(m Metric) {
+	idx := sort.Search(len(r.Metrics), func(i int) bool { return r.Metrics[i].Name >= m.Name })
+	r.Metrics = append(r.Metrics, Metric{})
+	copy(r.Metrics[idx+1:], r.Metrics[idx:])
+	r.Metrics[idx] = m
+}
+
+// Metric returns the named metric, or nil.
+func (r *Report) Metric(name string) *Metric {
+	for i := range r.Metrics {
+		if r.Metrics[i].Name == name {
+			return &r.Metrics[i]
+		}
+	}
+	return nil
+}
+
+// WriteFile marshals the report to path as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadFile loads a report and validates its schema.
+func ReadFile(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: %s has schema %d, want %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}
+
+// NextPath returns the first unused BENCH_<n>.json path in dir, n >= 1.
+func NextPath(dir string) (string, error) {
+	for n := 1; ; n++ {
+		path := filepath.Join(dir, fmt.Sprintf("BENCH_%d.json", n))
+		if _, err := os.Stat(path); os.IsNotExist(err) {
+			return path, nil
+		} else if err != nil {
+			return "", err
+		}
+	}
+}

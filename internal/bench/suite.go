@@ -1,0 +1,301 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/netip"
+	"regexp"
+	"sync"
+	"testing"
+
+	"enttrace/internal/core"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+	"enttrace/internal/layers"
+	"enttrace/internal/pcap"
+)
+
+// suiteScale mirrors the bench_test.go harness: datasets small enough
+// for tight iteration, every traffic class preserved.
+const suiteScale = 0.15
+
+// streamWorkerCounts are the shard counts the pipeline micro-benchmarks
+// sweep — the determinism tests pin these same counts bit-identical.
+var streamWorkerCounts = []int{1, 4, 8}
+
+// Benchmark is one suite entry. F must call b.ReportAllocs (allocation
+// telemetry is the primary CI gate) and may attach a pkts/sec extra via
+// b.ReportMetric.
+type Benchmark struct {
+	Name string
+	F    func(b *testing.B)
+}
+
+var (
+	dsCache   = map[string]*gen.Dataset{}
+	dsCacheMu sync.Mutex
+)
+
+// suiteDataset builds (and caches) a scaled dataset the same way the
+// go-test benchmark harness does: vantage subnets kept, a few client
+// subnets, one tap per subnet.
+func suiteDataset(name string) *gen.Dataset {
+	dsCacheMu.Lock()
+	defer dsCacheMu.Unlock()
+	if ds, ok := dsCache[name]; ok {
+		return ds
+	}
+	var cfg enterprise.Config
+	for _, c := range enterprise.AllDatasets() {
+		if c.Name == name {
+			cfg = c
+		}
+	}
+	if cfg.Name == "" {
+		panic("bench: unknown dataset " + name)
+	}
+	cfg.Scale = suiteScale
+	const subnets = 6
+	if subnets < len(cfg.Monitored) {
+		head := cfg.Monitored[:subnets-2]
+		tail := cfg.Monitored[len(cfg.Monitored)-2:]
+		cfg.Monitored = append(append([]int{}, head...), tail...)
+	}
+	cfg.PerTap = 1
+	ds := gen.GenerateDataset(cfg)
+	dsCache[name] = ds
+	return ds
+}
+
+// serializedTrace is one trace as raw pcap bytes.
+type serializedTrace struct {
+	name string
+	pre  netip.Prefix
+	raw  []byte
+}
+
+func serializeDataset(ds *gen.Dataset) []serializedTrace {
+	var out []serializedTrace
+	for _, tr := range ds.Traces {
+		var buf bytes.Buffer
+		if err := gen.WriteTrace(&buf, ds.Config, tr); err != nil {
+			panic(fmt.Sprintf("bench: serializing trace: %v", err))
+		}
+		out = append(out, serializedTrace{name: tr.Prefix.String(), pre: tr.Prefix, raw: buf.Bytes()})
+	}
+	return out
+}
+
+func datasetPackets(ds *gen.Dataset) int64 {
+	var n int64
+	for _, tr := range ds.Traces {
+		n += int64(len(tr.Packets))
+	}
+	return n
+}
+
+func newAnalyzer(ds *gen.Dataset, workers int) *core.Analyzer {
+	return core.NewAnalyzer(core.Options{
+		Dataset:         ds.Config.Name,
+		KnownScanners:   enterprise.KnownScanners(),
+		PayloadAnalysis: ds.Config.Snaplen >= 1500,
+		Workers:         workers,
+	})
+}
+
+// Suite returns every perf-telemetry benchmark:
+//
+//   - decode: the zero-alloc layer decoder over one trace (B/op must
+//     stay 0 — this is the gate that keeps it that way).
+//   - pcap/read-trace[-pooled]: trace reading with owning vs recycled
+//     packets; the pooled variant is the hot path's read mode.
+//   - pipeline/stream/workers=N: the full streaming analysis
+//     (pcap bytes -> decode -> route -> shard -> replay -> report) at
+//     the determinism-pinned worker counts.
+//   - analyze/D0..D4: the in-memory measured unit behind every table and
+//     figure benchmark in bench_test.go, one per paper dataset.
+func Suite() []Benchmark {
+	var suite []Benchmark
+
+	suite = append(suite, Benchmark{
+		Name: "decode/d3",
+		F: func(b *testing.B) {
+			pkts := suiteDataset("D3").Traces[0].Packets
+			var p layers.Packet
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, pk := range pkts {
+					_ = layers.Decode(pk.Data, pk.OrigLen, &p)
+				}
+			}
+			reportPktsPerSec(b, int64(len(pkts)))
+		},
+	})
+
+	suite = append(suite, Benchmark{
+		Name: "pcap/read-trace",
+		F: func(b *testing.B) {
+			raw := serializeDataset(suiteDataset("D3"))[0]
+			b.ReportAllocs()
+			b.ResetTimer()
+			var n int64
+			for i := 0; i < b.N; i++ {
+				n = readTrace(b, raw.raw, nil)
+			}
+			reportPktsPerSec(b, n)
+		},
+	})
+
+	suite = append(suite, Benchmark{
+		Name: "pcap/read-trace-pooled",
+		F: func(b *testing.B) {
+			raw := serializeDataset(suiteDataset("D3"))[0]
+			pool := pcap.NewPool()
+			b.ReportAllocs()
+			b.ResetTimer()
+			var n int64
+			for i := 0; i < b.N; i++ {
+				n = readTrace(b, raw.raw, pool)
+			}
+			reportPktsPerSec(b, n)
+		},
+	})
+
+	for _, workers := range streamWorkerCounts {
+		workers := workers
+		suite = append(suite, Benchmark{
+			Name: fmt.Sprintf("pipeline/stream/workers=%d", workers),
+			F: func(b *testing.B) {
+				StreamBenchmark(b, suiteDataset("D3"), workers)
+			},
+		})
+	}
+
+	for _, dsName := range []string{"D0", "D1", "D2", "D3", "D4"} {
+		dsName := dsName
+		suite = append(suite, Benchmark{
+			Name: "analyze/" + dsName,
+			F: func(b *testing.B) {
+				ds := suiteDataset(dsName)
+				pkts := datasetPackets(ds)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a := newAnalyzer(ds, 4)
+					for _, tr := range ds.Traces {
+						if err := a.AddTrace(core.TraceInput{
+							Name:      tr.Prefix.String(),
+							Monitored: tr.Prefix,
+							Packets:   tr.Packets,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					a.Report()
+				}
+				reportPktsPerSec(b, pkts)
+			},
+		})
+	}
+
+	return suite
+}
+
+// StreamBenchmark measures the full streaming path — pcap bytes through
+// AddTraceReader's pooled read, decode, route, shard, replay, report —
+// at a fixed worker count, reporting allocations and pkts/sec. It is the
+// single definition of that workload: the entbench suite and the go-test
+// harness (BenchmarkPipelineStream* in determinism_test.go) both run it,
+// so the CI telemetry and the -benchmem numbers can never drift apart.
+// Traces are serialized once, outside the timed region.
+func StreamBenchmark(b *testing.B, ds *gen.Dataset, workers int) {
+	traces := serializeDataset(ds)
+	pkts := datasetPackets(ds)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := newAnalyzer(ds, workers)
+		for _, tr := range traces {
+			if err := a.AddTraceReader(tr.name, tr.pre, bytes.NewReader(tr.raw)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		a.Report()
+	}
+	b.StopTimer()
+	reportPktsPerSec(b, pkts)
+}
+
+// readTrace drains one serialized trace, optionally through a pool, and
+// returns the packet count.
+func readTrace(b *testing.B, raw []byte, pool *pcap.Pool) int64 {
+	rd, err := pcap.NewReader(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var n int64
+	if pool == nil {
+		for {
+			if _, err := rd.Next(); err != nil {
+				finishTrace(b, err)
+				return n
+			}
+			n++
+		}
+	}
+	src := pcap.NewPooledReader(rd, pool)
+	for {
+		p, err := src.Next()
+		if err != nil {
+			finishTrace(b, err)
+			return n
+		}
+		src.Release(p)
+		n++
+	}
+}
+
+// finishTrace distinguishes a clean end of trace from a read failure —
+// a truncated trace must fail the benchmark, not shrink its workload.
+func finishTrace(b *testing.B, err error) {
+	if err != io.EOF {
+		b.Fatalf("trace read failed mid-benchmark: %v", err)
+	}
+}
+
+// reportPktsPerSec attaches packet throughput to the benchmark result.
+// pkts is the packet count of ONE operation.
+func reportPktsPerSec(b *testing.B, pkts int64) {
+	if elapsed := b.Elapsed().Seconds(); elapsed > 0 {
+		b.ReportMetric(float64(pkts)*float64(b.N)/elapsed, "pkts/sec")
+	}
+}
+
+// RunSuite executes the suite entries matching filter (nil = all) and
+// returns their metrics as a report. progress, when non-nil, receives a
+// line per finished benchmark.
+func RunSuite(filter *regexp.Regexp, progress func(string)) *Report {
+	rep := NewReport()
+	for _, bm := range Suite() {
+		if filter != nil && !filter.MatchString(bm.Name) {
+			continue
+		}
+		res := testing.Benchmark(bm.F)
+		m := Metric{
+			Name:        bm.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			PktsPerSec:  res.Extra["pkts/sec"],
+		}
+		rep.Add(m)
+		if progress != nil {
+			progress(fmt.Sprintf("%-30s %12.0f ns/op %10d B/op %8d allocs/op %12.0f pkts/sec",
+				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.PktsPerSec))
+		}
+	}
+	return rep
+}

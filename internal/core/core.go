@@ -103,6 +103,9 @@ type Analyzer struct {
 	roleCounts map[roles.Role]int
 
 	traceCount int
+
+	// pool recycles capture buffers across AddTraceReader calls.
+	pool *pcap.Pool
 }
 
 // locSplit separates enterprise-internal from WAN-crossing traffic.
@@ -138,13 +141,26 @@ func (a *Analyzer) AddTrace(tr TraceInput) error {
 }
 
 // AddTraceReader streams one pcap trace through the pipeline without
-// materializing it: packets are read incrementally, decoded in batches,
-// and sharded across the configured worker count.
+// materializing it: packets are read incrementally through a recycled
+// packet pool (near-zero allocation per packet), decoded in batches, and
+// sharded across the configured worker count. The pool is per-Analyzer,
+// so buffers are reused across successive traces.
 func (a *Analyzer) AddTraceReader(name string, monitored netip.Prefix, r io.Reader) error {
-	src, err := pcap.NewReader(r)
+	rd, err := pcap.NewReader(r)
 	if err != nil {
 		return err
 	}
+	if a.pool == nil {
+		a.pool = pcap.NewPool()
+	}
+	return a.addSource(name, monitored, pcap.NewPooledReader(rd, a.pool))
+}
+
+// AddTraceSource runs one trace from an arbitrary packet source (for
+// example a pcap.Merger over several taps) through the pipeline. If src
+// implements pcap.Releaser, its packets are recycled as soon as analysis
+// is done with them.
+func (a *Analyzer) AddTraceSource(name string, monitored netip.Prefix, src pcap.PacketSource) error {
 	return a.addSource(name, monitored, src)
 }
 

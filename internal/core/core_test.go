@@ -240,6 +240,83 @@ func TestAddTraceReaderMatchesAddTrace(t *testing.T) {
 	}
 }
 
+// poisonSource wraps a pooled reader and scribbles over every released
+// buffer before it is recycled — unless the analyzer retained it. Any
+// analysis state that kept a slice into an unretained capture buffer
+// (violating the Retain contract) would read 0xAA garbage and change the
+// report.
+type poisonSource struct{ inner *pcap.PooledReader }
+
+func (s *poisonSource) Next() (*pcap.Packet, error) { return s.inner.Next() }
+
+// Release implements pcap.Releaser. Called from worker goroutines; p is
+// exclusively ours here, so the scribble is race-free.
+func (s *poisonSource) Release(p *pcap.Packet) {
+	if !p.Retained() {
+		for i := range p.Data {
+			p.Data[i] = 0xAA
+		}
+	}
+	s.inner.Release(p)
+}
+
+// TestRecycledBufferMutationDoesNotChangeReport guards the pooling
+// contract end to end: running the full analysis over a source that
+// actively corrupts every recycled buffer must produce the exact report
+// of the in-memory (never-recycled) path, at 1 and 4 workers.
+func TestRecycledBufferMutationDoesNotChangeReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end analysis in -short mode")
+	}
+	cfg := enterprise.D3()
+	cfg.Monitored = []int{2, enterprise.SubnetPrint}
+	cfg.Scale = 0.1
+	ds := gen.GenerateDataset(cfg)
+	newAnalyzer := func(workers int) *Analyzer {
+		return NewAnalyzer(Options{
+			Dataset:         "D3",
+			KnownScanners:   enterprise.KnownScanners(),
+			PayloadAnalysis: true,
+			Workers:         workers,
+		})
+	}
+	inMem := newAnalyzer(1)
+	poisoned1 := newAnalyzer(1)
+	poisoned4 := newAnalyzer(4)
+	for _, tr := range ds.Traces {
+		var raw bytes.Buffer
+		if err := gen.WriteTrace(&raw, cfg, tr); err != nil {
+			t.Fatal(err)
+		}
+		var trunc []*pcap.Packet
+		for _, p := range tr.Packets {
+			cp := *p
+			cp.Timestamp = p.Timestamp.Truncate(time.Microsecond)
+			trunc = append(trunc, &cp)
+		}
+		if err := inMem.AddTrace(TraceInput{Name: tr.Prefix.String(), Monitored: tr.Prefix, Packets: trunc}); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range []*Analyzer{poisoned1, poisoned4} {
+			rd, err := pcap.NewReader(bytes.NewReader(raw.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := &poisonSource{inner: pcap.NewPooledReader(rd, nil)}
+			if err := a.AddTraceSource(tr.Prefix.String(), tr.Prefix, src); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	want := inMem.Report()
+	if got := poisoned1.Report(); !reflect.DeepEqual(want, got) {
+		t.Error("1-worker report changed when recycled buffers were mutated")
+	}
+	if got := poisoned4.Report(); !reflect.DeepEqual(want, got) {
+		t.Error("4-worker report changed when recycled buffers were mutated")
+	}
+}
+
 func TestHeaderOnlyDatasetSkipsPayload(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end analysis in -short mode")

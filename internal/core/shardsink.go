@@ -6,6 +6,7 @@ import (
 
 	"enttrace/internal/flows"
 	"enttrace/internal/layers"
+	"enttrace/internal/pcap"
 	"enttrace/internal/reassembly"
 	"enttrace/internal/stats"
 )
@@ -97,16 +98,20 @@ func (s *shardSink) Undecodable(idx int64) {
 	s.netLayer.Inc("undecodable")
 }
 
-// Packet implements pipeline.Sink.
-func (s *shardSink) Packet(idx int64, ts time.Time, p *layers.Packet, wireLen int, conn *flows.Conn, dir flows.Dir) {
+// Packet implements pipeline.Sink. pk may come from a recycled-buffer
+// source: anything that outlives this call must either copy out of
+// pk.Data (TCP reassembly buffers do) or call pk.Retain() (UDP capture
+// does), or a reused buffer would leak other packets' bytes into the
+// analysis.
+func (s *shardSink) Packet(idx int64, pk *pcap.Packet, p *layers.Packet, conn *flows.Conn, dir flows.Dir) {
 	s.countNetLayer(p)
 	s.recordHosts(p)
-	s.bin(ts, wireLen)
+	s.bin(pk.Timestamp, pk.OrigLen)
 	if !s.opts.PayloadAnalysis || conn == nil {
 		return
 	}
 	if p.Layers.Has(layers.LayerUDP) {
-		s.captureUDP(idx, ts, p)
+		s.captureUDP(idx, pk, p)
 		return
 	}
 	if !p.Layers.Has(layers.LayerTCP) {
@@ -171,15 +176,19 @@ func newConnStreams(name string, conn *flows.Conn) *connStreams {
 }
 
 // captureUDP records datagrams for the message-based analyzers. The
-// payload slice references the capture buffer, which outlives the run.
-func (s *shardSink) captureUDP(idx int64, ts time.Time, p *layers.Packet) {
+// payload slice references the capture buffer, so the packet is retained:
+// a pooled source must not recycle it while the replay still holds the
+// slice. These are the few packets per trace the Retain contract exists
+// for — everything else is copied (reassembly) or consumed immediately.
+func (s *shardSink) captureUDP(idx int64, pk *pcap.Packet, p *layers.Packet) {
 	if len(p.Payload) == 0 || !udpAppPorts(p.UDP.SrcPort, p.UDP.DstPort) {
 		return
 	}
+	pk.Retain()
 	src, _ := p.NetSrc()
 	dst, _ := p.NetDst()
 	s.udp = append(s.udp, udpEvent{
-		idx: idx, ts: ts, src: src, dst: dst,
+		idx: idx, ts: pk.Timestamp, src: src, dst: dst,
 		srcPort: p.UDP.SrcPort, dstPort: p.UDP.DstPort,
 		payload: p.Payload,
 	})

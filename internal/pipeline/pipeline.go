@@ -47,9 +47,12 @@ type Sink interface {
 	// Packet is called for every successfully decoded packet routed to
 	// this shard, in global read order within the shard. conn is nil for
 	// packets with no transport flow (ARP, IPX, fragments); p is reused
-	// between calls and must not be retained, though slices into the
-	// capture data (p.Payload) remain valid.
-	Packet(idx int64, ts time.Time, p *layers.Packet, wireLen int, conn *flows.Conn, dir flows.Dir)
+	// between calls and must not be retained. pk is the raw capture
+	// record: when the source recycles packets (pcap.Releaser), pk and
+	// any slice into pk.Data — including p.Payload — are valid only
+	// until Packet returns, unless the sink calls pk.Retain() to keep
+	// the buffer out of the pool.
+	Packet(idx int64, pk *pcap.Packet, p *layers.Packet, conn *flows.Conn, dir flows.Dir)
 	// Undecodable is called for packets layers.Decode rejects.
 	Undecodable(idx int64)
 }
@@ -128,6 +131,11 @@ type worker struct {
 	firstIdx map[*flows.Conn]int64
 	pkt      layers.Packet
 	in       chan []item
+	// release recycles a packet once the worker is done with it; nil
+	// when the source does not pool packets.
+	release func(*pcap.Packet)
+	// batches takes emptied batch slices back for the router to refill.
+	batches *batchPool
 }
 
 func newWorker(shard int, cfg Config, base time.Time) *worker {
@@ -157,7 +165,7 @@ func (w *worker) process(it item) {
 		}
 	}
 	if w.sink != nil {
-		w.sink.Packet(it.idx, pk.Timestamp, &w.pkt, pk.OrigLen, conn, dir)
+		w.sink.Packet(it.idx, pk, &w.pkt, conn, dir)
 	}
 }
 
@@ -165,9 +173,54 @@ func (w *worker) drain() {
 	for batch := range w.in {
 		for _, it := range batch {
 			w.process(it)
+			if w.release != nil {
+				w.release(it.p)
+			}
+		}
+		if w.batches != nil {
+			w.batches.put(batch)
 		}
 	}
 }
+
+// batchPool is a fixed-size free list of routed-batch slices, recycled
+// between the router (get/refill) and the workers (put after drain). A
+// plain buffered channel keeps it allocation-free in steady state and
+// safe across goroutines; when the list runs dry the router falls back
+// to allocating, so it can never deadlock.
+type batchPool struct {
+	free      chan []item
+	batchSize int
+}
+
+func newBatchPool(workers, batchSize int) *batchPool {
+	// Capacity covers every batch that can be in flight at once: per
+	// worker, the channel buffer plus one being drained plus one being
+	// filled by the router.
+	return &batchPool{
+		free:      make(chan []item, workers*(workerQueueDepth+2)),
+		batchSize: batchSize,
+	}
+}
+
+func (p *batchPool) get() []item {
+	select {
+	case b := <-p.free:
+		return b[:0]
+	default:
+		return make([]item, 0, p.batchSize)
+	}
+}
+
+func (p *batchPool) put(b []item) {
+	select {
+	case p.free <- b:
+	default:
+	}
+}
+
+// workerQueueDepth is each worker's input channel buffer, in batches.
+const workerQueueDepth = 4
 
 func (w *worker) finish() ShardResult {
 	w.tbl.Flush()
@@ -202,14 +255,25 @@ func Run(src Source, cfg Config) (*Result, error) {
 	base := first.Timestamp
 	res := &Result{Base: base}
 
-	if workers == 1 {
-		return runSerial(src, first, cfg, res)
+	// Pooled sources get their packets back as soon as a worker is done
+	// with them; sinks keep buffers alive across that boundary by
+	// calling Retain.
+	var release func(*pcap.Packet)
+	if rel, ok := src.(pcap.Releaser); ok {
+		release = rel.Release
 	}
 
+	if workers == 1 {
+		return runSerial(src, first, cfg, res, release)
+	}
+
+	batches := newBatchPool(workers, batchSize)
 	ws := make([]*worker, workers)
 	for i := 0; i < workers; i++ {
 		ws[i] = newWorker(i, cfg, base)
-		ws[i].in = make(chan []item, 4)
+		ws[i].in = make(chan []item, workerQueueDepth)
+		ws[i].release = release
+		ws[i].batches = batches
 	}
 	done := make(chan int, workers)
 	for _, w := range ws {
@@ -221,10 +285,13 @@ func Run(src Source, cfg Config) (*Result, error) {
 	}
 
 	pending := make([][]item, workers)
+	for s := range pending {
+		pending[s] = batches.get()
+	}
 	flush := func(s int) {
 		if len(pending[s]) > 0 {
 			ws[s].in <- pending[s]
-			pending[s] = make([]item, 0, batchSize)
+			pending[s] = batches.get()
 		}
 	}
 
@@ -263,13 +330,16 @@ func Run(src Source, cfg Config) (*Result, error) {
 // runSerial is the single-worker fast path: no goroutines, no channels.
 // It is the sequential baseline the parallel path is benchmarked against
 // and must produce byte-identical results to it.
-func runSerial(src Source, first *pcap.Packet, cfg Config, res *Result) (*Result, error) {
+func runSerial(src Source, first *pcap.Packet, cfg Config, res *Result, release func(*pcap.Packet)) (*Result, error) {
 	w := newWorker(0, cfg, first.Timestamp)
 	var readErr error
 	pk := first
 	var idx int64
 	for {
 		w.process(item{idx: idx, p: pk})
+		if release != nil {
+			release(pk)
+		}
 		idx++
 		var err error
 		pk, err = src.Next()

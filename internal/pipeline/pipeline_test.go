@@ -145,6 +145,57 @@ func TestPcapSourceMatchesSliceSource(t *testing.T) {
 	}
 }
 
+// pcapBytes serializes packets to a classic pcap stream (microsecond
+// timestamps, so inputs should already be microsecond-aligned).
+func pcapBytes(t testing.TB, pkts []*pcap.Packet) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := pcap.NewWriter(&buf, 0, pcap.LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pkts {
+		if err := w.WriteCaptured(p.Timestamp, p.Data, p.OrigLen); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestPooledSourceMatchesSliceSource runs the same trace through a
+// recycled-packet source and an owning slice source at several worker
+// counts: connection results must be identical, pinning that buffer
+// reuse never corrupts flow state.
+func TestPooledSourceMatchesSliceSource(t *testing.T) {
+	var pkts []*pcap.Packet
+	for _, p := range testTrace(t) {
+		cp := *p
+		cp.Timestamp = p.Timestamp.Truncate(time.Microsecond)
+		pkts = append(pkts, &cp)
+	}
+	raw := pcapBytes(t, pkts)
+	for _, workers := range []int{1, 4, 8} {
+		rd, err := pcap.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			t.Fatal(err)
+		}
+		pooled, err := Run(pcap.NewPooledReader(rd, nil), Config{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		slice := runWorkers(t, pkts, workers)
+		got, want := fingerprints(pooled), fingerprints(slice)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: pooled %d conns, slice %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: conn %d differs between pooled and slice sources", workers, i)
+			}
+		}
+	}
+}
+
 func TestEmptySource(t *testing.T) {
 	res, err := Run(pcap.NewSliceSource(nil), Config{Workers: 4})
 	if err != nil {
