@@ -10,6 +10,7 @@
 //	entbench -run 'pipeline/'                 # subset
 //	entbench -o BENCH_baseline.json           # write/refresh the committed baseline
 //	entbench -against BENCH_baseline.json -tolerance 10%   # CI gate
+//	entbench -memprofile mem.pprof -cpuprofile cpu.pprof   # diagnosable artifacts
 //
 // Gating model: allocs/op and B/op are compared under -tolerance (they
 // are stable for a given Go version); ns/op and pkts/sec are compared
@@ -21,7 +22,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -37,6 +41,8 @@ func main() {
 	tolerance := flag.String("tolerance", "10%", "allowed allocs/op and B/op growth vs the baseline")
 	timeTolerance := flag.String("time-tolerance", "", "allowed ns/op growth and pkts/sec decay; empty disables wall-clock gating")
 	list := flag.Bool("list", false, "list benchmark names and exit")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
+	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile taken after the run to this file")
 	flag.Parse()
 
 	if *list {
@@ -58,9 +64,43 @@ func main() {
 		tol.Time = parsePercent(*timeTolerance, "-time-tolerance")
 	}
 
+	// Profiles make a CI regression diagnosable from the uploaded
+	// artifact alone: rerun the failing entry locally with the same flags
+	// and `go tool pprof` the result. The CPU profile is stopped (and the
+	// file flushed) as soon as the suite finishes — not deferred — because
+	// the regression gate below exits with os.Exit, which would skip
+	// defers and truncate the profile exactly when it is needed.
+	stopCPU := func() {}
+	if *cpuProfile != "" {
+		f, err := createFile(*cpuProfile)
+		if err != nil {
+			fatalf("creating -cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		stopCPU = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+
 	rep := bench.RunSuite(filter, func(line string) { fmt.Fprintln(os.Stderr, line) })
+	stopCPU()
 	if len(rep.Metrics) == 0 {
 		fatalf("no benchmarks matched -run %q", *runFilter)
+	}
+
+	if *memProfile != "" {
+		f, err := createFile(*memProfile)
+		if err != nil {
+			fatalf("creating -memprofile: %v", err)
+		}
+		runtime.GC() // flush accumulated allocation stats
+		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+			fatalf("writing heap profile: %v", err)
+		}
+		f.Close()
 	}
 	rep.CreatedAt = time.Now().UTC().Format(time.RFC3339)
 
@@ -114,6 +154,17 @@ func parsePercent(s, flagName string) float64 {
 		v /= 100
 	}
 	return v
+}
+
+// createFile creates path, making parent directories as needed (profile
+// outputs usually live next to the report in the -out directory).
+func createFile(path string) (*os.File, error) {
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	return os.Create(path)
 }
 
 func fatalf(format string, args ...any) {

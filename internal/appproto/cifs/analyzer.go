@@ -57,10 +57,13 @@ func (a *Analyzer) Stream(fromClient bool, netbiosFramed bool, stream []byte) {
 	}
 }
 
-// consumeSMB walks back-to-back SMB messages in a buffer.
+// consumeSMB walks back-to-back SMB messages in a buffer, reusing one
+// Message across iterations (DecodeInto overwrites it).
 func (a *Analyzer) consumeSMB(fromClient bool, buf []byte) {
+	var msg Message
 	for len(buf) > 0 {
-		m, n, err := Decode(buf)
+		m := &msg
+		n, err := DecodeInto(buf, m)
 		if err != nil || n == 0 {
 			return
 		}

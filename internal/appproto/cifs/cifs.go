@@ -108,11 +108,23 @@ func Encode(m *Message) []byte {
 // number of bytes consumed. Truncated payloads are tolerated: DataLen
 // holds the claimed size, Payload whatever was captured.
 func Decode(data []byte) (*Message, int, error) {
+	m := &Message{}
+	n, err := DecodeInto(data, m)
+	if err != nil {
+		return nil, 0, err
+	}
+	return m, n, nil
+}
+
+// DecodeInto parses one SMB message into a caller-owned Message, the
+// allocation-light variant stream walkers use. m is overwritten; Payload
+// borrows data.
+func DecodeInto(data []byte, m *Message) (int, error) {
 	if len(data) < 32 || data[0] != smbMagic[0] || data[1] != smbMagic[1] ||
 		data[2] != smbMagic[2] || data[3] != smbMagic[3] {
-		return nil, 0, ErrNotSMB
+		return 0, ErrNotSMB
 	}
-	m := &Message{
+	*m = Message{
 		Command:  data[4],
 		Status:   binary.LittleEndian.Uint32(data[5:9]),
 		Response: data[9]&0x80 != 0,
@@ -121,7 +133,7 @@ func Decode(data []byte) (*Message, int, error) {
 	}
 	body := data[32:]
 	if len(body) < 7 {
-		return m, len(data), nil // header-only capture
+		return len(data), nil // header-only capture
 	}
 	dataLen := int(binary.LittleEndian.Uint16(body[1:3]))
 	nameLen := int(binary.LittleEndian.Uint16(body[3:5]))
@@ -131,7 +143,11 @@ func Decode(data []byte) (*Message, int, error) {
 		if n > len(rest) {
 			n = len(rest)
 		}
-		m.PipeName = strings.TrimRight(string(rest[:n]), "\x00")
+		nameBytes := rest[:n]
+		for len(nameBytes) > 0 && nameBytes[len(nameBytes)-1] == 0 {
+			nameBytes = nameBytes[:len(nameBytes)-1]
+		}
+		m.PipeName = internPipe(nameBytes)
 		rest = rest[n:]
 	}
 	m.DataLen = dataLen
@@ -143,7 +159,23 @@ func Decode(data []byte) (*Message, int, error) {
 	if consumed > len(data) {
 		consumed = len(data)
 	}
-	return m, consumed, nil
+	return consumed, nil
+}
+
+// wellKnownPipes are the pipe names seen in the traces; interning them
+// makes pipe-transaction decoding allocation-free for the common case.
+var wellKnownPipes = []string{
+	LanmanPipe, `\PIPE\spoolss`, `\PIPE\srvsvc`, `\PIPE\wkssvc`,
+	`\PIPE\NETLOGON`, `\PIPE\lsarpc`, `\PIPE\samr`, `\PIPE\epmapper`,
+}
+
+func internPipe(b []byte) string {
+	for _, p := range wellKnownPipes {
+		if len(b) == len(p) && string(b) == p {
+			return p
+		}
+	}
+	return string(b)
 }
 
 // Category buckets a message per Table 10.
@@ -156,7 +188,7 @@ func Category(m *Message) string {
 		if strings.EqualFold(m.PipeName, LanmanPipe) {
 			return CatLanman
 		}
-		if strings.HasPrefix(strings.ToUpper(m.PipeName), `\PIPE\`) {
+		if len(m.PipeName) >= 6 && strings.EqualFold(m.PipeName[:6], `\PIPE\`) {
 			return CatPipes
 		}
 		return CatOther

@@ -29,12 +29,23 @@ type Analyzer struct {
 	Rcodes  *stats.Counter // return code mix (by distinct name+hostpair)
 	Clients *stats.Counter // requests per client
 	Latency *stats.Dist    // seconds
-	seenOp  map[string]struct{}
+	seenOp  map[opKey]struct{}
+	// addrNames caches formatted client addresses; a busy client would
+	// otherwise be re-rendered once per request.
+	addrNames map[netip.Addr]string
 }
 
 type pendKey struct {
 	client, server netip.Addr
 	id             uint16
+}
+
+// opKey identifies one distinct operation: a name asked between one host
+// pair. A comparable struct key avoids building a concatenated string per
+// response.
+type opKey struct {
+	qname          string
+	client, server netip.Addr
 }
 
 type pend struct {
@@ -46,13 +57,24 @@ type pend struct {
 // NewAnalyzer returns an empty analyzer.
 func NewAnalyzer() *Analyzer {
 	return &Analyzer{
-		pending: make(map[pendKey]pend),
-		Types:   stats.NewCounter(),
-		Rcodes:  stats.NewCounter(),
-		Clients: stats.NewCounter(),
-		Latency: stats.NewDist(),
-		seenOp:  make(map[string]struct{}),
+		pending:   make(map[pendKey]pend),
+		Types:     stats.NewCounter(),
+		Rcodes:    stats.NewCounter(),
+		Clients:   stats.NewCounter(),
+		Latency:   stats.NewDist(),
+		seenOp:    make(map[opKey]struct{}),
+		addrNames: make(map[netip.Addr]string),
 	}
+}
+
+// addrString formats addr, caching the result per analyzer.
+func (a *Analyzer) addrString(addr netip.Addr) string {
+	if s, ok := a.addrNames[addr]; ok {
+		return s
+	}
+	s := addr.String()
+	a.addrNames[addr] = s
+	return s
 }
 
 // Message feeds one decoded DNS message seen at time ts traveling
@@ -60,7 +82,7 @@ func NewAnalyzer() *Analyzer {
 func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *Message) {
 	if !m.Response {
 		a.Types.Inc(TypeName(m.QType))
-		a.Clients.Inc(src.String())
+		a.Clients.Inc(a.addrString(src))
 		a.pending[pendKey{client: src, server: dst, id: m.ID}] = pend{qname: m.QName, qtype: m.QType, at: ts}
 		return
 	}
@@ -74,9 +96,9 @@ func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *Message) {
 	a.Latency.Observe(lat.Seconds())
 	// The paper counts success/failure by distinct operation (name,
 	// host pair), not raw message count, to avoid retry skew.
-	opKey := q.qname + "|" + dst.String() + "|" + src.String()
-	if _, dup := a.seenOp[opKey]; !dup {
-		a.seenOp[opKey] = struct{}{}
+	op := opKey{qname: q.qname, client: dst, server: src}
+	if _, dup := a.seenOp[op]; !dup {
+		a.seenOp[op] = struct{}{}
 		a.Rcodes.Inc(rcodeName(m.Rcode))
 	}
 	a.Done = append(a.Done, Transaction{

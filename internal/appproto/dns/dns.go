@@ -115,10 +115,22 @@ func appendName(buf []byte, name string) []byte {
 
 // Decode parses a DNS message.
 func Decode(data []byte) (*Message, error) {
-	if len(data) < 12 {
-		return nil, ErrShortMessage
+	m := &Message{}
+	if err := DecodeInto(data, m); err != nil {
+		return nil, err
 	}
-	m := &Message{
+	return m, nil
+}
+
+// DecodeInto parses a DNS message into a caller-owned Message — the
+// allocation-light variant the hot path uses (only the question name is
+// materialized, as one string). m is overwritten; on error its contents
+// are unspecified.
+func DecodeInto(data []byte, m *Message) error {
+	if len(data) < 12 {
+		return ErrShortMessage
+	}
+	*m = Message{
 		ID:          uint16(data[0])<<8 | uint16(data[1]),
 		Response:    data[2]&0x80 != 0,
 		Rcode:       data[3] & 0x0f,
@@ -126,26 +138,28 @@ func Decode(data []byte) (*Message, error) {
 	}
 	qd := uint16(data[4])<<8 | uint16(data[5])
 	if qd == 0 {
-		return m, nil
+		return nil
 	}
 	name, off, err := decodeName(data, 12)
 	if err != nil {
-		return nil, err
+		return err
 	}
 	m.QName = name
 	if off+4 > len(data) {
-		return nil, ErrShortMessage
+		return ErrShortMessage
 	}
 	m.QType = uint16(data[off])<<8 | uint16(data[off+1])
-	return m, nil
+	return nil
 }
 
 // decodeName parses a possibly-compressed name starting at off, returning
-// the dotted name and the offset just past it.
+// the dotted name and the offset just past it. Labels accumulate in a
+// stack buffer so the dotted name costs a single string allocation.
 func decodeName(data []byte, off int) (string, int, error) {
-	var labels []string
+	var stack [256]byte
+	name := stack[:0]
 	end := -1 // offset after the name at the original position
-	jumps := 0
+	jumps, labels := 0, 0
 	for {
 		if off >= len(data) {
 			return "", 0, ErrBadName
@@ -156,7 +170,7 @@ func decodeName(data []byte, off int) (string, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			return strings.Join(labels, "."), end, nil
+			return string(name), end, nil
 		case b&0xc0 == 0xc0:
 			if off+1 >= len(data) {
 				return "", 0, ErrBadName
@@ -174,9 +188,13 @@ func decodeName(data []byte, off int) (string, int, error) {
 			if off+1+l > len(data) {
 				return "", 0, ErrBadName
 			}
-			labels = append(labels, string(data[off+1:off+1+l]))
+			if len(name) > 0 {
+				name = append(name, '.')
+			}
+			name = append(name, data[off+1:off+1+l]...)
 			off += 1 + l
-			if len(labels) > 128 {
+			labels++
+			if labels > 128 {
 				return "", 0, ErrBadName
 			}
 		}

@@ -10,7 +10,6 @@ package http
 import (
 	"bytes"
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -63,19 +62,48 @@ const (
 // This mirrors how the authors separated non-browsing activity from user
 // browsing before computing the rest of the HTTP statistics.
 func ClassifyAgent(ua string) string {
-	low := strings.ToLower(ua)
 	switch {
-	case strings.Contains(low, "site-scanner"):
+	case containsFold(ua, "site-scanner"):
 		return ClientScanner
-	case strings.Contains(low, "googlebot-1"):
+	case containsFold(ua, "googlebot-1"):
 		return ClientGoogle1
-	case strings.Contains(low, "googlebot-2"):
+	case containsFold(ua, "googlebot-2"):
 		return ClientGoogle2
-	case strings.Contains(low, "ifolder"):
+	case containsFold(ua, "ifolder"):
 		return ClientIFolder
 	default:
 		return ClientBrowser
 	}
+}
+
+// containsFold reports whether s contains sub under ASCII case folding;
+// sub must be lowercase. It is the allocation-free stand-in for
+// strings.Contains(strings.ToLower(s), sub) on this hot path.
+func containsFold(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if equalFold(s[i:i+len(sub)], sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// equalFold reports a == lower(b) where lower is the lowercase form of a;
+// b must already be lowercase ASCII.
+func equalFold(a, lower string) bool {
+	for i := 0; i < len(a); i++ {
+		c := a[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Automated reports whether the class is one of the Table 6 automated
@@ -147,7 +175,8 @@ func fillBody(n int) []byte {
 
 // ParseRequests parses a reassembled client→server stream into requests.
 // Parsing is tolerant: a malformed head terminates the parse, returning
-// what was recognized.
+// what was recognized. The stream is borrowed: every retained field is an
+// owned string copy, so the caller may recycle the buffer afterwards.
 func ParseRequests(stream []byte) []Request {
 	var out []Request
 	for len(stream) > 0 {
@@ -155,28 +184,31 @@ func ParseRequests(stream []byte) []Request {
 		if !ok {
 			break
 		}
-		lines := strings.Split(head, "\r\n")
-		parts := strings.SplitN(lines[0], " ", 3)
-		if len(parts) != 3 || !strings.HasPrefix(parts[2], "HTTP/") {
+		first, hdrs := cutLine(head)
+		method, after, ok1 := cutByte(first, ' ')
+		uri, version, ok2 := cutByte(after, ' ')
+		if !ok1 || !ok2 || !bytes.HasPrefix(version, []byte("HTTP/")) {
 			break
 		}
-		r := Request{Method: parts[0], URI: parts[1]}
+		r := Request{Method: internMethod(method), URI: string(uri)}
 		cl := 0
-		for _, ln := range lines[1:] {
-			name, val, found := strings.Cut(ln, ":")
+		for len(hdrs) > 0 {
+			var ln []byte
+			ln, hdrs = cutLine(hdrs)
+			name, val, found := cutByte(ln, ':')
 			if !found {
 				continue
 			}
-			val = strings.TrimSpace(val)
-			switch strings.ToLower(name) {
-			case "host":
-				r.Host = val
-			case "user-agent":
-				r.UserAgent = val
-			case "if-modified-since", "if-none-match":
+			val = trimSpace(val)
+			switch {
+			case nameIs(name, "host"):
+				r.Host = string(val)
+			case nameIs(name, "user-agent"):
+				r.UserAgent = string(val)
+			case nameIs(name, "if-modified-since"), nameIs(name, "if-none-match"):
 				r.Conditional = true
-			case "content-length":
-				cl, _ = strconv.Atoi(val)
+			case nameIs(name, "content-length"):
+				cl = parseInt(val)
 			}
 		}
 		if cl > len(rest) {
@@ -190,6 +222,7 @@ func ParseRequests(stream []byte) []Request {
 }
 
 // ParseResponses parses a reassembled server→client stream into responses.
+// The stream is borrowed; see ParseRequests.
 func ParseResponses(stream []byte) []Response {
 	var out []Response
 	for len(stream) > 0 {
@@ -197,31 +230,37 @@ func ParseResponses(stream []byte) []Response {
 		if !ok {
 			break
 		}
-		lines := strings.Split(head, "\r\n")
-		parts := strings.SplitN(lines[0], " ", 3)
-		if len(parts) < 2 || !strings.HasPrefix(parts[0], "HTTP/") {
+		first, hdrs := cutLine(head)
+		version, after, ok1 := cutByte(first, ' ')
+		if !ok1 || !bytes.HasPrefix(version, []byte("HTTP/")) {
 			break
 		}
-		status, err := strconv.Atoi(parts[1])
-		if err != nil {
+		codeStr := after
+		if i := bytes.IndexByte(after, ' '); i >= 0 {
+			codeStr = after[:i]
+		}
+		status := parseInt(codeStr)
+		if status <= 0 {
 			break
 		}
 		r := Response{Status: status}
 		cl := 0
-		for _, ln := range lines[1:] {
-			name, val, found := strings.Cut(ln, ":")
+		for len(hdrs) > 0 {
+			var ln []byte
+			ln, hdrs = cutLine(hdrs)
+			name, val, found := cutByte(ln, ':')
 			if !found {
 				continue
 			}
-			val = strings.TrimSpace(val)
-			switch strings.ToLower(name) {
-			case "content-type":
-				if semi := strings.IndexByte(val, ';'); semi >= 0 {
+			val = trimSpace(val)
+			switch {
+			case nameIs(name, "content-type"):
+				if semi := bytes.IndexByte(val, ';'); semi >= 0 {
 					val = val[:semi]
 				}
-				r.ContentType = val
-			case "content-length":
-				cl, _ = strconv.Atoi(val)
+				r.ContentType = string(val)
+			case nameIs(name, "content-length"):
+				cl = parseInt(val)
 			}
 		}
 		if cl > len(rest) {
@@ -234,11 +273,95 @@ func ParseResponses(stream []byte) []Response {
 	return out
 }
 
-// splitHead cuts the header block (up to CRLFCRLF) from a stream.
-func splitHead(stream []byte) (head string, rest []byte, ok bool) {
+// splitHead cuts the header block (up to CRLFCRLF) from a stream without
+// copying it.
+func splitHead(stream []byte) (head, rest []byte, ok bool) {
 	idx := bytes.Index(stream, []byte("\r\n\r\n"))
 	if idx < 0 {
-		return "", nil, false
+		return nil, nil, false
 	}
-	return string(stream[:idx]), stream[idx+4:], true
+	return stream[:idx], stream[idx+4:], true
+}
+
+// cutLine splits off the first CRLF-terminated line; the remainder is
+// everything after the CRLF (or empty).
+func cutLine(b []byte) (line, rest []byte) {
+	if i := bytes.Index(b, []byte("\r\n")); i >= 0 {
+		return b[:i], b[i+2:]
+	}
+	return b, nil
+}
+
+// cutByte is bytes.Cut with a single-byte separator.
+func cutByte(b []byte, sep byte) (before, after []byte, found bool) {
+	if i := bytes.IndexByte(b, sep); i >= 0 {
+		return b[:i], b[i+1:], true
+	}
+	return b, nil, false
+}
+
+func trimSpace(b []byte) []byte {
+	for len(b) > 0 && (b[0] == ' ' || b[0] == '\t') {
+		b = b[1:]
+	}
+	for len(b) > 0 && (b[len(b)-1] == ' ' || b[len(b)-1] == '\t') {
+		b = b[:len(b)-1]
+	}
+	return b
+}
+
+// nameIs reports whether a header name equals the lowercase target under
+// ASCII case folding.
+func nameIs(name []byte, lower string) bool {
+	if len(name) != len(lower) {
+		return false
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if 'A' <= c && c <= 'Z' {
+			c += 'a' - 'A'
+		}
+		if c != lower[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// parseInt is a minimal non-negative integer parser (0 on malformed
+// input, matching the old strconv.Atoi error-ignoring behaviour).
+func parseInt(b []byte) int {
+	n := 0
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0
+		}
+		n = n*10 + int(c-'0')
+		if n < 0 {
+			return 0
+		}
+	}
+	if len(b) == 0 {
+		return 0
+	}
+	return n
+}
+
+// internMethod returns the canonical string for common request methods so
+// parsing a request usually costs no method allocation.
+func internMethod(m []byte) string {
+	switch {
+	case bytes.Equal(m, []byte("GET")):
+		return "GET"
+	case bytes.Equal(m, []byte("POST")):
+		return "POST"
+	case bytes.Equal(m, []byte("HEAD")):
+		return "HEAD"
+	case bytes.Equal(m, []byte("PUT")):
+		return "PUT"
+	case bytes.Equal(m, []byte("OPTIONS")):
+		return "OPTIONS"
+	default:
+		return string(m)
+	}
 }

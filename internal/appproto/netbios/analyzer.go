@@ -16,8 +16,16 @@ type Analyzer struct {
 	Clients   *stats.Counter // requests per client
 	Rcodes    *stats.Counter // per-distinct-operation outcome
 
-	pending map[pendKey]pendVal
-	seenOp  map[string]struct{}
+	pending   map[pendKey]pendVal
+	seenOp    map[opKey]struct{}
+	addrNames map[netip.Addr]string
+}
+
+// opKey identifies one distinct operation (name asked between one host
+// pair) without building a concatenated string per response.
+type opKey struct {
+	name           string
+	client, server netip.Addr
 }
 
 type pendKey struct {
@@ -38,8 +46,19 @@ func NewAnalyzer() *Analyzer {
 		Clients:   stats.NewCounter(),
 		Rcodes:    stats.NewCounter(),
 		pending:   make(map[pendKey]pendVal),
-		seenOp:    make(map[string]struct{}),
+		seenOp:    make(map[opKey]struct{}),
+		addrNames: make(map[netip.Addr]string),
 	}
+}
+
+// addrString formats addr, caching the result per analyzer.
+func (a *Analyzer) addrString(addr netip.Addr) string {
+	if s, ok := a.addrNames[addr]; ok {
+		return s
+	}
+	s := addr.String()
+	a.addrNames[addr] = s
+	return s
 }
 
 // Message feeds one decoded NS message traveling src → dst at ts.
@@ -49,7 +68,7 @@ func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *NSMessage) {
 		if m.Op == OpQuery {
 			a.NameTypes.Inc(SuffixClass(m.Suffix))
 		}
-		a.Clients.Inc(src.String())
+		a.Clients.Inc(a.addrString(src))
 		a.pending[pendKey{client: src, server: dst, id: m.ID}] = pendVal{name: m.Name, op: m.Op}
 		return
 	}
@@ -62,11 +81,11 @@ func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *NSMessage) {
 	if q.op != OpQuery {
 		return // outcome accounting covers queries only, like the paper
 	}
-	opKey := q.name + "|" + dst.String() + "|" + src.String()
-	if _, dup := a.seenOp[opKey]; dup {
+	op := opKey{name: q.name, client: dst, server: src}
+	if _, dup := a.seenOp[op]; dup {
 		return
 	}
-	a.seenOp[opKey] = struct{}{}
+	a.seenOp[op] = struct{}{}
 	if m.Rcode == RcodeNXDomain {
 		a.Rcodes.Inc("NXDOMAIN")
 	} else {

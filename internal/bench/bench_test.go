@@ -199,7 +199,9 @@ func TestSuiteNamesUniqueAndStable(t *testing.T) {
 	// the baseline comparison into a no-op.
 	for _, want := range []string{"decode/d3", "pcap/read-trace-pooled",
 		"pipeline/stream/workers=1", "pipeline/stream/workers=4",
-		"pipeline/stream/workers=8", "analyze/D0", "analyze/D4"} {
+		"pipeline/stream/workers=8", "analyze/D0", "analyze/D4",
+		"reassembly/in-order", "reassembly/out-of-order",
+		"stats/dist-observe"} {
 		if !seen[want] {
 			t.Errorf("suite is missing %q", want)
 		}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"testing"
+
+	"enttrace/internal/reassembly"
+	"enttrace/internal/stats"
+)
+
+// Hot-path micro-benchmarks for the reassembly and stats layers. Like
+// decode/d3, these exist primarily as CI alloc gates: the zero-copy
+// reassembly path and the compact Dist representation each make a
+// steady-state allocation promise, and these entries are what holds the
+// promise against the committed baseline.
+
+// reassemblyBenchmarks covers the two Stream regimes: pure in-order
+// delivery (borrowed slices, nothing buffered) and heavy out-of-order
+// with overlap (pooled segment copies, recycled every drain).
+func reassemblyBenchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "reassembly/in-order",
+			F: func(b *testing.B) {
+				data := make([]byte, 1460)
+				for i := range data {
+					data[i] = byte(i)
+				}
+				var c reassembly.BufferConsumer
+				c.Limit = 1 // measure reassembly, not buffer retention
+				s := reassembly.NewStream(&c)
+				seq := uint32(0)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.Segment(seq, data)
+					seq += uint32(len(data))
+				}
+			},
+		},
+		{
+			Name: "reassembly/out-of-order",
+			F: func(b *testing.B) {
+				data := make([]byte, 1460)
+				var c reassembly.BufferConsumer
+				c.Limit = 1
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// One op = an 8-segment burst delivered in reverse,
+					// with a duplicate mixed in: every segment but the
+					// last is buffered via the pool and drained at once.
+					var s reassembly.Stream
+					s.Init(&c)
+					base := uint32(i) * 64 << 10
+					s.SetISN(base)
+					for seg := 7; seg >= 1; seg-- {
+						s.Segment(base+uint32(seg*len(data)), data)
+					}
+					s.Segment(base+uint32(len(data)), data) // retransmit
+					s.Segment(base, data)                   // plugs the hole
+				}
+			},
+		},
+	}
+}
+
+// statsBenchmarks gates Dist's compact-representation promise: observing
+// integer-valued samples must not retain per-sample memory.
+func statsBenchmarks() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "stats/dist-observe",
+			F: func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					// One op = a D3-sized distribution: 64k integer-valued
+					// observations over 1k distinct values, plus the
+					// quantile/CDF extraction the report performs.
+					d := stats.NewDist()
+					for j := 0; j < 64<<10; j++ {
+						d.Observe(float64(j & 1023))
+					}
+					if d.N() != 64<<10 {
+						b.Fatal("lost samples")
+					}
+					d.Median()
+					d.CDF(128)
+				}
+			},
+		},
+	}
+}

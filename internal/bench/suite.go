@@ -113,6 +113,10 @@ func newAnalyzer(ds *gen.Dataset, workers int) *core.Analyzer {
 //   - pipeline/stream/workers=N: the full streaming analysis
 //     (pcap bytes -> decode -> route -> shard -> replay -> report) at
 //     the determinism-pinned worker counts.
+//   - reassembly/*: the zero-copy TCP reassembly layer, in-order and
+//     out-of-order regimes (pooled-buffer alloc gates).
+//   - stats/dist-observe: the compact Dist representation's
+//     bounded-memory gate.
 //   - analyze/D0..D4: the in-memory measured unit behind every table and
 //     figure benchmark in bench_test.go, one per paper dataset.
 func Suite() []Benchmark {
@@ -172,6 +176,9 @@ func Suite() []Benchmark {
 			},
 		})
 	}
+
+	suite = append(suite, reassemblyBenchmarks()...)
+	suite = append(suite, statsBenchmarks()...)
 
 	for _, dsName := range []string{"D0", "D1", "D2", "D3", "D4"} {
 		dsName := dsName

@@ -201,9 +201,19 @@ func (ap *appAggregates) ssnFrames(client, server netip.Addr, cliStream, srvStre
 // cifsStreams feeds both directions of a CIFS connection through the
 // command analyzer, routing named-pipe payloads to the DCE/RPC analyzer.
 func (ap *appAggregates) cifsStreams(conn *flows.Conn, framed bool, cliStream, srvStream []byte) {
-	key := conn.Key
+	// The channel key (connection + pipe) is stable across the hundreds of
+	// payload chunks a busy pipe produces; build it once per pipe instead
+	// of concatenating per chunk, and only for connections that actually
+	// carry pipe transactions.
+	var keyStr, lastPipe, lastChan string
 	sink := func(fromClient bool, pipe string, payload []byte) {
-		ap.rpc.Stream(key.String()+pipe, fromClient, payload)
+		if pipe != lastPipe || lastChan == "" {
+			if keyStr == "" {
+				keyStr = conn.Key.String()
+			}
+			lastPipe, lastChan = pipe, keyStr+pipe
+		}
+		ap.rpc.Stream(lastChan, fromClient, payload)
 	}
 	ap.cifs.PipeSink = sink
 	ap.cifs.Stream(true, framed, cliStream)

@@ -106,6 +106,7 @@ func (l *loadAgg) finishTrace(t *traceLoad, kept []*flows.Conn, isLocal func(net
 		tl.Peak10s = toMbps(windowPeak(t.bins, 10))
 		tl.Peak60s = toMbps(windowPeak(t.bins, 60))
 		d := stats.NewDist()
+		d.Reserve(len(t.bins))
 		var total int64
 		for _, v := range t.bins {
 			d.Observe(toMbps(float64(v)))

@@ -96,7 +96,7 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 		name, _ := a.opts.Registry.Classify(conn.Proto, conn.Key.SrcPort, conn.Key.DstPort)
 		client, server := conn.Key.Src, conn.Key.Dst
 		wan := connWAN(conn, isLocal)
-		if app.cliStream != nil && name != "DCE/RPC-EPM" && !(name == "FTP" && conn.Key.DstPort == 21) {
+		if app.buffered && name != "DCE/RPC-EPM" && !(name == "FTP" && conn.Key.DstPort == 21) {
 			app.cliStream.Close()
 			app.srvStream.Close()
 		}
@@ -132,6 +132,14 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 			}
 		}
 	}
+
+	// Every stream buffer is dead now: parse results hold copies, never
+	// sub-slices (the borrow contract ends here). Recycle the pooled
+	// storage — including unparsed streams' out-of-order segments — so the
+	// next trace reuses this one's buffers.
+	for _, app := range streams {
+		app.release()
+	}
 }
 
 // udpAppPorts reports whether a datagram belongs to one of the
@@ -152,14 +160,15 @@ func udpAppPorts(srcPort, dstPort uint16) bool {
 // arrival order — the order the sequential path parsed them in.
 func (a *Analyzer) replayUDP(events []udpEvent) {
 	apps := a.apps
+	var dnsMsg dns.Message
 	for _, ev := range events {
 		switch {
 		case ev.dstPort == 53 || ev.srcPort == 53:
-			if m, err := dns.Decode(ev.payload); err == nil {
+			if err := dns.DecodeInto(ev.payload, &dnsMsg); err == nil {
 				if a.opts.IsLocal(ev.src) && a.opts.IsLocal(ev.dst) {
-					apps.dnsInt.Message(ev.ts, ev.src, ev.dst, m)
+					apps.dnsInt.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
 				} else {
-					apps.dnsWan.Message(ev.ts, ev.src, ev.dst, m)
+					apps.dnsWan.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
 				}
 			}
 		case ev.dstPort == 137 || ev.srcPort == 137:

@@ -339,6 +339,9 @@ func (a *Analyzer) fanReport() FanReport {
 	fr := FanReport{Hosts: len(a.fanAgg)}
 	fiEnt, fiWan := stats.NewDist(), stats.NewDist()
 	foEnt, foWan := stats.NewDist(), stats.NewDist()
+	for _, d := range []*stats.Dist{fiEnt, fiWan, foEnt, foWan} {
+		d.Reserve(len(a.fanAgg))
+	}
 	onlyIntIn, onlyIntOut, haveIn, haveOut := 0, 0, 0, 0
 	for _, s := range a.fanAgg {
 		if s.FanIn() > 0 {
@@ -389,6 +392,8 @@ func (a *Analyzer) httpReport() HTTPReport {
 	}
 	// Figure 3 fan-out.
 	fanEnt, fanWan := stats.NewDist(), stats.NewDist()
+	fanEnt.Reserve(len(h.fanServers))
+	fanWan.Reserve(len(h.fanServers))
 	for client, byLoc := range h.fanServers {
 		if h.automated[client] {
 			continue
@@ -592,13 +597,15 @@ func (a *Analyzer) fileReport() FileServiceReport {
 		NFSTCPPairs:   len(ap.nfsTCP),
 	}
 	nfsPairs := stats.NewDist()
-	var nfsCounts []int64
+	nfsPairs.Reserve(len(ap.nfs.PerPair))
+	nfsCounts := make([]int64, 0, len(ap.nfs.PerPair))
 	for _, n := range ap.nfs.PerPair {
 		nfsPairs.Observe(float64(n))
 		nfsCounts = append(nfsCounts, n)
 	}
 	ncpPairs := stats.NewDist()
-	var ncpCounts []int64
+	ncpPairs.Reserve(len(ap.ncp.PerPair))
+	ncpCounts := make([]int64, 0, len(ap.ncp.PerPair))
 	for _, n := range ap.ncp.PerPair {
 		ncpPairs.Observe(float64(n))
 		ncpCounts = append(ncpCounts, n)
@@ -687,6 +694,9 @@ func (a *Analyzer) loadReport() LoadReport {
 	r := LoadReport{Traces: a.load.traces}
 	p1, p10, p60 := stats.NewDist(), stats.NewDist(), stats.NewDist()
 	med := stats.NewDist()
+	for _, d := range []*stats.Dist{p1, p10, p60, med} {
+		d.Reserve(len(r.Traces))
+	}
 	entOver, wanOver, entTraces, wanTraces := 0, 0, 0, 0
 	for _, t := range r.Traces {
 		p1.Observe(t.Peak1s)

@@ -68,11 +68,16 @@ type udpEvent struct {
 }
 
 // connStreams buffers one TCP connection's two directions until replay.
+// The streams are embedded by value (one allocation per connection), and
+// every byte buffer underneath them is pooled: replayApps releases the
+// whole structure back to the reassembly buffer pool at end of trace.
 type connStreams struct {
 	// kind is the registry protocol name when the connection attached;
 	// replay re-classifies, so this only records the buffering decision.
-	kind                 string
-	cliStream, srvStream *reassembly.Stream
+	kind string
+	// buffered reports whether the streams below are live.
+	buffered             bool
+	cliStream, srvStream reassembly.Stream
 	cliBuf, srvBuf       reassembly.BufferConsumer
 	// epmCli/epmSrv replace the buffers for Endpoint Mapper connections,
 	// preserving gap boundaries so replay can resynchronize PDU parsing
@@ -123,12 +128,12 @@ func (s *shardSink) Packet(idx int64, pk *pcap.Packet, p *layers.Packet, conn *f
 		app = newConnStreams(name, conn)
 		s.conns[conn] = app
 	}
-	if app.cliStream == nil {
+	if !app.buffered {
 		return
 	}
-	stream := app.cliStream
+	stream := &app.cliStream
 	if dir == flows.DirResp {
-		stream = app.srvStream
+		stream = &app.srvStream
 	}
 	if p.TCP.Flags&layers.TCPSyn != 0 {
 		stream.SetISN(p.TCP.Seq + 1)
@@ -149,13 +154,15 @@ func newConnStreams(name string, conn *flows.Conn) *connStreams {
 		// buffered protocol; the server side is kept whole so replay can
 		// register PASV data ports before classifying later connections.
 		app.cliBuf.Limit = bufferedProtos[name]
-		app.cliStream = reassembly.NewStream(&app.cliBuf)
-		app.srvStream = reassembly.NewStream(&app.srvBuf)
+		app.buffered = true
+		app.cliStream.Init(&app.cliBuf)
+		app.srvStream.Init(&app.srvBuf)
 	case name == "DCE/RPC-EPM":
 		app.epmCli = &segBuffer{}
 		app.epmSrv = &segBuffer{}
-		app.cliStream = reassembly.NewStream(app.epmCli)
-		app.srvStream = reassembly.NewStream(app.epmSrv)
+		app.buffered = true
+		app.cliStream.Init(app.epmCli)
+		app.srvStream.Init(app.epmSrv)
 	default:
 		limit, buffered := bufferedProtos[name]
 		if !buffered && name == "" && conn.Key.DstPort > 1023 {
@@ -168,11 +175,31 @@ func newConnStreams(name string, conn *flows.Conn) *connStreams {
 		if buffered {
 			app.cliBuf.Limit = limit
 			app.srvBuf.Limit = limit
-			app.cliStream = reassembly.NewStream(&app.cliBuf)
-			app.srvStream = reassembly.NewStream(&app.srvBuf)
+			app.buffered = true
+			app.cliStream.Init(&app.cliBuf)
+			app.srvStream.Init(&app.srvBuf)
 		}
 	}
 	return app
+}
+
+// release sends every pooled byte buffer under this connection's streams
+// back to the reassembly pool. Any slice of the stream buffers taken
+// during replay is invalid afterwards; parse results that outlive replay
+// hold copies (strings or owned structs), never stream sub-slices.
+func (app *connStreams) release() {
+	if !app.buffered {
+		return
+	}
+	// Streams the replay never parsed still hold out-of-order data.
+	app.cliStream.Discard()
+	app.srvStream.Discard()
+	app.cliBuf.Release()
+	app.srvBuf.Release()
+	if app.epmCli != nil {
+		app.epmCli.release()
+		app.epmSrv.release()
+	}
 }
 
 // captureUDP records datagrams for the message-based analyzers. The
@@ -243,14 +270,28 @@ func (s *shardSink) bin(ts time.Time, wireLen int) {
 
 // segBuffer accumulates a reassembled stream as gap-delimited contiguous
 // segments. PDU parsers resynchronize at segment boundaries, mirroring
-// the incremental parser's buffer reset on Gap.
+// the incremental parser's buffer reset on Gap. Segment storage is drawn
+// from the reassembly buffer pool and recycled by release.
 type segBuffer struct {
 	segs [][]byte
 	cur  []byte
 }
 
-// Data implements reassembly.Consumer.
-func (b *segBuffer) Data(d []byte) { b.cur = append(b.cur, d...) }
+// Data implements reassembly.Consumer, copying the borrowed chunk.
+func (b *segBuffer) Data(d []byte) {
+	b.cur = reassembly.AppendPooled(b.cur, d)
+}
+
+// release recycles every pooled segment.
+func (b *segBuffer) release() {
+	for i := range b.segs {
+		reassembly.PutBuffer(b.segs[i])
+		b.segs[i] = nil
+	}
+	b.segs = nil
+	reassembly.PutBuffer(b.cur)
+	b.cur = nil
+}
 
 // Gap implements reassembly.Consumer.
 func (b *segBuffer) Gap(n int) {

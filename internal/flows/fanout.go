@@ -2,6 +2,7 @@ package flows
 
 import (
 	"net/netip"
+	"sort"
 )
 
 // FanStats holds, for one host, the set sizes the paper's §4 reports:
@@ -23,56 +24,62 @@ func (f FanStats) FanOut() int { return f.FanOutLocal + f.FanOutRemote }
 // isLocal classifies an address as inside the enterprise; only hosts for
 // which monitored(addr) is true get an entry (the paper computes fan only
 // for monitored hosts). Multicast flows are excluded.
+//
+// Distinct peers are counted by sorting (host, peer) edge lists and
+// scanning runs — the per-host set-of-maps form this replaces allocated
+// a small object per host pair per trace.
 func FanInOut(conns []*Conn, monitored, isLocal func(netip.Addr) bool) map[netip.Addr]*FanStats {
-	type peerSet map[netip.Addr]struct{}
-	fanIn := make(map[netip.Addr]peerSet)
-	fanOut := make(map[netip.Addr]peerSet)
+	type edge struct{ host, peer netip.Addr }
+	inE := make([]edge, 0, len(conns))
+	outE := make([]edge, 0, len(conns))
 	for _, c := range conns {
 		if c.Multicast {
 			continue
 		}
 		orig, resp := c.Key.Src, c.Key.Dst
 		if monitored(resp) {
-			if _, ok := fanIn[resp]; !ok {
-				fanIn[resp] = make(peerSet)
-			}
-			fanIn[resp][orig] = struct{}{}
+			inE = append(inE, edge{host: resp, peer: orig})
 		}
 		if monitored(orig) {
-			if _, ok := fanOut[orig]; !ok {
-				fanOut[orig] = make(peerSet)
-			}
-			fanOut[orig][resp] = struct{}{}
+			outE = append(outE, edge{host: orig, peer: resp})
 		}
 	}
 	out := make(map[netip.Addr]*FanStats)
-	get := func(h netip.Addr) *FanStats {
-		s := out[h]
-		if s == nil {
-			s = &FanStats{}
-			out[h] = s
-		}
-		return s
-	}
-	for h, peers := range fanIn {
-		s := get(h)
-		for p := range peers {
-			if isLocal(p) {
-				s.FanInLocal++
-			} else {
-				s.FanInRemote++
+	byHostPeer := func(e []edge) func(i, j int) bool {
+		return func(i, j int) bool {
+			if c := e[i].host.Compare(e[j].host); c != 0 {
+				return c < 0
 			}
+			return e[i].peer.Compare(e[j].peer) < 0
 		}
 	}
-	for h, peers := range fanOut {
-		s := get(h)
-		for p := range peers {
-			if isLocal(p) {
-				s.FanOutLocal++
-			} else {
-				s.FanOutRemote++
+	scan := func(e []edge, record func(s *FanStats, peer netip.Addr)) {
+		sort.Slice(e, byHostPeer(e))
+		for i := 0; i < len(e); i++ {
+			if i > 0 && e[i] == e[i-1] {
+				continue // duplicate (host, peer) pair
 			}
+			s := out[e[i].host]
+			if s == nil {
+				s = &FanStats{}
+				out[e[i].host] = s
+			}
+			record(s, e[i].peer)
 		}
 	}
+	scan(inE, func(s *FanStats, peer netip.Addr) {
+		if isLocal(peer) {
+			s.FanInLocal++
+		} else {
+			s.FanInRemote++
+		}
+	})
+	scan(outE, func(s *FanStats, peer netip.Addr) {
+		if isLocal(peer) {
+			s.FanOutLocal++
+		} else {
+			s.FanOutRemote++
+		}
+	})
 	return out
 }

@@ -1,0 +1,130 @@
+package reassembly
+
+import (
+	"bytes"
+	"testing"
+)
+
+// patByte is the position-determined content used by the accounting and
+// fuzz tests: the byte at absolute sequence p is always patByte(p), so any
+// mix of retransmissions carries consistent content and delivered bytes
+// can be checked against position alone.
+func patByte(p uint32) byte { return byte(p*131 + 7) }
+
+func patData(seq uint32, n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = patByte(seq + uint32(i))
+	}
+	return d
+}
+
+// TestPendingBytesNotInflatedByOverlap is the regression test for the
+// pending-buffer accounting: overlapping out-of-order retransmissions used
+// to be buffered whole, counting shared bytes multiple times and tripping
+// the gap-skip threshold long before MaxPending distinct bytes were
+// actually missing-and-buffered.
+func TestPendingBytesNotInflatedByOverlap(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.MaxPending = 500
+	s.SetISN(0)
+	// [100,600) is out of order while [0,100) is in flight. Feed it as
+	// heavily overlapping windows: 350 distinct bytes, 850 raw bytes.
+	s.Segment(100, patData(100, 200)) // [100,300)
+	s.Segment(150, patData(150, 250)) // [150,400), 150 new
+	s.Segment(120, patData(120, 280)) // [120,400), fully covered
+	s.Segment(330, patData(330, 120)) // [330,450), 50 new
+	if got := s.PendingBytes(); got != 350 {
+		t.Errorf("PendingBytes = %d, want 350 (distinct bytes only)", got)
+	}
+	if c.Gaps != 0 {
+		t.Fatalf("gap declared with only 350 distinct bytes pending (threshold 500)")
+	}
+	// Crossing the threshold with genuinely new bytes must still skip.
+	s.Segment(450, patData(450, 200)) // [450,650): 550 distinct > 500
+	if c.Gaps != 1 || c.GapByte != 100 {
+		t.Fatalf("gaps=%d gapbytes=%d, want 1 gap of 100", c.Gaps, c.GapByte)
+	}
+	if !bytes.Equal(c.Buf, patData(100, 550)) {
+		t.Errorf("delivered bytes corrupted after overlap trimming")
+	}
+	if s.PendingBytes() != 0 {
+		t.Errorf("PendingBytes = %d after drain", s.PendingBytes())
+	}
+}
+
+// TestHeavyRetransmitKeepsStreamIntact drives many duplicated, shifted
+// windows over the same region and checks both the reconstruction and
+// that the accounting returns to zero.
+func TestHeavyRetransmitKeepsStreamIntact(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.MaxPending = 1 << 20
+	s.SetISN(0)
+	const total = 4096
+	// Hold back [0,64) so everything else is pending, then spray windows.
+	for off := uint32(64); off < total; off += 48 {
+		n := 96
+		if off+uint32(n) > total {
+			n = int(total - off)
+		}
+		s.Segment(off, patData(off, n))
+		s.Segment(off, patData(off, n)) // exact duplicate
+	}
+	if got, want := s.PendingBytes(), total-64; got != want {
+		t.Errorf("PendingBytes = %d, want %d", got, want)
+	}
+	s.Segment(0, patData(0, 64))
+	if s.PendingBytes() != 0 {
+		t.Errorf("PendingBytes = %d after drain", s.PendingBytes())
+	}
+	if c.Gaps != 0 {
+		t.Errorf("gaps = %d", c.Gaps)
+	}
+	if !bytes.Equal(c.Buf, patData(0, total)) {
+		t.Errorf("stream not reconstructed byte-identically")
+	}
+}
+
+// TestSpanningSegmentSplitsAroundExisting pins the split behaviour: a
+// segment spanning an existing pending segment keeps the first copy of the
+// shared range and buffers both non-overlapping remainders.
+func TestSpanningSegmentSplitsAroundExisting(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.SetISN(0)
+	s.Segment(20, patData(20, 10)) // [20,30)
+	s.Segment(10, patData(10, 30)) // [10,40) spans it
+	if got := s.PendingBytes(); got != 30 {
+		t.Errorf("PendingBytes = %d, want 30", got)
+	}
+	s.Segment(0, patData(0, 10))
+	if !bytes.Equal(c.Buf, patData(0, 40)) {
+		t.Errorf("buf = %x", c.Buf)
+	}
+	if c.Gaps != 0 {
+		t.Errorf("gaps = %d", c.Gaps)
+	}
+}
+
+// TestDiscardRecyclesWithoutDelivery checks the end-of-trace path for
+// unparsed streams: nothing is delivered, accounting zeroes, stream closes.
+func TestDiscardRecyclesWithoutDelivery(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.SetISN(0)
+	s.Segment(100, patData(100, 50))
+	s.Segment(300, patData(300, 50))
+	s.Discard()
+	if len(c.Buf) != 0 || c.Gaps != 0 {
+		t.Errorf("Discard delivered data (buf=%d gaps=%d)", len(c.Buf), c.Gaps)
+	}
+	if s.PendingBytes() != 0 {
+		t.Errorf("PendingBytes = %d", s.PendingBytes())
+	}
+	s.Segment(0, patData(0, 10))
+	if len(c.Buf) != 0 {
+		t.Error("segment accepted after Discard")
+	}
+}

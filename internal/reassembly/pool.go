@@ -1,0 +1,104 @@
+package reassembly
+
+import "sync"
+
+// Buffer recycling for the reassembly layer. Two kinds of allocation used
+// to dominate the analysis hot path: the per-segment copies made for
+// out-of-order TCP data, and the append-growth of the BufferConsumer
+// byte buffers that hold reassembled streams until replay. Both now draw
+// from a shared size-classed pool, so in steady state a trace's buffers
+// are the previous trace's buffers.
+//
+// The pool is a mutex-guarded free list per power-of-two size class
+// rather than a sync.Pool: Put/Get never allocate (sync.Pool would box a
+// slice header per Put), and the contention is low — buffers are fetched
+// on stream growth and returned in the single-threaded replay phase.
+const (
+	minClassBits = 12 // 4 KB: smallest pooled capacity
+	maxClassBits = 22 // 4 MB: the largest BufferConsumer limit in use
+	numClasses   = maxClassBits - minClassBits + 1
+	// maxRetainPerClass bounds how many bytes each size class keeps
+	// parked, so one huge trace cannot pin memory forever.
+	maxRetainPerClass = 32 << 20
+)
+
+type bufPool struct {
+	mu   sync.Mutex
+	free [numClasses][][]byte
+}
+
+var pool bufPool
+
+// classFor returns the smallest size class whose capacity is ≥ n, or -1
+// when n exceeds the largest class.
+func classFor(n int) int {
+	size := 1 << minClassBits
+	for c := 0; c < numClasses; c++ {
+		if n <= size {
+			return c
+		}
+		size <<= 1
+	}
+	return -1
+}
+
+// GetBuffer returns a zero-length buffer with capacity ≥ n, recycled when
+// one is available. Pair it with PutBuffer when the data is dead.
+func GetBuffer(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, 0, n)
+	}
+	pool.mu.Lock()
+	if free := pool.free[c]; len(free) > 0 {
+		b := free[len(free)-1]
+		free[len(free)-1] = nil
+		pool.free[c] = free[:len(free)-1]
+		pool.mu.Unlock()
+		return b
+	}
+	pool.mu.Unlock()
+	return make([]byte, 0, 1<<(minClassBits+c))
+}
+
+// AppendPooled appends d to dst, growing dst through the buffer pool
+// (double, copy, recycle the outgrown array) instead of the allocator.
+// It is the pooled analogue of append for long-lived accumulation
+// buffers; hand the final buffer to PutBuffer when its contents die.
+func AppendPooled(dst, d []byte) []byte {
+	if need := len(dst) + len(d); need > cap(dst) {
+		newCap := 2 * cap(dst)
+		if newCap < need {
+			newCap = need
+		}
+		nb := GetBuffer(newCap)
+		nb = nb[:len(dst)]
+		copy(nb, dst)
+		PutBuffer(dst)
+		dst = nb
+	}
+	return append(dst, d...)
+}
+
+// PutBuffer returns a buffer to the pool. The caller must not touch b (or
+// any slice aliasing it) afterwards. Undersized and oversized buffers are
+// dropped for the garbage collector; putting nil is a no-op.
+func PutBuffer(b []byte) {
+	if cap(b) < 1<<minClassBits {
+		return
+	}
+	// File under the largest class the capacity fully covers, so a Get
+	// from that class always satisfies its size guarantee.
+	c := 0
+	for c+1 < numClasses && cap(b) >= 1<<(minClassBits+c+1) {
+		c++
+	}
+	if cap(b) > 1<<maxClassBits {
+		return
+	}
+	pool.mu.Lock()
+	if len(pool.free[c])<<(minClassBits+c) < maxRetainPerClass {
+		pool.free[c] = append(pool.free[c], b[:0])
+	}
+	pool.mu.Unlock()
+}

@@ -6,6 +6,14 @@
 // which the paper observed and attributed to incomplete capture). Gaps are
 // skipped after a configurable amount of buffered out-of-order data, with
 // the skip reported to the consumer so application analyzers can resync.
+//
+// The layer is (near-)zero-copy: in-order segments are delivered to the
+// consumer as slices of the caller's buffer, and only genuinely
+// out-of-order bytes are copied — into pooled buffers recycled through
+// GetBuffer/PutBuffer. Overlap between buffered segments is trimmed away
+// at insertion, so pending memory (and the gap-skip accounting) covers
+// each missing byte exactly once no matter how heavily the trace
+// retransmits.
 package reassembly
 
 import (
@@ -14,21 +22,30 @@ import (
 
 // Consumer receives the reassembled byte stream of one flow direction.
 type Consumer interface {
-	// Data delivers the next in-order chunk.
+	// Data delivers the next in-order chunk. The slice borrows either the
+	// caller's segment buffer or a pooled reassembly buffer: it is valid
+	// only until Data returns, mirroring the pcap layer's Retain contract.
+	// A consumer that keeps the bytes must copy them.
 	Data(b []byte)
 	// Gap reports that n bytes were skipped (lost to capture or truncation)
 	// before the following Data call.
 	Gap(n int)
 }
 
-// Stream reassembles one direction of a TCP connection.
+// DefaultMaxPending is the default buffered-bytes gap-skip threshold.
+const DefaultMaxPending = 256 << 10
+
+// Stream reassembles one direction of a TCP connection. The zero value is
+// not ready to use; call NewStream, or Init for an embedded Stream.
 type Stream struct {
 	consumer Consumer
 	next     uint32 // next expected sequence number
 	started  bool
-	// pending holds out-of-order segments keyed by sequence number.
+	// pending holds out-of-order segments sorted by sequence number,
+	// pairwise non-overlapping, each backed by a pooled buffer.
 	pending []segment
-	// pendingBytes tracks buffered volume for the gap-skip policy.
+	// pendingBytes tracks buffered volume for the gap-skip policy. Because
+	// insertion trims overlap, it counts distinct buffered bytes.
 	pendingBytes int
 	// MaxPending is the buffered-bytes threshold beyond which the stream
 	// declares a gap and skips forward. Default 256 KB.
@@ -43,7 +60,15 @@ type segment struct {
 
 // NewStream returns a stream delivering to consumer.
 func NewStream(consumer Consumer) *Stream {
-	return &Stream{consumer: consumer, MaxPending: 256 << 10}
+	s := &Stream{}
+	s.Init(consumer)
+	return s
+}
+
+// Init readies an embedded (or reused) Stream in place, equivalent to
+// replacing it with NewStream's result.
+func (s *Stream) Init(consumer Consumer) {
+	*s = Stream{consumer: consumer, MaxPending: DefaultMaxPending}
 }
 
 // seqLess reports a < b in 32-bit sequence space.
@@ -60,6 +85,9 @@ func (s *Stream) SetISN(seq uint32) {
 }
 
 // Segment feeds one TCP segment's payload at the given sequence number.
+// data is borrowed for the duration of the call: in-order bytes are handed
+// to the consumer as-is, out-of-order bytes are copied into pooled
+// buffers, so the caller may recycle data as soon as Segment returns.
 func (s *Stream) Segment(seq uint32, data []byte) {
 	if s.closed || len(data) == 0 {
 		return
@@ -84,29 +112,73 @@ func (s *Stream) Segment(seq uint32, data []byte) {
 		return
 	}
 	s.insertPending(seq, data)
-	if s.pendingBytes > s.MaxPending {
+	// Skip forward until the buffer is back under budget: MaxPending is a
+	// hard bound on buffered bytes, even when the pending data sits in
+	// several disjoint clusters.
+	for s.pendingBytes > s.MaxPending {
 		s.skipToPending()
 	}
 }
 
+// insertPending buffers out-of-order data, trimming every byte already
+// held by a neighboring pending segment (first copy wins). A segment
+// spanning past an existing one is split around it, so the pending list
+// stays sorted and pairwise non-overlapping.
 func (s *Stream) insertPending(seq uint32, data []byte) {
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	idx := sort.Search(len(s.pending), func(i int) bool {
-		return !seqLess(s.pending[i].seq, seq)
-	})
-	if idx < len(s.pending) && s.pending[idx].seq == seq {
-		// Duplicate out-of-order retransmission: keep the longer copy.
-		if len(cp) > len(s.pending[idx].data) {
-			s.pendingBytes += len(cp) - len(s.pending[idx].data)
-			s.pending[idx].data = cp
+	for len(data) > 0 {
+		// Binary-search the insertion point: first pending segment at or
+		// beyond seq.
+		idx := sort.Search(len(s.pending), func(i int) bool {
+			return !seqLess(s.pending[i].seq, seq)
+		})
+		// Trim the head against the predecessor's copy.
+		if idx > 0 {
+			prev := &s.pending[idx-1]
+			prevEnd := prev.seq + uint32(len(prev.data))
+			if seqLess(seq, prevEnd) {
+				overlap := prevEnd - seq
+				if uint32(len(data)) <= overlap {
+					return
+				}
+				data = data[overlap:]
+				seq = prevEnd
+			}
 		}
-		return
+		chunk := data
+		if idx < len(s.pending) {
+			nxt := &s.pending[idx]
+			if nxt.seq == seq {
+				// This span's prefix is already buffered; skip past it and
+				// reconsider the remainder.
+				covered := uint32(len(nxt.data))
+				if uint32(len(chunk)) <= covered {
+					return
+				}
+				data = data[covered:]
+				seq += covered
+				continue
+			}
+			if seqLess(nxt.seq, seq+uint32(len(chunk))) {
+				// Truncate at the successor; the loop handles what spills
+				// past it on the next iteration.
+				chunk = chunk[:nxt.seq-seq]
+			}
+		}
+		s.insertSegmentAt(idx, seq, chunk)
+		data = data[len(chunk):]
+		seq += uint32(len(chunk))
 	}
+}
+
+// insertSegmentAt copies chunk into a pooled buffer and splices it into
+// the pending list at idx.
+func (s *Stream) insertSegmentAt(idx int, seq uint32, chunk []byte) {
+	buf := GetBuffer(len(chunk))
+	buf = append(buf, chunk...)
 	s.pending = append(s.pending, segment{})
 	copy(s.pending[idx+1:], s.pending[idx:])
-	s.pending[idx] = segment{seq: seq, data: cp}
-	s.pendingBytes += len(cp)
+	s.pending[idx] = segment{seq: seq, data: buf}
+	s.pendingBytes += len(chunk)
 }
 
 func (s *Stream) drainPending() {
@@ -115,17 +187,21 @@ func (s *Stream) drainPending() {
 		if seqLess(s.next, seg.seq) {
 			return
 		}
+		s.pending[0] = segment{}
 		s.pending = s.pending[1:]
 		s.pendingBytes -= len(seg.data)
+		data := seg.data
 		if seqLess(seg.seq, s.next) {
 			overlap := s.next - seg.seq
-			if uint32(len(seg.data)) <= overlap {
+			if uint32(len(data)) <= overlap {
+				PutBuffer(seg.data)
 				continue
 			}
-			seg.data = seg.data[overlap:]
+			data = data[overlap:]
 		}
-		s.consumer.Data(seg.data)
-		s.next += uint32(len(seg.data))
+		s.consumer.Data(data)
+		s.next += uint32(len(data))
+		PutBuffer(seg.data)
 	}
 }
 
@@ -153,12 +229,27 @@ func (s *Stream) Close() {
 	s.closed = true
 }
 
-// PendingBytes reports how much out-of-order data is buffered.
+// Discard drops buffered out-of-order data without delivering it,
+// recycling the pooled segment buffers, and marks the stream finished.
+// It is the end-of-trace path for streams the analysis never parses.
+func (s *Stream) Discard() {
+	for i := range s.pending {
+		PutBuffer(s.pending[i].data)
+		s.pending[i] = segment{}
+	}
+	s.pending = s.pending[:0]
+	s.pendingBytes = 0
+	s.closed = true
+}
+
+// PendingBytes reports how much distinct out-of-order data is buffered.
 func (s *Stream) PendingBytes() int { return s.pendingBytes }
 
 // BufferConsumer is a Consumer that accumulates the stream into memory,
 // recording gap positions. It is the consumer used by most application
-// analyzers in this repository.
+// analyzers in this repository. Buf's backing storage comes from the
+// package buffer pool; call Release when the contents are dead so the
+// next connection can reuse it.
 type BufferConsumer struct {
 	Buf     []byte
 	Gaps    int
@@ -170,18 +261,27 @@ type BufferConsumer struct {
 	Overflow int
 }
 
-// Data implements Consumer.
+// Data implements Consumer, copying the borrowed chunk into Buf.
 func (b *BufferConsumer) Data(d []byte) {
 	if b.Limit > 0 && len(b.Buf)+len(d) > b.Limit {
 		keep := b.Limit - len(b.Buf)
 		if keep < 0 {
 			keep = 0
 		}
-		b.Buf = append(b.Buf, d[:keep]...)
 		b.Overflow += len(d) - keep
-		return
+		d = d[:keep]
+		if len(d) == 0 {
+			return
+		}
 	}
-	b.Buf = append(b.Buf, d...)
+	b.Buf = AppendPooled(b.Buf, d)
+}
+
+// Release recycles Buf's storage into the buffer pool. The consumer is
+// reusable afterwards; any slice of Buf taken before Release is invalid.
+func (b *BufferConsumer) Release() {
+	PutBuffer(b.Buf)
+	b.Buf = nil
 }
 
 // Gap implements Consumer.

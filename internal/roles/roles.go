@@ -70,86 +70,135 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
+// classifyEdge is one directed conversation endpoint used by Classify's
+// sort-and-scan passes.
+type classifyEdge struct {
+	host, peer netip.Addr
+	port       uint16
+}
+
 // Classify profiles every host appearing as an endpoint of conns.
 // Multicast flows are ignored.
+//
+// The distinct-peer and per-port client counts are computed by sorting
+// edge lists and scanning runs rather than by nested maps of sets: the
+// map form allocated tens of thousands of small objects per trace, which
+// made this the second-biggest allocation site on the analysis hot path.
 func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
 	cfg = cfg.withDefaults()
-	type portClients map[uint16]map[netip.Addr]struct{}
-	inPeers := make(map[netip.Addr]map[netip.Addr]struct{})
-	outPeers := make(map[netip.Addr]map[netip.Addr]struct{})
-	services := make(map[netip.Addr]portClients)
-	connsIn := make(map[netip.Addr]int64)
-	connsOut := make(map[netip.Addr]int64)
-
-	addPeer := func(m map[netip.Addr]map[netip.Addr]struct{}, h, peer netip.Addr) {
-		set := m[h]
-		if set == nil {
-			set = make(map[netip.Addr]struct{})
-			m[h] = set
-		}
-		set[peer] = struct{}{}
-	}
+	outE := make([]classifyEdge, 0, len(conns))
+	inE := make([]classifyEdge, 0, len(conns))
 	for _, c := range conns {
 		if c.Multicast {
 			continue
 		}
-		orig, resp := c.Key.Src, c.Key.Dst
-		addPeer(outPeers, orig, resp)
-		addPeer(inPeers, resp, orig)
-		connsOut[orig]++
-		connsIn[resp]++
-		pc := services[resp]
-		if pc == nil {
-			pc = make(portClients)
-			services[resp] = pc
+		outE = append(outE, classifyEdge{host: c.Key.Src, peer: c.Key.Dst})
+		inE = append(inE, classifyEdge{host: c.Key.Dst, peer: c.Key.Src, port: c.Key.DstPort})
+	}
+	profiles := make(map[netip.Addr]*HostProfile)
+	get := func(h netip.Addr) *HostProfile {
+		p := profiles[h]
+		if p == nil {
+			p = &HostProfile{Addr: h}
+			profiles[h] = p
 		}
-		clients := pc[c.Key.DstPort]
-		if clients == nil {
-			clients = make(map[netip.Addr]struct{})
-			pc[c.Key.DstPort] = clients
-		}
-		clients[orig] = struct{}{}
+		return p
 	}
 
-	hosts := make(map[netip.Addr]struct{})
-	for h := range inPeers {
-		hosts[h] = struct{}{}
-	}
-	for h := range outPeers {
-		hosts[h] = struct{}{}
-	}
-	out := make(map[netip.Addr]*HostProfile, len(hosts))
-	for h := range hosts {
-		p := &HostProfile{
-			Addr:     h,
-			FanIn:    len(inPeers[h]),
-			FanOut:   len(outPeers[h]),
-			ConnsIn:  connsIn[h],
-			ConnsOut: connsOut[h],
+	// Fan-out and raw out-connection counts.
+	sort.Slice(outE, func(i, j int) bool {
+		if c := outE[i].host.Compare(outE[j].host); c != 0 {
+			return c < 0
 		}
-		type svc struct {
-			port uint16
-			n    int
-		}
-		var svcs []svc
-		for port, clients := range services[h] {
-			if len(clients) >= cfg.MinClientsPerService {
-				svcs = append(svcs, svc{port, len(clients)})
+		return outE[i].peer.Compare(outE[j].peer) < 0
+	})
+	for i := 0; i < len(outE); {
+		h := outE[i].host
+		fan, j := 0, i
+		for ; j < len(outE) && outE[j].host == h; j++ {
+			if j == i || outE[j].peer != outE[j-1].peer {
+				fan++
 			}
 		}
-		sort.Slice(svcs, func(i, j int) bool {
-			if svcs[i].n != svcs[j].n {
-				return svcs[i].n > svcs[j].n
-			}
-			return svcs[i].port < svcs[j].port
-		})
-		for _, s := range svcs {
-			p.ServicePorts = append(p.ServicePorts, s.port)
+		p := get(h)
+		p.FanOut = fan
+		p.ConnsOut = int64(j - i)
+		i = j
+	}
+
+	// Fan-in and raw in-connection counts.
+	sort.Slice(inE, func(i, j int) bool {
+		if c := inE[i].host.Compare(inE[j].host); c != 0 {
+			return c < 0
 		}
+		return inE[i].peer.Compare(inE[j].peer) < 0
+	})
+	for i := 0; i < len(inE); {
+		h := inE[i].host
+		fan, j := 0, i
+		for ; j < len(inE) && inE[j].host == h; j++ {
+			if j == i || inE[j].peer != inE[j-1].peer {
+				fan++
+			}
+		}
+		p := get(h)
+		p.FanIn = fan
+		p.ConnsIn = int64(j - i)
+		i = j
+	}
+
+	// Service ports: local ports with enough distinct clients. Resort the
+	// in-edges by (host, port, peer) and scan (host, port) runs.
+	sort.Slice(inE, func(i, j int) bool {
+		if c := inE[i].host.Compare(inE[j].host); c != 0 {
+			return c < 0
+		}
+		if inE[i].port != inE[j].port {
+			return inE[i].port < inE[j].port
+		}
+		return inE[i].peer.Compare(inE[j].peer) < 0
+	})
+	type svc struct {
+		port uint16
+		n    int
+	}
+	var svcs []svc // reused scratch, one host at a time
+	for i := 0; i < len(inE); {
+		h := inE[i].host
+		svcs = svcs[:0]
+		j := i
+		for j < len(inE) && inE[j].host == h {
+			port := inE[j].port
+			clients := 0
+			for ; j < len(inE) && inE[j].host == h && inE[j].port == port; j++ {
+				if clients == 0 || inE[j].peer != inE[j-1].peer {
+					clients++
+				}
+			}
+			if clients >= cfg.MinClientsPerService {
+				svcs = append(svcs, svc{port, clients})
+			}
+		}
+		if len(svcs) > 0 {
+			sort.Slice(svcs, func(a, b int) bool {
+				if svcs[a].n != svcs[b].n {
+					return svcs[a].n > svcs[b].n
+				}
+				return svcs[a].port < svcs[b].port
+			})
+			p := get(h)
+			p.ServicePorts = make([]uint16, len(svcs))
+			for k, s := range svcs {
+				p.ServicePorts[k] = s.port
+			}
+		}
+		i = j
+	}
+
+	for _, p := range profiles {
 		p.Role = classifyOne(p, cfg)
-		out[h] = p
 	}
-	return out
+	return profiles
 }
 
 func classifyOne(p *HostProfile, cfg Config) Role {

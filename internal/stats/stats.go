@@ -78,50 +78,200 @@ func (c *Counter) Merge(other *Counter) {
 	}
 }
 
-// Dist is an empirical distribution over float64 samples. It keeps every
-// sample; Sort is amortized across quantile queries.
+// Dist is an empirical distribution over float64 samples. It is exact but
+// compact: duplicate values are run-length compressed (value → count), so
+// integer-valued observations — sizes, request counts, millisecond-rounded
+// durations — collapse to their distinct values instead of retaining every
+// raw sample. Observations are staged in a small buffer and merged into
+// the sorted run list by a sorted merge, amortized O(1) per sample.
+// Quantiles and CDFs are bit-identical to the keep-every-sample
+// implementation: a rank lands on exactly the same value either way.
+//
+// NaN samples are ordered before every other value (the sort.Float64s
+// convention the all-samples implementation inherited); ±Inf sort
+// normally.
 type Dist struct {
-	samples []float64
-	sorted  bool
+	// vals/counts are the sorted distinct values (NaN excluded) and their
+	// multiplicities.
+	vals   []float64
+	counts []int64
+	// cum[i] is the number of non-NaN samples ≤ vals[i]; rebuilt lazily.
+	cum []int64
+	// staged holds observations not yet merged into vals.
+	staged []float64
+	// scratchVals/scratchCounts are the merge's ping-pong buffers: each
+	// merge writes into the scratch arrays and swaps them with vals/counts,
+	// so steady-state merging allocates nothing.
+	scratchVals   []float64
+	scratchCounts []int64
+	nan           int64 // NaN observations (rank before all values)
+	n             int64 // total observations, NaN included
 }
 
 // NewDist returns an empty distribution.
 func NewDist() *Dist { return &Dist{} }
 
-// Observe adds a sample.
+// Reserve hints the expected sample volume so the staging buffer can be
+// sized once. Callers that know flow or bin counts up front (the report
+// builders) use it to avoid regrowth; it never changes results.
+func (d *Dist) Reserve(n int) {
+	const maxStage = 4096
+	if n > maxStage {
+		n = maxStage
+	}
+	if n > cap(d.staged)-len(d.staged) {
+		staged := make([]float64, len(d.staged), len(d.staged)+n)
+		copy(staged, d.staged)
+		d.staged = staged
+	}
+}
+
+// Observe adds a sample. Negative zero is canonicalized to positive zero:
+// the two compare equal, so they share a run, and which sign the
+// all-samples implementation surfaced was an artifact of sort order.
 func (d *Dist) Observe(v float64) {
-	d.samples = append(d.samples, v)
-	d.sorted = false
+	if v == 0 {
+		v = 0
+	}
+	if len(d.staged) == cap(d.staged) && len(d.staged) >= 64 && len(d.staged) >= len(d.vals)/2 {
+		// The stage is full and large enough relative to the run list that
+		// merging now keeps the per-sample cost amortized constant.
+		d.compact()
+	}
+	d.staged = append(d.staged, v)
+	d.n++
+	d.cum = d.cum[:0]
+}
+
+// compact sorts the staged samples and merges them into the run list.
+func (d *Dist) compact() {
+	if len(d.staged) == 0 {
+		return
+	}
+	sort.Float64s(d.staged)
+	// NaNs sort before everything; peel them into the dedicated counter.
+	s := d.staged
+	for len(s) > 0 && math.IsNaN(s[0]) {
+		d.nan++
+		s = s[1:]
+	}
+	if len(s) > 0 {
+		d.mergeSorted(s)
+	}
+	d.staged = d.staged[:0]
+}
+
+// mergeSorted folds a sorted, NaN-free batch into vals/counts.
+func (d *Dist) mergeSorted(s []float64) {
+	// Fast path: the whole batch extends the current maximum.
+	if len(d.vals) == 0 || d.vals[len(d.vals)-1] <= s[0] {
+		d.appendRuns(s)
+		return
+	}
+	oldVals, oldCounts := d.vals, d.counts
+	need := len(oldVals) + len(s)
+	if cap(d.scratchVals) >= need {
+		d.vals, d.counts = d.scratchVals[:0], d.scratchCounts[:0]
+	} else {
+		// Grow with headroom so steady-state merging ping-pongs between
+		// two stable arrays instead of allocating per merge.
+		d.vals = make([]float64, 0, need+need/2)
+		d.counts = make([]int64, 0, need+need/2)
+	}
+	d.scratchVals, d.scratchCounts = oldVals[:0], oldCounts[:0]
+	i := 0
+	for _, v := range s {
+		for i < len(oldVals) && oldVals[i] < v {
+			d.vals = append(d.vals, oldVals[i])
+			d.counts = append(d.counts, oldCounts[i])
+			i++
+		}
+		if i < len(oldVals) && oldVals[i] == v {
+			d.vals = append(d.vals, oldVals[i])
+			d.counts = append(d.counts, oldCounts[i]+1)
+			i++
+			continue
+		}
+		if last := len(d.vals) - 1; last >= 0 && d.vals[last] == v {
+			d.counts[last]++
+			continue
+		}
+		d.vals = append(d.vals, v)
+		d.counts = append(d.counts, 1)
+	}
+	d.vals = append(d.vals, oldVals[i:]...)
+	d.counts = append(d.counts, oldCounts[i:]...)
+}
+
+// appendRuns run-length appends a sorted batch that starts at or beyond
+// the current maximum value.
+func (d *Dist) appendRuns(s []float64) {
+	for _, v := range s {
+		if last := len(d.vals) - 1; last >= 0 && d.vals[last] == v {
+			d.counts[last]++
+			continue
+		}
+		d.vals = append(d.vals, v)
+		d.counts = append(d.counts, 1)
+	}
+}
+
+func (d *Dist) ensureCompact() {
+	d.compact()
+	if len(d.cum) == 0 && len(d.vals) > 0 {
+		if cap(d.cum) < len(d.vals) {
+			d.cum = make([]int64, 0, len(d.vals))
+		}
+		var run int64
+		for _, c := range d.counts {
+			run += c
+			d.cum = append(d.cum, run)
+		}
+	}
 }
 
 // N returns the number of samples.
-func (d *Dist) N() int { return len(d.samples) }
+func (d *Dist) N() int { return int(d.n) }
 
-func (d *Dist) ensureSorted() {
-	if !d.sorted {
-		sort.Float64s(d.samples)
-		d.sorted = true
+// Distinct returns the number of distinct non-NaN values retained — the
+// compact representation's actual memory footprint.
+func (d *Dist) Distinct() int {
+	d.ensureCompact()
+	return len(d.vals)
+}
+
+// valueAtRank returns the rank-th smallest sample (0-based), with NaNs
+// ordered first, exactly as indexing the sorted all-samples slice would.
+func (d *Dist) valueAtRank(rank int64) float64 {
+	if rank < d.nan {
+		return math.NaN()
 	}
+	rank -= d.nan
+	idx := sort.Search(len(d.cum), func(i int) bool { return d.cum[i] > rank })
+	if idx >= len(d.vals) {
+		idx = len(d.vals) - 1
+	}
+	return d.vals[idx]
 }
 
 // Quantile returns the q-quantile (0 <= q <= 1) using nearest-rank on the
 // sorted samples. Returns 0 for an empty distribution.
 func (d *Dist) Quantile(q float64) float64 {
-	if len(d.samples) == 0 {
+	if d.n == 0 {
 		return 0
 	}
-	d.ensureSorted()
+	d.ensureCompact()
 	if q <= 0 {
-		return d.samples[0]
+		return d.valueAtRank(0)
 	}
 	if q >= 1 {
-		return d.samples[len(d.samples)-1]
+		return d.valueAtRank(d.n - 1)
 	}
-	idx := int(math.Ceil(q*float64(len(d.samples)))) - 1
+	idx := int64(math.Ceil(q*float64(d.n))) - 1
 	if idx < 0 {
 		idx = 0
 	}
-	return d.samples[idx]
+	return d.valueAtRank(idx)
 }
 
 // Median is Quantile(0.5).
@@ -135,35 +285,40 @@ func (d *Dist) Max() float64 { return d.Quantile(1) }
 
 // Mean returns the arithmetic mean (0 if empty).
 func (d *Dist) Mean() float64 {
-	if len(d.samples) == 0 {
+	if d.n == 0 {
 		return 0
 	}
-	var sum float64
-	for _, v := range d.samples {
-		sum += v
-	}
-	return sum / float64(len(d.samples))
+	return d.Sum() / float64(d.n)
 }
 
-// Sum returns the total of all samples.
+// Sum returns the total of all samples (NaN if any sample was NaN).
 func (d *Dist) Sum() float64 {
+	d.ensureCompact()
+	if d.nan > 0 {
+		return math.NaN()
+	}
 	var sum float64
-	for _, v := range d.samples {
-		sum += v
+	for i, v := range d.vals {
+		sum += v * float64(d.counts[i])
 	}
 	return sum
 }
 
 // CDFAt returns the empirical CDF evaluated at x: the fraction of samples
-// <= x.
+// <= x (NaN samples order before every x, matching the sorted-samples
+// implementation).
 func (d *Dist) CDFAt(x float64) float64 {
-	if len(d.samples) == 0 {
+	if d.n == 0 {
 		return 0
 	}
-	d.ensureSorted()
-	// First index with sample > x.
-	idx := sort.SearchFloat64s(d.samples, math.Nextafter(x, math.Inf(1)))
-	return float64(idx) / float64(len(d.samples))
+	d.ensureCompact()
+	// First distinct value > x.
+	idx := sort.SearchFloat64s(d.vals, math.Nextafter(x, math.Inf(1)))
+	le := d.nan
+	if idx > 0 {
+		le += d.cum[idx-1]
+	}
+	return float64(le) / float64(d.n)
 }
 
 // CDFPoint is one (x, F(x)) point of an empirical CDF.
@@ -176,24 +331,24 @@ type CDFPoint struct {
 // rank, always including the minimum and maximum. It is the series behind
 // every "Cumulative Fraction" figure in the paper.
 func (d *Dist) CDF(maxPoints int) []CDFPoint {
-	n := len(d.samples)
+	n := d.n
 	if n == 0 {
 		return nil
 	}
-	d.ensureSorted()
+	d.ensureCompact()
 	if maxPoints < 2 {
 		maxPoints = 2
 	}
-	if maxPoints > n {
-		maxPoints = n
+	if int64(maxPoints) > n {
+		maxPoints = int(n)
 	}
 	if maxPoints == 1 {
-		return []CDFPoint{{X: d.samples[n-1], F: 1}}
+		return []CDFPoint{{X: d.valueAtRank(n - 1), F: 1}}
 	}
 	pts := make([]CDFPoint, 0, maxPoints)
 	for i := 0; i < maxPoints; i++ {
-		rank := i * (n - 1) / (maxPoints - 1)
-		pts = append(pts, CDFPoint{X: d.samples[rank], F: float64(rank+1) / float64(n)})
+		rank := int64(i) * (n - 1) / int64(maxPoints-1)
+		pts = append(pts, CDFPoint{X: d.valueAtRank(rank), F: float64(rank+1) / float64(n)})
 	}
 	return pts
 }
