@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	entanalyze [-payload] [-workers N] [-monitored 128.3.5.0/24] trace1.pcap [trace2.pcap ...]
+//	entanalyze [-payload] [-workers N] [-replay-workers N] [-monitored 128.3.5.0/24] trace1.pcap [trace2.pcap ...]
 package main
 
 import (
@@ -25,6 +25,7 @@ func main() {
 	monitored := flag.String("monitored", "128.3.0.0/16", "monitored prefix for fan-in/out")
 	dataset := flag.String("name", "pcap", "label for the report")
 	workers := flag.Int("workers", 0, "pipeline shard workers (0 = GOMAXPROCS); results are identical for any count")
+	replayWorkers := flag.Int("replay-workers", 0, "application-replay workers (0 = GOMAXPROCS); results are identical for any count")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: entanalyze [flags] trace.pcap ...")
@@ -40,6 +41,7 @@ func main() {
 		KnownScanners:   enterprise.KnownScanners(),
 		PayloadAnalysis: *payload,
 		Workers:         *workers,
+		ReplayWorkers:   *replayWorkers,
 	})
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)

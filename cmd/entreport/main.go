@@ -26,6 +26,7 @@ func main() {
 	subnets := flag.Int("subnets", 0, "limit monitored subnets per dataset (0 = all)")
 	figdir := flag.String("figdir", "", "directory for per-figure TSV data series (empty = skip)")
 	workers := flag.Int("workers", 0, "pipeline shard workers (0 = GOMAXPROCS); results are identical for any count")
+	replayWorkers := flag.Int("replay-workers", 0, "application-replay workers (0 = GOMAXPROCS); results are identical for any count")
 	flag.Parse()
 
 	want := make(map[string]bool)
@@ -50,6 +51,7 @@ func main() {
 			KnownScanners:   enterprise.KnownScanners(),
 			PayloadAnalysis: cfg.Snaplen >= 1500,
 			Workers:         *workers,
+			ReplayWorkers:   *replayWorkers,
 		})
 		for _, tr := range ds.Traces {
 			if err := a.AddTrace(core.TraceInput{

@@ -16,14 +16,21 @@ import (
 )
 
 // analyzeWorkers runs a dataset through the pipeline with the given
-// worker count.
+// pipeline worker count (replay workers follow the default).
 func analyzeWorkers(tb testing.TB, ds *gen.Dataset, workers int) *core.Report {
+	return analyzeGrid(tb, ds, workers, 0)
+}
+
+// analyzeGrid runs a dataset at an explicit (pipeline workers, replay
+// workers) point.
+func analyzeGrid(tb testing.TB, ds *gen.Dataset, workers, replayWorkers int) *core.Report {
 	tb.Helper()
 	a := core.NewAnalyzer(core.Options{
 		Dataset:         ds.Config.Name,
 		KnownScanners:   enterprise.KnownScanners(),
 		PayloadAnalysis: ds.Config.Snaplen >= 1500,
 		Workers:         workers,
+		ReplayWorkers:   replayWorkers,
 	})
 	for _, tr := range ds.Traces {
 		if err := a.AddTrace(core.TraceInput{
@@ -60,22 +67,31 @@ func determinismDataset(tb testing.TB, name string, scale float64) *gen.Dataset 
 	return gen.GenerateDataset(cfg)
 }
 
-// TestParallelReportIdentical is the pipeline's core guarantee: worker
-// counts 1, 4, and 8 produce deeply equal reports, on both a
-// payload-parsing dataset (D3) and a header-only one (D1).
+// TestParallelReportIdentical is the pipeline's core guarantee, now over
+// both parallel axes: every (pipeline workers × replay workers) point of
+// the {1,4,8}×{1,4,8} grid produces a report deeply equal to the fully
+// serial (1,1) run. D3 and D4 exercise payload parsing (including the
+// PASV/EPM dynamic registrations and the two-phase replay's aggregate
+// merge); D1 covers the header-only path.
 func TestParallelReportIdentical(t *testing.T) {
 	if testing.Short() {
 		t.Skip("end-to-end analysis in -short mode")
 	}
-	for _, dsName := range []string{"D3", "D1"} {
-		ds := determinismDataset(t, dsName, 0.2)
-		base := analyzeWorkers(t, ds, 1)
-		for _, workers := range []int{4, 8} {
-			got := analyzeWorkers(t, ds, workers)
-			if !reflect.DeepEqual(base, got) {
-				t.Errorf("%s: report with %d workers differs from sequential report",
-					dsName, workers)
-				diffReports(t, base, got)
+	counts := []int{1, 4, 8}
+	for _, dsName := range []string{"D3", "D4", "D1"} {
+		ds := determinismDataset(t, dsName, 0.15)
+		base := analyzeGrid(t, ds, 1, 1)
+		for _, workers := range counts {
+			for _, replayWorkers := range counts {
+				if workers == 1 && replayWorkers == 1 {
+					continue
+				}
+				got := analyzeGrid(t, ds, workers, replayWorkers)
+				if !reflect.DeepEqual(base, got) {
+					t.Errorf("%s: report with %d pipeline / %d replay workers differs from serial report",
+						dsName, workers, replayWorkers)
+					diffReports(t, base, got)
+				}
 			}
 		}
 	}

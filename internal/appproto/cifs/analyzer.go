@@ -22,6 +22,13 @@ func NewAnalyzer() *Analyzer {
 	return &Analyzer{Requests: stats.NewCounter(), Bytes: stats.NewCounter()}
 }
 
+// Merge folds other's command/byte counters into a (commutative, so the
+// merged Table 10 is identical for any sharding of the input streams).
+func (a *Analyzer) Merge(other *Analyzer) {
+	a.Requests.Merge(other.Requests)
+	a.Bytes.Merge(other.Bytes)
+}
+
 // Stream consumes one reassembled direction of a CIFS connection.
 // netbiosFramed selects TCP-139-style session framing (each SMB wrapped in
 // a NetBIOS session frame) versus raw port-445 framing, which this codec

@@ -4,9 +4,33 @@ import (
 	"enttrace/internal/stats"
 )
 
+// ChanKey identifies one replay channel without allocating: the trace
+// ordinal (connection first-packet indices restart at zero every trace),
+// the connection's first-packet index, and which side of the
+// conversation the channel carries. It replaces the fmt.Sprintf string
+// keys the replay used to build per connection.
+type ChanKey struct {
+	// Trace is the analyzer-lifetime trace ordinal.
+	Trace int
+	// Conn is the connection's global first-packet index within the trace.
+	Conn int64
+	// Side distinguishes per-direction channels (Endpoint Mapper replay
+	// walks each direction as its own channel) from whole-connection
+	// channels.
+	Side uint8
+}
+
+// ChanKey sides.
+const (
+	SideBoth   uint8 = iota // one channel carries both directions
+	SideClient              // client→server half
+	SideServer              // server→client half
+)
+
 // Analyzer accumulates the Table 11 function breakdown. One Analyzer
 // serves a whole trace; per-channel bind state is keyed by an opaque
-// channel identifier supplied by the caller (a connection/pipe key).
+// channel identifier supplied by the caller — either a string (a
+// connection/pipe key) or an allocation-free ChanKey.
 type Analyzer struct {
 	// Requests counts request PDUs per function name; Bytes sums stub
 	// bytes (claimed lengths) per function name.
@@ -16,7 +40,8 @@ type Analyzer struct {
 	// dynamic service-port registration.
 	MappedPorts map[uint16]UUID
 
-	binds map[string]UUID
+	binds  map[string]UUID
+	bindsK map[ChanKey]UUID
 }
 
 // NewAnalyzer returns an empty analyzer.
@@ -26,6 +51,26 @@ func NewAnalyzer() *Analyzer {
 		Bytes:       stats.NewCounter(),
 		MappedPorts: make(map[uint16]UUID),
 		binds:       make(map[string]UUID),
+		bindsK:      make(map[ChanKey]UUID),
+	}
+}
+
+// Merge folds other's accumulated state into a. The function counters
+// are commutative; bind state unions correctly because channel keys are
+// connection-scoped, so two sources never carry fragments of the same
+// channel (the parallel replay assigns each connection to exactly one
+// shard).
+func (a *Analyzer) Merge(other *Analyzer) {
+	a.Requests.Merge(other.Requests)
+	a.Bytes.Merge(other.Bytes)
+	for port, iface := range other.MappedPorts {
+		a.MappedPorts[port] = iface
+	}
+	for ch, iface := range other.binds {
+		a.binds[ch] = iface
+	}
+	for ch, iface := range other.bindsK {
+		a.bindsK[ch] = iface
 	}
 }
 
@@ -44,6 +89,18 @@ func (a *Analyzer) Stream(channel string, fromClient bool, data []byte) {
 	}
 }
 
+// StreamKey is Stream with an allocation-free channel key.
+func (a *Analyzer) StreamKey(key ChanKey, fromClient bool, data []byte) {
+	for len(data) > 0 {
+		p, n, err := Decode(data)
+		if err != nil || n == 0 {
+			return
+		}
+		a.PDUKey(key, fromClient, p)
+		data = data[n:]
+	}
+}
+
 // PDU consumes one already-decoded PDU.
 func (a *Analyzer) PDU(channel string, fromClient bool, p *PDU) {
 	switch p.Type {
@@ -54,13 +111,34 @@ func (a *Analyzer) PDU(channel string, fromClient bool, p *PDU) {
 		if _, known := a.binds[channel]; !known {
 			a.binds[channel] = p.Iface
 		}
+	default:
+		a.accumulate(a.binds[channel], p)
+	}
+}
+
+// PDUKey is PDU with an allocation-free channel key.
+func (a *Analyzer) PDUKey(key ChanKey, fromClient bool, p *PDU) {
+	switch p.Type {
+	case PTBind:
+		a.bindsK[key] = p.Iface
+	case PTBindAck:
+		if _, known := a.bindsK[key]; !known {
+			a.bindsK[key] = p.Iface
+		}
+	default:
+		a.accumulate(a.bindsK[key], p)
+	}
+}
+
+// accumulate records a non-bind PDU against the channel's bound
+// interface.
+func (a *Analyzer) accumulate(iface UUID, p *PDU) {
+	switch p.Type {
 	case PTRequest:
-		iface := a.binds[channel]
 		fn := FunctionName(iface, p.Opnum)
 		a.Requests.Inc(fn)
 		a.Bytes.Add(fn, int64(p.StubLen))
 	case PTResponse:
-		iface := a.binds[channel]
 		if InterfaceName(iface) == "EPM" {
 			if mapped, port, ok := ParseEpmMapResponse(p); ok {
 				a.MappedPorts[port] = mapped
@@ -70,8 +148,14 @@ func (a *Analyzer) PDU(channel string, fromClient bool, p *PDU) {
 	}
 }
 
-// BoundInterface reports the interface bound on a channel, if any.
+// BoundInterface reports the interface bound on a string channel, if any.
 func (a *Analyzer) BoundInterface(channel string) (UUID, bool) {
 	u, ok := a.binds[channel]
+	return u, ok
+}
+
+// BoundInterfaceKey reports the interface bound on a ChanKey channel.
+func (a *Analyzer) BoundInterfaceKey(key ChanKey) (UUID, bool) {
+	u, ok := a.bindsK[key]
 	return u, ok
 }

@@ -108,6 +108,27 @@ func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *Message) {
 	})
 }
 
+// Merge folds other's accumulated state into a. The aggregate outputs
+// (counters, latency distribution) are commutative, so merging per-shard
+// analyzers yields the same statistics for any sharding — provided each
+// (client, server) host pair was fed to exactly one shard, which is what
+// keeps the pending/seenOp pairing state shard-local. Done transactions
+// are appended in merge-call order; callers that need a canonical order
+// must sort by their own key.
+func (a *Analyzer) Merge(other *Analyzer) {
+	a.Types.Merge(other.Types)
+	a.Rcodes.Merge(other.Rcodes)
+	a.Clients.Merge(other.Clients)
+	a.Latency.Merge(other.Latency)
+	a.Done = append(a.Done, other.Done...)
+	for k, v := range other.pending {
+		a.pending[k] = v
+	}
+	for k := range other.seenOp {
+		a.seenOp[k] = struct{}{}
+	}
+}
+
 // Flush records remaining unanswered queries as transactions.
 func (a *Analyzer) Flush() {
 	for k, q := range a.pending {

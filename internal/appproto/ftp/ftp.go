@@ -9,7 +9,6 @@ package ftp
 import (
 	"bytes"
 	"fmt"
-	"strconv"
 	"strings"
 )
 
@@ -78,16 +77,33 @@ func isAlpha(s string) bool {
 func ParseReplies(stream []byte) []Reply {
 	var out []Reply
 	for _, line := range bytes.Split(stream, []byte("\r\n")) {
-		if len(line) < 4 || line[3] != ' ' {
+		code, text, ok := ParseReplyLine(line)
+		if !ok {
 			continue
 		}
-		code, err := strconv.Atoi(string(line[:3]))
-		if err != nil || code < 100 || code > 599 {
-			continue
-		}
-		out = append(out, Reply{Code: code, Text: string(line[4:])})
+		out = append(out, Reply{Code: code, Text: string(text)})
 	}
 	return out
+}
+
+// ParseReplyLine parses one CRLF-stripped reply line in place: the
+// returned text aliases line and nothing is allocated. ok is false for
+// continuation lines, partial lines, and anything without a valid
+// three-digit code.
+func ParseReplyLine(line []byte) (code int, text []byte, ok bool) {
+	if len(line) < 4 || line[3] != ' ' {
+		return 0, nil, false
+	}
+	for _, c := range line[:3] {
+		if c < '0' || c > '9' {
+			return 0, nil, false
+		}
+	}
+	code = int(line[0]-'0')*100 + int(line[1]-'0')*10 + int(line[2]-'0')
+	if code < 100 {
+		return 0, nil, false
+	}
+	return code, line[4:], true
 }
 
 // PasvPort extracts the advertised data port from a 227 reply, with ok
@@ -96,21 +112,68 @@ func PasvPort(r Reply) (port uint16, ok bool) {
 	if r.Code != 227 {
 		return 0, false
 	}
-	open := strings.IndexByte(r.Text, '(')
-	close := strings.IndexByte(r.Text, ')')
+	return PasvPortFromText(r.Text)
+}
+
+// PasvPortFromText extracts the data port from the text of a 227 reply
+// ("Entering Passive Mode (h1,h2,h3,h4,p1,p2)") without allocating; it
+// accepts the text as either a string or a byte slice so replay can feed
+// reassembled stream bytes directly.
+func PasvPortFromText[T ~string | ~[]byte](text T) (port uint16, ok bool) {
+	open, close := -1, -1
+	for i := 0; i < len(text); i++ {
+		switch text[i] {
+		case '(':
+			if open < 0 {
+				open = i
+			}
+		case ')':
+			if open >= 0 && close < 0 {
+				close = i
+			}
+		}
+	}
 	if open < 0 || close < open {
 		return 0, false
 	}
-	parts := strings.Split(r.Text[open+1:close], ",")
-	if len(parts) != 6 {
+	// Walk the six comma-separated decimal fields; only the last two (the
+	// port halves) are kept.
+	var fields [6]int
+	field, n := 0, -1
+	ended := false // digits already ended by trailing whitespace
+	for i := open + 1; i <= close; i++ {
+		c := text[i]
+		switch {
+		case c >= '0' && c <= '9':
+			if ended {
+				return 0, false // "12 3" is not a field
+			}
+			if n < 0 {
+				n = 0
+			}
+			n = n*10 + int(c-'0')
+			if n > 255 {
+				return 0, false
+			}
+		case c == ',' || i == close:
+			if n < 0 || field >= 6 {
+				return 0, false
+			}
+			fields[field] = n
+			field++
+			n = -1
+			ended = false
+		case c == ' ' || c == '\t':
+			// Tolerate whitespace around fields, as the string parser did.
+			ended = n >= 0
+		default:
+			return 0, false
+		}
+	}
+	if field != 6 {
 		return 0, false
 	}
-	hi, err1 := strconv.Atoi(strings.TrimSpace(parts[4]))
-	lo, err2 := strconv.Atoi(strings.TrimSpace(parts[5]))
-	if err1 != nil || err2 != nil || hi < 0 || hi > 255 || lo < 0 || lo > 255 {
-		return 0, false
-	}
-	return uint16(hi)<<8 | uint16(lo), true
+	return uint16(fields[4])<<8 | uint16(fields[5]), true
 }
 
 // Session summarizes one parsed control connection.

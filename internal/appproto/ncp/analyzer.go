@@ -44,6 +44,25 @@ func pairOf(a, b netip.Addr) [2]netip.Addr {
 	return [2]netip.Addr{a, b}
 }
 
+// Merge folds other's accumulated state into a. Counters, distributions,
+// and per-pair sums are commutative; the request/reply pairing state
+// unions correctly when each (client, server) host pair was fed to
+// exactly one source.
+func (a *Analyzer) Merge(other *Analyzer) {
+	a.Requests.Merge(other.Requests)
+	a.Bytes.Merge(other.Bytes)
+	a.ReqSizes.Merge(other.ReqSizes)
+	a.ReplySizes.Merge(other.ReplySizes)
+	for pair, n := range other.PerPair {
+		a.PerPair[pair] += n
+	}
+	a.OK += other.OK
+	a.Failed += other.Failed
+	for k, v := range other.pending {
+		a.pending[k] = v
+	}
+}
+
 // Stream consumes one direction of an NCP connection's reassembled bytes.
 func (a *Analyzer) Stream(src, dst netip.Addr, data []byte) {
 	for len(data) > 0 {

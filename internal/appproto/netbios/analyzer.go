@@ -93,6 +93,22 @@ func (a *Analyzer) Message(ts time.Time, src, dst netip.Addr, m *NSMessage) {
 	}
 }
 
+// Merge folds other's accumulated state into a. Counters are
+// commutative; the pending/seenOp pairing state is correct to union as
+// long as each (client, server) host pair was fed to exactly one source.
+func (a *Analyzer) Merge(other *Analyzer) {
+	a.Ops.Merge(other.Ops)
+	a.NameTypes.Merge(other.NameTypes)
+	a.Clients.Merge(other.Clients)
+	a.Rcodes.Merge(other.Rcodes)
+	for k, v := range other.pending {
+		a.pending[k] = v
+	}
+	for k := range other.seenOp {
+		a.seenOp[k] = struct{}{}
+	}
+}
+
 // FailureRate is the fraction of distinct query operations that returned
 // NXDOMAIN — the paper reports 36–50%.
 func (a *Analyzer) FailureRate() float64 {
@@ -135,6 +151,23 @@ func (s *SSNAnalyzer) Frame(client, server netip.Addr, typ uint8) {
 	case SSNNegativeResponse:
 		if cur != SSNPositiveResponse {
 			s.pairs[k] = SSNNegativeResponse
+		}
+	}
+}
+
+// Merge folds other's per-pair outcomes into s under the same precedence
+// Frame applies (positive beats negative beats request), which makes the
+// merged outcome independent of how frames were split across sources.
+func (s *SSNAnalyzer) Merge(other *SSNAnalyzer) {
+	for k, v := range other.pairs {
+		cur := s.pairs[k]
+		switch {
+		case v == SSNPositiveResponse || cur == SSNPositiveResponse:
+			s.pairs[k] = SSNPositiveResponse
+		case v == SSNNegativeResponse || cur == SSNNegativeResponse:
+			s.pairs[k] = SSNNegativeResponse
+		case cur == 0:
+			s.pairs[k] = v
 		}
 	}
 }

@@ -48,6 +48,25 @@ func pairOf(a, b netip.Addr) [2]netip.Addr {
 	return [2]netip.Addr{a, b}
 }
 
+// Merge folds other's accumulated state into a. Counters, distributions,
+// and per-pair sums are commutative; the pendingProc call/reply pairing
+// unions correctly when each (client, server) host pair was fed to
+// exactly one source.
+func (a *Analyzer) Merge(other *Analyzer) {
+	a.Requests.Merge(other.Requests)
+	a.Bytes.Merge(other.Bytes)
+	a.ReqSizes.Merge(other.ReqSizes)
+	a.ReplySizes.Merge(other.ReplySizes)
+	for pair, n := range other.PerPair {
+		a.PerPair[pair] += n
+	}
+	a.OK += other.OK
+	a.Failed += other.Failed
+	for k, v := range other.pendingProc {
+		a.pendingProc[k] = v
+	}
+}
+
 // Message feeds one raw RPC message (UDP payload or one TCP record)
 // traveling src → dst.
 func (a *Analyzer) Message(src, dst netip.Addr, raw []byte) {

@@ -96,11 +96,16 @@ func datasetPackets(ds *gen.Dataset) int64 {
 }
 
 func newAnalyzer(ds *gen.Dataset, workers int) *core.Analyzer {
+	return newAnalyzerReplay(ds, workers, 0)
+}
+
+func newAnalyzerReplay(ds *gen.Dataset, workers, replayWorkers int) *core.Analyzer {
 	return core.NewAnalyzer(core.Options{
 		Dataset:         ds.Config.Name,
 		KnownScanners:   enterprise.KnownScanners(),
 		PayloadAnalysis: ds.Config.Snaplen >= 1500,
 		Workers:         workers,
+		ReplayWorkers:   replayWorkers,
 	})
 }
 
@@ -115,6 +120,8 @@ func newAnalyzer(ds *gen.Dataset, workers int) *core.Analyzer {
 //     the determinism-pinned worker counts.
 //   - reassembly/*: the zero-copy TCP reassembly layer, in-order and
 //     out-of-order regimes (pooled-buffer alloc gates).
+//   - replay/D3/workers=N: the two-phase deterministic replay stage at
+//     the determinism-pinned replay worker counts (fixed pipeline shape).
 //   - stats/dist-observe: the compact Dist representation's
 //     bounded-memory gate.
 //   - analyze/D0..D4: the in-memory measured unit behind every table and
@@ -179,6 +186,38 @@ func Suite() []Benchmark {
 
 	suite = append(suite, reassemblyBenchmarks()...)
 	suite = append(suite, statsBenchmarks()...)
+
+	// replay/*: the two-phase deterministic replay stage, swept across
+	// replay worker counts at a fixed pipeline shape (D3, 4 pipeline
+	// workers). The deltas between entries isolate the replay stage's
+	// sharded-fan-out cost/benefit; the workers=1 entry is the serial
+	// two-phase baseline. Gated like every other entry.
+	for _, rw := range []int{1, 4, 8} {
+		rw := rw
+		suite = append(suite, Benchmark{
+			Name: fmt.Sprintf("replay/D3/workers=%d", rw),
+			F: func(b *testing.B) {
+				ds := suiteDataset("D3")
+				pkts := datasetPackets(ds)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					a := newAnalyzerReplay(ds, 4, rw)
+					for _, tr := range ds.Traces {
+						if err := a.AddTrace(core.TraceInput{
+							Name:      tr.Prefix.String(),
+							Monitored: tr.Prefix,
+							Packets:   tr.Packets,
+						}); err != nil {
+							b.Fatal(err)
+						}
+					}
+					a.Report()
+				}
+				reportPktsPerSec(b, pkts)
+			},
+		})
+	}
 
 	for _, dsName := range []string{"D0", "D1", "D2", "D3", "D4"} {
 		dsName := dsName

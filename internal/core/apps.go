@@ -2,6 +2,7 @@ package core
 
 import (
 	"net/netip"
+	"sort"
 
 	"enttrace/internal/appproto/cifs"
 	"enttrace/internal/appproto/dcerpc"
@@ -48,8 +49,10 @@ type appAggregates struct {
 	sshConns, sshBulk   int64
 	sshPkts, sshPayload int64
 
-	// Bulk: FTP control sessions and data volumes.
-	ftpSessions []ftp.Session
+	// Bulk: FTP control sessions and data volumes. Sessions are tagged
+	// with their connection's canonical position so shard merges can
+	// restore first-packet order.
+	ftpSessions []ftpSessionRec
 	bulkConns   *stats.Counter
 	bulkBytes   *stats.Counter
 
@@ -82,14 +85,25 @@ func newAppAggregates() *appAggregates {
 	}
 }
 
-func (ap *appAggregates) ftpSession(s ftp.Session) {
-	ap.ftpSessions = append(ap.ftpSessions, s)
+// ftpSessionRec is one parsed FTP control session plus its canonical
+// ordering key (trace ordinal, first-packet index).
+type ftpSessionRec struct {
+	trace    int
+	firstIdx int64
+	session  ftp.Session
 }
 
-// transportConn accumulates everything derivable without payloads.
-func (ap *appAggregates) transportConn(c *flows.Conn, opts Options) {
-	name, _ := opts.Registry.Classify(c.Proto, c.Key.SrcPort, c.Key.DstPort)
-	wan := connWAN(c, opts.IsLocal)
+func (ap *appAggregates) ftpSession(trace int, firstIdx int64, s ftp.Session) {
+	ap.ftpSessions = append(ap.ftpSessions, ftpSessionRec{trace: trace, firstIdx: firstIdx, session: s})
+}
+
+// transportConn accumulates everything derivable without payloads. name
+// is the connection's classification snapshot, taken by the serial
+// replay phase at the connection's canonical position (so a port
+// registered later in the trace does not reclassify earlier-starting
+// connections).
+func (ap *appAggregates) transportConn(c *flows.Conn, name string, isLocal func(netip.Addr) bool) {
+	wan := connWAN(c, isLocal)
 	switch name {
 	case "SMTP", "IMAP4", "IMAP/S", "POP3", "POP/S", "LDAP":
 		ap.email.conn(name, wan, c)
@@ -458,4 +472,194 @@ func (ap *appAggregates) httpConn(c *flows.Conn, wan bool, cliStream, srvStream 
 	reqs := http.ParseRequests(cliStream)
 	resps := http.ParseResponses(srvStream)
 	ap.http.conn(c, wan, reqs, resps)
+}
+
+// Merge folds other's application-level state into ap — the aggregate
+// half of the parallel replay's merge contract (DESIGN.md "Two-phase
+// deterministic replay"). Every operation here is either commutative
+// (sums, counter/distribution merges, set unions) or keyed by a host
+// pair that the replay sharding guarantees lives in exactly one source,
+// so the merged state is identical for any shard count. other remains
+// usable afterwards; nothing mutable is aliased.
+func (ap *appAggregates) Merge(other *appAggregates) {
+	ap.dnsInt.Merge(other.dnsInt)
+	ap.dnsWan.Merge(other.dnsWan)
+	ap.nbns.Merge(other.nbns)
+	ap.ssn.Merge(other.ssn)
+	ap.cifs.Merge(other.cifs)
+	ap.rpc.Merge(other.rpc)
+	for service, pairs := range other.winPairs {
+		m := ap.winPairs[service]
+		if m == nil {
+			m = make(map[layers.HostPair]flows.State, len(pairs))
+			ap.winPairs[service] = m
+		}
+		for pair, st := range pairs {
+			cur, seen := m[pair]
+			switch {
+			case !seen:
+				m[pair] = st
+			case st == flows.StateEstablished || cur == flows.StateEstablished:
+				m[pair] = flows.StateEstablished
+			case st == flows.StateRejected || cur == flows.StateRejected:
+				m[pair] = flows.StateRejected
+			default:
+				m[pair] = st
+			}
+		}
+	}
+	ap.nfs.Merge(other.nfs)
+	ap.ncp.Merge(other.ncp)
+	for pair := range other.nfsUDP {
+		ap.nfsUDP[pair] = true
+	}
+	for pair := range other.nfsTCP {
+		ap.nfsTCP[pair] = true
+	}
+	ap.ncpConns += other.ncpConns
+	ap.ncpKeepAliveOnly += other.ncpKeepAliveOnly
+	ap.email.Merge(other.email)
+	ap.http.Merge(other.http)
+	ap.sshConns += other.sshConns
+	ap.sshBulk += other.sshBulk
+	ap.sshPkts += other.sshPkts
+	ap.sshPayload += other.sshPayload
+	ap.ftpSessions = append(ap.ftpSessions, other.ftpSessions...)
+	ap.bulkConns.Merge(other.bulkConns)
+	ap.bulkBytes.Merge(other.bulkBytes)
+	ap.backupConns.Merge(other.backupConns)
+	ap.backupBytes.Merge(other.backupBytes)
+	ap.dantzConns += other.dantzConns
+	ap.dantzBidir += other.dantzBidir
+}
+
+// sortFTPSessions restores canonical first-packet order after shard
+// merges, so anything walking the session list is shard-count-invariant.
+func (ap *appAggregates) sortFTPSessions() {
+	sort.Slice(ap.ftpSessions, func(i, j int) bool {
+		a, b := ap.ftpSessions[i], ap.ftpSessions[j]
+		if a.trace != b.trace {
+			return a.trace < b.trace
+		}
+		return a.firstIdx < b.firstIdx
+	})
+}
+
+// Merge folds other's email aggregates into e (all commutative or
+// host-pair-keyed operations).
+func (e *emailAgg) Merge(other *emailAgg) {
+	e.bytesByProto.Merge(other.bytesByProto)
+	for key, d := range other.durations {
+		dst := e.durations[key]
+		if dst == nil {
+			dst = stats.NewDist()
+			e.durations[key] = dst
+		}
+		dst.Merge(d)
+	}
+	for key, d := range other.sizes {
+		dst := e.sizes[key]
+		if dst == nil {
+			dst = stats.NewDist()
+			e.sizes[key] = dst
+		}
+		dst.Merge(d)
+	}
+	for key, pm := range other.pairs {
+		dst := e.pairs[key]
+		if dst == nil {
+			dst = make(map[layers.HostPair]bool, len(pm))
+			e.pairs[key] = dst
+		}
+		for pair, ok := range pm {
+			dst[pair] = dst[pair] || ok
+		}
+	}
+	e.smtpAccepted += other.smtpAccepted
+	e.smtpRejected += other.smtpRejected
+}
+
+// Merge folds other's HTTP aggregates into h (all commutative sums and
+// set unions, so the merged state is sharding-invariant).
+func (h *httpAgg) Merge(other *httpAgg) {
+	for key, pm := range other.connPairs {
+		dst := h.connPairs[key]
+		if dst == nil {
+			dst = make(map[layers.HostPair]bool, len(pm))
+			h.connPairs[key] = dst
+		}
+		for pair, ok := range pm {
+			dst[pair] = dst[pair] || ok
+		}
+	}
+	for pair, n := range other.httpsConnsByPair {
+		h.httpsConnsByPair[pair] += n
+	}
+	for key, n := range other.reqTotal {
+		h.reqTotal[key] += n
+	}
+	for key, n := range other.dataTotal {
+		h.dataTotal[key] += n
+	}
+	for class, e := range other.byClass {
+		dst := h.byClass[class]
+		if dst == nil {
+			dst = &struct{ Reqs, Bytes int64 }{}
+			h.byClass[class] = dst
+		}
+		dst.Reqs += e.Reqs
+		dst.Bytes += e.Bytes
+	}
+	for client := range other.automated {
+		h.automated[client] = true
+	}
+	for client, byLoc := range other.fanServers {
+		dstLoc := h.fanServers[client]
+		if dstLoc == nil {
+			dstLoc = make(map[string]map[netip.Addr]struct{}, len(byLoc))
+			h.fanServers[client] = dstLoc
+		}
+		for loc, servers := range byLoc {
+			dst := dstLoc[loc]
+			if dst == nil {
+				dst = make(map[netip.Addr]struct{}, len(servers))
+				dstLoc[loc] = dst
+			}
+			for server := range servers {
+				dst[server] = struct{}{}
+			}
+		}
+	}
+	for loc, c := range other.contentReq {
+		if h.contentReq[loc] == nil {
+			h.contentReq[loc] = stats.NewCounter()
+		}
+		h.contentReq[loc].Merge(c)
+	}
+	for loc, c := range other.contentLen {
+		if h.contentLen[loc] == nil {
+			h.contentLen[loc] = stats.NewCounter()
+		}
+		h.contentLen[loc].Merge(c)
+	}
+	for loc, d := range other.replySizes {
+		if h.replySizes[loc] == nil {
+			h.replySizes[loc] = stats.NewDist()
+		}
+		h.replySizes[loc].Merge(d)
+	}
+	for loc, c := range other.conditional {
+		dst := h.conditional[loc]
+		if dst == nil {
+			dst = &struct{ Cond, Total, CondBytes, Bytes int64 }{}
+			h.conditional[loc] = dst
+		}
+		dst.Cond += c.Cond
+		dst.Total += c.Total
+		dst.CondBytes += c.CondBytes
+		dst.Bytes += c.Bytes
+	}
+	h.methods.Merge(other.methods)
+	h.statusOK += other.statusOK
+	h.statusAll += other.statusAll
 }

@@ -168,18 +168,22 @@ func TestTransportConnBackupAccounting(t *testing.T) {
 	ap := newAppAggregates()
 	opts := Options{}
 	opts.fill()
+	classified := func(c *flows.Conn) string {
+		name, _ := opts.Registry.Classify(c.Proto, c.Key.SrcPort, c.Key.DstPort)
+		return name
+	}
 	dantz := tcpConn(hostA, hostB, 40000, 497, flows.StateEstablished)
 	dantz.OrigBytes, dantz.RespBytes = 200<<10, 150<<10
-	ap.transportConn(dantz, opts)
+	ap.transportConn(dantz, classified(dantz), opts.IsLocal)
 	oneway := tcpConn(hostA, hostB, 40001, 497, flows.StateEstablished)
 	oneway.OrigBytes = 500 << 10
-	ap.transportConn(oneway, opts)
+	ap.transportConn(oneway, classified(oneway), opts.IsLocal)
 	if ap.dantzConns != 2 || ap.dantzBidir != 1 {
 		t.Errorf("dantz: conns=%d bidir=%d", ap.dantzConns, ap.dantzBidir)
 	}
 	veritas := tcpConn(hostA, hostB, 40002, 13724, flows.StateEstablished)
 	veritas.OrigBytes = 1 << 20
-	ap.transportConn(veritas, opts)
+	ap.transportConn(veritas, classified(veritas), opts.IsLocal)
 	if ap.backupBytes.Get("VERITAS-BACKUP-DATA") != 1<<20 {
 		t.Error("veritas bytes")
 	}
@@ -191,10 +195,10 @@ func TestTransportConnSSH(t *testing.T) {
 	opts.fill()
 	small := tcpConn(hostA, hostB, 40000, 22, flows.StateEstablished)
 	small.OrigBytes, small.OrigPkts = 4000, 80
-	ap.transportConn(small, opts)
+	ap.transportConn(small, "SSH", opts.IsLocal)
 	big := tcpConn(hostA, hostB, 40001, 22, flows.StateEstablished)
 	big.OrigBytes, big.OrigPkts = 500<<10, 400
-	ap.transportConn(big, opts)
+	ap.transportConn(big, "SSH", opts.IsLocal)
 	if ap.sshConns != 2 || ap.sshBulk != 1 {
 		t.Errorf("ssh: conns=%d bulk=%d", ap.sshConns, ap.sshBulk)
 	}

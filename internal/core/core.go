@@ -13,6 +13,7 @@ package core
 import (
 	"io"
 	"net/netip"
+	"runtime"
 	"time"
 
 	"enttrace/internal/categories"
@@ -46,6 +47,16 @@ type Options struct {
 	// Workers is the streaming pipeline's shard count; 0 uses GOMAXPROCS.
 	// Reports are bit-identical for any worker count.
 	Workers int
+	// ReplayWorkers is the deterministic replay's worker count: the
+	// application-analysis stage (payload parsing, UDP message dispatch,
+	// transport accumulation) fans out across this many goroutines, each
+	// accumulating into its own aggregate shard, merged canonically at
+	// report time. 0 uses GOMAXPROCS. Reports are bit-identical for any
+	// count. A caller-supplied IsLocal must be safe for concurrent use
+	// regardless of this count: even a single replay worker runs as a
+	// goroutine overlapping the trace-load accounting, and both sides
+	// consult IsLocal.
+	ReplayWorkers int
 	// BatchSize is packets per pipeline dispatch batch; 0 uses the
 	// pipeline default.
 	BatchSize int
@@ -96,7 +107,16 @@ type Analyzer struct {
 
 	fanAgg map[netip.Addr]*flows.FanStats // Figure 2
 
+	// apps holds the serial (phase A) application state — the Endpoint
+	// Mapper PDU accounting that rides along with port registration.
+	// Everything else application-level accumulates in replayShards.
 	apps *appAggregates
+
+	// replayShards are the parallel replay's per-worker aggregates. They
+	// persist across traces (a host pair always hashes to the same
+	// shard, so cross-trace pairing state — DNS retries, RPC binds —
+	// stays shard-local) and merge with apps at report time.
+	replayShards []*appAggregates
 
 	load *loadAgg
 
@@ -216,27 +236,66 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 	keptBy := keptSet(kept)
 
 	// Application replay: UDP messages, dynamic registrations, transport
-	// accumulation, payload parsing — all in canonical order. Dynamic
-	// registrations must precede the connection-level accumulation below,
-	// which classifies against the registry.
+	// accumulation, payload parsing — all in canonical order. The serial
+	// phase (dynamic registrations) runs inline and must precede the
+	// connection-level accumulation below, which classifies against the
+	// registry; the parallel phase is left in flight while that
+	// accumulation runs, since the two touch disjoint state.
 	streams := make(map[*flows.Conn]*connStreams)
 	for _, s := range sinks {
 		for c, st := range s.conns {
 			streams[c] = st
 		}
 	}
-	a.replayApps(recs, streams, mergeUDPEvents(sinks), keptBy)
+	join := a.replayApps(recs, streams, mergeUDPEvents(sinks), keptBy, monitored)
 
-	// Connection-level accumulation.
-	for _, c := range kept {
-		a.accumulateConn(c)
-	}
-	a.accumulateFan(kept, monitored)
-	for role, n := range roles.Summary(roles.Classify(kept, roles.Config{})) {
-		a.roleCounts[role] += n
-	}
+	// Trace load accounting overlaps the replay workers (it reads only
+	// the per-second bins and connection fields, which nothing mutates).
 	a.load.finishTrace(perSec, kept, a.opts.IsLocal, a.opts.LinkCapacityMbps)
+	join()
 	return nil
+}
+
+// ensureReplayShards lazily builds the per-worker replay aggregates.
+// The count is fixed at first use so the pair→shard assignment stays
+// stable for the Analyzer's lifetime.
+func (a *Analyzer) ensureReplayShards() []*appAggregates {
+	if a.replayShards == nil {
+		n := a.opts.ReplayWorkers
+		if n <= 0 {
+			n = runtime.GOMAXPROCS(0)
+		}
+		if n > maxReplayWorkers {
+			n = maxReplayWorkers
+		}
+		a.replayShards = make([]*appAggregates, n)
+		for i := range a.replayShards {
+			a.replayShards[i] = newAppAggregates()
+		}
+	}
+	return a.replayShards
+}
+
+// maxReplayWorkers bounds the replay fan-out; beyond this the per-shard
+// aggregate fixed costs outweigh any parallelism.
+const maxReplayWorkers = 64
+
+// mergedApps folds the serial aggregate and every replay shard into one
+// view for the report, in canonical order: phase-A state first, then
+// shards by index, with order-bearing collections (FTP sessions)
+// restored to first-packet order. The sources are left untouched, so
+// reports can interleave with further traces.
+func (a *Analyzer) mergedApps() *appAggregates {
+	if a.replayShards == nil {
+		return a.apps
+	}
+	merged := newAppAggregates()
+	merged.Merge(a.apps)
+	for _, shard := range a.replayShards {
+		merged.Merge(shard)
+	}
+	merged.sortFTPSessions()
+	return merged
 }
 
 func unionHosts(dst, src map[netip.Addr]struct{}) {
@@ -257,8 +316,12 @@ func keptSet(conns []*flows.Conn) map[*flows.Conn]bool {
 	return m
 }
 
-// accumulateConn feeds Table 3, Figure 1, and the §4 origin mix.
-func (a *Analyzer) accumulateConn(c *flows.Conn) {
+// accumulateConn feeds Table 3, Figure 1, and the §4 origin mix into a
+// replay worker's connection-level shard (folded at join). cat is the
+// connection's Figure 1 category from the phase-A classification
+// snapshot, so every report section sees the same verdict and phase B
+// never consults the registry.
+func (a *Analyzer) accumulateConn(ca *connAggregates, c *flows.Conn, cat string) {
 	var tname string
 	switch c.Proto {
 	case layers.ProtoTCP:
@@ -270,8 +333,8 @@ func (a *Analyzer) accumulateConn(c *flows.Conn) {
 	default:
 		tname = "Other"
 	}
-	a.transBytes.Add(tname, c.PayloadBytes())
-	a.transConns.Inc(tname)
+	ca.transBytes.Add(tname, c.PayloadBytes())
+	ca.transConns.Inc(tname)
 
 	srcLocal := a.opts.IsLocal(c.Key.Src)
 	dstLocal := a.opts.IsLocal(c.Key.Dst)
@@ -279,20 +342,19 @@ func (a *Analyzer) accumulateConn(c *flows.Conn) {
 	// §4 origins.
 	switch {
 	case c.Multicast && srcLocal:
-		a.origins.Inc("multicast-internal")
+		ca.origins.Inc("multicast-internal")
 	case c.Multicast:
-		a.origins.Inc("multicast-external")
+		ca.origins.Inc("multicast-external")
 	case srcLocal && dstLocal:
-		a.origins.Inc("ent-ent")
+		ca.origins.Inc("ent-ent")
 	case srcLocal:
-		a.origins.Inc("ent-wan")
+		ca.origins.Inc("ent-wan")
 	default:
-		a.origins.Inc("wan-ent")
+		ca.origins.Inc("wan-ent")
 	}
 
 	// Figure 1 considers unicast traffic; multicast is reported
 	// separately in the text.
-	cat := a.classify(c)
 	if cat == "" {
 		return
 	}
@@ -301,15 +363,15 @@ func (a *Analyzer) accumulateConn(c *flows.Conn) {
 	if c.Multicast {
 		key = cat + "/multicast"
 	}
-	bs := a.catBytes[key]
+	bs := ca.catBytes[key]
 	if bs == nil {
 		bs = &locSplit{}
-		a.catBytes[key] = bs
+		ca.catBytes[key] = bs
 	}
-	cs := a.catConns[key]
+	cs := ca.catConns[key]
 	if cs == nil {
 		cs = &locSplit{}
-		a.catConns[key] = cs
+		ca.catConns[key] = cs
 	}
 	if wan {
 		bs.Wan += c.PayloadBytes()
@@ -317,28 +379,6 @@ func (a *Analyzer) accumulateConn(c *flows.Conn) {
 	} else {
 		bs.Ent += c.PayloadBytes()
 		cs.Ent++
-	}
-}
-
-func (a *Analyzer) classify(c *flows.Conn) string {
-	_, cat := a.opts.Registry.Classify(c.Proto, c.Key.SrcPort, c.Key.DstPort)
-	return cat
-}
-
-func (a *Analyzer) accumulateFan(conns []*flows.Conn, monitored netip.Prefix) {
-	fan := flows.FanInOut(conns,
-		func(h netip.Addr) bool { return monitored.Contains(h) },
-		a.opts.IsLocal)
-	for h, s := range fan {
-		agg := a.fanAgg[h]
-		if agg == nil {
-			agg = &flows.FanStats{}
-			a.fanAgg[h] = agg
-		}
-		agg.FanInLocal += s.FanInLocal
-		agg.FanInRemote += s.FanInRemote
-		agg.FanOutLocal += s.FanOutLocal
-		agg.FanOutRemote += s.FanOutRemote
 	}
 }
 

@@ -1,8 +1,8 @@
 package core
 
 import (
-	"fmt"
-	"sort"
+	"net/netip"
+	"sync"
 
 	"enttrace/internal/appproto/dcerpc"
 	"enttrace/internal/appproto/dns"
@@ -14,49 +14,67 @@ import (
 	"enttrace/internal/flows"
 	"enttrace/internal/layers"
 	"enttrace/internal/pipeline"
+	"enttrace/internal/roles"
+	"enttrace/internal/stats"
 )
 
 // replayApps runs the application-level analysis that the sequential
-// dispatcher used to interleave with packet processing. Everything here
-// happens in a canonical order — UDP messages by global packet index,
-// then connections by first-packet index — so the result is identical
-// for any worker count:
+// dispatcher used to interleave with packet processing, as a two-phase
+// deterministic replay:
 //
-//  1. Captured UDP messages feed the datagram analyzers in arrival order.
-//  2. Every connection (kept or not — the sequential path also parsed
-//     scanner traffic incrementally) replays its dynamic registrations:
-//     Endpoint Mapper responses and FTP PASV replies register service
-//     ports before any later-starting connection is classified.
-//  3. Kept connections accumulate transport-level statistics.
-//  4. Kept connections parse their reassembled payloads.
-func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Conn]*connStreams, events []udpEvent, kept map[*flows.Conn]bool) {
-	apps := a.apps
-	isLocal := a.opts.IsLocal
+// Phase A (serial, cheap) walks connections in canonical first-packet
+// order doing only the order-sensitive work — FTP PASV and Endpoint
+// Mapper port registrations — and snapshots each connection's registry
+// classification at its position in that order. The snapshot is what
+// pins the incremental semantics: a port registered later in the trace
+// classifies only later-starting connections, for any worker count.
+//
+// Phase B (parallel) fans the expensive work — per-connection payload
+// parsing, transport-level accumulation, and UDP message dispatch — out
+// across the replay workers. Work is sharded by canonical host pair, so
+// every stateful pairing domain (DNS/NBNS transaction matching, NFS/NCP
+// call-reply pairing, per-host-pair outcome folding) lives wholly inside
+// one worker and is processed there in global order; each worker
+// accumulates into its own appAggregates shard. The shards merge in
+// canonical order at report time (Analyzer.mergedApps), and because
+// every merged quantity is either commutative or pair-contained, the
+// report is byte-identical for any replay worker count.
+//
+// Phase B also carries the connection-level accumulation that used to
+// run serially after replay — Table 3/Figure 1/origin sums (commutative)
+// and the fan/role distinct-peer evidence (pair-contained) — folded into
+// the Analyzer at join time in shard order.
+//
+// replayApps returns after phase A with phase B in flight; the caller
+// runs work that is independent of the per-shard state (trace load
+// accounting) concurrently, then calls the returned join to wait for
+// the workers and fold their connection-level results. Phase B touches
+// only per-worker state, the stream buffers it owns, and the
+// (mutex-guarded) reassembly pool; it reads the registry, connections,
+// and kept set without writing them — which is what makes the overlap
+// safe.
+func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Conn]*connStreams, events []udpEvent, kept map[*flows.Conn]bool, monitored netip.Prefix) (join func()) {
+	shards := a.ensureReplayShards()
+	nshard := len(shards)
 
-	// Phase 3 (numbering above): transport-level accumulation happens for
-	// every kept conn even without payloads (email figures, windows
-	// success rates, backup).
-	transport := func() {
-		for _, rec := range recs {
-			if kept[rec.Conn] {
-				apps.transportConn(rec.Conn, a.opts)
-			}
+	// Phase A: classification snapshots (protocol name and Figure 1
+	// category) plus dynamic port registrations, in first-packet order.
+	// Registrations must precede every snapshot taken after them — this
+	// loop is the only place the registry is written, so phase B can
+	// classify from the snapshots alone and never touch the registry
+	// concurrently.
+	names := make([]string, len(recs))
+	cats := make([]string, len(recs))
+	for i, rec := range recs {
+		name, cat := a.opts.Registry.Classify(rec.Conn.Proto, rec.Conn.Key.SrcPort, rec.Conn.Key.DstPort)
+		names[i], cats[i] = name, cat
+		if !a.opts.PayloadAnalysis {
+			continue
 		}
-	}
-	if !a.opts.PayloadAnalysis {
-		transport()
-		return
-	}
-
-	a.replayUDP(events)
-
-	// Phase 2: dynamic port registrations, in first-packet order.
-	for _, rec := range recs {
 		app := streams[rec.Conn]
 		if app == nil {
 			continue
 		}
-		name, _ := a.opts.Registry.Classify(rec.Conn.Proto, rec.Conn.Key.SrcPort, rec.Conn.Key.DstPort)
 		switch {
 		case name == "FTP" && rec.Conn.Key.DstPort == 21:
 			if kept[rec.Conn] {
@@ -75,71 +93,230 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 			// Channel keys carry the trace ordinal: FirstIdx restarts at
 			// zero every trace, and the RPC analyzer's bind state
 			// persists for the Analyzer's lifetime.
-			ch := fmt.Sprintf("t%d/%d", a.traceCount, rec.FirstIdx)
-			a.replayEPM(ch+"/c", true, app.epmCli.segments())
-			a.replayEPM(ch+"/s", false, app.epmSrv.segments())
+			a.replayEPM(dcerpc.ChanKey{Trace: a.traceCount, Conn: rec.FirstIdx, Side: dcerpc.SideClient}, true, app.epmCli.segments())
+			a.replayEPM(dcerpc.ChanKey{Trace: a.traceCount, Conn: rec.FirstIdx, Side: dcerpc.SideServer}, false, app.epmSrv.segments())
 		}
 	}
 
-	transport()
+	// Phase B: partition connections and UDP messages by canonical host
+	// pair and fan out. Per-shard slices preserve global order, so each
+	// worker sees exactly the serial subsequence of its pairs.
+	connsByShard := make([][]int32, nshard)
+	for i, rec := range recs {
+		s := pairShard(rec.Conn.Key.Src, rec.Conn.Key.Dst, nshard)
+		connsByShard[s] = append(connsByShard[s], int32(i))
+	}
+	udpByShard := make([][]udpEvent, nshard)
+	for _, ev := range events {
+		s := pairShard(ev.src, ev.dst, nshard)
+		udpByShard[s] = append(udpByShard[s], ev)
+	}
 
-	// Phase 4: per-connection payload parsing, in first-packet order.
-	for _, rec := range recs {
-		conn := rec.Conn
-		if !kept[conn] {
-			continue
-		}
-		app := streams[conn]
-		if app == nil {
-			continue
-		}
-		name, _ := a.opts.Registry.Classify(conn.Proto, conn.Key.SrcPort, conn.Key.DstPort)
-		client, server := conn.Key.Src, conn.Key.Dst
-		wan := connWAN(conn, isLocal)
-		if app.buffered && name != "DCE/RPC-EPM" && !(name == "FTP" && conn.Key.DstPort == 21) {
-			app.cliStream.Close()
-			app.srvStream.Close()
-		}
-		switch name {
-		case "HTTP":
-			apps.httpConn(conn, wan, app.cliBuf.Buf, app.srvBuf.Buf)
-		case "SMTP":
-			apps.smtpParsed(wan, smtp.Parse(app.cliBuf.Buf, app.srvBuf.Buf))
-		case "CIFS":
-			apps.cifsStreams(conn, false, app.cliBuf.Buf, app.srvBuf.Buf)
-		case "Netbios-SSN":
-			apps.ssnFrames(client, server, app.cliBuf.Buf, app.srvBuf.Buf)
-			apps.cifsStreams(conn, true, app.cliBuf.Buf, app.srvBuf.Buf)
-		case "NCP":
-			apps.ncp.Stream(client, server, app.cliBuf.Buf)
-			apps.ncp.Stream(server, client, app.srvBuf.Buf)
-			apps.markNCPKeepAlive(conn)
-		case "NFS":
-			sunrpc.SplitRecords(app.cliBuf.Buf, func(rec []byte) {
-				apps.nfs.Message(client, server, rec)
-			})
-			sunrpc.SplitRecords(app.srvBuf.Buf, func(rec []byte) {
-				apps.nfs.Message(server, client, rec)
-			})
-			apps.markNFSPair(client, server, false)
-		case "Spoolss":
-			ch := fmt.Sprintf("t%d/%d", a.traceCount, rec.FirstIdx)
-			apps.rpc.Stream(ch, true, app.cliBuf.Buf)
-			apps.rpc.Stream(ch, false, app.srvBuf.Buf)
-		case "FTP":
-			if conn.Key.DstPort == 21 {
-				apps.ftpSession(ftp.Analyze(app.cliBuf.Buf, app.srvBuf.Buf))
+	trace := a.traceCount
+	inMonitored := func(h netip.Addr) bool { return monitored.Contains(h) }
+	results := make([]*connAggregates, nshard)
+	run := func(w int) {
+		ap := shards[w]
+		// UDP messages first, in arrival order — the order the
+		// sequential path parsed them in relative to connection replay.
+		replayUDPInto(ap, udpByShard[w], a.opts.IsLocal)
+		ca := newConnAggregates()
+		keptConns := make([]*flows.Conn, 0, len(connsByShard[w]))
+		for _, i := range connsByShard[w] {
+			rec := recs[i]
+			conn := rec.Conn
+			app := streams[conn]
+			if kept[conn] {
+				keptConns = append(keptConns, conn)
+				a.accumulateConn(ca, conn, cats[i])
+				// Transport-level accumulation happens for every kept
+				// conn even without payloads (email figures, windows
+				// success rates, backup).
+				ap.transportConn(conn, names[i], a.opts.IsLocal)
+				if a.opts.PayloadAnalysis && app != nil {
+					a.parseConnPayload(ap, trace, rec, names[i], app)
+				}
+			}
+			if app != nil {
+				// Parse results hold copies, never sub-slices (the
+				// borrow contract ends here); recycle the pooled stream
+				// storage — including unparsed streams' out-of-order
+				// segments — so the next trace reuses this one's buffers.
+				app.release()
 			}
 		}
+		// Distinct-peer censuses over this shard's kept connections:
+		// exact under the pair sharding, since every (host, peer) edge
+		// domain lives wholly in one shard.
+		ca.fan = flows.FanInOut(keptConns, inMonitored, a.opts.IsLocal)
+		ca.roles = roles.Accumulate(keptConns)
+		results[w] = ca
+	}
+	// Even a single replay worker runs as a goroutine, so the caller's
+	// shard-independent accumulation overlaps it on multicore hardware.
+	var wg sync.WaitGroup
+	wg.Add(nshard)
+	for w := 0; w < nshard; w++ {
+		go func(w int) {
+			defer wg.Done()
+			run(w)
+		}(w)
 	}
 
-	// Every stream buffer is dead now: parse results hold copies, never
-	// sub-slices (the borrow contract ends here). Recycle the pooled
-	// storage — including unparsed streams' out-of-order segments — so the
-	// next trace reuses this one's buffers.
-	for _, app := range streams {
-		app.release()
+	return func() {
+		wg.Wait()
+		a.foldConnAggregates(results)
+		// Streams whose connection the flow table never surfaced
+		// (evicted mid-trace) have no ConnRecord and so no owning
+		// worker; release is idempotent, so a serial sweep catches the
+		// stragglers.
+		for _, app := range streams {
+			app.release()
+		}
 	}
+}
+
+// connAggregates is one replay worker's connection-level accumulation:
+// the Table 3 transport breakdown, Figure 1 category splits, §4 origin
+// mix (all commutative sums), and the fan/role evidence (pair-contained
+// distinct counts).
+type connAggregates struct {
+	transBytes, transConns *stats.Counter
+	origins                *stats.Counter
+	catBytes, catConns     map[string]*locSplit
+	fan                    map[netip.Addr]*flows.FanStats
+	roles                  *roles.Partial
+}
+
+func newConnAggregates() *connAggregates {
+	return &connAggregates{
+		transBytes: stats.NewCounter(),
+		transConns: stats.NewCounter(),
+		origins:    stats.NewCounter(),
+		catBytes:   make(map[string]*locSplit),
+		catConns:   make(map[string]*locSplit),
+	}
+}
+
+// foldConnAggregates folds the per-worker connection-level results into
+// the Analyzer, in shard order; every fold is a sum, so the totals are
+// identical for any shard count.
+func (a *Analyzer) foldConnAggregates(results []*connAggregates) {
+	var rolePartial *roles.Partial
+	for _, ca := range results {
+		a.transBytes.Merge(ca.transBytes)
+		a.transConns.Merge(ca.transConns)
+		a.origins.Merge(ca.origins)
+		foldLocSplit(a.catBytes, ca.catBytes)
+		foldLocSplit(a.catConns, ca.catConns)
+		for h, s := range ca.fan {
+			agg := a.fanAgg[h]
+			if agg == nil {
+				agg = &flows.FanStats{}
+				a.fanAgg[h] = agg
+			}
+			agg.FanInLocal += s.FanInLocal
+			agg.FanInRemote += s.FanInRemote
+			agg.FanOutLocal += s.FanOutLocal
+			agg.FanOutRemote += s.FanOutRemote
+		}
+		if rolePartial == nil {
+			rolePartial = ca.roles
+		} else {
+			rolePartial.Merge(ca.roles)
+		}
+	}
+	// Role verdicts are per trace (thresholds apply to the merged
+	// evidence), summed across traces like the serial path did.
+	if rolePartial != nil {
+		for role, n := range roles.Summary(rolePartial.Finalize(roles.Config{})) {
+			a.roleCounts[role] += n
+		}
+	}
+}
+
+func foldLocSplit(dst, src map[string]*locSplit) {
+	for k, s := range src {
+		d := dst[k]
+		if d == nil {
+			d = &locSplit{}
+			dst[k] = d
+		}
+		d.Ent += s.Ent
+		d.Wan += s.Wan
+	}
+}
+
+// parseConnPayload replays one kept connection's reassembled payload
+// into the worker's aggregate shard. name is the phase-A classification
+// snapshot.
+func (a *Analyzer) parseConnPayload(ap *appAggregates, trace int, rec pipeline.ConnRecord, name string, app *connStreams) {
+	conn := rec.Conn
+	client, server := conn.Key.Src, conn.Key.Dst
+	wan := connWAN(conn, a.opts.IsLocal)
+	if app.buffered && name != "DCE/RPC-EPM" && !(name == "FTP" && conn.Key.DstPort == 21) {
+		app.cliStream.Close()
+		app.srvStream.Close()
+	}
+	switch name {
+	case "HTTP":
+		ap.httpConn(conn, wan, app.cliBuf.Buf, app.srvBuf.Buf)
+	case "SMTP":
+		ap.smtpParsed(wan, smtp.Parse(app.cliBuf.Buf, app.srvBuf.Buf))
+	case "CIFS":
+		ap.cifsStreams(conn, false, app.cliBuf.Buf, app.srvBuf.Buf)
+	case "Netbios-SSN":
+		ap.ssnFrames(client, server, app.cliBuf.Buf, app.srvBuf.Buf)
+		ap.cifsStreams(conn, true, app.cliBuf.Buf, app.srvBuf.Buf)
+	case "NCP":
+		ap.ncp.Stream(client, server, app.cliBuf.Buf)
+		ap.ncp.Stream(server, client, app.srvBuf.Buf)
+		ap.markNCPKeepAlive(conn)
+	case "NFS":
+		sunrpc.SplitRecords(app.cliBuf.Buf, func(rec []byte) {
+			ap.nfs.Message(client, server, rec)
+		})
+		sunrpc.SplitRecords(app.srvBuf.Buf, func(rec []byte) {
+			ap.nfs.Message(server, client, rec)
+		})
+		ap.markNFSPair(client, server, false)
+	case "Spoolss":
+		key := dcerpc.ChanKey{Trace: trace, Conn: rec.FirstIdx, Side: dcerpc.SideBoth}
+		ap.rpc.StreamKey(key, true, app.cliBuf.Buf)
+		ap.rpc.StreamKey(key, false, app.srvBuf.Buf)
+	case "FTP":
+		if conn.Key.DstPort == 21 {
+			ap.ftpSession(trace, rec.FirstIdx, ftp.Analyze(app.cliBuf.Buf, app.srvBuf.Buf))
+		}
+	}
+}
+
+// pairShard maps an unordered address pair onto a replay shard. The
+// assignment is stable for the Analyzer's lifetime (FNV over the
+// addresses), so a host pair's state — transaction pairing, outcome
+// folding, dedup sets — accumulates in the same shard across traces.
+func pairShard(x, y netip.Addr, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	hx, hy := addrHash(x), addrHash(y)
+	if hx > hy {
+		hx, hy = hy, hx
+	}
+	h := hx ^ (hy*0x9E3779B97F4A7C15 + 0x85EBCA6B)
+	h ^= h >> 33
+	return int(h % uint64(n))
+}
+
+// addrHash is FNV-1a over the address's 16-byte form.
+func addrHash(a netip.Addr) uint64 {
+	b := a.As16()
+	h := uint64(14695981039346656037)
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // udpAppPorts reports whether a datagram belongs to one of the
@@ -156,28 +333,27 @@ func udpAppPorts(srcPort, dstPort uint16) bool {
 	return false
 }
 
-// replayUDP feeds captured datagrams through the message analyzers in
-// arrival order — the order the sequential path parsed them in.
-func (a *Analyzer) replayUDP(events []udpEvent) {
-	apps := a.apps
+// replayUDPInto feeds captured datagrams through the message analyzers
+// in arrival order — the order the sequential path parsed them in.
+func replayUDPInto(ap *appAggregates, events []udpEvent, isLocal func(netip.Addr) bool) {
 	var dnsMsg dns.Message
 	for _, ev := range events {
 		switch {
 		case ev.dstPort == 53 || ev.srcPort == 53:
 			if err := dns.DecodeInto(ev.payload, &dnsMsg); err == nil {
-				if a.opts.IsLocal(ev.src) && a.opts.IsLocal(ev.dst) {
-					apps.dnsInt.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
+				if isLocal(ev.src) && isLocal(ev.dst) {
+					ap.dnsInt.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
 				} else {
-					apps.dnsWan.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
+					ap.dnsWan.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
 				}
 			}
 		case ev.dstPort == 137 || ev.srcPort == 137:
 			if m, err := netbios.DecodeNS(ev.payload); err == nil {
-				apps.nbns.Message(ev.ts, ev.src, ev.dst, m)
+				ap.nbns.Message(ev.ts, ev.src, ev.dst, m)
 			}
 		case ev.dstPort == 2049 || ev.srcPort == 2049:
-			apps.nfs.Message(ev.src, ev.dst, ev.payload)
-			apps.markNFSPair(ev.src, ev.dst, true)
+			ap.nfs.Message(ev.src, ev.dst, ev.payload)
+			ap.markNFSPair(ev.src, ev.dst, true)
 		}
 	}
 }
@@ -185,6 +361,7 @@ func (a *Analyzer) replayUDP(events []udpEvent) {
 // replayFTPRegistrations scans complete reply lines of an FTP control
 // stream's server side and registers PASV-advertised data ports, exactly
 // as the incremental parser did at the moment each 227 reply was seen.
+// Lines are parsed in place; nothing here allocates.
 func (a *Analyzer) replayFTPRegistrations(srv []byte) {
 	scanned := 0
 	for {
@@ -200,10 +377,12 @@ func (a *Analyzer) replayFTPRegistrations(srv []byte) {
 		}
 		line := srv[scanned:idx]
 		scanned = idx + 2
-		for _, r := range ftp.ParseReplies(append(append([]byte{}, line...), '\r', '\n')) {
-			if port, ok := ftp.PasvPort(r); ok {
-				a.opts.Registry.Register(layers.ProtoTCP, port, "FTP-Data", categories.Bulk)
-			}
+		code, text, ok := ftp.ParseReplyLine(line)
+		if !ok || code != 227 {
+			continue
+		}
+		if port, ok := ftp.PasvPortFromText(text); ok {
+			a.opts.Registry.Register(layers.ProtoTCP, port, "FTP-Data", categories.Bulk)
 		}
 	}
 }
@@ -212,7 +391,7 @@ func (a *Analyzer) replayFTPRegistrations(srv []byte) {
 // segment of an Endpoint Mapper connection, accumulating PDU statistics
 // and registering endpoint-mapped service ports. Parsing restarts at
 // segment (gap) boundaries, like the incremental parser's buffer reset.
-func (a *Analyzer) replayEPM(channel string, fromClient bool, segs [][]byte) {
+func (a *Analyzer) replayEPM(key dcerpc.ChanKey, fromClient bool, segs [][]byte) {
 	for _, seg := range segs {
 		buf := seg
 		for {
@@ -228,7 +407,7 @@ func (a *Analyzer) replayEPM(channel string, fromClient bool, segs [][]byte) {
 					break // the incremental parser would wait for more bytes
 				}
 			}
-			a.apps.rpc.PDU(channel, fromClient, p)
+			a.apps.rpc.PDUKey(key, fromClient, p)
 			if iface, port, ok := dcerpc.ParseEpmMapResponse(p); ok {
 				name := dcerpc.InterfaceName(iface)
 				if name == "unknown" {
@@ -242,19 +421,39 @@ func (a *Analyzer) replayEPM(channel string, fromClient bool, segs [][]byte) {
 }
 
 // mergeUDPEvents collects every shard's captured datagrams into global
-// arrival order.
+// arrival order. Each shard's slice is already sorted by global index
+// (packets route to a pipeline worker in read order), so this is a
+// k-way merge of sorted runs, not a sort.
 func mergeUDPEvents(sinks []*shardSink) []udpEvent {
 	var n int
+	runs := make([][]udpEvent, 0, len(sinks))
 	for _, s := range sinks {
-		n += len(s.udp)
+		if len(s.udp) > 0 {
+			runs = append(runs, s.udp)
+			n += len(s.udp)
+		}
 	}
-	if n == 0 {
+	switch len(runs) {
+	case 0:
 		return nil
+	case 1:
+		return runs[0]
 	}
 	events := make([]udpEvent, 0, n)
-	for _, s := range sinks {
-		events = append(events, s.udp...)
+	heads := make([]int, len(runs))
+	for len(events) < n {
+		best := -1
+		var bestIdx int64
+		for r, h := range heads {
+			if h >= len(runs[r]) {
+				continue
+			}
+			if best < 0 || runs[r][h].idx < bestIdx {
+				best, bestIdx = r, runs[r][h].idx
+			}
+		}
+		events = append(events, runs[best][heads[best]])
+		heads[best]++
 	}
-	sort.Slice(events, func(i, j int) bool { return events[i].idx < events[j].idx })
 	return events
 }

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"net/netip"
+	"reflect"
+	"testing"
+	"time"
+
+	"enttrace/internal/appproto/dcerpc"
+	"enttrace/internal/appproto/ftp"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+	"enttrace/internal/layers"
+)
+
+// replayHost builds an in-enterprise host for hand-crafted traces.
+func replayHost(addr string, mac byte) enterprise.Host {
+	return enterprise.Host{
+		Addr: netip.MustParseAddr(addr),
+		MAC:  layers.MAC{0x02, 0x00, 0x00, 0x00, 0x00, mac},
+	}
+}
+
+// registrationOrderTrace builds a trace that pins the classification
+// snapshot semantics of the two-phase replay: for both dynamic
+// registration mechanisms (FTP PASV and the DCE/RPC Endpoint Mapper), a
+// connection to the advertised port that starts BEFORE the registering
+// connection must stay unclassified, while an identical one starting
+// after it must classify (and parse) as the registered service.
+func registrationOrderTrace() TraceInput {
+	const (
+		ftpDataPort uint16 = 35021
+		spoolssPort uint16 = 42101
+	)
+	clientA := replayHost("128.3.2.10", 1)
+	clientB := replayHost("128.3.2.11", 2)
+	clientC := replayHost("128.3.2.12", 3)
+	ftpSrv := replayHost("128.3.7.5", 4)
+	dc := replayHost("128.3.7.6", 5)
+
+	em := gen.NewEmitter(41)
+	t0 := time.Unix(1_100_000_000, 0)
+	rtt := 10 * time.Millisecond
+
+	// Spoolss-shaped payload: a bind plus three WritePrinter requests —
+	// identical on the early and late connections, so a classification
+	// leak would show up as extra counted requests.
+	spoolssTurns := func() []gen.Turn {
+		turns := []gen.Turn{
+			{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBind, CallID: 1, Iface: dcerpc.IfSpoolss})},
+			{Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBindAck, CallID: 1, Iface: dcerpc.IfSpoolss})},
+		}
+		for j := 0; j < 3; j++ {
+			turns = append(turns,
+				gen.Turn{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTRequest, CallID: uint32(2 + j), Opnum: dcerpc.OpSpoolssWritePrinter, Stub: make([]byte, 512)})},
+				gen.Turn{Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTResponse, CallID: uint32(2 + j), Stub: make([]byte, 16)})},
+			)
+		}
+		return turns
+	}
+	bulkTurns := []gen.Turn{
+		{FromClient: true, Data: make([]byte, 2048)},
+		{Data: make([]byte, 512)},
+	}
+
+	// Early connections to the not-yet-registered ports.
+	em.TCPSession(gen.TCPOpts{Client: clientA, Server: ftpSrv, ClientPort: 40001, ServerPort: ftpDataPort,
+		Start: t0, RTT: rtt, Turns: bulkTurns})
+	em.TCPSession(gen.TCPOpts{Client: clientB, Server: dc, ClientPort: 40002, ServerPort: spoolssPort,
+		Start: t0.Add(1 * time.Second), RTT: rtt, Turns: spoolssTurns()})
+
+	// The registering connections.
+	var ftpTurns []gen.Turn
+	for _, turn := range ftp.RetrievalDialogue("alice", "data.bin", [4]byte{128, 3, 7, 5}, ftpDataPort) {
+		ftpTurns = append(ftpTurns, gen.Turn{FromClient: turn.FromClient, Data: turn.Data})
+	}
+	em.TCPSession(gen.TCPOpts{Client: clientA, Server: ftpSrv, ClientPort: 40003, ServerPort: 21,
+		Start: t0.Add(2 * time.Second), RTT: rtt, Turns: ftpTurns})
+	em.TCPSession(gen.TCPOpts{Client: clientB, Server: dc, ClientPort: 40004, ServerPort: 135,
+		Start: t0.Add(3 * time.Second), RTT: rtt, Turns: []gen.Turn{
+			{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBind, CallID: 1, Iface: dcerpc.IfEPM})},
+			{Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBindAck, CallID: 1, Iface: dcerpc.IfEPM})},
+			{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTRequest, CallID: 2, Opnum: dcerpc.OpEpmMap, Stub: make([]byte, 24)})},
+			{Data: dcerpc.EncodeEpmMapResponse(2, dcerpc.IfSpoolss, spoolssPort)},
+		}})
+
+	// Late connections to the now-registered ports.
+	em.TCPSession(gen.TCPOpts{Client: clientC, Server: ftpSrv, ClientPort: 40005, ServerPort: ftpDataPort,
+		Start: t0.Add(4 * time.Second), RTT: rtt, Turns: bulkTurns})
+	em.TCPSession(gen.TCPOpts{Client: clientC, Server: dc, ClientPort: 40006, ServerPort: spoolssPort,
+		Start: t0.Add(5 * time.Second), RTT: rtt, Turns: spoolssTurns()})
+
+	return TraceInput{
+		Name:      "registration-order",
+		Monitored: netip.MustParsePrefix("128.3.0.0/16"),
+		Packets:   em.Packets(),
+	}
+}
+
+func analyzeRegistrationOrder(t *testing.T, workers, replayWorkers int) *Report {
+	t.Helper()
+	a := NewAnalyzer(Options{
+		Dataset:         "order",
+		PayloadAnalysis: true,
+		Workers:         workers,
+		ReplayWorkers:   replayWorkers,
+	})
+	if err := a.AddTrace(registrationOrderTrace()); err != nil {
+		t.Fatal(err)
+	}
+	return a.Report()
+}
+
+// TestReplayRegistrationOrdering is the direct serial-replay versus
+// parallel-replay equality test: the PASV- and EPM-registered ports must
+// classify only later-starting connections, identically for every
+// replay worker count.
+func TestReplayRegistrationOrdering(t *testing.T) {
+	serial := analyzeRegistrationOrder(t, 1, 1)
+
+	// Snapshot semantics: exactly one data connection counted as
+	// FTP-Data — the one starting after the control connection's PASV.
+	if got := serial.Bulk.FTPDataConns; got != 1 {
+		t.Errorf("FTP-Data conns = %d, want 1 (late connection only)", got)
+	}
+	if serial.Bulk.FTPSessions != 1 || serial.Bulk.FTPTransfers != 1 {
+		t.Errorf("FTP sessions/transfers = %d/%d, want 1/1",
+			serial.Bulk.FTPSessions, serial.Bulk.FTPTransfers)
+	}
+	// Exactly the EPM map request plus the late connection's three
+	// WritePrinter requests; the early (pre-registration) connection's
+	// identical payload must not be parsed.
+	if got := serial.Windows.RPCTotalRequests; got != 4 {
+		t.Errorf("RPC requests = %d, want 4 (1 EPM map + 3 late WritePrinter)", got)
+	}
+	if frac := serial.Windows.RPCRequests["Spoolss/WritePrinter"]; math.Abs(frac-0.75) > 1e-9 {
+		t.Errorf("WritePrinter share = %v, want 0.75", frac)
+	}
+
+	for _, grid := range [][2]int{{1, 4}, {1, 8}, {4, 1}, {4, 4}, {8, 8}} {
+		got := analyzeRegistrationOrder(t, grid[0], grid[1])
+		if !reflect.DeepEqual(serial, got) {
+			t.Errorf("report with %d pipeline / %d replay workers differs from serial replay",
+				grid[0], grid[1])
+		}
+	}
+}

@@ -274,14 +274,18 @@ func (a *Analyzer) Report() *Report {
 	r.Figure1 = a.categoryRows()
 	r.Figure2 = a.fanReport()
 	r.Origins = counterFractions(a.origins)
-	r.HTTP = a.httpReport()
-	r.Email = a.emailReport()
-	r.Names = a.nameReport()
-	r.Windows = a.windowsReport()
-	r.FileSvc = a.fileReport()
-	r.Bulk = a.bulkReport()
-	r.Interactive = a.interactiveReport()
-	r.Backup = a.backupReport()
+	// Application-level sections read the canonical merge of the serial
+	// aggregate and every replay shard; the merge is deterministic for
+	// any replay worker count.
+	ap := a.mergedApps()
+	r.HTTP = httpReport(ap)
+	r.Email = emailReport(ap)
+	r.Names = nameReport(ap)
+	r.Windows = windowsReport(ap)
+	r.FileSvc = fileReport(ap)
+	r.Bulk = bulkReport(ap)
+	r.Interactive = interactiveReport(ap)
+	r.Backup = backupReport(ap)
 	r.Load = a.loadReport()
 	r.Roles = make(map[string]int)
 	for role, n := range a.roleCounts {
@@ -375,8 +379,8 @@ func (a *Analyzer) fanReport() FanReport {
 	return fr
 }
 
-func (a *Analyzer) httpReport() HTTPReport {
-	h := a.apps.http
+func httpReport(ap *appAggregates) HTTPReport {
+	h := ap.http
 	r := HTTPReport{Automated: make(map[string]AutomatedShare)}
 	r.InternalRequests = h.reqTotal["ent"]
 	r.InternalBytes = h.dataTotal["ent"]
@@ -463,8 +467,8 @@ func (a *Analyzer) httpReport() HTTPReport {
 	return r
 }
 
-func (a *Analyzer) emailReport() EmailReport {
-	e := a.apps.email
+func emailReport(ap *appAggregates) EmailReport {
+	e := ap.email
 	r := EmailReport{Bytes: make(map[string]int64)}
 	for _, k := range e.bytesByProto.Keys() {
 		r.Bytes[k] = e.bytesByProto.Get(k)
@@ -503,8 +507,7 @@ func (a *Analyzer) emailReport() EmailReport {
 	return r
 }
 
-func (a *Analyzer) nameReport() NameServiceReport {
-	ap := a.apps
+func nameReport(ap *appAggregates) NameServiceReport {
 	r := NameServiceReport{
 		DNSMedianLatencyEntMs: ap.dnsInt.Latency.Median() * 1000,
 		DNSMedianLatencyWanMs: ap.dnsWan.Latency.Median() * 1000,
@@ -543,8 +546,7 @@ func topNShare(c *stats.Counter, n int) float64 {
 	return float64(top) / float64(c.Total())
 }
 
-func (a *Analyzer) windowsReport() WindowsReport {
-	ap := a.apps
+func windowsReport(ap *appAggregates) WindowsReport {
 	r := WindowsReport{Table9: make(map[string]ServiceOutcome)}
 	for service, pairs := range ap.winPairs {
 		o := ServiceOutcome{Pairs: len(pairs)}
@@ -580,8 +582,7 @@ func (a *Analyzer) windowsReport() WindowsReport {
 	return r
 }
 
-func (a *Analyzer) fileReport() FileServiceReport {
-	ap := a.apps
+func fileReport(ap *appAggregates) FileServiceReport {
 	r := FileServiceReport{
 		NFSRequests:   ap.nfs.Requests.Total(),
 		NCPRequests:   ap.ncp.Requests.Total(),
@@ -642,8 +643,7 @@ func topShare(counts []int64, n int) float64 {
 	return float64(top) / float64(total)
 }
 
-func (a *Analyzer) interactiveReport() InteractiveReport {
-	ap := a.apps
+func interactiveReport(ap *appAggregates) InteractiveReport {
 	r := InteractiveReport{SSHConns: ap.sshConns}
 	if ap.sshConns > 0 {
 		r.SSHBulkFrac = float64(ap.sshBulk) / float64(ap.sshConns)
@@ -654,8 +654,7 @@ func (a *Analyzer) interactiveReport() InteractiveReport {
 	return r
 }
 
-func (a *Analyzer) bulkReport() BulkReport {
-	ap := a.apps
+func bulkReport(ap *appAggregates) BulkReport {
 	r := BulkReport{
 		FTPSessions:  len(ap.ftpSessions),
 		FTPDataConns: ap.bulkConns.Get("FTP-Data"),
@@ -663,9 +662,9 @@ func (a *Analyzer) bulkReport() BulkReport {
 		HPSSBytes:    ap.bulkBytes.Get("HPSS"),
 	}
 	logins := 0
-	for _, s := range ap.ftpSessions {
-		r.FTPTransfers += s.Transfers
-		if s.LoggedIn {
+	for _, rec := range ap.ftpSessions {
+		r.FTPTransfers += rec.session.Transfers
+		if rec.session.LoggedIn {
 			logins++
 		}
 	}
@@ -675,8 +674,7 @@ func (a *Analyzer) bulkReport() BulkReport {
 	return r
 }
 
-func (a *Analyzer) backupReport() BackupReport {
-	ap := a.apps
+func backupReport(ap *appAggregates) BackupReport {
 	r := BackupReport{Conns: make(map[string]int64), Bytes: make(map[string]int64)}
 	for _, k := range ap.backupConns.Keys() {
 		r.Conns[k] = ap.backupConns.Get(k)

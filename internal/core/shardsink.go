@@ -83,6 +83,10 @@ type connStreams struct {
 	// preserving gap boundaries so replay can resynchronize PDU parsing
 	// exactly where the incremental parser would have.
 	epmCli, epmSrv *segBuffer
+	// released guards double-recycling: the owning replay worker
+	// releases a connection's streams, and a serial sweep afterwards
+	// catches connections the flow table never surfaced.
+	released bool
 }
 
 func newShardSink(opts *Options, monitored netip.Prefix, base time.Time) *shardSink {
@@ -188,9 +192,10 @@ func newConnStreams(name string, conn *flows.Conn) *connStreams {
 // during replay is invalid afterwards; parse results that outlive replay
 // hold copies (strings or owned structs), never stream sub-slices.
 func (app *connStreams) release() {
-	if !app.buffered {
+	if !app.buffered || app.released {
 		return
 	}
+	app.released = true
 	// Streams the replay never parsed still hold out-of-order data.
 	app.cliStream.Discard()
 	app.srvStream.Discard()
@@ -262,8 +267,23 @@ func (s *shardSink) bin(ts time.Time, wireLen int) {
 	if sec < 0 {
 		sec = 0
 	}
-	for len(s.bins) <= sec {
-		s.bins = append(s.bins, 0)
+	if sec >= len(s.bins) {
+		// Fill the gap in one step: a long idle stretch in a trace must
+		// cost one grow, not one append per missing second. Capacity
+		// doubles, so n quiet-then-busy traces stay amortized O(1)/packet.
+		if sec < cap(s.bins) {
+			// The unused capacity is already zeroed: bins never shrink,
+			// and nothing past len has ever been written.
+			s.bins = s.bins[:sec+1]
+		} else {
+			newCap := 2 * cap(s.bins)
+			if newCap <= sec {
+				newCap = sec + 1
+			}
+			grown := make([]int64, sec+1, newCap)
+			copy(grown, s.bins)
+			s.bins = grown
+		}
 	}
 	s.bins[sec] += int64(wireLen)
 }

@@ -102,17 +102,40 @@ type Result struct {
 }
 
 // SortedConns merges every shard's connections into first-packet order.
-// The order is identical for any worker count.
+// The order is identical for any worker count. Each shard's list is
+// already sorted (worker.finish sorts in parallel before the workers
+// join), so this is a k-way merge of sorted runs.
 func (r *Result) SortedConns() []ConnRecord {
 	var n int
+	runs := make([][]ConnRecord, 0, len(r.Shards))
 	for _, s := range r.Shards {
-		n += len(s.Conns)
+		if len(s.Conns) > 0 {
+			runs = append(runs, s.Conns)
+			n += len(s.Conns)
+		}
+	}
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
 	}
 	out := make([]ConnRecord, 0, n)
-	for _, s := range r.Shards {
-		out = append(out, s.Conns...)
+	heads := make([]int, len(runs))
+	for len(out) < n {
+		best := -1
+		var bestIdx int64
+		for r, h := range heads {
+			if h >= len(runs[r]) {
+				continue
+			}
+			if best < 0 || runs[r][h].FirstIdx < bestIdx {
+				best, bestIdx = r, runs[r][h].FirstIdx
+			}
+		}
+		out = append(out, runs[best][heads[best]])
+		heads[best]++
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].FirstIdx < out[j].FirstIdx })
 	return out
 }
 
@@ -229,6 +252,9 @@ func (w *worker) finish() ShardResult {
 	for i, c := range conns {
 		recs[i] = ConnRecord{Conn: c, FirstIdx: w.firstIdx[c], Shard: w.shard}
 	}
+	// Sort on the worker, in parallel across shards: SortedConns then
+	// only k-way merges the per-shard runs on the serial path.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].FirstIdx < recs[j].FirstIdx })
 	return ShardResult{Shard: w.shard, Sink: w.sink, Conns: recs}
 }
 

@@ -12,7 +12,8 @@ import "sync"
 // The pool is a mutex-guarded free list per power-of-two size class
 // rather than a sync.Pool: Put/Get never allocate (sync.Pool would box a
 // slice header per Put), and the contention is low — buffers are fetched
-// on stream growth and returned in the single-threaded replay phase.
+// on stream growth and returned by the replay workers, a handful of
+// Put calls per connection.
 const (
 	minClassBits = 12 // 4 KB: smallest pooled capacity
 	maxClassBits = 22 // 4 MB: the largest BufferConsumer limit in use

@@ -78,14 +78,36 @@ type classifyEdge struct {
 }
 
 // Classify profiles every host appearing as an endpoint of conns.
-// Multicast flows are ignored.
+// Multicast flows are ignored. It is Accumulate followed by Finalize;
+// callers that shard the connection set use those directly.
+func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
+	return Accumulate(conns).Finalize(cfg)
+}
+
+// hostPort keys distinct-client counts for one host's local port.
+type hostPort struct {
+	host netip.Addr
+	port uint16
+}
+
+// Partial is mergeable per-host classification evidence: distinct-peer
+// fans, raw connection counts, and distinct-client counts per local
+// port, with thresholds and verdicts deferred to Finalize. Partials
+// built from connection subsets merge exactly when the subsets split by
+// host pair — every distinct-count domain here is (host, peer) — which
+// is the invariant the parallel replay's sharding provides.
+type Partial struct {
+	profiles map[netip.Addr]*HostProfile
+	ports    map[hostPort]int
+}
+
+// Accumulate builds the evidence for one connection subset.
 //
 // The distinct-peer and per-port client counts are computed by sorting
 // edge lists and scanning runs rather than by nested maps of sets: the
 // map form allocated tens of thousands of small objects per trace, which
 // made this the second-biggest allocation site on the analysis hot path.
-func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
-	cfg = cfg.withDefaults()
+func Accumulate(conns []*flows.Conn) *Partial {
 	outE := make([]classifyEdge, 0, len(conns))
 	inE := make([]classifyEdge, 0, len(conns))
 	for _, c := range conns {
@@ -95,12 +117,15 @@ func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
 		outE = append(outE, classifyEdge{host: c.Key.Src, peer: c.Key.Dst})
 		inE = append(inE, classifyEdge{host: c.Key.Dst, peer: c.Key.Src, port: c.Key.DstPort})
 	}
-	profiles := make(map[netip.Addr]*HostProfile)
+	pt := &Partial{
+		profiles: make(map[netip.Addr]*HostProfile),
+		ports:    make(map[hostPort]int),
+	}
 	get := func(h netip.Addr) *HostProfile {
-		p := profiles[h]
+		p := pt.profiles[h]
 		if p == nil {
 			p = &HostProfile{Addr: h}
-			profiles[h] = p
+			pt.profiles[h] = p
 		}
 		return p
 	}
@@ -121,8 +146,8 @@ func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
 			}
 		}
 		p := get(h)
-		p.FanOut = fan
-		p.ConnsOut = int64(j - i)
+		p.FanOut += fan
+		p.ConnsOut += int64(j - i)
 		i = j
 	}
 
@@ -142,13 +167,14 @@ func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
 			}
 		}
 		p := get(h)
-		p.FanIn = fan
-		p.ConnsIn = int64(j - i)
+		p.FanIn += fan
+		p.ConnsIn += int64(j - i)
 		i = j
 	}
 
-	// Service ports: local ports with enough distinct clients. Resort the
-	// in-edges by (host, port, peer) and scan (host, port) runs.
+	// Distinct clients per local port. Resort the in-edges by
+	// (host, port, peer) and scan (host, port) runs; the service
+	// threshold is applied at Finalize, after any merging.
 	sort.Slice(inE, func(i, j int) bool {
 		if c := inE[i].host.Compare(inE[j].host); c != 0 {
 			return c < 0
@@ -158,47 +184,75 @@ func Classify(conns []*flows.Conn, cfg Config) map[netip.Addr]*HostProfile {
 		}
 		return inE[i].peer.Compare(inE[j].peer) < 0
 	})
+	for i := 0; i < len(inE); {
+		h, port := inE[i].host, inE[i].port
+		clients, j := 0, i
+		for ; j < len(inE) && inE[j].host == h && inE[j].port == port; j++ {
+			if j == i || inE[j].peer != inE[j-1].peer {
+				clients++
+			}
+		}
+		pt.ports[hostPort{h, port}] += clients
+		i = j
+	}
+	return pt
+}
+
+// Merge folds other's evidence into pt. Exact when the underlying
+// connection subsets were split by host pair: each (host, peer) edge
+// domain then lives in exactly one source, so distinct counts add.
+func (pt *Partial) Merge(other *Partial) {
+	for h, op := range other.profiles {
+		p := pt.profiles[h]
+		if p == nil {
+			p = &HostProfile{Addr: h}
+			pt.profiles[h] = p
+		}
+		p.FanIn += op.FanIn
+		p.FanOut += op.FanOut
+		p.ConnsIn += op.ConnsIn
+		p.ConnsOut += op.ConnsOut
+	}
+	for hp, n := range other.ports {
+		pt.ports[hp] += n
+	}
+}
+
+// Finalize applies the service-port threshold and the role rules,
+// consuming pt.
+func (pt *Partial) Finalize(cfg Config) map[netip.Addr]*HostProfile {
+	cfg = cfg.withDefaults()
 	type svc struct {
 		port uint16
 		n    int
 	}
-	var svcs []svc // reused scratch, one host at a time
-	for i := 0; i < len(inE); {
-		h := inE[i].host
-		svcs = svcs[:0]
-		j := i
-		for j < len(inE) && inE[j].host == h {
-			port := inE[j].port
-			clients := 0
-			for ; j < len(inE) && inE[j].host == h && inE[j].port == port; j++ {
-				if clients == 0 || inE[j].peer != inE[j-1].peer {
-					clients++
-				}
-			}
-			if clients >= cfg.MinClientsPerService {
-				svcs = append(svcs, svc{port, clients})
-			}
+	perHost := make(map[netip.Addr][]svc)
+	for hp, clients := range pt.ports {
+		if clients >= cfg.MinClientsPerService {
+			perHost[hp.host] = append(perHost[hp.host], svc{hp.port, clients})
 		}
-		if len(svcs) > 0 {
-			sort.Slice(svcs, func(a, b int) bool {
-				if svcs[a].n != svcs[b].n {
-					return svcs[a].n > svcs[b].n
-				}
-				return svcs[a].port < svcs[b].port
-			})
-			p := get(h)
-			p.ServicePorts = make([]uint16, len(svcs))
-			for k, s := range svcs {
-				p.ServicePorts[k] = s.port
-			}
-		}
-		i = j
 	}
-
-	for _, p := range profiles {
+	for h, svcs := range perHost {
+		sort.Slice(svcs, func(a, b int) bool {
+			if svcs[a].n != svcs[b].n {
+				return svcs[a].n > svcs[b].n
+			}
+			return svcs[a].port < svcs[b].port
+		})
+		p := pt.profiles[h]
+		if p == nil {
+			p = &HostProfile{Addr: h}
+			pt.profiles[h] = p
+		}
+		p.ServicePorts = make([]uint16, len(svcs))
+		for k, s := range svcs {
+			p.ServicePorts[k] = s.port
+		}
+	}
+	for _, p := range pt.profiles {
 		p.Role = classifyOne(p, cfg)
 	}
-	return profiles
+	return pt.profiles
 }
 
 func classifyOne(p *HostProfile, cfg Config) Role {

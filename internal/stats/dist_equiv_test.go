@@ -201,6 +201,79 @@ func TestDistInterleavedQueries(t *testing.T) {
 	}
 }
 
+// TestDistMergeMatchesNaive is the shard-merge property test: splitting a
+// sample stream across any number of Dists and merging them in any
+// grouping must be bit-identical to observing everything in one Dist —
+// the guarantee the parallel replay's per-worker aggregates rely on.
+func TestDistMergeMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(3000)
+		parts := 1 + rng.Intn(5)
+		shards := make([]*Dist, parts)
+		for i := range shards {
+			shards[i] = NewDist()
+		}
+		naive := &naiveDist{}
+		whole := NewDist()
+		for i := 0; i < n; i++ {
+			v := randomSample(rng)
+			shards[rng.Intn(parts)].Observe(v)
+			whole.Observe(v)
+			naive.Observe(v)
+		}
+		// Interleave queries on a shard so merge also exercises the
+		// compacted-with-cum state.
+		shards[0].Median()
+		merged := NewDist()
+		for _, s := range shards {
+			merged.Merge(s)
+		}
+		if merged.N() != whole.N() {
+			t.Fatalf("trial %d: merged N = %d, want %d", trial, merged.N(), whole.N())
+		}
+		if merged.Distinct() != whole.Distinct() {
+			t.Fatalf("trial %d: merged Distinct = %d, want %d", trial, merged.Distinct(), whole.Distinct())
+		}
+		for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.75, 0.99, 1} {
+			if got, want := merged.Quantile(q), naive.Quantile(q); !sameFloat(got, want) {
+				t.Fatalf("trial %d: merged Quantile(%v) = %v, want %v", trial, q, got, want)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			x := randomSample(rng)
+			if got, want := merged.CDFAt(x), naive.CDFAt(x); got != want {
+				t.Fatalf("trial %d: merged CDFAt(%v) = %v, want %v", trial, x, got, want)
+			}
+		}
+	}
+}
+
+// TestDistMergeLeavesSourceUsable pins that a merged-from Dist keeps
+// accumulating correctly afterwards (shards outlive report-time merges).
+func TestDistMergeLeavesSourceUsable(t *testing.T) {
+	src, dst := NewDist(), NewDist()
+	for i := 0; i < 100; i++ {
+		src.Observe(float64(i % 10))
+	}
+	dst.Merge(src)
+	for i := 0; i < 50; i++ {
+		src.Observe(float64(100 + i%5))
+	}
+	if src.N() != 150 {
+		t.Fatalf("source N = %d, want 150", src.N())
+	}
+	if got := src.Max(); got != 104 {
+		t.Fatalf("source Max = %v, want 104", got)
+	}
+	if dst.N() != 100 {
+		t.Fatalf("merged N changed to %d", dst.N())
+	}
+	if got := dst.Max(); got != 9 {
+		t.Fatalf("merged Max = %v, want 9", got)
+	}
+}
+
 // TestDistCompactsDuplicates pins the representation claim: integer-valued
 // observations collapse to their distinct values.
 func TestDistCompactsDuplicates(t *testing.T) {

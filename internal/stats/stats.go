@@ -216,6 +216,75 @@ func (d *Dist) appendRuns(s []float64) {
 	}
 }
 
+// Merge folds other's samples into d, exactly: the result is the
+// distribution that would have observed both sample multisets, so merging
+// is commutative and associative and the merged quantiles/CDFs are
+// bit-identical for any grouping of the sources (the property the
+// parallel replay's shard merge relies on). other is left logically
+// unchanged (its staged samples are compacted in place, which every read
+// path does anyway).
+func (d *Dist) Merge(other *Dist) {
+	if other == nil || other.n == 0 {
+		return
+	}
+	other.compact()
+	d.compact()
+	d.nan += other.nan
+	d.n += other.n
+	d.cum = d.cum[:0]
+	if len(other.vals) == 0 {
+		return
+	}
+	if len(d.vals) == 0 {
+		d.vals = append(d.vals, other.vals...)
+		d.counts = append(d.counts, other.counts...)
+		return
+	}
+	// Fast path: other's runs extend the current maximum.
+	if d.vals[len(d.vals)-1] < other.vals[0] {
+		d.vals = append(d.vals, other.vals...)
+		d.counts = append(d.counts, other.counts...)
+		return
+	}
+	// Sorted two-way run merge, ping-ponging with the scratch arrays like
+	// mergeSorted so steady-state merging allocates nothing.
+	oldVals, oldCounts := d.vals, d.counts
+	need := len(oldVals) + len(other.vals)
+	if cap(d.scratchVals) >= need {
+		d.vals, d.counts = d.scratchVals[:0], d.scratchCounts[:0]
+	} else {
+		d.vals = make([]float64, 0, need)
+		d.counts = make([]int64, 0, need)
+	}
+	d.scratchVals, d.scratchCounts = oldVals[:0], oldCounts[:0]
+	i, j := 0, 0
+	for i < len(oldVals) && j < len(other.vals) {
+		switch {
+		case oldVals[i] < other.vals[j]:
+			d.vals = append(d.vals, oldVals[i])
+			d.counts = append(d.counts, oldCounts[i])
+			i++
+		case oldVals[i] > other.vals[j]:
+			d.vals = append(d.vals, other.vals[j])
+			d.counts = append(d.counts, other.counts[j])
+			j++
+		default:
+			d.vals = append(d.vals, oldVals[i])
+			d.counts = append(d.counts, oldCounts[i]+other.counts[j])
+			i++
+			j++
+		}
+	}
+	for ; i < len(oldVals); i++ {
+		d.vals = append(d.vals, oldVals[i])
+		d.counts = append(d.counts, oldCounts[i])
+	}
+	for ; j < len(other.vals); j++ {
+		d.vals = append(d.vals, other.vals[j])
+		d.counts = append(d.counts, other.counts[j])
+	}
+}
+
 func (d *Dist) ensureCompact() {
 	d.compact()
 	if len(d.cum) == 0 && len(d.vals) > 0 {
