@@ -4,20 +4,31 @@
 // are decoded in batches and sharded across workers, so multi-GB captures
 // are analyzed without materializing them in memory.
 //
+// With -window, the analysis additionally cuts per-window reports at
+// fixed boundaries in packet time; with -serve, a long-running HTTP
+// server exposes the latest window, any window by index, and a health
+// endpoint while analysis streams (and the final report afterwards).
+//
 // Usage:
 //
-//	entanalyze [-payload] [-workers N] [-replay-workers N] [-monitored 128.3.5.0/24] trace1.pcap [trace2.pcap ...]
+//	entanalyze [-payload] [-workers N] [-replay-workers N] [-monitored 128.3.5.0/24]
+//	           [-window 60s] [-format text|json] [-serve :8080]
+//	           trace1.pcap [trace2.pcap ...]
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"net/netip"
 	"os"
+	"time"
 
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
+	"enttrace/internal/stats"
 )
 
 func main() {
@@ -26,9 +37,16 @@ func main() {
 	dataset := flag.String("name", "pcap", "label for the report")
 	workers := flag.Int("workers", 0, "pipeline shard workers (0 = GOMAXPROCS); results are identical for any count")
 	replayWorkers := flag.Int("replay-workers", 0, "application-replay workers (0 = GOMAXPROCS); results are identical for any count")
+	window := flag.Duration("window", 0, "cut per-window reports at this interval in packet time (0 = whole-run report only)")
+	format := flag.String("format", "text", "report output format: text or json")
+	serve := flag.String("serve", "", "serve reports over HTTP at this address (e.g. :8080); window endpoints need -window")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: entanalyze [flags] trace.pcap ...")
+		os.Exit(2)
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want text or json)\n", *format)
 		os.Exit(2)
 	}
 	prefix, err := netip.ParsePrefix(*monitored)
@@ -36,13 +54,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	a := core.NewAnalyzer(core.Options{
+	opts := core.Options{
 		Dataset:         *dataset,
 		KnownScanners:   enterprise.KnownScanners(),
 		PayloadAnalysis: *payload,
 		Workers:         *workers,
 		ReplayWorkers:   *replayWorkers,
-	})
+		Window:          *window,
+	}
+	if *window > 0 {
+		// Narrate window completion as the watermark passes each
+		// boundary, so a long streaming run shows progress.
+		opts.OnWindow = func(wr *core.WindowReport) {
+			fmt.Fprintf(os.Stderr, "window %d [%s, %s): %d conns, %s payload\n",
+				wr.Index, wr.Start.UTC().Format("15:04:05"), wr.End.UTC().Format("15:04:05"),
+				wr.Report.Table3.TotalConns, stats.Bytes(wr.Report.Table3.TotalBytes))
+		}
+	}
+	a := core.NewAnalyzer(opts)
+
+	var srv *core.ReportServer
+	if *serve != "" {
+		srv = core.NewReportServer(a)
+		ln, err := net.Listen("tcp", *serve)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving reports on http://%s (/healthz, /report/latest, /report/window/<n>, /report/final)\n",
+			ln.Addr())
+		go func() {
+			server := &http.Server{Handler: srv, ReadHeaderTimeout: 10 * time.Second}
+			if err := server.Serve(ln); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
+
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
@@ -58,5 +107,27 @@ func main() {
 		f.Close()
 		fmt.Fprintf(os.Stderr, "%s: %d packets\n", path, a.PacketsSeen()-before)
 	}
-	fmt.Print(core.RenderText(a.Report()))
+
+	report := a.Report()
+	windows := a.WindowReports()
+	switch *format {
+	case "json":
+		if err := core.WriteRunJSON(os.Stdout, windows, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		if len(windows) > 0 {
+			fmt.Print(core.RenderWindowSummary(windows) + "\n")
+		}
+		fmt.Print(core.RenderText(report))
+	}
+	if srv != nil {
+		if err := srv.SetFinal(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintln(os.Stderr, "analysis complete; still serving (Ctrl-C to exit)")
+		select {}
+	}
 }

@@ -23,6 +23,10 @@ func main() {
 	out := flag.String("out", ".", "output directory")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
 	subnets := flag.Int("subnets", 0, "limit monitored subnets (0 = all)")
+	schedule := flag.String("schedule", "",
+		`emit one time-structured trace instead of the tap rotation: comma-separated phases `+
+			`kind:duration[:rate] with rate in sessions/minute, e.g. `+
+			`"ramp:60s:0-30,burst:60s:90,quiet:60s,steady:2m:18"; "default" uses the built-in day-in-miniature`)
 	flag.Parse()
 
 	var cfg enterprise.Config
@@ -43,6 +47,36 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *schedule != "" {
+		sched := gen.DefaultSchedule()
+		if *schedule != "default" {
+			var err error
+			if sched, err = gen.ParseSchedule(*schedule); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		subnet := cfg.Monitored[0]
+		pkts := gen.GenerateScheduledTrace(enterprise.NewNetwork(cfg), subnet, 0, sched)
+		name := fmt.Sprintf("%s-scheduled-subnet%02d.pcap", cfg.Name, subnet)
+		path := filepath.Join(*out, name)
+		f, err := os.Create(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr := gen.Trace{Subnet: subnet, Packets: pkts, Prefix: enterprise.SubnetPrefix(subnet)}
+		if err := gen.WriteTrace(f, cfg, tr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: %d packets over %s\n", path, len(pkts), sched.Duration())
+		return
 	}
 	ds := gen.GenerateDataset(cfg)
 	for _, tr := range ds.Traces {

@@ -27,7 +27,13 @@ func main() {
 	figdir := flag.String("figdir", "", "directory for per-figure TSV data series (empty = skip)")
 	workers := flag.Int("workers", 0, "pipeline shard workers (0 = GOMAXPROCS); results are identical for any count")
 	replayWorkers := flag.Int("replay-workers", 0, "application-replay workers (0 = GOMAXPROCS); results are identical for any count")
+	window := flag.Duration("window", 0, "cut per-window reports at this interval in packet time (0 = whole-run report only)")
+	format := flag.String("format", "text", "report output format: text or json")
 	flag.Parse()
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(os.Stderr, "unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
 
 	want := make(map[string]bool)
 	for _, d := range strings.Split(*datasets, ",") {
@@ -52,6 +58,7 @@ func main() {
 			PayloadAnalysis: cfg.Snaplen >= 1500,
 			Workers:         *workers,
 			ReplayWorkers:   *replayWorkers,
+			Window:          *window,
 		})
 		for _, tr := range ds.Traces {
 			if err := a.AddTrace(core.TraceInput{
@@ -64,14 +71,31 @@ func main() {
 			}
 		}
 		r := a.Report()
-		fmt.Print(core.RenderText(r))
+		windows := a.WindowReports()
+		if *format == "json" {
+			if err := core.WriteRunJSON(os.Stdout, windows, r); err != nil {
+				fmt.Fprintf(os.Stderr, "json report: %v\n", err)
+				os.Exit(1)
+			}
+		} else {
+			if len(windows) > 0 {
+				fmt.Print(core.RenderWindowSummary(windows) + "\n")
+			}
+			fmt.Print(core.RenderText(r))
+		}
 		if *figdir != "" {
 			if err := core.WriteFigureData(*figdir, r); err != nil {
 				fmt.Fprintf(os.Stderr, "figure data: %v\n", err)
 				os.Exit(1)
 			}
 		}
-		fmt.Printf("[%s: generated %d packets in %.1fs, analyzed in %.1fs]\n\n",
+		// Telemetry goes to stdout in text mode (as always) but must not
+		// corrupt the machine-readable stream in json mode.
+		dst := os.Stdout
+		if *format == "json" {
+			dst = os.Stderr
+		}
+		fmt.Fprintf(dst, "[%s: generated %d packets in %.1fs, analyzed in %.1fs]\n\n",
 			cfg.Name, ds.TotalPackets(), genDur.Seconds(), time.Since(start).Seconds())
 	}
 }

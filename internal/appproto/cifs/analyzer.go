@@ -29,6 +29,34 @@ func (a *Analyzer) Merge(other *Analyzer) {
 	a.Bytes.Merge(other.Bytes)
 }
 
+// Snapshot returns an independent analyzer holding the command/byte
+// counters accumulated since the last Reset (the epoch contract; this
+// analyzer keeps no cross-message pairing state, so the cut is a pure
+// counter copy).
+func (a *Analyzer) Snapshot() *Analyzer {
+	s := NewAnalyzer()
+	s.Requests.Merge(a.Requests)
+	s.Bytes.Merge(a.Bytes)
+	return s
+}
+
+// Reset clears the banked counters in place.
+func (a *Analyzer) Reset() {
+	a.Requests.Reset()
+	a.Bytes.Reset()
+}
+
+// Cut is Snapshot followed by Reset in one move (nil when nothing was
+// banked since the last cut).
+func (a *Analyzer) Cut() *Analyzer {
+	if a.Requests.Total() == 0 && a.Bytes.Total() == 0 {
+		return nil
+	}
+	s := &Analyzer{Requests: a.Requests, Bytes: a.Bytes}
+	a.Requests, a.Bytes = stats.NewCounter(), stats.NewCounter()
+	return s
+}
+
 // Stream consumes one reassembled direction of a CIFS connection.
 // netbiosFramed selects TCP-139-style session framing (each SMB wrapped in
 // a NetBIOS session frame) versus raw port-445 framing, which this codec

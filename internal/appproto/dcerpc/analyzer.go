@@ -74,6 +74,41 @@ func (a *Analyzer) Merge(other *Analyzer) {
 	}
 }
 
+// Snapshot returns an independent analyzer holding the function
+// counters and endpoint mappings accumulated since the last Reset. Bind
+// state stays behind (the epoch contract): a request PDU arriving after
+// the cut still resolves against the bind its channel saw before it.
+func (a *Analyzer) Snapshot() *Analyzer {
+	s := NewAnalyzer()
+	s.Requests.Merge(a.Requests)
+	s.Bytes.Merge(a.Bytes)
+	for port, iface := range a.MappedPorts {
+		s.MappedPorts[port] = iface
+	}
+	return s
+}
+
+// Reset clears the banked counters and mappings in place; per-channel
+// bind state persists across the cut.
+func (a *Analyzer) Reset() {
+	a.Requests.Reset()
+	a.Bytes.Reset()
+	clear(a.MappedPorts)
+}
+
+// Cut is Snapshot followed by Reset in one move (nil when nothing was
+// banked); per-channel bind state is untouched, exactly as with
+// Snapshot/Reset.
+func (a *Analyzer) Cut() *Analyzer {
+	if a.Requests.Total() == 0 && a.Bytes.Total() == 0 && len(a.MappedPorts) == 0 {
+		return nil
+	}
+	s := &Analyzer{Requests: a.Requests, Bytes: a.Bytes, MappedPorts: a.MappedPorts}
+	a.Requests, a.Bytes = stats.NewCounter(), stats.NewCounter()
+	a.MappedPorts = make(map[uint16]UUID)
+	return s
+}
+
 // Stream consumes one direction of a DCE/RPC channel (a named pipe's
 // payload bytes or a stand-alone TCP stream). channel identifies the
 // conversation so binds pair with later requests; fromClient marks the

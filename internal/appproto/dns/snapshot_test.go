@@ -1,0 +1,56 @@
+package dns
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+)
+
+// TestSnapshotResetPairsAcrossCut pins the epoch contract's key
+// property: a query observed before a Snapshot/Reset cut pairs with its
+// response after the cut, the latency banks into the epoch where the
+// pairing completed, and merging the epoch snapshots reproduces the
+// uncut analyzer's statistics (including the cross-operation dedup).
+func TestSnapshotResetPairsAcrossCut(t *testing.T) {
+	client := netip.MustParseAddr("10.0.0.1")
+	server := netip.MustParseAddr("10.0.0.53")
+	t0 := time.Date(2005, 1, 6, 0, 0, 0, 0, time.UTC)
+
+	run := func(cutMid bool) *Analyzer {
+		a := NewAnalyzer()
+		var snaps []*Analyzer
+		a.Message(t0, client, server, &Message{ID: 1, QName: "a.example", QType: TypeA})
+		if cutMid {
+			snaps = append(snaps, a.Snapshot())
+			a.Reset()
+			if a.Types.Total() != 0 || a.Latency.N() != 0 {
+				t.Fatal("reset left banked stats")
+			}
+		}
+		// Response pairs across the cut; a retry of the same operation
+		// afterwards must still dedup against seenOp.
+		a.Message(t0.Add(5*time.Millisecond), server, client, &Message{ID: 1, Response: true, Rcode: RcodeNoError, QName: "a.example", QType: TypeA})
+		a.Message(t0.Add(time.Second), client, server, &Message{ID: 2, QName: "a.example", QType: TypeA})
+		a.Message(t0.Add(time.Second+4*time.Millisecond), server, client, &Message{ID: 2, Response: true, Rcode: RcodeNoError, QName: "a.example", QType: TypeA})
+		if !cutMid {
+			return a
+		}
+		merged := NewAnalyzer()
+		for _, s := range snaps {
+			merged.Merge(s)
+		}
+		merged.Merge(a.Snapshot())
+		return merged
+	}
+
+	whole, cut := run(false), run(true)
+	if got, want := cut.Latency.N(), whole.Latency.N(); got != want {
+		t.Errorf("latency samples across cut: %d, want %d", got, want)
+	}
+	if got, want := cut.Rcodes.Total(), whole.Rcodes.Total(); got != want {
+		t.Errorf("deduped rcode count across cut: %d, want %d (retries must not double-count)", got, want)
+	}
+	if got, want := cut.Types.Total(), whole.Types.Total(); got != want {
+		t.Errorf("type counts: %d, want %d", got, want)
+	}
+}

@@ -63,6 +63,52 @@ func (a *Analyzer) Merge(other *Analyzer) {
 	}
 }
 
+// Snapshot returns an independent analyzer holding the statistics
+// accumulated since the last Reset; the request/reply pairing state
+// stays behind (the epoch contract), so replies pair across cuts.
+func (a *Analyzer) Snapshot() *Analyzer {
+	s := NewAnalyzer()
+	s.Requests.Merge(a.Requests)
+	s.Bytes.Merge(a.Bytes)
+	s.ReqSizes.Merge(a.ReqSizes)
+	s.ReplySizes.Merge(a.ReplySizes)
+	for pair, n := range a.PerPair {
+		s.PerPair[pair] = n
+	}
+	s.OK, s.Failed = a.OK, a.Failed
+	return s
+}
+
+// Reset clears the banked statistics in place; pending request state
+// persists across the cut.
+func (a *Analyzer) Reset() {
+	a.Requests.Reset()
+	a.Bytes.Reset()
+	a.ReqSizes.Reset()
+	a.ReplySizes.Reset()
+	clear(a.PerPair)
+	a.OK, a.Failed = 0, 0
+}
+
+// Cut is Snapshot followed by Reset in one move (nil when nothing was
+// banked); call/reply pairing state is untouched.
+func (a *Analyzer) Cut() *Analyzer {
+	if a.Requests.Total() == 0 && a.Bytes.Total() == 0 && a.ReqSizes.N() == 0 &&
+		a.ReplySizes.N() == 0 && len(a.PerPair) == 0 && a.OK == 0 && a.Failed == 0 {
+		return nil
+	}
+	s := &Analyzer{
+		Requests: a.Requests, Bytes: a.Bytes,
+		ReqSizes: a.ReqSizes, ReplySizes: a.ReplySizes,
+		PerPair: a.PerPair, OK: a.OK, Failed: a.Failed,
+	}
+	a.Requests, a.Bytes = stats.NewCounter(), stats.NewCounter()
+	a.ReqSizes, a.ReplySizes = stats.NewDist(), stats.NewDist()
+	a.PerPair = make(map[[2]netip.Addr]int64)
+	a.OK, a.Failed = 0, 0
+	return s
+}
+
 // Stream consumes one direction of an NCP connection's reassembled bytes.
 func (a *Analyzer) Stream(src, dst netip.Addr, data []byte) {
 	for len(data) > 0 {

@@ -67,6 +67,54 @@ func (a *Analyzer) Merge(other *Analyzer) {
 	}
 }
 
+// Snapshot returns an independent analyzer holding the statistics
+// accumulated since the last Reset. The call/reply pairing state stays
+// behind (the epoch contract): a reply arriving after the cut still
+// matches the call observed before it, and its outcome banks into the
+// epoch in which the pairing completed.
+func (a *Analyzer) Snapshot() *Analyzer {
+	s := NewAnalyzer()
+	s.Requests.Merge(a.Requests)
+	s.Bytes.Merge(a.Bytes)
+	s.ReqSizes.Merge(a.ReqSizes)
+	s.ReplySizes.Merge(a.ReplySizes)
+	for pair, n := range a.PerPair {
+		s.PerPair[pair] = n
+	}
+	s.OK, s.Failed = a.OK, a.Failed
+	return s
+}
+
+// Reset clears the banked statistics in place; pending call state
+// persists across the cut.
+func (a *Analyzer) Reset() {
+	a.Requests.Reset()
+	a.Bytes.Reset()
+	a.ReqSizes.Reset()
+	a.ReplySizes.Reset()
+	clear(a.PerPair)
+	a.OK, a.Failed = 0, 0
+}
+
+// Cut is Snapshot followed by Reset in one move (nil when nothing was
+// banked); call/reply pairing state is untouched.
+func (a *Analyzer) Cut() *Analyzer {
+	if a.Requests.Total() == 0 && a.Bytes.Total() == 0 && a.ReqSizes.N() == 0 &&
+		a.ReplySizes.N() == 0 && len(a.PerPair) == 0 && a.OK == 0 && a.Failed == 0 {
+		return nil
+	}
+	s := &Analyzer{
+		Requests: a.Requests, Bytes: a.Bytes,
+		ReqSizes: a.ReqSizes, ReplySizes: a.ReplySizes,
+		PerPair: a.PerPair, OK: a.OK, Failed: a.Failed,
+	}
+	a.Requests, a.Bytes = stats.NewCounter(), stats.NewCounter()
+	a.ReqSizes, a.ReplySizes = stats.NewDist(), stats.NewDist()
+	a.PerPair = make(map[[2]netip.Addr]int64)
+	a.OK, a.Failed = 0, 0
+	return s
+}
+
 // Message feeds one raw RPC message (UDP payload or one TCP record)
 // traveling src → dst.
 func (a *Analyzer) Message(src, dst netip.Addr, raw []byte) {

@@ -61,6 +61,10 @@ type appAggregates struct {
 	backupBytes *stats.Counter
 	// dantzBidir counts Dantz connections with >= 100 KB both ways.
 	dantzConns, dantzBidir int64
+
+	// dnsScratch is the owning worker's DNS decode scratch — transient,
+	// never merged, snapshot, or reset.
+	dnsScratch dns.Message
 }
 
 func newAppAggregates() *appAggregates {
@@ -480,14 +484,28 @@ func (ap *appAggregates) httpConn(c *flows.Conn, wan bool, cliStream, srvStream 
 // (sums, counter/distribution merges, set unions) or keyed by a host
 // pair that the replay sharding guarantees lives in exactly one source,
 // so the merged state is identical for any shard count. other remains
-// usable afterwards; nothing mutable is aliased.
+// usable afterwards; nothing mutable is aliased. other may be a sparse
+// cut delta: nil components mean "nothing banked" and are skipped. The
+// receiver must be a full aggregate (newAppAggregates).
 func (ap *appAggregates) Merge(other *appAggregates) {
-	ap.dnsInt.Merge(other.dnsInt)
-	ap.dnsWan.Merge(other.dnsWan)
-	ap.nbns.Merge(other.nbns)
-	ap.ssn.Merge(other.ssn)
-	ap.cifs.Merge(other.cifs)
-	ap.rpc.Merge(other.rpc)
+	if other.dnsInt != nil {
+		ap.dnsInt.Merge(other.dnsInt)
+	}
+	if other.dnsWan != nil {
+		ap.dnsWan.Merge(other.dnsWan)
+	}
+	if other.nbns != nil {
+		ap.nbns.Merge(other.nbns)
+	}
+	if other.ssn != nil {
+		ap.ssn.Merge(other.ssn)
+	}
+	if other.cifs != nil {
+		ap.cifs.Merge(other.cifs)
+	}
+	if other.rpc != nil {
+		ap.rpc.Merge(other.rpc)
+	}
 	for service, pairs := range other.winPairs {
 		m := ap.winPairs[service]
 		if m == nil {
@@ -508,8 +526,12 @@ func (ap *appAggregates) Merge(other *appAggregates) {
 			}
 		}
 	}
-	ap.nfs.Merge(other.nfs)
-	ap.ncp.Merge(other.ncp)
+	if other.nfs != nil {
+		ap.nfs.Merge(other.nfs)
+	}
+	if other.ncp != nil {
+		ap.ncp.Merge(other.ncp)
+	}
 	for pair := range other.nfsUDP {
 		ap.nfsUDP[pair] = true
 	}
@@ -518,19 +540,214 @@ func (ap *appAggregates) Merge(other *appAggregates) {
 	}
 	ap.ncpConns += other.ncpConns
 	ap.ncpKeepAliveOnly += other.ncpKeepAliveOnly
-	ap.email.Merge(other.email)
-	ap.http.Merge(other.http)
+	if other.email != nil {
+		ap.email.Merge(other.email)
+	}
+	if other.http != nil {
+		ap.http.Merge(other.http)
+	}
 	ap.sshConns += other.sshConns
 	ap.sshBulk += other.sshBulk
 	ap.sshPkts += other.sshPkts
 	ap.sshPayload += other.sshPayload
 	ap.ftpSessions = append(ap.ftpSessions, other.ftpSessions...)
-	ap.bulkConns.Merge(other.bulkConns)
-	ap.bulkBytes.Merge(other.bulkBytes)
-	ap.backupConns.Merge(other.backupConns)
-	ap.backupBytes.Merge(other.backupBytes)
+	mergeCounter(ap.bulkConns, other.bulkConns)
+	mergeCounter(ap.bulkBytes, other.bulkBytes)
+	mergeCounter(ap.backupConns, other.backupConns)
+	mergeCounter(ap.backupBytes, other.backupBytes)
 	ap.dantzConns += other.dantzConns
 	ap.dantzBidir += other.dantzBidir
+}
+
+// mergeCounter is Counter.Merge with a nil-source guard (sparse deltas).
+func mergeCounter(dst, src *stats.Counter) {
+	if src != nil {
+		dst.Merge(src)
+	}
+}
+
+// Snapshot returns an independent aggregate holding everything banked
+// since the last Reset — the application half of the epoch-snapshot
+// contract (DESIGN.md "Epoch snapshots and windowed reports"). Cost is
+// proportional to the epoch's own statistics: the per-analyzer Snapshot
+// methods copy banked outputs only, never the in-flight pairing state
+// (DNS pending/dedup maps, RPC binds, NFS/NCP call matching), which
+// grows monotonically over a trace and would make per-window cuts
+// quadratic if copied.
+func (ap *appAggregates) Snapshot() *appAggregates {
+	s := &appAggregates{
+		dnsInt:           ap.dnsInt.Snapshot(),
+		dnsWan:           ap.dnsWan.Snapshot(),
+		nbns:             ap.nbns.Snapshot(),
+		ssn:              ap.ssn.Snapshot(),
+		cifs:             ap.cifs.Snapshot(),
+		rpc:              ap.rpc.Snapshot(),
+		winPairs:         make(map[string]map[layers.HostPair]flows.State, len(ap.winPairs)),
+		nfs:              ap.nfs.Snapshot(),
+		ncp:              ap.ncp.Snapshot(),
+		nfsUDP:           make(map[layers.HostPair]bool, len(ap.nfsUDP)),
+		nfsTCP:           make(map[layers.HostPair]bool, len(ap.nfsTCP)),
+		ncpConns:         ap.ncpConns,
+		ncpKeepAliveOnly: ap.ncpKeepAliveOnly,
+		email:            ap.email.Snapshot(),
+		http:             ap.http.Snapshot(),
+		sshConns:         ap.sshConns,
+		sshBulk:          ap.sshBulk,
+		sshPkts:          ap.sshPkts,
+		sshPayload:       ap.sshPayload,
+		ftpSessions:      append([]ftpSessionRec(nil), ap.ftpSessions...),
+		bulkConns:        ap.bulkConns.Snapshot(),
+		bulkBytes:        ap.bulkBytes.Snapshot(),
+		backupConns:      ap.backupConns.Snapshot(),
+		backupBytes:      ap.backupBytes.Snapshot(),
+		dantzConns:       ap.dantzConns,
+		dantzBidir:       ap.dantzBidir,
+	}
+	for service, pairs := range ap.winPairs {
+		m := make(map[layers.HostPair]flows.State, len(pairs))
+		for pair, st := range pairs {
+			m[pair] = st
+		}
+		s.winPairs[service] = m
+	}
+	for pair := range ap.nfsUDP {
+		s.nfsUDP[pair] = true
+	}
+	for pair := range ap.nfsTCP {
+		s.nfsTCP[pair] = true
+	}
+	return s
+}
+
+// cut is Snapshot followed by Reset by move: banked containers transfer
+// into the returned delta (nil fields/containers for components that
+// banked nothing) and fresh empties replace them, so the per-cut cost is
+// proportional to the number of components touched during the epoch,
+// never to the epoch's sample volume or to the aggregate's accumulated
+// pairing state. Returns nil when the whole aggregate banked nothing.
+// Merge accepts the sparse deltas (nil-component guards).
+func (ap *appAggregates) cut() *appAggregates {
+	s := &appAggregates{
+		dnsInt:           ap.dnsInt.Cut(),
+		dnsWan:           ap.dnsWan.Cut(),
+		nbns:             ap.nbns.Cut(),
+		ssn:              ap.ssn.Cut(),
+		cifs:             ap.cifs.Cut(),
+		rpc:              ap.rpc.Cut(),
+		nfs:              ap.nfs.Cut(),
+		ncp:              ap.ncp.Cut(),
+		ncpConns:         ap.ncpConns,
+		ncpKeepAliveOnly: ap.ncpKeepAliveOnly,
+		sshConns:         ap.sshConns,
+		sshBulk:          ap.sshBulk,
+		sshPkts:          ap.sshPkts,
+		sshPayload:       ap.sshPayload,
+		ftpSessions:      ap.ftpSessions,
+		bulkConns:        cutCounter(&ap.bulkConns),
+		bulkBytes:        cutCounter(&ap.bulkBytes),
+		backupConns:      cutCounter(&ap.backupConns),
+		backupBytes:      cutCounter(&ap.backupBytes),
+		dantzConns:       ap.dantzConns,
+		dantzBidir:       ap.dantzBidir,
+	}
+	ap.ncpConns, ap.ncpKeepAliveOnly = 0, 0
+	ap.sshConns, ap.sshBulk, ap.sshPkts, ap.sshPayload = 0, 0, 0, 0
+	ap.ftpSessions = nil
+	ap.dantzConns, ap.dantzBidir = 0, 0
+	if len(ap.winPairs) > 0 {
+		s.winPairs = ap.winPairs
+		ap.winPairs = make(map[string]map[layers.HostPair]flows.State)
+	}
+	if len(ap.nfsUDP) > 0 {
+		s.nfsUDP = ap.nfsUDP
+		ap.nfsUDP = make(map[layers.HostPair]bool)
+	}
+	if len(ap.nfsTCP) > 0 {
+		s.nfsTCP = ap.nfsTCP
+		ap.nfsTCP = make(map[layers.HostPair]bool)
+	}
+	if !ap.email.empty() {
+		s.email = ap.email
+		ap.email = newEmailAgg()
+	}
+	if !ap.http.empty() {
+		s.http = ap.http
+		ap.http = newHTTPAgg()
+	}
+	if s.empty() {
+		return nil
+	}
+	return s
+}
+
+// cutCounter moves a non-empty counter out (installing a fresh one) and
+// returns nil for an empty one.
+func cutCounter(c **stats.Counter) *stats.Counter {
+	if (*c).Total() == 0 && (*c).Len() == 0 {
+		return nil
+	}
+	out := *c
+	*c = stats.NewCounter()
+	return out
+}
+
+// empty reports whether a cut delta carries nothing.
+func (ap *appAggregates) empty() bool {
+	return ap.dnsInt == nil && ap.dnsWan == nil && ap.nbns == nil && ap.ssn == nil &&
+		ap.cifs == nil && ap.rpc == nil && ap.nfs == nil && ap.ncp == nil &&
+		len(ap.winPairs) == 0 && len(ap.nfsUDP) == 0 && len(ap.nfsTCP) == 0 &&
+		ap.ncpConns == 0 && ap.ncpKeepAliveOnly == 0 &&
+		ap.email == nil && ap.http == nil &&
+		ap.sshConns == 0 && ap.sshBulk == 0 && ap.sshPkts == 0 && ap.sshPayload == 0 &&
+		len(ap.ftpSessions) == 0 &&
+		ap.bulkConns == nil && ap.bulkBytes == nil &&
+		ap.backupConns == nil && ap.backupBytes == nil &&
+		ap.dantzConns == 0 && ap.dantzBidir == 0
+}
+
+func (e *emailAgg) empty() bool {
+	return e.bytesByProto.Total() == 0 && e.bytesByProto.Len() == 0 &&
+		len(e.durations) == 0 && len(e.sizes) == 0 && len(e.pairs) == 0 &&
+		e.smtpAccepted == 0 && e.smtpRejected == 0
+}
+
+func (h *httpAgg) empty() bool {
+	return len(h.connPairs) == 0 && len(h.httpsConnsByPair) == 0 &&
+		len(h.reqTotal) == 0 && len(h.dataTotal) == 0 && len(h.byClass) == 0 &&
+		len(h.automated) == 0 && len(h.fanServers) == 0 &&
+		len(h.contentReq) == 0 && len(h.contentLen) == 0 &&
+		len(h.replySizes) == 0 && len(h.conditional) == 0 &&
+		h.methods.Total() == 0 && h.methods.Len() == 0 &&
+		h.statusOK == 0 && h.statusAll == 0
+}
+
+// Reset clears the banked statistics in place while preserving every
+// pairing domain the analyzers keep (the sub-analyzer Resets guarantee
+// this), so merging consecutive snapshots reproduces exactly the state
+// an uncut aggregate would hold.
+func (ap *appAggregates) Reset() {
+	ap.dnsInt.Reset()
+	ap.dnsWan.Reset()
+	ap.nbns.Reset()
+	ap.ssn.Reset()
+	ap.cifs.Reset()
+	ap.rpc.Reset()
+	clear(ap.winPairs)
+	ap.nfs.Reset()
+	ap.ncp.Reset()
+	clear(ap.nfsUDP)
+	clear(ap.nfsTCP)
+	ap.ncpConns, ap.ncpKeepAliveOnly = 0, 0
+	ap.email.Reset()
+	ap.http.Reset()
+	ap.sshConns, ap.sshBulk = 0, 0
+	ap.sshPkts, ap.sshPayload = 0, 0
+	ap.ftpSessions = nil
+	ap.bulkConns.Reset()
+	ap.bulkBytes.Reset()
+	ap.backupConns.Reset()
+	ap.backupBytes.Reset()
+	ap.dantzConns, ap.dantzBidir = 0, 0
 }
 
 // sortFTPSessions restores canonical first-packet order after shard
@@ -577,6 +794,25 @@ func (e *emailAgg) Merge(other *emailAgg) {
 	}
 	e.smtpAccepted += other.smtpAccepted
 	e.smtpRejected += other.smtpRejected
+}
+
+// Snapshot returns an independent copy of the banked email aggregates.
+// Everything here is banked (Reset clears it all), so building the copy
+// through Merge is exact and epoch-bounded.
+func (e *emailAgg) Snapshot() *emailAgg {
+	s := newEmailAgg()
+	s.Merge(e)
+	return s
+}
+
+// Reset clears the banked email aggregates in place (no pairing state
+// lives at this level; connection samples are self-contained).
+func (e *emailAgg) Reset() {
+	e.bytesByProto.Reset()
+	clear(e.durations)
+	clear(e.sizes)
+	clear(e.pairs)
+	e.smtpAccepted, e.smtpRejected = 0, 0
 }
 
 // Merge folds other's HTTP aggregates into h (all commutative sums and
@@ -662,4 +898,33 @@ func (h *httpAgg) Merge(other *httpAgg) {
 	h.methods.Merge(other.methods)
 	h.statusOK += other.statusOK
 	h.statusAll += other.statusAll
+}
+
+// Snapshot returns an independent copy of the banked HTTP aggregates
+// (all epoch-bounded — Reset clears every field — so Merge-into-fresh is
+// exact and cheap).
+func (h *httpAgg) Snapshot() *httpAgg {
+	s := newHTTPAgg()
+	s.Merge(h)
+	return s
+}
+
+// Reset clears the banked HTTP aggregates in place. The automated-client
+// set clears with the rest: it is a per-epoch census (a window report
+// judges automation from that window's requests), and the cumulative
+// union across snapshots matches the uncut set exactly.
+func (h *httpAgg) Reset() {
+	clear(h.connPairs)
+	clear(h.httpsConnsByPair)
+	clear(h.reqTotal)
+	clear(h.dataTotal)
+	clear(h.byClass)
+	clear(h.automated)
+	clear(h.fanServers)
+	clear(h.contentReq)
+	clear(h.contentLen)
+	clear(h.replySizes)
+	clear(h.conditional)
+	h.methods.Reset()
+	h.statusOK, h.statusAll = 0, 0
 }

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+)
+
+// feedAggregates runs a small trace and returns the merged application
+// aggregate — a convenient way to populate every banked domain through
+// the real accumulation paths.
+func feedAggregates(t *testing.T) *appAggregates {
+	t.Helper()
+	cfg := enterprise.D3()
+	cfg.Scale = 0.2
+	cfg.Monitored = cfg.Monitored[:1]
+	ds := gen.GenerateDataset(cfg)
+	a := NewAnalyzer(Options{Dataset: "snap", PayloadAnalysis: true, Workers: 1, ReplayWorkers: 1})
+	for _, tr := range ds.Traces {
+		if err := a.AddTrace(TraceInput{Name: "t", Monitored: tr.Prefix, Packets: tr.Packets}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return a.mergedApps()
+}
+
+// TestAppAggregatesSnapshotResetMatchesCut pins the aggregate-level
+// contract with both cut flavors against each other: Snapshot-then-Reset
+// and cut() must bank exactly the same statistics (cut deltas are
+// sparse; re-merging both into full aggregates normalizes the shapes).
+// This is also what keeps the two field enumerations from drifting when
+// appAggregates grows a field: data accumulated through the real
+// pipeline that one cut banks and the other misses fails the deep
+// comparison.
+func TestAppAggregatesSnapshotResetMatchesCut(t *testing.T) {
+	viaSnapshot := feedAggregates(t)
+	viaCut := feedAggregates(t)
+
+	snap := viaSnapshot.Snapshot()
+	viaSnapshot.Reset()
+	delta := viaCut.cut()
+	if delta == nil {
+		t.Fatal("cut of a populated aggregate returned nil")
+	}
+
+	a := newAppAggregates()
+	a.Merge(snap)
+	b := newAppAggregates()
+	b.Merge(delta)
+	a.sortFTPSessions()
+	b.sortFTPSessions()
+	ra := buildReport("snap", newEpochAgg(), a, nil)
+	rb := buildReport("snap", newEpochAgg(), b, nil)
+	if !reflect.DeepEqual(ra, rb) {
+		t.Error("Snapshot/Reset and cut banked different statistics")
+	}
+
+	// Both residues must be empty: everything banked exactly once.
+	if d := viaSnapshot.cut(); d != nil {
+		t.Error("Reset left banked statistics behind")
+	}
+	if d := viaCut.cut(); d != nil {
+		t.Error("cut left banked statistics behind")
+	}
+}
+
+// TestAppAggregatesSnapshotIndependent pins that a snapshot shares no
+// mutable state with its source: further accumulation must not leak in.
+func TestAppAggregatesSnapshotIndependent(t *testing.T) {
+	ap := feedAggregates(t)
+	snap := ap.Snapshot()
+	before := buildReport("snap", newEpochAgg(), snapToFull(snap), nil)
+	em := gen.NewEmitter(21)
+	emitConn(em, 0, time.Date(2005, 1, 7, 0, 0, 0, 0, time.UTC), 0)
+	ap.sshConns += 100 // mutate the source directly
+	ap.bulkConns.Inc("FTP")
+	after := buildReport("snap", newEpochAgg(), snapToFull(snap), nil)
+	if !reflect.DeepEqual(before, after) {
+		t.Error("snapshot aliases its source aggregate")
+	}
+}
+
+func snapToFull(s *appAggregates) *appAggregates {
+	full := newAppAggregates()
+	full.Merge(s)
+	full.sortFTPSessions()
+	return full
+}

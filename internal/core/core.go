@@ -14,6 +14,7 @@ import (
 	"io"
 	"net/netip"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"enttrace/internal/categories"
@@ -22,9 +23,7 @@ import (
 	"enttrace/internal/layers"
 	"enttrace/internal/pcap"
 	"enttrace/internal/pipeline"
-	"enttrace/internal/roles"
 	"enttrace/internal/scan"
-	"enttrace/internal/stats"
 )
 
 // Options configures an Analyzer.
@@ -60,6 +59,19 @@ type Options struct {
 	// BatchSize is packets per pipeline dispatch batch; 0 uses the
 	// pipeline default.
 	BatchSize int
+	// Window enables epoch rotation: when > 0, the analyzer cuts the
+	// run into windows of this duration in packet time (aligned to the
+	// first packet of the first trace) and makes a per-window Report
+	// available for each, while the cumulative report stays
+	// byte-identical to a run without windowing. 0 disables windowing;
+	// the batch path is then untouched.
+	Window time.Duration
+	// OnWindow, when set (requires Window > 0), receives each window's
+	// report as the event-time watermark passes its end. Reports emitted
+	// mid-run are provisional when later traces overlap the window in
+	// event time; WindowReports() at end of run is the canonical view.
+	// The callback runs on the analysis goroutine between traces.
+	OnWindow func(*WindowReport)
 }
 
 func (o *Options) fill() {
@@ -87,25 +99,14 @@ type TraceInput struct {
 type Analyzer struct {
 	opts Options
 
-	// Table 1 accumulators.
-	totalPackets   int64
-	monitoredHosts map[netip.Addr]struct{}
-	localHosts     map[netip.Addr]struct{}
-	remoteHosts    map[netip.Addr]struct{}
+	// cum is the cumulative aggregate: every report-feeding accumulator
+	// for the whole run. The batch path accumulates into it directly;
+	// the windowed path folds banked per-window deltas into it in
+	// banking order, which yields byte-identical final reports.
+	cum *epochAgg
 
-	// Table 2: network-layer packet counts.
-	netLayer *stats.Counter
-
-	// Post-filter connection-level accumulators.
-	transBytes, transConns *stats.Counter // Table 3
-	removedConns           int
-	totalConns             int
-	scanners               map[netip.Addr]struct{}
-
-	catBytes, catConns map[string]*locSplit // Figure 1
-	origins            *stats.Counter       // §4 origin mix
-
-	fanAgg map[netip.Addr]*flows.FanStats // Figure 2
+	// win is the epoch-rotation state; nil when Options.Window == 0.
+	win *windowState
 
 	// apps holds the serial (phase A) application state — the Endpoint
 	// Mapper PDU accounting that rides along with port registration.
@@ -115,14 +116,26 @@ type Analyzer struct {
 	// replayShards are the parallel replay's per-worker aggregates. They
 	// persist across traces (a host pair always hashes to the same
 	// shard, so cross-trace pairing state — DNS retries, RPC binds —
-	// stays shard-local) and merge with apps at report time.
+	// stays shard-local) and merge with apps at report time. In
+	// windowed mode each shard's banked statistics are cut into window
+	// deltas as its worker crosses boundaries; only pairing state
+	// persists in the shard between cuts.
 	replayShards []*appAggregates
 
-	load *loadAgg
-
-	roleCounts map[roles.Role]int
+	// cumApps/cumConns are the windowed mode's per-worker running
+	// cumulative aggregates: each worker folds its own cut deltas into
+	// its slot (lock-free, parallel with the other shards), and Report
+	// drains the slots in shard order — the same canonical order the
+	// batch path's mergedApps uses, which is what keeps the windowed
+	// cumulative report byte-identical to batch.
+	cumApps  []*appAggregates
+	cumConns []*connAggregates
 
 	traceCount int
+
+	// packetsSeen mirrors cum.totalPackets for lock-free progress reads
+	// (the serve-mode health endpoint polls it mid-trace).
+	packetsSeen atomic.Int64
 
 	// pool recycles capture buffers across AddTraceReader calls.
 	pool *pcap.Pool
@@ -136,23 +149,15 @@ type locSplit struct {
 // NewAnalyzer returns an Analyzer for one dataset.
 func NewAnalyzer(opts Options) *Analyzer {
 	opts.fill()
-	return &Analyzer{
-		opts:           opts,
-		monitoredHosts: make(map[netip.Addr]struct{}),
-		localHosts:     make(map[netip.Addr]struct{}),
-		remoteHosts:    make(map[netip.Addr]struct{}),
-		netLayer:       stats.NewCounter(),
-		transBytes:     stats.NewCounter(),
-		transConns:     stats.NewCounter(),
-		scanners:       make(map[netip.Addr]struct{}),
-		catBytes:       make(map[string]*locSplit),
-		catConns:       make(map[string]*locSplit),
-		origins:        stats.NewCounter(),
-		fanAgg:         make(map[netip.Addr]*flows.FanStats),
-		apps:           newAppAggregates(),
-		load:           newLoadAgg(),
-		roleCounts:     make(map[roles.Role]int),
+	a := &Analyzer{
+		opts: opts,
+		cum:  newEpochAgg(),
+		apps: newAppAggregates(),
 	}
+	if opts.Window > 0 {
+		a.win = newWindowState(opts.Dataset, opts.Window, opts.OnWindow)
+	}
+	return a
 }
 
 // AddTrace processes one in-memory trace through the streaming pipeline.
@@ -192,10 +197,12 @@ func (a *Analyzer) AddTraceSource(name string, monitored netip.Prefix, src pcap.
 // worker count.
 func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.Source) error {
 	var sinks []*shardSink
+	var traceBase time.Time
 	res, err := pipeline.Run(src, pipeline.Config{
 		Workers:   a.opts.Workers,
 		BatchSize: a.opts.BatchSize,
 		NewSink: func(shard int, base time.Time) pipeline.Sink {
+			traceBase = base
 			s := newShardSink(&a.opts, monitored, base)
 			sinks = append(sinks, s)
 			return s
@@ -205,15 +212,35 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 		return err
 	}
 	a.traceCount++
-	a.totalPackets += res.Packets
+	a.packetsSeen.Add(res.Packets)
 
-	// Packet-level merges, in shard order.
+	// Trace-granular accumulation target: the cumulative aggregate in
+	// batch mode; a fresh per-trace delta in windowed mode, banked into
+	// the window containing the trace's last packet once the trace's
+	// event-time extent (and hence the watermark) is known.
+	tgt := a.cum
+	if a.win != nil {
+		if res.Packets > 0 {
+			a.win.setOrigin(traceBase)
+		}
+		tgt = newEpochAgg()
+	}
+	tgt.totalPackets += res.Packets
+	tgt.traceCount++
+
+	// Packet-level merges, in shard order. maxTS is the trace's
+	// event-time extent: every shard has drained, so the slowest
+	// worker's high-water mark is behind it.
+	var maxTS time.Time
 	shardBins := make([][]int64, 0, len(sinks))
 	for _, s := range sinks {
-		a.netLayer.Merge(s.netLayer)
-		unionHosts(a.monitoredHosts, s.monHosts)
-		unionHosts(a.localHosts, s.localHosts)
-		unionHosts(a.remoteHosts, s.remoteHosts)
+		tgt.netLayer.Merge(s.netLayer)
+		unionHosts(tgt.monitoredHosts, s.monHosts)
+		unionHosts(tgt.localHosts, s.localHosts)
+		unionHosts(tgt.remoteHosts, s.remoteHosts)
+		if s.maxTS.After(maxTS) {
+			maxTS = s.maxTS
+		}
 		shardBins = append(shardBins, s.bins)
 	}
 	perSec := mergedTraceLoad(name, shardBins)
@@ -224,13 +251,13 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 	for i, rec := range recs {
 		conns[i] = rec.Conn
 	}
-	a.totalConns += len(conns)
+	tgt.totalConns += len(conns)
 
 	// §3 scanner removal, per trace.
 	fres := scan.Filter(conns, a.opts.KnownScanners)
-	a.removedConns += fres.RemovedConns
+	tgt.removedConns += fres.RemovedConns
 	for _, s := range fres.Scanners {
-		a.scanners[s] = struct{}{}
+		tgt.scanners[s] = struct{}{}
 	}
 	kept := fres.Kept
 	keptBy := keptSet(kept)
@@ -247,12 +274,20 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 			streams[c] = st
 		}
 	}
-	join := a.replayApps(recs, streams, mergeUDPEvents(sinks), keptBy, monitored)
+	join := a.replayApps(recs, streams, mergeUDPEvents(sinks), keptBy, monitored, tgt)
 
 	// Trace load accounting overlaps the replay workers (it reads only
 	// the per-second bins and connection fields, which nothing mutates).
-	a.load.finishTrace(perSec, kept, a.opts.IsLocal, a.opts.LinkCapacityMbps)
+	tgt.load.finishTrace(perSec, kept, a.opts.IsLocal, a.opts.LinkCapacityMbps)
 	join()
+
+	if a.win != nil {
+		// Bank the phase-A application residue (Endpoint Mapper PDU
+		// accounting) and the trace-granular delta at the watermark,
+		// then emit newly completed windows. Reset keeps the registry
+		// pairing state (RPC binds) for later traces.
+		a.win.finishTrace(a.cum, tgt, a.apps.cut(), maxTS)
+	}
 	return nil
 }
 
@@ -271,6 +306,14 @@ func (a *Analyzer) ensureReplayShards() []*appAggregates {
 		a.replayShards = make([]*appAggregates, n)
 		for i := range a.replayShards {
 			a.replayShards[i] = newAppAggregates()
+		}
+		if a.win != nil {
+			a.cumApps = make([]*appAggregates, n)
+			a.cumConns = make([]*connAggregates, n)
+			for i := range a.cumApps {
+				a.cumApps[i] = newAppAggregates()
+				a.cumConns[i] = newConnAggregates()
+			}
 		}
 	}
 	return a.replayShards
@@ -305,8 +348,9 @@ func unionHosts(dst, src map[netip.Addr]struct{}) {
 }
 
 // PacketsSeen returns the running packet total across all traces added
-// so far, for progress reporting by streaming callers.
-func (a *Analyzer) PacketsSeen() int64 { return a.totalPackets }
+// so far, for progress reporting by streaming callers. Safe for
+// concurrent use with Add* (the serve-mode health endpoint polls it).
+func (a *Analyzer) PacketsSeen() int64 { return a.packetsSeen.Load() }
 
 func keptSet(conns []*flows.Conn) map[*flows.Conn]bool {
 	m := make(map[*flows.Conn]bool, len(conns))

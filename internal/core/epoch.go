@@ -1,0 +1,430 @@
+package core
+
+import (
+	"net/netip"
+	"sync"
+	"time"
+
+	"enttrace/internal/flows"
+	"enttrace/internal/roles"
+	"enttrace/internal/stats"
+)
+
+// epochAgg holds every report-feeding accumulator for one span of event
+// time: the whole run (the cumulative aggregate every Analyzer owns) or
+// one time window. The batch path accumulates into the cumulative
+// aggregate directly; the windowed path accumulates into per-window
+// deltas that merge into both the window's aggregate and the cumulative
+// one, in banking order, so the final cumulative report is byte-identical
+// to a run that never windowed.
+type epochAgg struct {
+	// Table 1 accumulators.
+	totalPackets                            int64
+	traceCount                              int
+	monitoredHosts, localHosts, remoteHosts map[netip.Addr]struct{}
+
+	// Table 2: network-layer packet counts.
+	netLayer *stats.Counter
+
+	// Post-filter connection-level accumulators.
+	transBytes, transConns *stats.Counter // Table 3
+	removedConns           int
+	totalConns             int
+	scanners               map[netip.Addr]struct{}
+
+	catBytes, catConns map[string]*locSplit // Figure 1
+	origins            *stats.Counter       // §4 origin mix
+
+	fanAgg map[netip.Addr]*flows.FanStats // Figure 2
+
+	load *loadAgg
+
+	roleCounts map[roles.Role]int
+
+	// apps folds banked application deltas. The batch path leaves it
+	// empty (live replay shards merge at report time instead); the
+	// windowed path banks every application snapshot here.
+	apps *appAggregates
+}
+
+func newEpochAgg() *epochAgg {
+	return &epochAgg{
+		monitoredHosts: make(map[netip.Addr]struct{}),
+		localHosts:     make(map[netip.Addr]struct{}),
+		remoteHosts:    make(map[netip.Addr]struct{}),
+		netLayer:       stats.NewCounter(),
+		transBytes:     stats.NewCounter(),
+		transConns:     stats.NewCounter(),
+		scanners:       make(map[netip.Addr]struct{}),
+		catBytes:       make(map[string]*locSplit),
+		catConns:       make(map[string]*locSplit),
+		origins:        stats.NewCounter(),
+		fanAgg:         make(map[netip.Addr]*flows.FanStats),
+		load:           newLoadAgg(),
+		roleCounts:     make(map[roles.Role]int),
+		apps:           newAppAggregates(),
+	}
+}
+
+// merge folds other into e. Every fold is a sum, union, exact
+// distribution merge, or append-in-banking-order, so folding a partition
+// of deltas reproduces the aggregate that never split.
+func (e *epochAgg) merge(other *epochAgg) {
+	e.totalPackets += other.totalPackets
+	e.traceCount += other.traceCount
+	unionHosts(e.monitoredHosts, other.monitoredHosts)
+	unionHosts(e.localHosts, other.localHosts)
+	unionHosts(e.remoteHosts, other.remoteHosts)
+	e.netLayer.Merge(other.netLayer)
+	e.transBytes.Merge(other.transBytes)
+	e.transConns.Merge(other.transConns)
+	e.removedConns += other.removedConns
+	e.totalConns += other.totalConns
+	unionHosts(e.scanners, other.scanners)
+	foldLocSplit(e.catBytes, other.catBytes)
+	foldLocSplit(e.catConns, other.catConns)
+	e.origins.Merge(other.origins)
+	e.foldFan(other.fanAgg)
+	e.load.traces = append(e.load.traces, other.load.traces...)
+	for role, n := range other.roleCounts {
+		e.roleCounts[role] += n
+	}
+	e.apps.Merge(other.apps)
+}
+
+// foldConns folds one replay worker's connection-level sums into e.
+func (e *epochAgg) foldConns(ca *connAggregates) {
+	e.transBytes.Merge(ca.transBytes)
+	e.transConns.Merge(ca.transConns)
+	e.origins.Merge(ca.origins)
+	foldLocSplit(e.catBytes, ca.catBytes)
+	foldLocSplit(e.catConns, ca.catConns)
+}
+
+func (e *epochAgg) foldFan(fan map[netip.Addr]*flows.FanStats) {
+	for h, s := range fan {
+		agg := e.fanAgg[h]
+		if agg == nil {
+			agg = &flows.FanStats{}
+			e.fanAgg[h] = agg
+		}
+		agg.Merge(s)
+	}
+}
+
+// WindowMeta labels a per-window report with its position on the event
+// timeline. It rides along in the JSON encoding so consumers can align
+// windows across runs and sites.
+type WindowMeta struct {
+	// Index is the window ordinal (0-based, aligned to the first packet
+	// timestamp of the first trace).
+	Index int
+	// Start and End bound the window: [Start, End) in packet time.
+	Start, End time.Time
+}
+
+// WindowReport is one completed (or provisionally completed) window.
+type WindowReport struct {
+	Index      int
+	Start, End time.Time
+	Report     *Report
+}
+
+// windowDelta is one replay worker's banked contribution to one window:
+// the application aggregate snapshot cut at the window boundary and the
+// connection-level sums accumulated inside the window.
+type windowDelta struct {
+	window int
+	apps   *appAggregates
+	conns  *connAggregates
+}
+
+// windowState is the Analyzer's epoch-rotation machinery: the window
+// clock (origin + duration), the per-window pending aggregates, and the
+// event-time watermark that decides when a window is complete. All
+// access is mutex-guarded so a serve-mode HTTP handler can read window
+// reports while analysis is still streaming.
+type windowState struct {
+	mu       sync.Mutex
+	dur      time.Duration
+	dataset  string
+	onWindow func(*WindowReport)
+
+	origin    time.Time
+	originSet bool
+	// watermark is the largest packet timestamp fully processed. Shard
+	// workers bank deltas at their own pace (a lagging worker cuts its
+	// snapshots later); the watermark only advances once every worker of
+	// a trace has drained, so a window is declared complete only when no
+	// in-flight worker can still contribute to it.
+	watermark time.Time
+	// pending maps window index to that window's trace-granular
+	// aggregate (packet censuses, scan, load, fan, roles — banked once
+	// per trace). Windows stay addressable after completion: a later
+	// trace that overlaps an already-completed window in event time
+	// banks into it (late data), and the canonical WindowReports() view
+	// at the end of the run reflects everything.
+	pending map[int]*epochAgg
+	// deltas holds each window's worker deltas in banking order; window
+	// reports fold them on demand, so banking itself is an append. (The
+	// cumulative fold does not read these: each worker maintains its own
+	// running aggregate of everything it banked, drained at Report.)
+	deltas map[int][]windowDelta
+	// maxWindow is the highest window index known (banked or covered by
+	// the watermark); -1 before any data.
+	maxWindow int
+	// nextEmit is the first window index not yet emitted via onWindow.
+	nextEmit int
+}
+
+func newWindowState(dataset string, dur time.Duration, onWindow func(*WindowReport)) *windowState {
+	return &windowState{
+		dur:       dur,
+		dataset:   dataset,
+		onWindow:  onWindow,
+		pending:   make(map[int]*epochAgg),
+		deltas:    make(map[int][]windowDelta),
+		maxWindow: -1,
+	}
+}
+
+// setOrigin pins the window clock to the first trace's first packet
+// timestamp. Idempotent; windows are aligned to multiples of dur from
+// this instant for the Analyzer's lifetime.
+func (ws *windowState) setOrigin(base time.Time) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if !ws.originSet && !base.IsZero() {
+		ws.origin = base
+		ws.originSet = true
+	}
+}
+
+// windowOf maps a packet timestamp to its window index. Timestamps
+// before the origin (a later trace starting earlier in event time than
+// the first) clamp to window 0.
+func (ws *windowState) windowOf(ts time.Time) int {
+	if !ws.originSet {
+		return 0
+	}
+	d := ts.Sub(ws.origin)
+	if d < 0 {
+		return 0
+	}
+	return int(d / ws.dur)
+}
+
+func (ws *windowState) windowStart(n int) time.Time { return ws.origin.Add(time.Duration(n) * ws.dur) }
+func (ws *windowState) windowEnd(n int) time.Time {
+	return ws.origin.Add(time.Duration(n+1) * ws.dur)
+}
+
+// epoch returns window n's aggregate, creating it on first touch.
+// Callers hold ws.mu.
+func (ws *windowState) epoch(n int) *epochAgg {
+	e := ws.pending[n]
+	if e == nil {
+		e = newEpochAgg()
+		ws.pending[n] = e
+	}
+	if n > ws.maxWindow {
+		ws.maxWindow = n
+	}
+	return e
+}
+
+// bankDeltas records one trace's worker deltas, in shard-major banking
+// order. Banking is an append — the folds happen lazily (window reports
+// on demand, the cumulative at Report) — and banking order preserves
+// each host pair's chronological fold (a pair's deltas all come from
+// one shard, in window order), which is what keeps the cumulative
+// aggregate byte-identical to a batch run.
+func (ws *windowState) bankDeltas(deltas []windowDelta) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	for _, d := range deltas {
+		if d.window > ws.maxWindow {
+			ws.maxWindow = d.window
+		}
+		ws.deltas[d.window] = append(ws.deltas[d.window], d)
+	}
+}
+
+// finishTrace banks a trace's trace-granular delta (packet censuses,
+// scanner removal, load, fan, roles, and the phase-A application
+// residue) into the window containing the trace's last packet — the
+// window during which those quantities become known — then advances the
+// watermark and emits every newly completed window.
+//
+// A zero-packet trace has no event time: it banks into the window of
+// the current watermark (so window sums still cover it), or into the
+// cumulative alone when no packet has ever been seen — either way the
+// cumulative stays byte-identical to a batch run, which counts empty
+// traces too.
+func (ws *windowState) finishTrace(cum *epochAgg, traceDelta *epochAgg, apDelta *appAggregates, maxTS time.Time) {
+	var completed []*WindowReport
+	ws.mu.Lock()
+	if apDelta != nil {
+		cum.apps.Merge(apDelta)
+	}
+	cum.merge(traceDelta)
+	if ws.originSet {
+		at := maxTS
+		if at.IsZero() {
+			at = ws.watermark
+		}
+		e := ws.epoch(ws.windowOf(at))
+		if apDelta != nil {
+			e.apps.Merge(apDelta)
+		}
+		e.merge(traceDelta)
+	}
+	if !maxTS.IsZero() {
+		if maxTS.After(ws.watermark) {
+			ws.watermark = maxTS
+		}
+		// Every window strictly before the watermark's window is
+		// complete; gap windows with no traffic at all are enumerated
+		// (and emitted) as empty reports.
+		if high := ws.windowOf(ws.watermark) - 1; high > ws.maxWindow {
+			ws.maxWindow = high
+		}
+		if ws.onWindow != nil {
+			for ; ws.nextEmit < ws.windowOf(ws.watermark); ws.nextEmit++ {
+				completed = append(completed, ws.windowReportLocked(ws.nextEmit))
+			}
+		}
+	}
+	ws.mu.Unlock()
+	// Emit outside the lock: the callback may serve HTTP or block.
+	for _, wr := range completed {
+		ws.onWindow(wr)
+	}
+}
+
+// windowReportLocked builds window n's report: the trace-granular
+// aggregate plus the window's worker deltas, folded in banking order.
+// Callers hold ws.mu.
+func (ws *windowState) windowReportLocked(n int) *WindowReport {
+	e := newEpochAgg()
+	if tp := ws.pending[n]; tp != nil {
+		e.merge(tp)
+	}
+	for _, d := range ws.deltas[n] {
+		if d.apps != nil {
+			e.apps.Merge(d.apps)
+		}
+		if d.conns != nil {
+			e.foldConns(d.conns)
+		}
+	}
+	meta := &WindowMeta{Index: n, Start: ws.windowStart(n), End: ws.windowEnd(n)}
+	return &WindowReport{
+		Index:  n,
+		Start:  meta.Start,
+		End:    meta.End,
+		Report: buildReport(ws.dataset, e, e.apps, meta),
+	}
+}
+
+// report builds window n's report (false when n is out of range).
+func (ws *windowState) report(n int) (*WindowReport, bool) {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if n < 0 || n > ws.maxWindow {
+		return nil, false
+	}
+	return ws.windowReportLocked(n), true
+}
+
+// allReports builds every window's report, 0..maxWindow, empty windows
+// included. This is the canonical end-of-run view: late banked data is
+// reflected regardless of when (or whether) a window was emitted.
+func (ws *windowState) allReports() []*WindowReport {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	out := make([]*WindowReport, 0, ws.maxWindow+1)
+	for n := 0; n <= ws.maxWindow; n++ {
+		out = append(out, ws.windowReportLocked(n))
+	}
+	return out
+}
+
+// latest returns the highest completed window index (-1 when the
+// watermark has not passed any window boundary yet).
+func (ws *windowState) latest() int {
+	ws.mu.Lock()
+	defer ws.mu.Unlock()
+	if !ws.originSet {
+		return -1
+	}
+	n := ws.windowOf(ws.watermark) - 1
+	if n > ws.maxWindow {
+		n = ws.maxWindow
+	}
+	return n
+}
+
+// Windowing reports whether epoch rotation is enabled.
+func (a *Analyzer) Windowing() bool { return a.win != nil }
+
+// WindowDuration returns the configured window length (0 when
+// windowing is disabled).
+func (a *Analyzer) WindowDuration() time.Duration {
+	if a.win == nil {
+		return 0
+	}
+	return a.win.dur
+}
+
+// Watermark returns the event-time high-water mark: the largest packet
+// timestamp fully processed. Safe for concurrent use with Add*.
+func (a *Analyzer) Watermark() time.Time {
+	if a.win == nil {
+		return time.Time{}
+	}
+	a.win.mu.Lock()
+	defer a.win.mu.Unlock()
+	return a.win.watermark
+}
+
+// LatestWindowIndex returns the highest completed window (-1 if none).
+// Safe for concurrent use with Add*.
+func (a *Analyzer) LatestWindowIndex() int {
+	if a.win == nil {
+		return -1
+	}
+	return a.win.latest()
+}
+
+// WindowCount returns the number of known windows (complete or open).
+// Safe for concurrent use with Add*.
+func (a *Analyzer) WindowCount() int {
+	if a.win == nil {
+		return 0
+	}
+	a.win.mu.Lock()
+	defer a.win.mu.Unlock()
+	return a.win.maxWindow + 1
+}
+
+// WindowReport builds the report for window n. Reports are live views:
+// a window that later traces still feed (in event time) reflects
+// everything banked so far. Safe for concurrent use with Add*.
+func (a *Analyzer) WindowReport(n int) (*WindowReport, bool) {
+	if a.win == nil {
+		return nil, false
+	}
+	return a.win.report(n)
+}
+
+// WindowReports builds every window's report in window order — the
+// canonical windowed view of the run. The sum of these windows merges
+// to the cumulative report: every banked quantity lives in exactly one
+// window. Safe for concurrent use with Add*.
+func (a *Analyzer) WindowReports() []*WindowReport {
+	if a.win == nil {
+		return nil
+	}
+	return a.win.allReports()
+}

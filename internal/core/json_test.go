@@ -1,0 +1,111 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+)
+
+// reportSchema walks the Report type and renders every JSON field path,
+// one per line — the report's structural schema, independent of values.
+// Maps and slices contribute their element type under a wildcard.
+func reportSchema() string {
+	var paths []string
+	var walk func(t reflect.Type, path string, seen map[reflect.Type]bool)
+	walk = func(t reflect.Type, path string, seen map[reflect.Type]bool) {
+		for t.Kind() == reflect.Pointer {
+			t = t.Elem()
+		}
+		switch t.Kind() {
+		case reflect.Struct:
+			if t == reflect.TypeOf(time.Time{}) {
+				paths = append(paths, path+" <rfc3339>")
+				return
+			}
+			if seen[t] {
+				paths = append(paths, path+" <cycle>")
+				return
+			}
+			seen[t] = true
+			for i := 0; i < t.NumField(); i++ {
+				f := t.Field(i)
+				if !f.IsExported() {
+					continue
+				}
+				name := f.Name
+				if tag, ok := f.Tag.Lookup("json"); ok {
+					if v, _, _ := strings.Cut(tag, ","); v != "" {
+						name = v
+					}
+				}
+				walk(f.Type, path+"."+name, seen)
+			}
+			delete(seen, t)
+		case reflect.Map:
+			walk(t.Elem(), path+".<key>", seen)
+		case reflect.Slice, reflect.Array:
+			walk(t.Elem(), path+"[]", seen)
+		default:
+			paths = append(paths, fmt.Sprintf("%s <%s>", path, t.Kind()))
+		}
+	}
+	walk(reflect.TypeOf(Report{}), "$", make(map[reflect.Type]bool))
+	sort.Strings(paths)
+	return strings.Join(paths, "\n") + "\n"
+}
+
+// TestReportJSONSchemaGolden pins the JSON report schema to a committed
+// golden file: adding, renaming, or retyping a Report field is an
+// intentional schema change and must update the golden alongside. Run
+// with UPDATE_GOLDEN=1 to regenerate.
+func TestReportJSONSchemaGolden(t *testing.T) {
+	got := reportSchema()
+	path := filepath.Join("testdata", "report_schema.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if !bytes.Equal([]byte(got), want) {
+		t.Errorf("JSON report schema drifted from %s.\nIf the change is intentional, regenerate with UPDATE_GOLDEN=1.\ngot:\n%s", path, got)
+	}
+}
+
+// TestReportJSONDeterministic pins the byte-stability of the encoding:
+// two identical runs marshal to identical bytes (map keys sorted by
+// encoding/json, float formatting stable).
+func TestReportJSONDeterministic(t *testing.T) {
+	build := func() []byte {
+		em := gen.NewEmitter(11)
+		emitConn(em, 0, windowTestBase, 0)
+		emitConn(em, 1, windowTestBase.Add(70*time.Second), 0)
+		a := windowedAnalyzer(time.Minute)
+		if err := a.AddTrace(TraceInput{Name: "t", Monitored: enterprise.SubnetPrefix(5), Packets: em.Packets()}); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteRunJSON(&buf, a.WindowReports(), a.Report()); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(build(), build()) {
+		t.Error("identical runs marshal to different JSON bytes")
+	}
+}

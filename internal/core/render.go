@@ -13,7 +13,14 @@ import (
 // used by cmd/entreport and cmd/entanalyze.
 func RenderText(r *Report) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "==== Dataset %s ====\n\n", r.Dataset)
+	if r.Window != nil {
+		fmt.Fprintf(&b, "==== Dataset %s · window %d [%s, %s) ====\n\n",
+			r.Dataset, r.Window.Index,
+			r.Window.Start.UTC().Format("2006-01-02 15:04:05"),
+			r.Window.End.UTC().Format("15:04:05"))
+	} else {
+		fmt.Fprintf(&b, "==== Dataset %s ====\n\n", r.Dataset)
+	}
 
 	t1 := stats.NewTable("Table 1: dataset characteristics (measured)",
 		"metric", "value")
@@ -189,6 +196,36 @@ func RenderText(r *Report) string {
 	for _, f := range r.Findings {
 		fmt.Fprintf(&b, "  - %s\n", f)
 	}
+	return b.String()
+}
+
+// RenderWindowSummary renders the windowed activity overview the CLIs
+// print ahead of the cumulative report: one line per window with its
+// traffic volume and dominant category — the time-of-day variation the
+// paper calls out, at a glance.
+func RenderWindowSummary(windows []*WindowReport) string {
+	if len(windows) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	t := stats.NewTable("Windowed activity", "window", "start", "conns", "payload", "top category")
+	for _, wr := range windows {
+		top, topShare := "-", 0.0
+		for _, row := range wr.Report.Figure1 {
+			if s := row.BytesTotal(); s > topShare {
+				top, topShare = row.Category, s
+			}
+		}
+		if topShare > 0 {
+			top = fmt.Sprintf("%s (%s)", top, stats.Pct(topShare))
+		}
+		t.AddRow(fmt.Sprint(wr.Index),
+			wr.Start.UTC().Format("15:04:05"),
+			fmt.Sprint(wr.Report.Table3.TotalConns),
+			stats.Bytes(wr.Report.Table3.TotalBytes),
+			top)
+	}
+	b.WriteString(t.String())
 	return b.String()
 }
 

@@ -53,7 +53,16 @@ import (
 // (mutex-guarded) reassembly pool; it reads the registry, connections,
 // and kept set without writing them — which is what makes the overlap
 // safe.
-func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Conn]*connStreams, events []udpEvent, kept map[*flows.Conn]bool, monitored netip.Prefix) (join func()) {
+// In windowed mode (Analyzer.win != nil) each worker additionally cuts
+// its shard's application aggregate into per-window deltas as it crosses
+// window boundaries in event time — first along the UDP pass, then
+// along the connection pass — banking connection-level sums per window
+// alongside. Workers never synchronize at boundaries (a lagging worker
+// cuts late); the deltas fold into the window and cumulative aggregates
+// at join, and the watermark machinery decides when windows complete.
+// The per-trace distinct-peer censuses (fan, roles) stay trace-granular:
+// slicing them per window would double-count peers seen in two windows.
+func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Conn]*connStreams, events []udpEvent, kept map[*flows.Conn]bool, monitored netip.Prefix, tgt *epochAgg) (join func()) {
 	shards := a.ensureReplayShards()
 	nshard := len(shards)
 
@@ -114,20 +123,18 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 
 	trace := a.traceCount
 	inMonitored := func(h netip.Addr) bool { return monitored.Contains(h) }
-	results := make([]*connAggregates, nshard)
+	results := make([]*replayResult, nshard)
 	run := func(w int) {
 		ap := shards[w]
-		// UDP messages first, in arrival order — the order the
-		// sequential path parsed them in relative to connection replay.
-		replayUDPInto(ap, udpByShard[w], a.opts.IsLocal)
-		ca := newConnAggregates()
-		keptConns := make([]*flows.Conn, 0, len(connsByShard[w]))
-		for _, i := range connsByShard[w] {
+		rr := &replayResult{}
+		// processConn replays one connection into the worker's current
+		// aggregates.
+		processConn := func(i int32, ca *connAggregates, keptConns *[]*flows.Conn) {
 			rec := recs[i]
 			conn := rec.Conn
 			app := streams[conn]
 			if kept[conn] {
-				keptConns = append(keptConns, conn)
+				*keptConns = append(*keptConns, conn)
 				a.accumulateConn(ca, conn, cats[i])
 				// Transport-level accumulation happens for every kept
 				// conn even without payloads (email figures, windows
@@ -145,12 +152,27 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 				app.release()
 			}
 		}
+		keptConns := make([]*flows.Conn, 0, len(connsByShard[w]))
+		if a.win == nil {
+			// Batch: UDP messages first, in arrival order — the order
+			// the sequential path parsed them in relative to connection
+			// replay — then connections, one aggregate for the trace.
+			replayUDPInto(ap, udpByShard[w], a.opts.IsLocal)
+			ca := newConnAggregates()
+			for _, i := range connsByShard[w] {
+				processConn(i, ca, &keptConns)
+			}
+			rr.ca = ca
+		} else {
+			rr.deltas = a.runWindowed(w, ap, recs, connsByShard[w], udpByShard[w], processConn, &keptConns)
+		}
 		// Distinct-peer censuses over this shard's kept connections:
 		// exact under the pair sharding, since every (host, peer) edge
-		// domain lives wholly in one shard.
-		ca.fan = flows.FanInOut(keptConns, inMonitored, a.opts.IsLocal)
-		ca.roles = roles.Accumulate(keptConns)
-		results[w] = ca
+		// domain lives wholly in one shard. Trace-granular by design —
+		// see the windowed note above.
+		rr.fan = flows.FanInOut(keptConns, inMonitored, a.opts.IsLocal)
+		rr.roles = roles.Accumulate(keptConns)
+		results[w] = rr
 	}
 	// Even a single replay worker runs as a goroutine, so the caller's
 	// shard-independent accumulation overlaps it on multicore hardware.
@@ -165,7 +187,7 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 
 	return func() {
 		wg.Wait()
-		a.foldConnAggregates(results)
+		a.foldReplayResults(tgt, results)
 		// Streams whose connection the flow table never surfaced
 		// (evicted mid-trace) have no ConnRecord and so no owning
 		// worker; release is idempotent, so a serial sweep catches the
@@ -176,16 +198,81 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 	}
 }
 
+// runWindowed is one worker's windowed replay: the same UDP-then-conns
+// sequence as the batch path (so the shard's pairing state evolves
+// identically), with the shard aggregate cut into per-window snapshots
+// at boundary crossings. Both passes walk their events in arrival order,
+// which within a trace is timestamp order, so each pass's cuts are
+// monotone; timestamp regressions (possible in real captures) clamp to
+// the current window rather than banking backwards.
+func (a *Analyzer) runWindowed(w int, ap *appAggregates, recs []pipeline.ConnRecord, connIdx []int32, events []udpEvent, processConn func(int32, *connAggregates, *[]*flows.Conn), keptConns *[]*flows.Conn) []windowDelta {
+	var deltas []windowDelta
+	// UDP pass.
+	cur := -1
+	bankUDP := func() {
+		if d := ap.cut(); d != nil {
+			deltas = append(deltas, windowDelta{window: cur, apps: d})
+			a.cumApps[w].Merge(d)
+		}
+	}
+	for _, ev := range events {
+		n := a.win.windowOf(ev.ts)
+		if n < cur {
+			n = cur
+		}
+		if cur >= 0 && n != cur {
+			bankUDP()
+		}
+		cur = n
+		replayUDPEvent(ap, ev, a.opts.IsLocal)
+	}
+	if cur >= 0 {
+		bankUDP()
+	}
+	// Connection pass: a connection banks wholly into the window of its
+	// first packet, even when it straddles the boundary.
+	cur = -1
+	var ca *connAggregates
+	bankConns := func() {
+		d := ap.cut()
+		if d != nil || ca != nil {
+			deltas = append(deltas, windowDelta{window: cur, apps: d, conns: ca})
+		}
+		if d != nil {
+			a.cumApps[w].Merge(d)
+		}
+		if ca != nil {
+			a.cumConns[w].merge(ca)
+		}
+		ca = nil
+	}
+	for _, i := range connIdx {
+		n := a.win.windowOf(recs[i].Conn.Start)
+		if n < cur {
+			n = cur
+		}
+		if cur >= 0 && n != cur {
+			bankConns()
+		}
+		cur = n
+		if ca == nil {
+			ca = newConnAggregates()
+		}
+		processConn(i, ca, keptConns)
+	}
+	if cur >= 0 {
+		bankConns()
+	}
+	return deltas
+}
+
 // connAggregates is one replay worker's connection-level accumulation:
-// the Table 3 transport breakdown, Figure 1 category splits, §4 origin
-// mix (all commutative sums), and the fan/role evidence (pair-contained
-// distinct counts).
+// the Table 3 transport breakdown, Figure 1 category splits, and §4
+// origin mix (all commutative sums).
 type connAggregates struct {
 	transBytes, transConns *stats.Counter
 	origins                *stats.Counter
 	catBytes, catConns     map[string]*locSplit
-	fan                    map[netip.Addr]*flows.FanStats
-	roles                  *roles.Partial
 }
 
 func newConnAggregates() *connAggregates {
@@ -198,39 +285,50 @@ func newConnAggregates() *connAggregates {
 	}
 }
 
-// foldConnAggregates folds the per-worker connection-level results into
-// the Analyzer, in shard order; every fold is a sum, so the totals are
-// identical for any shard count.
-func (a *Analyzer) foldConnAggregates(results []*connAggregates) {
+// merge folds another worker aggregate into ca (all commutative sums).
+func (ca *connAggregates) merge(o *connAggregates) {
+	ca.transBytes.Merge(o.transBytes)
+	ca.transConns.Merge(o.transConns)
+	ca.origins.Merge(o.origins)
+	foldLocSplit(ca.catBytes, o.catBytes)
+	foldLocSplit(ca.catConns, o.catConns)
+}
+
+// replayResult is one worker's output for one trace: the whole-trace
+// connection sums (batch mode) or per-window deltas (windowed mode),
+// plus the trace-granular distinct-peer censuses.
+type replayResult struct {
+	ca     *connAggregates
+	deltas []windowDelta
+	fan    map[netip.Addr]*flows.FanStats
+	roles  *roles.Partial
+}
+
+// foldReplayResults folds the per-worker results into the trace target,
+// in shard order; every fold is a sum (or, windowed, a banked delta
+// merge in shard-major order), so the totals are identical for any
+// shard count.
+func (a *Analyzer) foldReplayResults(tgt *epochAgg, results []*replayResult) {
 	var rolePartial *roles.Partial
-	for _, ca := range results {
-		a.transBytes.Merge(ca.transBytes)
-		a.transConns.Merge(ca.transConns)
-		a.origins.Merge(ca.origins)
-		foldLocSplit(a.catBytes, ca.catBytes)
-		foldLocSplit(a.catConns, ca.catConns)
-		for h, s := range ca.fan {
-			agg := a.fanAgg[h]
-			if agg == nil {
-				agg = &flows.FanStats{}
-				a.fanAgg[h] = agg
-			}
-			agg.FanInLocal += s.FanInLocal
-			agg.FanInRemote += s.FanInRemote
-			agg.FanOutLocal += s.FanOutLocal
-			agg.FanOutRemote += s.FanOutRemote
+	for _, rr := range results {
+		if rr.ca != nil {
+			tgt.foldConns(rr.ca)
 		}
+		if len(rr.deltas) > 0 {
+			a.win.bankDeltas(rr.deltas)
+		}
+		tgt.foldFan(rr.fan)
 		if rolePartial == nil {
-			rolePartial = ca.roles
+			rolePartial = rr.roles
 		} else {
-			rolePartial.Merge(ca.roles)
+			rolePartial.Merge(rr.roles)
 		}
 	}
 	// Role verdicts are per trace (thresholds apply to the merged
 	// evidence), summed across traces like the serial path did.
 	if rolePartial != nil {
 		for role, n := range roles.Summary(rolePartial.Finalize(roles.Config{})) {
-			a.roleCounts[role] += n
+			tgt.roleCounts[role] += n
 		}
 	}
 }
@@ -336,25 +434,33 @@ func udpAppPorts(srcPort, dstPort uint16) bool {
 // replayUDPInto feeds captured datagrams through the message analyzers
 // in arrival order — the order the sequential path parsed them in.
 func replayUDPInto(ap *appAggregates, events []udpEvent, isLocal func(netip.Addr) bool) {
-	var dnsMsg dns.Message
 	for _, ev := range events {
-		switch {
-		case ev.dstPort == 53 || ev.srcPort == 53:
-			if err := dns.DecodeInto(ev.payload, &dnsMsg); err == nil {
-				if isLocal(ev.src) && isLocal(ev.dst) {
-					ap.dnsInt.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
-				} else {
-					ap.dnsWan.Message(ev.ts, ev.src, ev.dst, &dnsMsg)
-				}
+		replayUDPEvent(ap, ev, isLocal)
+	}
+}
+
+// replayUDPEvent dispatches one captured datagram. The DNS decode
+// scratch lives on the aggregate (one per worker, reused across
+// events); the windowed pass dispatches event-by-event between window
+// cuts, and sharing this dispatcher with the batch loop keeps the two
+// paths from drifting.
+func replayUDPEvent(ap *appAggregates, ev udpEvent, isLocal func(netip.Addr) bool) {
+	switch {
+	case ev.dstPort == 53 || ev.srcPort == 53:
+		if err := dns.DecodeInto(ev.payload, &ap.dnsScratch); err == nil {
+			if isLocal(ev.src) && isLocal(ev.dst) {
+				ap.dnsInt.Message(ev.ts, ev.src, ev.dst, &ap.dnsScratch)
+			} else {
+				ap.dnsWan.Message(ev.ts, ev.src, ev.dst, &ap.dnsScratch)
 			}
-		case ev.dstPort == 137 || ev.srcPort == 137:
-			if m, err := netbios.DecodeNS(ev.payload); err == nil {
-				ap.nbns.Message(ev.ts, ev.src, ev.dst, m)
-			}
-		case ev.dstPort == 2049 || ev.srcPort == 2049:
-			ap.nfs.Message(ev.src, ev.dst, ev.payload)
-			ap.markNFSPair(ev.src, ev.dst, true)
 		}
+	case ev.dstPort == 137 || ev.srcPort == 137:
+		if m, err := netbios.DecodeNS(ev.payload); err == nil {
+			ap.nbns.Message(ev.ts, ev.src, ev.dst, m)
+		}
+	case ev.dstPort == 2049 || ev.srcPort == 2049:
+		ap.nfs.Message(ev.src, ev.dst, ev.payload)
+		ap.markNFSPair(ev.src, ev.dst, true)
 	}
 }
 

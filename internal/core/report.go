@@ -9,9 +9,16 @@ import (
 	"enttrace/internal/stats"
 )
 
-// Report carries every reproduced table and figure for one dataset.
+// Report carries every reproduced table and figure for one dataset —
+// for the whole run, or, when windowing is enabled, for one time window
+// (Window non-nil). Every fraction in a Report is guarded against
+// zero-denominator inputs: an empty window renders as zeros, never
+// NaN/Inf, which also keeps the JSON encoding valid.
 type Report struct {
 	Dataset string
+
+	// Window labels a per-window report; nil on cumulative reports.
+	Window *WindowMeta `json:",omitempty"`
 
 	Table1 DatasetStats
 	Table2 map[string]float64 // network-layer packet fractions
@@ -246,38 +253,74 @@ type LoadReport struct {
 	EntOver1Pct, WanOver1Pct float64
 }
 
-// Report finalizes all accumulated state into the dataset report.
+// Report finalizes all accumulated state into the dataset report. In
+// batch mode it reads the cumulative aggregate plus the live replay
+// shards; in windowed mode the cumulative aggregate already holds every
+// banked delta (merged in banking order), so the report is byte-identical
+// to a batch run over the same traces.
 func (a *Analyzer) Report() *Report {
-	r := &Report{Dataset: a.opts.Dataset}
-	r.Table1 = DatasetStats{
-		Packets:        a.totalPackets,
-		Traces:         a.traceCount,
-		MonitoredHosts: len(a.monitoredHosts),
-		LocalHosts:     len(a.localHosts),
-		RemoteHosts:    len(a.remoteHosts),
+	if a.win != nil {
+		a.win.mu.Lock()
+		defer a.win.mu.Unlock()
+		// Drain each worker's running cumulative aggregate, in shard
+		// order (the batch path's mergedApps order). cut() keeps the
+		// drain idempotent: a report mid-run consumes only what has been
+		// banked since the previous one.
+		for i, cs := range a.cumApps {
+			if d := cs.cut(); d != nil {
+				a.cum.apps.Merge(d)
+			}
+			a.cum.foldConns(a.cumConns[i])
+			a.cumConns[i] = newConnAggregates()
+		}
+		return buildReport(a.opts.Dataset, a.cum, a.cum.apps, nil)
 	}
-	r.Table2 = counterFractions(a.netLayer)
+	return buildReport(a.opts.Dataset, a.cum, a.mergedApps(), nil)
+}
+
+// frac is num/den guarded against empty denominators: a quiet window
+// must render 0%, never NaN or Inf (which would also poison the JSON
+// encoding). Every ratio in this file goes through it.
+func frac(num, den float64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// buildReport renders one epoch aggregate (the whole run or one window)
+// into the dataset report. ap supplies the application-level sections —
+// the canonical shard merge in batch mode, the epoch's own banked
+// aggregate in windowed mode.
+func buildReport(dataset string, e *epochAgg, ap *appAggregates, win *WindowMeta) *Report {
+	r := &Report{Dataset: dataset, Window: win}
+	r.Table1 = DatasetStats{
+		Packets:        e.totalPackets,
+		Traces:         e.traceCount,
+		MonitoredHosts: len(e.monitoredHosts),
+		LocalHosts:     len(e.localHosts),
+		RemoteHosts:    len(e.remoteHosts),
+	}
+	r.Table2 = counterFractions(e.netLayer)
 	r.Table3 = TransportBreakdown{
-		TotalBytes: a.transBytes.Total(),
-		TotalConns: a.transConns.Total(),
-		BytesFrac:  counterFractions(a.transBytes),
-		ConnsFrac:  counterFractions(a.transConns),
+		TotalBytes: e.transBytes.Total(),
+		TotalConns: e.transConns.Total(),
+		BytesFrac:  counterFractions(e.transBytes),
+		ConnsFrac:  counterFractions(e.transConns),
 	}
 	r.Scan = ScanSummary{
-		Scanners:     len(a.scanners),
-		RemovedConns: a.removedConns,
-		TotalConns:   a.totalConns,
+		Scanners:        len(e.scanners),
+		RemovedConns:    e.removedConns,
+		TotalConns:      e.totalConns,
+		RemovedFraction: frac(float64(e.removedConns), float64(e.totalConns)),
 	}
-	if a.totalConns > 0 {
-		r.Scan.RemovedFraction = float64(a.removedConns) / float64(a.totalConns)
-	}
-	r.Figure1 = a.categoryRows()
-	r.Figure2 = a.fanReport()
-	r.Origins = counterFractions(a.origins)
-	// Application-level sections read the canonical merge of the serial
-	// aggregate and every replay shard; the merge is deterministic for
-	// any replay worker count.
-	ap := a.mergedApps()
+	r.Figure1 = e.categoryRows()
+	r.Figure2 = e.fanReport()
+	r.Origins = counterFractions(e.origins)
+	// Order-bearing collections restore canonical first-packet order
+	// before anything walks them (idempotent; shard and window merges
+	// append out of order).
+	ap.sortFTPSessions()
 	r.HTTP = httpReport(ap)
 	r.Email = emailReport(ap)
 	r.Names = nameReport(ap)
@@ -286,12 +329,12 @@ func (a *Analyzer) Report() *Report {
 	r.Bulk = bulkReport(ap)
 	r.Interactive = interactiveReport(ap)
 	r.Backup = backupReport(ap)
-	r.Load = a.loadReport()
+	r.Load = e.loadReport()
 	r.Roles = make(map[string]int)
-	for role, n := range a.roleCounts {
+	for role, n := range e.roleCounts {
 		r.Roles[string(role)] = n
 	}
-	r.Findings = a.findings(r)
+	r.Findings = findings(r)
 	return r
 }
 
@@ -303,12 +346,12 @@ func counterFractions(c *stats.Counter) map[string]float64 {
 	return out
 }
 
-func (a *Analyzer) categoryRows() []CategoryRow {
+func (e *epochAgg) categoryRows() []CategoryRow {
 	var totalBytes, totalConns int64
-	for _, s := range a.catBytes {
+	for _, s := range e.catBytes {
 		totalBytes += s.Ent + s.Wan
 	}
-	for _, s := range a.catConns {
+	for _, s := range e.catConns {
 		totalConns += s.Ent + s.Wan
 	}
 	if totalBytes == 0 {
@@ -320,18 +363,18 @@ func (a *Analyzer) categoryRows() []CategoryRow {
 	var rows []CategoryRow
 	for _, cat := range categories.All {
 		row := CategoryRow{Category: cat}
-		if s := a.catBytes[cat]; s != nil {
+		if s := e.catBytes[cat]; s != nil {
 			row.BytesEnt = float64(s.Ent) / float64(totalBytes)
 			row.BytesWan = float64(s.Wan) / float64(totalBytes)
 		}
-		if s := a.catConns[cat]; s != nil {
+		if s := e.catConns[cat]; s != nil {
 			row.ConnsEnt = float64(s.Ent) / float64(totalConns)
 			row.ConnsWan = float64(s.Wan) / float64(totalConns)
 		}
-		if s := a.catBytes[cat+"/multicast"]; s != nil {
+		if s := e.catBytes[cat+"/multicast"]; s != nil {
 			row.BytesMulticast = float64(s.Ent+s.Wan) / float64(totalBytes)
 		}
-		if s := a.catConns[cat+"/multicast"]; s != nil {
+		if s := e.catConns[cat+"/multicast"]; s != nil {
 			row.ConnsMulticast = float64(s.Ent+s.Wan) / float64(totalConns)
 		}
 		rows = append(rows, row)
@@ -339,15 +382,15 @@ func (a *Analyzer) categoryRows() []CategoryRow {
 	return rows
 }
 
-func (a *Analyzer) fanReport() FanReport {
-	fr := FanReport{Hosts: len(a.fanAgg)}
+func (e *epochAgg) fanReport() FanReport {
+	fr := FanReport{Hosts: len(e.fanAgg)}
 	fiEnt, fiWan := stats.NewDist(), stats.NewDist()
 	foEnt, foWan := stats.NewDist(), stats.NewDist()
 	for _, d := range []*stats.Dist{fiEnt, fiWan, foEnt, foWan} {
-		d.Reserve(len(a.fanAgg))
+		d.Reserve(len(e.fanAgg))
 	}
 	onlyIntIn, onlyIntOut, haveIn, haveOut := 0, 0, 0, 0
-	for _, s := range a.fanAgg {
+	for _, s := range e.fanAgg {
 		if s.FanIn() > 0 {
 			haveIn++
 			fiEnt.Observe(float64(s.FanInLocal))
@@ -370,12 +413,8 @@ func (a *Analyzer) fanReport() FanReport {
 	fr.FanInWan = fiWan.CDF(pts)
 	fr.FanOutEnt = foEnt.CDF(pts)
 	fr.FanOutWan = foWan.CDF(pts)
-	if haveIn > 0 {
-		fr.OnlyInternalFanIn = float64(onlyIntIn) / float64(haveIn)
-	}
-	if haveOut > 0 {
-		fr.OnlyInternalFanOut = float64(onlyIntOut) / float64(haveOut)
-	}
+	fr.OnlyInternalFanIn = frac(float64(onlyIntIn), float64(haveIn))
+	fr.OnlyInternalFanOut = frac(float64(onlyIntOut), float64(haveOut))
 	return fr
 }
 
@@ -385,14 +424,10 @@ func httpReport(ap *appAggregates) HTTPReport {
 	r.InternalRequests = h.reqTotal["ent"]
 	r.InternalBytes = h.dataTotal["ent"]
 	for class, e := range h.byClass {
-		share := AutomatedShare{}
-		if r.InternalRequests > 0 {
-			share.ReqFrac = float64(e.Reqs) / float64(r.InternalRequests)
+		r.Automated[class] = AutomatedShare{
+			ReqFrac:  frac(float64(e.Reqs), float64(r.InternalRequests)),
+			ByteFrac: frac(float64(e.Bytes), float64(r.InternalBytes)),
 		}
-		if r.InternalBytes > 0 {
-			share.ByteFrac = float64(e.Bytes) / float64(r.InternalBytes)
-		}
-		r.Automated[class] = share
 	}
 	// Figure 3 fan-out.
 	fanEnt, fanWan := stats.NewDist(), stats.NewDist()
@@ -414,30 +449,23 @@ func httpReport(ap *appAggregates) HTTPReport {
 	// Success by pair.
 	rate := func(loc string) (float64, int) {
 		pm := h.connPairs[loc]
-		if len(pm) == 0 {
-			return 0, 0
-		}
 		ok := 0
 		for _, s := range pm {
 			if s {
 				ok++
 			}
 		}
-		return float64(ok) / float64(len(pm)), len(pm)
+		return frac(float64(ok), float64(len(pm))), len(pm)
 	}
 	r.SuccessEnt, r.PairsEnt = rate("ent")
 	r.SuccessWan, r.PairsWan = rate("wan")
-	if c := h.conditional["ent"]; c != nil && c.Total > 0 {
-		r.CondEnt = float64(c.Cond) / float64(c.Total)
-		if c.Bytes > 0 {
-			r.CondBytesEnt = float64(c.CondBytes) / float64(c.Bytes)
-		}
+	if c := h.conditional["ent"]; c != nil {
+		r.CondEnt = frac(float64(c.Cond), float64(c.Total))
+		r.CondBytesEnt = frac(float64(c.CondBytes), float64(c.Bytes))
 	}
-	if c := h.conditional["wan"]; c != nil && c.Total > 0 {
-		r.CondWan = float64(c.Cond) / float64(c.Total)
-		if c.Bytes > 0 {
-			r.CondBytesWan = float64(c.CondBytes) / float64(c.Bytes)
-		}
+	if c := h.conditional["wan"]; c != nil {
+		r.CondWan = frac(float64(c.Cond), float64(c.Total))
+		r.CondBytesWan = frac(float64(c.CondBytes), float64(c.Bytes))
 	}
 	if h.contentReq["ent"] != nil {
 		r.ContentReqEnt = counterFractions(h.contentReq["ent"])
@@ -453,12 +481,8 @@ func httpReport(ap *appAggregates) HTTPReport {
 	if h.replySizes["wan"] != nil {
 		r.ReplySizeWan = h.replySizes["wan"].CDF(128)
 	}
-	if t := h.methods.Total(); t > 0 {
-		r.GETFrac = h.methods.Fraction("GET")
-	}
-	if h.statusAll > 0 {
-		r.RequestSuccess = float64(h.statusOK) / float64(h.statusAll)
-	}
+	r.GETFrac = h.methods.Fraction("GET")
+	r.RequestSuccess = frac(float64(h.statusOK), float64(h.statusAll))
 	for _, n := range h.httpsConnsByPair {
 		if n > r.MaxHTTPSConnsPerPair {
 			r.MaxHTTPSConnsPerPair = n
@@ -501,9 +525,7 @@ func emailReport(ap *appAggregates) EmailReport {
 	r.SMTPSuccessWan, _ = e.successRate("SMTP/wan")
 	entOK, entN := e.successRate("IMAP/S/ent")
 	wanOK, wanN := e.successRate("IMAP/S/wan")
-	if entN+wanN > 0 {
-		r.IMAPSSuccess = (entOK*float64(entN) + wanOK*float64(wanN)) / float64(entN+wanN)
-	}
+	r.IMAPSSuccess = frac(entOK*float64(entN)+wanOK*float64(wanN), float64(entN+wanN))
 	return r
 }
 
@@ -540,10 +562,7 @@ func topNShare(c *stats.Counter, n int) float64 {
 	for _, k := range keys {
 		top += c.Get(k)
 	}
-	if c.Total() == 0 {
-		return 0
-	}
-	return float64(top) / float64(c.Total())
+	return frac(float64(top), float64(c.Total()))
 }
 
 func windowsReport(ap *appAggregates) WindowsReport {
@@ -561,18 +580,13 @@ func windowsReport(ap *appAggregates) WindowsReport {
 				un++
 			}
 		}
-		if o.Pairs > 0 {
-			o.Success = float64(ok) / float64(o.Pairs)
-			o.Rejected = float64(rej) / float64(o.Pairs)
-			o.Unanswered = float64(un) / float64(o.Pairs)
-		}
+		o.Success = frac(float64(ok), float64(o.Pairs))
+		o.Rejected = frac(float64(rej), float64(o.Pairs))
+		o.Unanswered = frac(float64(un), float64(o.Pairs))
 		r.Table9[service] = o
 	}
-	if ok, rej, un, total := ap.ssn.Summary(); total > 0 {
-		_ = rej
-		_ = un
-		r.SSNHandshakeSuccess = float64(ok) / float64(total)
-	}
+	ok, _, _, total := ap.ssn.Summary()
+	r.SSNHandshakeSuccess = frac(float64(ok), float64(total))
 	r.CIFSRequests = counterFractions(ap.cifs.Requests)
 	r.CIFSBytes = counterFractions(ap.cifs.Bytes)
 	r.RPCRequests = counterFractions(ap.rpc.Requests)
@@ -619,16 +633,11 @@ func fileReport(ap *appAggregates) FileServiceReport {
 	r.NFSReplySizes = ap.nfs.ReplySizes.CDF(128)
 	r.NCPReqSizes = ap.ncp.ReqSizes.CDF(128)
 	r.NCPReplySizes = ap.ncp.ReplySizes.CDF(128)
-	if ap.ncpConns > 0 {
-		r.NCPKeepAliveOnlyFrac = float64(ap.ncpKeepAliveOnly) / float64(ap.ncpConns)
-	}
+	r.NCPKeepAliveOnlyFrac = frac(float64(ap.ncpKeepAliveOnly), float64(ap.ncpConns))
 	return r
 }
 
 func topShare(counts []int64, n int) float64 {
-	if len(counts) == 0 {
-		return 0
-	}
 	sort.Slice(counts, func(i, j int) bool { return counts[i] > counts[j] })
 	var total, top int64
 	for i, c := range counts {
@@ -637,21 +646,15 @@ func topShare(counts []int64, n int) float64 {
 			top += c
 		}
 	}
-	if total == 0 {
-		return 0
-	}
-	return float64(top) / float64(total)
+	return frac(float64(top), float64(total))
 }
 
 func interactiveReport(ap *appAggregates) InteractiveReport {
-	r := InteractiveReport{SSHConns: ap.sshConns}
-	if ap.sshConns > 0 {
-		r.SSHBulkFrac = float64(ap.sshBulk) / float64(ap.sshConns)
+	return InteractiveReport{
+		SSHConns:             ap.sshConns,
+		SSHBulkFrac:          frac(float64(ap.sshBulk), float64(ap.sshConns)),
+		MeanSSHPayloadPerPkt: frac(float64(ap.sshPayload), float64(ap.sshPkts)),
 	}
-	if ap.sshPkts > 0 {
-		r.MeanSSHPayloadPerPkt = float64(ap.sshPayload) / float64(ap.sshPkts)
-	}
-	return r
 }
 
 func bulkReport(ap *appAggregates) BulkReport {
@@ -668,9 +671,7 @@ func bulkReport(ap *appAggregates) BulkReport {
 			logins++
 		}
 	}
-	if r.FTPSessions > 0 {
-		r.FTPLoginRate = float64(logins) / float64(r.FTPSessions)
-	}
+	r.FTPLoginRate = frac(float64(logins), float64(r.FTPSessions))
 	return r
 }
 
@@ -682,14 +683,12 @@ func backupReport(ap *appAggregates) BackupReport {
 	for _, k := range ap.backupBytes.Keys() {
 		r.Bytes[k] = ap.backupBytes.Get(k)
 	}
-	if ap.dantzConns > 0 {
-		r.DantzBidirFrac = float64(ap.dantzBidir) / float64(ap.dantzConns)
-	}
+	r.DantzBidirFrac = frac(float64(ap.dantzBidir), float64(ap.dantzConns))
 	return r
 }
 
-func (a *Analyzer) loadReport() LoadReport {
-	r := LoadReport{Traces: a.load.traces}
+func (e *epochAgg) loadReport() LoadReport {
+	r := LoadReport{Traces: e.load.traces}
 	p1, p10, p60 := stats.NewDist(), stats.NewDist(), stats.NewDist()
 	med := stats.NewDist()
 	for _, d := range []*stats.Dist{p1, p10, p60, med} {
@@ -726,17 +725,13 @@ func (a *Analyzer) loadReport() LoadReport {
 	r.MedianHurst = hursts.Median()
 	r.Peak1s, r.Peak10s, r.Peak60s = p1.CDF(64), p10.CDF(64), p60.CDF(64)
 	r.MedianOfMedians = med.Median()
-	if entTraces > 0 {
-		r.EntOver1Pct = float64(entOver) / float64(entTraces)
-	}
-	if wanTraces > 0 {
-		r.WanOver1Pct = float64(wanOver) / float64(wanTraces)
-	}
+	r.EntOver1Pct = frac(float64(entOver), float64(entTraces))
+	r.WanOver1Pct = frac(float64(wanOver), float64(wanTraces))
 	return r
 }
 
 // findings produces Table 5's qualitative summary from the measured data.
-func (a *Analyzer) findings(r *Report) []string {
+func findings(r *Report) []string {
 	var f []string
 	if auto, ok := maxAutomated(r.HTTP); ok {
 		f = append(f, fmt.Sprintf("§5.1.1 Automated HTTP clients account for %s of internal requests and %s of internal HTTP bytes (largest: %s).",

@@ -1,0 +1,161 @@
+package core
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// ReportServer exposes a long-running analysis over HTTP:
+//
+//	GET /healthz            — liveness plus progress (packets, watermark,
+//	                          window counts)
+//	GET /report/latest      — the most recently completed window, JSON
+//	GET /report/window/<n>  — window n (0-based), JSON
+//	GET /report/final       — the cumulative report, once analysis ends
+//
+// Window endpoints are live views: they reflect everything banked so
+// far, while analysis is still streaming. They require the analyzer to
+// be windowed (Options.Window > 0); without windowing only /healthz and
+// /report/final respond.
+type ReportServer struct {
+	a   *Analyzer
+	mux *http.ServeMux
+
+	// finalJSON is written once by SetFinal (on the analysis goroutine)
+	// and read by handlers; atomic, since the two race by design.
+	finalJSON atomic.Pointer[[]byte]
+}
+
+// NewReportServer returns a server over a (the handlers use only the
+// Analyzer's concurrency-safe accessors).
+func NewReportServer(a *Analyzer) *ReportServer {
+	s := &ReportServer{a: a, mux: http.NewServeMux()}
+	s.mux.HandleFunc("/healthz", s.healthz)
+	s.mux.HandleFunc("/report/latest", s.latest)
+	s.mux.HandleFunc("/report/window/", s.window)
+	s.mux.HandleFunc("/report/final", s.final)
+	return s
+}
+
+// SetFinal publishes the cumulative report. Call it from the analysis
+// goroutine after the last trace; handlers serve 404 on /report/final
+// until then. The report is marshaled once, here, so handlers never
+// touch the analyzer's aggregates after analysis ends.
+func (s *ReportServer) SetFinal(r *Report) error {
+	b, err := MarshalReport(r)
+	if err != nil {
+		return err
+	}
+	s.finalJSON.Store(&b)
+	return nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *ReportServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
+	s.mux.ServeHTTP(w, req)
+}
+
+type healthStatus struct {
+	Status           string
+	Packets          int64
+	Windowing        bool
+	WindowDuration   string `json:",omitempty"`
+	Watermark        string `json:",omitempty"`
+	Windows          int
+	CompletedWindows int
+	FinalReady       bool
+}
+
+func (s *ReportServer) healthz(w http.ResponseWriter, req *http.Request) {
+	h := healthStatus{
+		Status:           "ok",
+		Packets:          s.a.PacketsSeen(),
+		Windowing:        s.a.Windowing(),
+		Windows:          s.a.WindowCount(),
+		CompletedWindows: s.a.LatestWindowIndex() + 1,
+		FinalReady:       s.finalJSON.Load() != nil,
+	}
+	if h.Windowing {
+		h.WindowDuration = s.a.WindowDuration().String()
+		if wm := s.a.Watermark(); !wm.IsZero() {
+			h.Watermark = wm.UTC().Format(time.RFC3339Nano)
+		}
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *ReportServer) latest(w http.ResponseWriter, req *http.Request) {
+	if !s.a.Windowing() {
+		httpError(w, http.StatusNotFound, "windowing disabled; run with -window")
+		return
+	}
+	n := s.a.LatestWindowIndex()
+	if n < 0 {
+		httpError(w, http.StatusNotFound, "no completed window yet")
+		return
+	}
+	s.serveWindow(w, n)
+}
+
+func (s *ReportServer) window(w http.ResponseWriter, req *http.Request) {
+	if !s.a.Windowing() {
+		httpError(w, http.StatusNotFound, "windowing disabled; run with -window")
+		return
+	}
+	raw := strings.TrimPrefix(req.URL.Path, "/report/window/")
+	n, err := strconv.Atoi(raw)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "window index must be an integer")
+		return
+	}
+	s.serveWindow(w, n)
+}
+
+func (s *ReportServer) serveWindow(w http.ResponseWriter, n int) {
+	wr, ok := s.a.WindowReport(n)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such window")
+		return
+	}
+	b, err := MarshalReport(wr.Report)
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(append(b, '\n'))
+}
+
+func (s *ReportServer) final(w http.ResponseWriter, req *http.Request) {
+	b := s.finalJSON.Load()
+	if b == nil {
+		httpError(w, http.StatusNotFound, "analysis still running")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(*b)
+	w.Write([]byte("\n"))
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(append(b, '\n'))
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

@@ -51,6 +51,10 @@ type shardSink struct {
 	// bins holds wire bytes per second since base (the trace's first
 	// packet, fixed by the router before any worker starts).
 	bins []int64
+	// maxTS is this shard's event-time high-water mark; the trace
+	// watermark (max across shards, read after all workers drain) drives
+	// window completion in windowed mode.
+	maxTS time.Time
 
 	// Deferred application state, replayed in global packet order.
 	conns map[*flows.Conn]*connStreams
@@ -116,6 +120,9 @@ func (s *shardSink) Packet(idx int64, pk *pcap.Packet, p *layers.Packet, conn *f
 	s.countNetLayer(p)
 	s.recordHosts(p)
 	s.bin(pk.Timestamp, pk.OrigLen)
+	if pk.Timestamp.After(s.maxTS) {
+		s.maxTS = pk.Timestamp
+	}
 	if !s.opts.PayloadAnalysis || conn == nil {
 		return
 	}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+)
+
+// windowTestBase is an arbitrary fixed origin for hand-built traces.
+var windowTestBase = time.Date(2005, 1, 6, 9, 0, 0, 0, time.UTC)
+
+// emitConn emits one two-turn HTTP-less TCP conversation starting at
+// start; extraDelay stretches the server turn so the connection's last
+// packet lands that much later.
+func emitConn(em *gen.Emitter, cliNum int, start time.Time, extraDelay time.Duration) {
+	client := enterprise.InternalHost(5, 10+cliNum)
+	server := enterprise.InternalHost(5, 200)
+	em.TCPSession(gen.TCPOpts{
+		Client: client, Server: server,
+		ClientPort: uint16(40000 + cliNum), ServerPort: 9999,
+		Start: start, RTT: time.Millisecond,
+		Turns: []gen.Turn{
+			{FromClient: true, Data: []byte("ping")},
+			{Delay: extraDelay, Data: []byte("pong")},
+		},
+	})
+}
+
+func windowedAnalyzer(window time.Duration) *Analyzer {
+	return NewAnalyzer(Options{
+		Dataset:         "win",
+		PayloadAnalysis: true,
+		Workers:         2,
+		ReplayWorkers:   2,
+		Window:          window,
+	})
+}
+
+// TestWindowStraddlingConn pins the attribution rule: a connection banks
+// wholly into the window of its first packet, even when its last packet
+// falls in a later window.
+func TestWindowStraddlingConn(t *testing.T) {
+	em := gen.NewEmitter(1)
+	emitConn(em, 0, windowTestBase, 0)                                  // window 0
+	emitConn(em, 1, windowTestBase.Add(50*time.Second), 30*time.Second) // starts in 0, ends ~80s
+	emitConn(em, 2, windowTestBase.Add(70*time.Second), 0)              // window 1
+	a := windowedAnalyzer(time.Minute)
+	if err := a.AddTrace(TraceInput{Name: "t0", Monitored: enterprise.SubnetPrefix(5), Packets: em.Packets()}); err != nil {
+		t.Fatal(err)
+	}
+	final := a.Report()
+	wins := a.WindowReports()
+	if len(wins) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(wins))
+	}
+	if got := wins[0].Report.Table3.TotalConns; got != 2 {
+		t.Errorf("window 0: want 2 conns (incl. straddler), got %d", got)
+	}
+	if got := wins[1].Report.Table3.TotalConns; got != 1 {
+		t.Errorf("window 1: want 1 conn, got %d", got)
+	}
+	// The straddler's bytes bank entirely with its first-packet window.
+	var sum int64
+	for _, w := range wins {
+		sum += w.Report.Table3.TotalBytes
+	}
+	if sum != final.Table3.TotalBytes {
+		t.Errorf("window byte totals %d != cumulative %d", sum, final.Table3.TotalBytes)
+	}
+}
+
+// TestEmptyWindowReport checks the zero-denominator guarantee: a window
+// with no traffic renders all-zero fractions (never NaN/Inf) in both
+// text and JSON.
+func TestEmptyWindowReport(t *testing.T) {
+	em := gen.NewEmitter(2)
+	emitConn(em, 0, windowTestBase, 0)
+	emitConn(em, 1, windowTestBase.Add(130*time.Second), 0) // skips window 1
+	a := windowedAnalyzer(time.Minute)
+	if err := a.AddTrace(TraceInput{Name: "t0", Monitored: enterprise.SubnetPrefix(5), Packets: em.Packets()}); err != nil {
+		t.Fatal(err)
+	}
+	wins := a.WindowReports()
+	if len(wins) != 3 {
+		t.Fatalf("want 3 windows, got %d", len(wins))
+	}
+	empty := wins[1].Report
+	if empty.Table3.TotalConns != 0 || empty.Table1.Packets != 0 {
+		t.Fatalf("window 1 should be empty, got %d conns %d packets",
+			empty.Table3.TotalConns, empty.Table1.Packets)
+	}
+	text := RenderText(empty)
+	for _, bad := range []string{"NaN", "Inf"} {
+		if strings.Contains(text, bad) {
+			t.Errorf("empty-window text contains %s", bad)
+		}
+	}
+	b, err := MarshalReport(empty)
+	if err != nil {
+		t.Fatalf("empty-window report does not marshal: %v", err)
+	}
+	var doc any
+	if err := json.Unmarshal(b, &doc); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	assertFinite(t, doc, "$")
+}
+
+func assertFinite(t *testing.T, v any, path string) {
+	t.Helper()
+	switch x := v.(type) {
+	case map[string]any:
+		for k, e := range x {
+			assertFinite(t, e, path+"."+k)
+		}
+	case []any:
+		for _, e := range x {
+			assertFinite(t, e, path+"[]")
+		}
+	case float64:
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			t.Errorf("non-finite value at %s", path)
+		}
+	}
+}
+
+// TestScheduledWindows runs the time-structured workload end-to-end
+// through windowed analysis: the burst window must dominate the ramp's
+// start, and the quiet slot must be (nearly) silent.
+func TestScheduledWindows(t *testing.T) {
+	cfg := enterprise.D3()
+	cfg.Scale = 1
+	net := enterprise.NewNetwork(cfg)
+	pkts := gen.GenerateScheduledTrace(net, cfg.Monitored[0], 0, gen.DefaultSchedule())
+	a := windowedAnalyzer(time.Minute)
+	if err := a.AddTrace(TraceInput{
+		Name:      "sched",
+		Monitored: enterprise.SubnetPrefix(cfg.Monitored[0]),
+		Packets:   pkts,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	final := a.Report()
+	wins := a.WindowReports()
+	// Schedule: ramp 1m (0→30/min), burst 1m (90/min), quiet 1m,
+	// steady 2m (18/min) — five windows, the third silent.
+	if len(wins) < 4 {
+		t.Fatalf("want >= 4 windows, got %d", len(wins))
+	}
+	ramp := wins[0].Report.Table3.TotalConns
+	burst := wins[1].Report.Table3.TotalConns
+	quiet := wins[2].Report.Table3.TotalConns
+	if burst <= ramp {
+		t.Errorf("burst window (%d conns) should exceed ramp window (%d)", burst, ramp)
+	}
+	if quiet != 0 {
+		t.Errorf("quiet window should be silent, got %d conns", quiet)
+	}
+	// Sum-of-windows == cumulative, for conn, byte, and packet totals.
+	var conns, bytes, packets int64
+	for _, w := range wins {
+		conns += w.Report.Table3.TotalConns
+		bytes += w.Report.Table3.TotalBytes
+		packets += w.Report.Table1.Packets
+	}
+	if conns != final.Table3.TotalConns || bytes != final.Table3.TotalBytes || packets != final.Table1.Packets {
+		t.Errorf("window sums (%d conns, %d bytes, %d pkts) != cumulative (%d, %d, %d)",
+			conns, bytes, packets,
+			final.Table3.TotalConns, final.Table3.TotalBytes, final.Table1.Packets)
+	}
+}
+
+// TestWindowedCountsEmptyTraces pins a batch-parity edge: a zero-packet
+// trace has no event time but must still count in the windowed
+// cumulative report exactly as it does in a batch run.
+func TestWindowedCountsEmptyTraces(t *testing.T) {
+	run := func(window time.Duration) *Report {
+		a := NewAnalyzer(Options{Dataset: "win", PayloadAnalysis: true, Window: window})
+		empty := TraceInput{Name: "empty", Monitored: enterprise.SubnetPrefix(5)}
+		if err := a.AddTrace(empty); err != nil { // before any event time exists
+			t.Fatal(err)
+		}
+		em := gen.NewEmitter(9)
+		emitConn(em, 0, windowTestBase, 0)
+		if err := a.AddTrace(TraceInput{Name: "t", Monitored: enterprise.SubnetPrefix(5), Packets: em.Packets()}); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.AddTrace(empty); err != nil { // after the origin is set
+			t.Fatal(err)
+		}
+		return a.Report()
+	}
+	batch, windowed := run(0), run(time.Minute)
+	if batch.Table1.Traces != 3 {
+		t.Fatalf("batch counts %d traces, want 3", batch.Table1.Traces)
+	}
+	if windowed.Table1.Traces != batch.Table1.Traces {
+		t.Errorf("windowed cumulative counts %d traces, batch %d", windowed.Table1.Traces, batch.Table1.Traces)
+	}
+}
+
+// TestWindowedReportsAcrossTraces checks that windows spanning multiple
+// AddTrace calls accumulate correctly and that the watermark only
+// completes windows once their end has passed.
+func TestWindowedReportsAcrossTraces(t *testing.T) {
+	var emitted []int
+	a := NewAnalyzer(Options{
+		Dataset:         "win",
+		PayloadAnalysis: true,
+		Window:          time.Minute,
+		OnWindow:        func(wr *WindowReport) { emitted = append(emitted, wr.Index) },
+	})
+	em := gen.NewEmitter(3)
+	emitConn(em, 0, windowTestBase, 0)
+	if err := a.AddTrace(TraceInput{Name: "t0", Monitored: enterprise.SubnetPrefix(5), Packets: em.Packets()}); err != nil {
+		t.Fatal(err)
+	}
+	// Trace 0 sits inside window 0: nothing completed yet.
+	if got := a.LatestWindowIndex(); got != -1 {
+		t.Errorf("after trace 0: latest completed window = %d, want -1", got)
+	}
+	em = gen.NewEmitter(4)
+	emitConn(em, 1, windowTestBase.Add(90*time.Second), 0)
+	if err := a.AddTrace(TraceInput{Name: "t1", Monitored: enterprise.SubnetPrefix(5), Packets: em.Packets()}); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.LatestWindowIndex(); got != 0 {
+		t.Errorf("after trace 1: latest completed window = %d, want 0", got)
+	}
+	if len(emitted) != 1 || emitted[0] != 0 {
+		t.Errorf("OnWindow emissions = %v, want [0]", emitted)
+	}
+	wins := a.WindowReports()
+	if len(wins) != 2 {
+		t.Fatalf("want 2 windows, got %d", len(wins))
+	}
+	if wins[0].Report.Table3.TotalConns != 1 || wins[1].Report.Table3.TotalConns != 1 {
+		t.Errorf("conn attribution across traces: got %d/%d, want 1/1",
+			wins[0].Report.Table3.TotalConns, wins[1].Report.Table3.TotalConns)
+	}
+	// Trace-granular stats (Table 1) bank at each trace's completion.
+	if wins[0].Report.Table1.Traces != 1 || wins[1].Report.Table1.Traces != 1 {
+		t.Errorf("trace banking: got %d/%d traces, want 1/1",
+			wins[0].Report.Table1.Traces, wins[1].Report.Table1.Traces)
+	}
+}

@@ -20,6 +20,17 @@ func (f FanStats) FanIn() int { return f.FanInLocal + f.FanInRemote }
 // FanOut is total distinct contacted peers.
 func (f FanStats) FanOut() int { return f.FanOutLocal + f.FanOutRemote }
 
+// Merge adds other's distinct-peer counts into f. Exact when the two
+// stats were computed over connection sets split by host pair (each
+// (host, peer) edge then lives in exactly one source) — the invariant
+// both the replay sharding and the per-trace fan census provide.
+func (f *FanStats) Merge(other *FanStats) {
+	f.FanInLocal += other.FanInLocal
+	f.FanInRemote += other.FanInRemote
+	f.FanOutLocal += other.FanOutLocal
+	f.FanOutRemote += other.FanOutRemote
+}
+
 // FanInOut computes per-host fan statistics over a set of connections.
 // isLocal classifies an address as inside the enterprise; only hosts for
 // which monitored(addr) is true get an entry (the paper computes fan only

@@ -37,6 +37,11 @@ type traceGen struct {
 	hours   float64 // dur in hours × Scale
 	nextEph uint16
 	remoteN int
+	// pinned, when set, overrides the uniform session-start draw: every
+	// at() returns exactly this instant. The scheduled workload uses it
+	// to place sessions on a deterministic timeline (ramps, bursts,
+	// quiet slots) while reusing the per-category session builders.
+	pinned time.Time
 }
 
 // GenerateTrace produces the packets of one monitored-subnet trace.
@@ -85,8 +90,12 @@ func (g *traceGen) eph() uint16 {
 	return g.nextEph
 }
 
-// at picks a uniform session start, leaving margin at the end.
+// at picks a uniform session start, leaving margin at the end (or the
+// pinned instant when the scheduled workload drives the timeline).
 func (g *traceGen) at(margin time.Duration) time.Time {
+	if !g.pinned.IsZero() {
+		return g.pinned
+	}
 	span := g.dur - margin
 	if span <= 0 {
 		span = g.dur / 2

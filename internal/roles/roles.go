@@ -218,6 +218,32 @@ func (pt *Partial) Merge(other *Partial) {
 	}
 }
 
+// Snapshot returns an independent copy of the evidence accumulated
+// since the last Reset, so a long-running accumulation can cut per-epoch
+// role censuses (Finalize consumes its receiver; snapshotting first
+// keeps the running evidence intact).
+func (pt *Partial) Snapshot() *Partial {
+	s := &Partial{
+		profiles: make(map[netip.Addr]*HostProfile, len(pt.profiles)),
+		ports:    make(map[hostPort]int, len(pt.ports)),
+	}
+	for h, p := range pt.profiles {
+		cp := *p
+		cp.ServicePorts = append([]uint16(nil), p.ServicePorts...)
+		s.profiles[h] = &cp
+	}
+	for hp, n := range pt.ports {
+		s.ports[hp] = n
+	}
+	return s
+}
+
+// Reset clears the accumulated evidence in place.
+func (pt *Partial) Reset() {
+	clear(pt.profiles)
+	clear(pt.ports)
+}
+
 // Finalize applies the service-port threshold and the role rules,
 // consuming pt.
 func (pt *Partial) Finalize(cfg Config) map[netip.Addr]*HostProfile {

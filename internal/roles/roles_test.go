@@ -161,3 +161,30 @@ func BenchmarkClassify(b *testing.B) {
 		}
 	}
 }
+
+// TestPartialSnapshotReset pins the epoch-cut contract: Snapshot
+// captures the evidence accumulated so far independently (Finalize
+// consumes its receiver, so a long-running accumulation snapshots
+// first), and Reset clears the evidence in place.
+func TestPartialSnapshotReset(t *testing.T) {
+	srv := addr(1)
+	conns := []*flows.Conn{
+		conn(addr(2), srv, 40000, 80),
+		conn(addr(3), srv, 40001, 80),
+		conn(addr(4), srv, 40002, 80),
+	}
+	pt := Accumulate(conns)
+	want := Summary(Accumulate(conns).Finalize(Config{}))
+	got := Summary(pt.Snapshot().Finalize(Config{}))
+	if len(got) != len(want) || got[Server] != want[Server] || got[Client] != want[Client] {
+		t.Errorf("snapshot verdicts %v != direct %v", got, want)
+	}
+	// Finalize consumed the snapshot, not the original evidence.
+	if again := Summary(pt.Snapshot().Finalize(Config{})); again[Server] != want[Server] {
+		t.Error("finalizing a snapshot consumed the original evidence")
+	}
+	pt.Reset()
+	if n := len(Summary(pt.Finalize(Config{}))); n != 0 {
+		t.Errorf("reset left %d profiles", n)
+	}
+}

@@ -61,6 +61,15 @@ func NewDetector() *Detector {
 // vulnerability scanners in the paper's traces) regardless of heuristics.
 func (d *Detector) AddKnown(src netip.Addr) { d.known[src] = true }
 
+// Reset clears the per-source contact evidence in place while keeping
+// the known-scanner list — the epoch cut for a long-running detector: a
+// serve-mode process rotates detection windows without forgetting the
+// operator-configured scanners. Heuristic verdicts restart from scratch
+// in the new epoch (contact sequences do not straddle a Reset).
+func (d *Detector) Reset() {
+	clear(d.sources)
+}
+
 // Observe records that src originated a conversation to dst.
 func (d *Detector) Observe(src, dst netip.Addr) {
 	tr := d.sources[src]

@@ -1,0 +1,92 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestCounterSnapshotReset pins the epoch contract: snapshots taken
+// around Resets partition the observations, and merging them reproduces
+// the counter that never reset.
+func TestCounterSnapshotReset(t *testing.T) {
+	whole := NewCounter()
+	cut := NewCounter()
+	var snaps []*Counter
+	feed := func(c1, c2 *Counter, key string, n int64) {
+		c1.Add(key, n)
+		c2.Add(key, n)
+	}
+	feed(whole, cut, "a", 3)
+	feed(whole, cut, "b", 1)
+	snaps = append(snaps, cut.Snapshot())
+	cut.Reset()
+	if cut.Total() != 0 || cut.Len() != 0 {
+		t.Fatalf("reset left %d keys, total %d", cut.Len(), cut.Total())
+	}
+	feed(whole, cut, "a", 2)
+	feed(whole, cut, "c", 5)
+	snaps = append(snaps, cut.Snapshot())
+
+	merged := NewCounter()
+	for _, s := range snaps {
+		merged.Merge(s)
+	}
+	if !reflect.DeepEqual(merged, whole) {
+		t.Errorf("merged snapshots %+v != uncut counter %+v", merged, whole)
+	}
+	// Snapshot independence: mutating the source must not leak.
+	cut.Add("z", 100)
+	if snaps[1].Get("z") != 0 {
+		t.Error("snapshot aliases its source")
+	}
+}
+
+// TestDistSnapshotReset: same partition property for distributions,
+// including the NaN ordering and run-compression invariants.
+func TestDistSnapshotReset(t *testing.T) {
+	whole := NewDist()
+	cut := NewDist()
+	feed := func(vs ...float64) {
+		for _, v := range vs {
+			whole.Observe(v)
+			cut.Observe(v)
+		}
+	}
+	feed(3, 1, 4, 1, 5, math.NaN(), 9, 2.5)
+	s1 := cut.Snapshot()
+	cut.Reset()
+	if cut.N() != 0 {
+		t.Fatalf("reset left %d samples", cut.N())
+	}
+	feed(6, 5, 3, 5, math.Inf(1), -2)
+	s2 := cut.Snapshot()
+
+	merged := NewDist()
+	merged.Merge(s1)
+	merged.Merge(s2)
+	if merged.N() != whole.N() {
+		t.Fatalf("merged N=%d, want %d", merged.N(), whole.N())
+	}
+	for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 1} {
+		got, want := merged.Quantile(q), whole.Quantile(q)
+		if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+			t.Errorf("quantile %.2f: merged %v != whole %v", q, got, want)
+		}
+	}
+	got, want := merged.CDF(32), whole.CDF(32)
+	if len(got) != len(want) {
+		t.Fatalf("CDF lengths differ: %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		sameX := got[i].X == want[i].X || (math.IsNaN(got[i].X) && math.IsNaN(want[i].X))
+		if !sameX || got[i].F != want[i].F {
+			t.Errorf("CDF point %d: merged %+v != whole %+v", i, got[i], want[i])
+		}
+	}
+	// Snapshot independence.
+	cut.Observe(1e9)
+	if s2.Max() == 1e9 {
+		t.Error("snapshot aliases its source")
+	}
+}

@@ -17,7 +17,9 @@ import (
 )
 
 // Counter accumulates named counts, e.g. packets per network-layer protocol.
-// The zero value is not ready to use; call NewCounter.
+// The map is allocated on first write, so an empty counter costs one
+// small struct — the epoch machinery creates (and often discards
+// unused) fresh counters at every window cut.
 type Counter struct {
 	counts map[string]int64
 	total  int64
@@ -25,12 +27,15 @@ type Counter struct {
 
 // NewCounter returns an empty Counter.
 func NewCounter() *Counter {
-	return &Counter{counts: make(map[string]int64)}
+	return &Counter{}
 }
 
 // Add increments key by n (n may be negative, though callers never do that
 // in practice).
 func (c *Counter) Add(key string, n int64) {
+	if c.counts == nil {
+		c.counts = make(map[string]int64)
+	}
 	c.counts[key] += n
 	c.total += n
 }
@@ -78,6 +83,26 @@ func (c *Counter) Merge(other *Counter) {
 	}
 }
 
+// Snapshot returns an independent copy of the counter — the epoch cut
+// primitive: Snapshot captures everything accumulated since the last
+// Reset, and merging every snapshot reproduces the counter that never
+// reset. The copy shares no state with c.
+func (c *Counter) Snapshot() *Counter {
+	s := &Counter{counts: make(map[string]int64, len(c.counts)), total: c.total}
+	for k, v := range c.counts {
+		s.counts[k] = v
+	}
+	return s
+}
+
+// Reset clears all counts in place, retaining map capacity. The
+// Snapshot/Reset pair is how long-running accumulations cut per-window
+// deltas without disturbing concurrent readers of earlier snapshots.
+func (c *Counter) Reset() {
+	clear(c.counts)
+	c.total = 0
+}
+
 // Dist is an empirical distribution over float64 samples. It is exact but
 // compact: duplicate values are run-length compressed (value → count), so
 // integer-valued observations — sizes, request counts, millisecond-rounded
@@ -104,6 +129,16 @@ type Dist struct {
 	// so steady-state merging allocates nothing.
 	scratchVals   []float64
 	scratchCounts []int64
+	// pendingVals/pendingCounts are staged merge runs: repeatedly merging
+	// small distributions into a large one (the windowed analysis banks a
+	// delta per time window) would re-walk the whole run list each time,
+	// so incoming runs are staged and folded pairwise once their combined
+	// size reaches the main list's — amortized O(log) per element instead
+	// of quadratic, and exact: a fold is the same multiset union in a
+	// different association. pendingN counts staged run entries.
+	pendingVals   [][]float64
+	pendingCounts [][]int64
+	pendingN      int
 	nan           int64 // NaN observations (rank before all values)
 	n             int64 // total observations, NaN included
 }
@@ -228,11 +263,19 @@ func (d *Dist) Merge(other *Dist) {
 		return
 	}
 	other.compact()
+	other.foldPending()
 	d.compact()
 	d.nan += other.nan
 	d.n += other.n
 	d.cum = d.cum[:0]
 	if len(other.vals) == 0 {
+		return
+	}
+	if d.pendingN > 0 {
+		// Runs are already staged; keep staging (the fast paths below
+		// compare against the main list's maximum, which staged runs may
+		// exceed).
+		d.stageRuns(other)
 		return
 	}
 	if len(d.vals) == 0 {
@@ -244,6 +287,13 @@ func (d *Dist) Merge(other *Dist) {
 	if d.vals[len(d.vals)-1] < other.vals[0] {
 		d.vals = append(d.vals, other.vals...)
 		d.counts = append(d.counts, other.counts...)
+		return
+	}
+	// A small source merging into a much larger run list stages instead:
+	// re-walking the whole list per small merge is what makes per-window
+	// delta banking quadratic.
+	if len(other.vals)*8 < len(d.vals) {
+		d.stageRuns(other)
 		return
 	}
 	// Sorted two-way run merge, ping-ponging with the scratch arrays like
@@ -285,8 +335,110 @@ func (d *Dist) Merge(other *Dist) {
 	}
 }
 
+// Snapshot returns an independent copy of the distribution holding
+// exactly the samples observed since the last Reset. Merging every
+// snapshot yields a distribution bit-identical to one that never reset
+// (Merge is exact), which is the windowed-report invariant. d is
+// compacted as a side effect (logically unchanged, like every read).
+func (d *Dist) Snapshot() *Dist {
+	d.compact()
+	d.foldPending()
+	s := &Dist{nan: d.nan, n: d.n}
+	if len(d.vals) > 0 {
+		s.vals = append(make([]float64, 0, len(d.vals)), d.vals...)
+		s.counts = append(make([]int64, 0, len(d.counts)), d.counts...)
+	}
+	return s
+}
+
+// Reset drops all samples in place, retaining the run-list and staging
+// capacity for the next epoch.
+func (d *Dist) Reset() {
+	d.vals = d.vals[:0]
+	d.counts = d.counts[:0]
+	d.cum = d.cum[:0]
+	d.staged = d.staged[:0]
+	d.pendingVals, d.pendingCounts, d.pendingN = nil, nil, 0
+	d.nan = 0
+	d.n = 0
+}
+
+// stageRuns copies other's run list into the pending set, folding once
+// the staged volume reaches the main list's. The copy keeps the API
+// aliasing-free: other can keep accumulating (its arrays may become
+// merge scratch) without corrupting d.
+func (d *Dist) stageRuns(other *Dist) {
+	d.pendingVals = append(d.pendingVals, append([]float64(nil), other.vals...))
+	d.pendingCounts = append(d.pendingCounts, append([]int64(nil), other.counts...))
+	d.pendingN += len(other.vals)
+	if d.pendingN >= 64 && d.pendingN >= len(d.vals) {
+		d.foldPending()
+	}
+}
+
+// foldPending merges every staged run and the main list pairwise into a
+// single run list — O(total · log runs), exact for any association.
+func (d *Dist) foldPending() {
+	if len(d.pendingVals) == 0 {
+		return
+	}
+	runsV, runsC := d.pendingVals, d.pendingCounts
+	if len(d.vals) > 0 {
+		runsV = append(runsV, d.vals)
+		runsC = append(runsC, d.counts)
+	}
+	for len(runsV) > 1 {
+		nv := runsV[:0:0]
+		nc := runsC[:0:0]
+		for i := 0; i < len(runsV); i += 2 {
+			if i+1 == len(runsV) {
+				nv = append(nv, runsV[i])
+				nc = append(nc, runsC[i])
+				break
+			}
+			mv, mc := mergeRuns(runsV[i], runsC[i], runsV[i+1], runsC[i+1])
+			nv = append(nv, mv)
+			nc = append(nc, mc)
+		}
+		runsV, runsC = nv, nc
+	}
+	d.vals, d.counts = runsV[0], runsC[0]
+	d.pendingVals, d.pendingCounts, d.pendingN = nil, nil, 0
+	d.cum = d.cum[:0]
+}
+
+// mergeRuns two-way merges sorted (value, count) run lists.
+func mergeRuns(av []float64, ac []int64, bv []float64, bc []int64) ([]float64, []int64) {
+	mv := make([]float64, 0, len(av)+len(bv))
+	mc := make([]int64, 0, len(ac)+len(bc))
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		switch {
+		case av[i] < bv[j]:
+			mv = append(mv, av[i])
+			mc = append(mc, ac[i])
+			i++
+		case av[i] > bv[j]:
+			mv = append(mv, bv[j])
+			mc = append(mc, bc[j])
+			j++
+		default:
+			mv = append(mv, av[i])
+			mc = append(mc, ac[i]+bc[j])
+			i++
+			j++
+		}
+	}
+	mv = append(mv, av[i:]...)
+	mc = append(mc, ac[i:]...)
+	mv = append(mv, bv[j:]...)
+	mc = append(mc, bc[j:]...)
+	return mv, mc
+}
+
 func (d *Dist) ensureCompact() {
 	d.compact()
+	d.foldPending()
 	if len(d.cum) == 0 && len(d.vals) > 0 {
 		if cap(d.cum) < len(d.vals) {
 			d.cum = make([]int64, 0, len(d.vals))

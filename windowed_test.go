@@ -1,0 +1,116 @@
+// Windowed determinism: enabling epoch rotation must not change the
+// cumulative report — at any point of the (pipeline workers × replay
+// workers) grid — and the per-window reports themselves must be
+// identical across the grid. Together these pin the epoch-snapshot
+// contract: window deltas partition the run exactly, and their banked
+// merge reproduces the batch aggregate byte for byte.
+package enttrace_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"enttrace/internal/core"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+)
+
+// analyzeWindowed runs a dataset at an explicit grid point with epoch
+// rotation enabled, returning the cumulative report and every window.
+func analyzeWindowed(tb testing.TB, ds *gen.Dataset, workers, replayWorkers int, window time.Duration) (*core.Report, []*core.WindowReport) {
+	tb.Helper()
+	a := core.NewAnalyzer(core.Options{
+		Dataset:         ds.Config.Name,
+		KnownScanners:   enterprise.KnownScanners(),
+		PayloadAnalysis: ds.Config.Snaplen >= 1500,
+		Workers:         workers,
+		ReplayWorkers:   replayWorkers,
+		Window:          window,
+	})
+	for _, tr := range ds.Traces {
+		if err := a.AddTrace(core.TraceInput{
+			Name:      tr.Prefix.String(),
+			Monitored: tr.Prefix,
+			Packets:   tr.Packets,
+		}); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return a.Report(), a.WindowReports()
+}
+
+// renderWindows renders every window to one byte stream (text and JSON),
+// the "byte-identical" comparison unit across grid points.
+func renderWindows(tb testing.TB, wins []*core.WindowReport) []byte {
+	tb.Helper()
+	var buf bytes.Buffer
+	for _, wr := range wins {
+		buf.WriteString(core.RenderText(wr.Report))
+		if err := core.WriteReportJSON(&buf, wr.Report); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestWindowedMatchesBatchGrid is the windowed acceptance gate: for D3
+// and D4, at every point of the {1,4,8}×{1,4,8} worker grid, a -window
+// run produces (a) a cumulative report byte-identical to the no-window
+// batch run and (b) per-window reports byte-identical to the serial
+// windowed run's.
+func TestWindowedMatchesBatchGrid(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end analysis in -short mode")
+	}
+	const window = 10 * time.Minute // several cuts per one-hour trace
+	counts := []int{1, 4, 8}
+	for _, dsName := range []string{"D3", "D4"} {
+		ds := determinismDataset(t, dsName, 0.15)
+		batch := analyzeGrid(t, ds, 1, 1)
+		batchText := core.RenderText(batch)
+		baseFinal, baseWins := analyzeWindowed(t, ds, 1, 1, window)
+		if len(baseWins) < 2 {
+			t.Fatalf("%s: expected multiple windows, got %d", dsName, len(baseWins))
+		}
+		baseWinBytes := renderWindows(t, baseWins)
+		if !reflect.DeepEqual(batch, baseFinal) {
+			t.Errorf("%s: windowed cumulative differs from batch (serial)", dsName)
+			diffReports(t, batch, baseFinal)
+		}
+		if got := core.RenderText(baseFinal); got != batchText {
+			t.Errorf("%s: windowed cumulative text differs from batch text", dsName)
+		}
+		for _, workers := range counts {
+			for _, replayWorkers := range counts {
+				if workers == 1 && replayWorkers == 1 {
+					continue
+				}
+				final, wins := analyzeWindowed(t, ds, workers, replayWorkers, window)
+				if !reflect.DeepEqual(batch, final) {
+					t.Errorf("%s: windowed cumulative at %d/%d workers differs from batch",
+						dsName, workers, replayWorkers)
+					diffReports(t, batch, final)
+				}
+				if !bytes.Equal(renderWindows(t, wins), baseWinBytes) {
+					t.Errorf("%s: window reports at %d/%d workers differ from serial windowed run",
+						dsName, workers, replayWorkers)
+				}
+			}
+		}
+		// The partition property, directly: per-window totals sum to the
+		// cumulative totals.
+		var conns, payload, packets int64
+		for _, wr := range baseWins {
+			conns += wr.Report.Table3.TotalConns
+			payload += wr.Report.Table3.TotalBytes
+			packets += wr.Report.Table1.Packets
+		}
+		if conns != batch.Table3.TotalConns || payload != batch.Table3.TotalBytes || packets != batch.Table1.Packets {
+			t.Errorf("%s: window sums (%d conns, %d bytes, %d pkts) != batch (%d, %d, %d)",
+				dsName, conns, payload, packets,
+				batch.Table3.TotalConns, batch.Table3.TotalBytes, batch.Table1.Packets)
+		}
+	}
+}
