@@ -6,6 +6,7 @@
 // Usage:
 //
 //	entgen -dataset D3 -out ./traces [-scale 1.0] [-subnets N]
+//	entgen -evasion all -out ./traces
 package main
 
 import (
@@ -27,7 +28,17 @@ func main() {
 		`emit one time-structured trace instead of the tap rotation: comma-separated phases `+
 			`kind:duration[:rate] with rate in sessions/minute, e.g. `+
 			`"ramp:60s:0-30,burst:60s:90,quiet:60s,steady:2m:18"; "default" uses the built-in day-in-miniature`)
+	evasion := flag.String("evasion", "",
+		`emit adversarial evasion scenario pcaps instead of the tap rotation: a scenario name, `+
+			`"all", or "list" to print the scenario family`)
 	flag.Parse()
+
+	if *evasion == "list" {
+		for _, sc := range gen.EvasionScenarios() {
+			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
+		}
+		return
+	}
 
 	var cfg enterprise.Config
 	found := false
@@ -47,6 +58,41 @@ func main() {
 	if err := os.MkdirAll(*out, 0o755); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *evasion != "" {
+		scenarios := gen.EvasionScenarios()
+		if *evasion != "all" {
+			sc, ok := gen.EvasionScenarioByName(*evasion)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "unknown evasion scenario %q (try -evasion list)\n", *evasion)
+				os.Exit(2)
+			}
+			scenarios = []gen.EvasionScenario{sc}
+		}
+		for _, sc := range scenarios {
+			tr := sc.Build()
+			name := fmt.Sprintf("evasion-%s.pcap", sc.Name)
+			path := filepath.Join(*out, name)
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			// Full frames: evasion pcaps carry their corrupt headers and
+			// payload bytes intact regardless of the dataset snaplen.
+			wcfg := cfg
+			wcfg.Snaplen = 65535
+			if err := gen.WriteTrace(f, wcfg, tr); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Printf("%s: %d packets (%s)\n", path, len(tr.Packets), sc.Description)
+		}
+		return
 	}
 	if *schedule != "" {
 		sched := gen.DefaultSchedule()

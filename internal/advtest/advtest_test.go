@@ -1,0 +1,196 @@
+package advtest
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"enttrace/internal/core"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+)
+
+// TestEvasionGrid is the differential contract for the evasion family:
+// every scenario replays at every {1,4,8}×{1,4,8} grid point in both
+// batch and windowed mode, and must produce (a) byte-identical JSON and
+// text reports everywhere, (b) an exactly conserved reassembly ledger,
+// (c) bounded pending memory, (d) the census signal the scenario was
+// built to drive, and (e) per-window census counters that sum to the
+// cumulative ones.
+func TestEvasionGrid(t *testing.T) {
+	const window = 500 * time.Microsecond
+	for _, sc := range gen.EvasionScenarios() {
+		t.Run(sc.Name, func(t *testing.T) {
+			tr := sc.Build()
+			raw := Serialize(tr)
+			ref, err := Replay(raw, tr.Prefix, GridPoint{Workers: 1, ReplayWorkers: 1}, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			h := ref.Report.Hostile
+			if err := CheckConservation(h); err != nil {
+				t.Error(err)
+			}
+			checkExpect(t, sc.Expect, h)
+			for _, gp := range Grid() {
+				got, err := Replay(raw, tr.Prefix, gp, 0)
+				if err != nil {
+					t.Fatalf("%v: %v", gp, err)
+				}
+				if !bytes.Equal(got.JSON, ref.JSON) {
+					t.Errorf("%v: JSON report differs from 1×1 reference", gp)
+				}
+				if got.Text != ref.Text {
+					t.Errorf("%v: text report differs from 1×1 reference", gp)
+				}
+				win, err := Replay(raw, tr.Prefix, gp, window)
+				if err != nil {
+					t.Fatalf("%v windowed: %v", gp, err)
+				}
+				if !bytes.Equal(win.JSON, ref.JSON) {
+					t.Errorf("%v: windowed cumulative report differs from batch", gp)
+				}
+				if len(win.Windows) == 0 {
+					t.Errorf("%v: windowed run produced no windows", gp)
+					continue
+				}
+				checkWindowSums(t, gp, win, h)
+			}
+		})
+	}
+}
+
+// checkExpect asserts the census counters a scenario guarantees.
+func checkExpect(t *testing.T, want gen.EvasionExpect, h core.HostileReport) {
+	t.Helper()
+	check := func(name string, expected bool, v int64) {
+		if expected && v == 0 {
+			t.Errorf("scenario promises %s > 0, census has 0", name)
+		}
+	}
+	check("ConflictBytes", want.ConflictBytes, h.ConflictBytes)
+	check("DuplicateBytes", want.DuplicateBytes, h.DuplicateBytes)
+	check("BogusRSTs", want.BogusRSTs, h.BogusRSTs)
+	check("WrapEvents", want.WrapEvents, h.WrapEvents)
+	check("GapEvents", want.GapEvents, h.GapEvents)
+	check("UndecodableFrames", want.Undecodable, h.UndecodableFrames)
+}
+
+// checkWindowSums verifies each connection's census contribution landed
+// in exactly one window: the additive counters summed across windows
+// equal the cumulative report's. (PeakPendingBytes is a maximum, not a
+// sum, so each window's peak is only bounded by the budget.)
+func checkWindowSums(t *testing.T, gp GridPoint, win *Result, cum core.HostileReport) {
+	t.Helper()
+	var sum core.HostileReport
+	for _, w := range win.Windows {
+		wh := w.Report.Hostile
+		sum.Streams += wh.Streams
+		sum.IngestBytes += wh.IngestBytes
+		sum.DeliveredBytes += wh.DeliveredBytes
+		sum.DuplicateBytes += wh.DuplicateBytes
+		sum.ConflictBytes += wh.ConflictBytes
+		sum.DiscardedBytes += wh.DiscardedBytes
+		sum.GapSkippedBytes += wh.GapSkippedBytes
+		sum.GapEvents += wh.GapEvents
+		sum.WrapEvents += wh.WrapEvents
+		sum.BogusRSTs += wh.BogusRSTs
+		sum.PostRSTDataSegments += wh.PostRSTDataSegments
+		sum.UndecodableFrames += wh.UndecodableFrames
+		if err := CheckConservation(wh); err != nil {
+			t.Errorf("%v window %d: %v", gp, w.Index, err)
+		}
+	}
+	if sum.Streams != cum.Streams || sum.IngestBytes != cum.IngestBytes ||
+		sum.DeliveredBytes != cum.DeliveredBytes || sum.DuplicateBytes != cum.DuplicateBytes ||
+		sum.ConflictBytes != cum.ConflictBytes || sum.DiscardedBytes != cum.DiscardedBytes ||
+		sum.GapSkippedBytes != cum.GapSkippedBytes || sum.GapEvents != cum.GapEvents ||
+		sum.WrapEvents != cum.WrapEvents || sum.BogusRSTs != cum.BogusRSTs ||
+		sum.PostRSTDataSegments != cum.PostRSTDataSegments ||
+		sum.UndecodableFrames != cum.UndecodableFrames {
+		t.Errorf("%v: window census sums diverge from cumulative:\n  sum %+v\n  cum %+v", gp, sum, cum)
+	}
+}
+
+// TestBenignConservation is the property test over ordinary generated
+// traffic: the ledger identity and report determinism are not special
+// cases for adversarial input — they hold for every workload at every
+// grid point.
+func TestBenignConservation(t *testing.T) {
+	var cfg enterprise.Config
+	found := false
+	for _, c := range enterprise.AllDatasets() {
+		if c.Name == "D3" {
+			cfg, found = c, true
+		}
+	}
+	if !found {
+		t.Fatal("dataset D3 not defined")
+	}
+	cfg.Scale = 0.05
+	cfg.Monitored = cfg.Monitored[:1]
+	ds := gen.GenerateDataset(cfg)
+	if len(ds.Traces) == 0 {
+		t.Fatal("empty benign dataset")
+	}
+
+	type serialized struct {
+		name    string
+		prefix  gen.Trace
+		pcapRaw []byte
+	}
+	traces := make([]serialized, 0, len(ds.Traces))
+	for _, tr := range ds.Traces {
+		var buf bytes.Buffer
+		if err := gen.WriteTrace(&buf, ds.Config, tr); err != nil {
+			t.Fatal(err)
+		}
+		traces = append(traces, serialized{name: "benign", prefix: tr, pcapRaw: buf.Bytes()})
+	}
+
+	run := func(gp GridPoint, window time.Duration) *Result {
+		t.Helper()
+		a := core.NewAnalyzer(core.Options{
+			Dataset:         ds.Config.Name,
+			KnownScanners:   enterprise.KnownScanners(),
+			PayloadAnalysis: ds.Config.Snaplen >= 1500,
+			Workers:         gp.Workers,
+			ReplayWorkers:   gp.ReplayWorkers,
+			Window:          window,
+		})
+		for _, tr := range traces {
+			if err := a.AddTraceReader(tr.name, tr.prefix.Prefix, bytes.NewReader(tr.pcapRaw)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := a.Report()
+		js, err := core.MarshalReport(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &Result{Report: r, JSON: js, Text: core.RenderText(r), Windows: a.WindowReports()}
+	}
+
+	ref := run(GridPoint{Workers: 1, ReplayWorkers: 1}, 0)
+	if ref.Report.Hostile.IngestBytes == 0 {
+		t.Fatal("benign dataset produced no reassembled stream bytes")
+	}
+	if err := CheckConservation(ref.Report.Hostile); err != nil {
+		t.Error(err)
+	}
+	for _, gp := range Grid() {
+		got := run(gp, 0)
+		if err := CheckConservation(got.Report.Hostile); err != nil {
+			t.Errorf("%v: %v", gp, err)
+		}
+		if !bytes.Equal(got.JSON, ref.JSON) {
+			t.Errorf("%v: benign JSON report differs from 1×1 reference", gp)
+		}
+	}
+	// Windowed==batch on benign traffic at one representative grid point.
+	win := run(GridPoint{Workers: 4, ReplayWorkers: 4}, 30*time.Second)
+	if !bytes.Equal(win.JSON, ref.JSON) {
+		t.Error("windowed cumulative report differs from batch on benign dataset")
+	}
+	checkWindowSums(t, GridPoint{Workers: 4, ReplayWorkers: 4}, win, ref.Report.Hostile)
+}

@@ -1,0 +1,48 @@
+package cifs
+
+import (
+	"testing"
+)
+
+// FuzzDecodeInto feeds the SMB decoder arbitrary bytes: it must never
+// panic, the consumed count must stay within the buffer, and the parsed
+// payload must be a view into the input, never an over-read.
+func FuzzDecodeInto(f *testing.F) {
+	// Well-formed seeds from the package's own encoder.
+	f.Add(Encode(&Message{Command: CmdTrans, MID: 7, PipeName: `\PIPE\spoolss`,
+		Payload: []byte("rpc-bytes-here")}))
+	f.Add(Encode(&Message{Command: CmdReadAndX, Response: true, TreeID: 3, MID: 9,
+		Payload: make([]byte, 64)}))
+	f.Add(Encode(&Message{Command: CmdNegotiate}))
+	// Evasion-shaped seeds: truncations and lying length fields.
+	full := Encode(&Message{Command: CmdTrans, PipeName: LanmanPipe, Payload: []byte("0123456789")})
+	f.Add(full[:32])          // header-only capture
+	f.Add(full[:40])          // mid-parameter-block truncation
+	f.Add(full[:len(full)-5]) // payload truncated below DataLen
+	lying := append([]byte(nil), full...)
+	lying[33], lying[34] = 0xFF, 0xFF // claimed data length 65535
+	f.Add(lying)
+	lyingName := append([]byte(nil), full...)
+	lyingName[35], lyingName[36] = 0xFF, 0x7F // claimed name length past the buffer
+	f.Add(lyingName)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		n, err := DecodeInto(data, &m)
+		if err != nil {
+			return
+		}
+		if n < 0 || n > len(data) {
+			t.Fatalf("consumed %d of a %d-byte buffer", n, len(data))
+		}
+		if len(m.Payload) > len(data) {
+			t.Fatalf("payload %d bytes from a %d-byte buffer", len(m.Payload), len(data))
+		}
+		if m.DataLen < 0 {
+			t.Fatalf("negative claimed data length %d", m.DataLen)
+		}
+		if len(m.Payload) > m.DataLen {
+			t.Fatalf("payload %d exceeds claimed length %d", len(m.Payload), m.DataLen)
+		}
+	})
+}

@@ -1,0 +1,61 @@
+package dns
+
+import (
+	"testing"
+)
+
+// FuzzDecodeInto hammers the DNS decoder with arbitrary bytes: it must
+// never panic or over-read, malformed compression chains must error, and
+// a successful parse must be deterministic with a bounded question name
+// (the label/jump guards cap it at 128 labels × 63 bytes).
+func FuzzDecodeInto(f *testing.F) {
+	// Well-formed seeds from the package's own encoder.
+	f.Add(Encode(&Message{ID: 0x1234, QName: "host7.lbl.gov", QType: TypeA}))
+	f.Add(Encode(&Message{ID: 0x1234, Response: true, Rcode: RcodeNXDomain,
+		QName: "host7.lbl.gov", QType: TypePTR, AnswerCount: 3}))
+	// Evasion-shaped seeds: truncations and hostile compression pointers.
+	q := Encode(&Message{ID: 1, QName: "a.example", QType: TypeMX})
+	f.Add(q[:12])
+	f.Add(q[:len(q)-3])
+	// Self-referential compression pointer at the question name.
+	loop := append([]byte(nil), q[:12]...)
+	loop = append(loop, 0xc0, 12, 0, 1, 0, 1)
+	f.Add(loop)
+	// Pointer chain bouncing between two offsets.
+	pp := append([]byte(nil), q[:12]...)
+	pp = append(pp, 0xc0, 14, 0xc0, 12, 0, 1, 0, 1)
+	f.Add(pp)
+	// Label length running past the buffer.
+	overrun := append([]byte(nil), q[:12]...)
+	overrun = append(overrun, 63, 'x')
+	f.Add(overrun)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Message
+		if err := DecodeInto(data, &m); err != nil {
+			return
+		}
+		if len(m.QName) > 128*64 {
+			t.Fatalf("question name unbounded: %d bytes", len(m.QName))
+		}
+		var m2 Message
+		if err := DecodeInto(data, &m2); err != nil {
+			t.Fatalf("second decode of accepted input failed: %v", err)
+		}
+		if m != m2 {
+			t.Fatalf("decode not deterministic: %+v vs %+v", m, m2)
+		}
+		// Every accepted message must survive a re-encode/decode cycle with
+		// its header fields intact (answer bodies capped to keep the
+		// encoder's synthetic answers cheap).
+		rt := m
+		rt.AnswerCount %= 4
+		var m3 Message
+		if err := DecodeInto(Encode(&rt), &m3); err != nil {
+			t.Fatalf("re-encoded message rejected: %v", err)
+		}
+		if m3.ID != rt.ID || m3.Response != rt.Response || m3.QType != rt.QType {
+			t.Fatalf("header fields lost in round trip: %+v vs %+v", rt, m3)
+		}
+	})
+}

@@ -1,0 +1,63 @@
+package netbios
+
+import (
+	"testing"
+)
+
+// FuzzDecodeNS feeds the Name Service decoder arbitrary bytes: no
+// panics, and an accepted message carries a name within the protocol's
+// 15-byte bound with first-level encoding round-tripping cleanly.
+func FuzzDecodeNS(f *testing.F) {
+	// Well-formed seeds from the package's own encoder.
+	f.Add(EncodeNS(&NSMessage{ID: 0x0102, Name: "FILESRV01", Suffix: 0x20}))
+	f.Add(EncodeNS(&NSMessage{ID: 0x0304, Response: true, Rcode: RcodeNXDomain,
+		Name: "WORKSTATION", Suffix: 0x00}))
+	// Evasion-shaped seeds: truncations and corrupt encoded names.
+	full := EncodeNS(&NSMessage{ID: 9, Name: "HOST", Suffix: 0x20})
+	f.Add(full[:12])
+	f.Add(full[:20])
+	badLen := append([]byte(nil), full...)
+	badLen[12] = 0x1F // name-length byte not 0x20
+	f.Add(badLen)
+	badChar := append([]byte(nil), full...)
+	badChar[13] = 'z' // outside the A..P nibble alphabet
+	f.Add(badChar)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeNS(data)
+		if err != nil {
+			return
+		}
+		if len(m.Name) > 15 {
+			t.Fatalf("NetBIOS name %q exceeds 15 bytes", m.Name)
+		}
+		m2, err := DecodeNS(EncodeNS(m))
+		if err != nil {
+			t.Fatalf("re-encoded message rejected: %v", err)
+		}
+		if m2.ID != m.ID || m2.Response != m.Response || m2.Suffix != m.Suffix {
+			t.Fatalf("fields lost in round trip: %+v vs %+v", m, m2)
+		}
+	})
+}
+
+// FuzzDecodeSSNHeader checks the Session Service framing header parser:
+// no panics, and the 17-bit length field stays within its range so a
+// stream walker sizing a read from it cannot be driven past 128 KiB + 1.
+func FuzzDecodeSSNHeader(f *testing.F) {
+	f.Add(EncodeSSN(SSNMessage, []byte("smb-session-payload")))
+	f.Add(EncodeSSN(SSNRequest, nil))
+	f.Add([]byte{SSNKeepAlive, 0, 0, 0})
+	f.Add([]byte{0x00, 0xFF, 0xFF, 0xFF}) // length bits beyond the 17-bit field
+	f.Add([]byte{0x81, 0x01})             // truncated header
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		h, err := DecodeSSNHeader(data)
+		if err != nil {
+			return
+		}
+		if h.Length < 0 || h.Length >= 1<<17 {
+			t.Fatalf("session length %d outside the 17-bit field", h.Length)
+		}
+	})
+}

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"enttrace/internal/advtest"
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
 	"enttrace/internal/gen"
@@ -309,6 +310,45 @@ func Suite() []Benchmark {
 			},
 		})
 	}
+
+	// adversarial/evasion: the hostile-input price. Replays the full
+	// evasion scenario family (internal/gen) through the differential
+	// harness's replay path at the default 4×4 shape. The entry is new
+	// relative to older baselines, so -against treats it as informational
+	// until re-baselined; the guarantee that the hardening did not tax
+	// benign traffic is carried by the gated analyze/* and replay/*
+	// entries, which share the reassembly and census hot path.
+	suite = append(suite, Benchmark{
+		Name: "adversarial/evasion",
+		F: func(b *testing.B) {
+			type rawScenario struct {
+				raw []byte
+				pre netip.Prefix
+			}
+			var scenarios []rawScenario
+			var pkts int64
+			for _, sc := range gen.EvasionScenarios() {
+				tr := sc.Build()
+				scenarios = append(scenarios, rawScenario{raw: advtest.Serialize(tr), pre: tr.Prefix})
+				pkts += int64(len(tr.Packets))
+			}
+			gp := advtest.GridPoint{Workers: 4, ReplayWorkers: 4}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, sc := range scenarios {
+					res, err := advtest.Replay(sc.raw, sc.pre, gp, 0)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if res.Report.Hostile.IngestBytes == 0 {
+						b.Fatal("evasion replay produced no reassembled bytes")
+					}
+				}
+			}
+			reportPktsPerSec(b, pkts)
+		},
+	})
 
 	return suite
 }

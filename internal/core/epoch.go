@@ -41,6 +41,10 @@ type epochAgg struct {
 
 	roleCounts map[roles.Role]int
 
+	// hostile is the hostile-input census (reassembly ledger + RST
+	// signals), folded from replay workers like the connection sums.
+	hostile hostileCounters
+
 	// apps folds banked application deltas. The batch path leaves it
 	// empty (live replay shards merge at report time instead); the
 	// windowed path banks every application snapshot here.
@@ -89,6 +93,7 @@ func (e *epochAgg) merge(other *epochAgg) {
 	for role, n := range other.roleCounts {
 		e.roleCounts[role] += n
 	}
+	e.hostile.merge(&other.hostile)
 	e.apps.Merge(other.apps)
 }
 
@@ -99,6 +104,7 @@ func (e *epochAgg) foldConns(ca *connAggregates) {
 	e.origins.Merge(ca.origins)
 	foldLocSplit(e.catBytes, ca.catBytes)
 	foldLocSplit(e.catConns, ca.catConns)
+	e.hostile.merge(&ca.hostile)
 }
 
 func (e *epochAgg) foldFan(fan map[netip.Addr]*flows.FanStats) {

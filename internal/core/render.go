@@ -188,6 +188,16 @@ func RenderText(r *Report) string {
 	if r.Load.MedianHurst > 0 {
 		fmt.Fprintf(&b, "Self-similarity (extension): median per-trace Hurst estimate %.2f\n", r.Load.MedianHurst)
 	}
+	h := r.Hostile
+	fmt.Fprintf(&b, "Hostile-input census (extension):\n")
+	fmt.Fprintf(&b, "  reassembly: %s ingested over %d streams; delivered %s, duplicate %s (%s), conflicting overlap %s (%s), discarded %s\n",
+		stats.Bytes(h.IngestBytes), h.Streams, stats.Bytes(h.DeliveredBytes),
+		stats.Bytes(h.DuplicateBytes), stats.Pct(h.DuplicateFrac),
+		stats.Bytes(h.ConflictBytes), stats.Pct(h.ConflictFrac), stats.Bytes(h.DiscardedBytes))
+	fmt.Fprintf(&b, "  gaps: %d events skipping %s (%s of stream space); seq wraps %d; peak pending %s\n",
+		h.GapEvents, stats.Bytes(h.GapSkippedBytes), stats.Pct(h.GapFrac), h.WrapEvents, stats.Bytes(h.PeakPendingBytes))
+	fmt.Fprintf(&b, "  bogus RSTs %d; data-after-RST segments %d; undecodable frames %d\n\n",
+		h.BogusRSTs, h.PostRSTDataSegments, h.UndecodableFrames)
 	if len(r.Roles) > 0 {
 		fmt.Fprintf(&b, "Host roles (extension): servers %d, clients %d, peers %d\n\n",
 			r.Roles["server"], r.Roles["client"], r.Roles["peer"])

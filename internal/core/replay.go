@@ -150,6 +150,10 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 				// storage — including unparsed streams' out-of-order
 				// segments — so the next trace reuses this one's buffers.
 				app.release()
+				// Census after release: Discard has finalized the ledger.
+				// Every connection with streams contributes, kept or not —
+				// hostile input must not hide behind the scan filter.
+				ca.hostile.fold(app)
 			}
 		}
 		keptConns := make([]*flows.Conn, 0, len(connsByShard[w]))
@@ -273,6 +277,9 @@ type connAggregates struct {
 	transBytes, transConns *stats.Counter
 	origins                *stats.Counter
 	catBytes, catConns     map[string]*locSplit
+	// hostile is the hostile-input census over this worker's connections
+	// (sums plus one max; see hostileCounters).
+	hostile hostileCounters
 }
 
 func newConnAggregates() *connAggregates {
@@ -292,6 +299,7 @@ func (ca *connAggregates) merge(o *connAggregates) {
 	ca.origins.Merge(o.origins)
 	foldLocSplit(ca.catBytes, o.catBytes)
 	foldLocSplit(ca.catConns, o.catConns)
+	ca.hostile.merge(&o.hostile)
 }
 
 // replayResult is one worker's output for one trace: the whole-trace

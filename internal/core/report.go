@@ -39,6 +39,11 @@ type Report struct {
 	Backup      BackupReport
 	Load        LoadReport
 
+	// Hostile is the hostile-input census: what the reassembly and decode
+	// layers saw that well-formed traffic never produces (extension; see
+	// DESIGN.md on the overlap-conflict policy).
+	Hostile HostileReport
+
 	// Roles is the host-role census (extension: the paper's cited
 	// role-classification direction), summed over traces.
 	Roles map[string]int
@@ -69,6 +74,42 @@ type ScanSummary struct {
 	RemovedConns    int
 	TotalConns      int
 	RemovedFraction float64
+}
+
+// HostileReport is the hostile-input census. The byte ledger satisfies
+// IngestBytes == DeliveredBytes + DuplicateBytes + ConflictBytes +
+// DiscardedBytes exactly (streams are closed or discarded before the
+// census is taken), and the fractions are zero-denominator-safe.
+type HostileReport struct {
+	// Streams is the number of reassembled stream directions that carried
+	// at least one payload byte.
+	Streams int64
+	// The reassembly byte ledger, summed over those streams.
+	IngestBytes     int64
+	DeliveredBytes  int64
+	DuplicateBytes  int64
+	ConflictBytes   int64
+	DiscardedBytes  int64
+	GapSkippedBytes int64
+	// Event counts.
+	GapEvents  int64
+	WrapEvents int64
+	// PeakPendingBytes is the largest out-of-order backlog any single
+	// stream direction reached (bounded by the reassembler's MaxPending).
+	PeakPendingBytes int64
+	// BogusRSTs counts RST segments whose sequence number disagreed with
+	// the reassembly cursor; PostRSTDataSegments counts payload segments
+	// seen after any RST on the connection.
+	BogusRSTs           int64
+	PostRSTDataSegments int64
+	// UndecodableFrames counts frames the packet decoder rejected
+	// (truncated or corrupt link/IP/transport headers).
+	UndecodableFrames int64
+	// Shares of ingested bytes (0 when nothing was ingested).
+	DuplicateFrac float64
+	ConflictFrac  float64
+	// GapFrac is gap-skipped sequence space over delivered+skipped.
+	GapFrac float64
 }
 
 // CategoryRow is one Figure 1 bar: the category's share of unicast
@@ -330,6 +371,7 @@ func buildReport(dataset string, e *epochAgg, ap *appAggregates, win *WindowMeta
 	r.Interactive = interactiveReport(ap)
 	r.Backup = backupReport(ap)
 	r.Load = e.loadReport()
+	r.Hostile = e.hostileReport()
 	r.Roles = make(map[string]int)
 	for role, n := range e.roleCounts {
 		r.Roles[string(role)] = n
@@ -728,6 +770,28 @@ func (e *epochAgg) loadReport() LoadReport {
 	r.EntOver1Pct = frac(float64(entOver), float64(entTraces))
 	r.WanOver1Pct = frac(float64(wanOver), float64(wanTraces))
 	return r
+}
+
+func (e *epochAgg) hostileReport() HostileReport {
+	h := &e.hostile
+	return HostileReport{
+		Streams:             h.streams,
+		IngestBytes:         h.ingest,
+		DeliveredBytes:      h.delivered,
+		DuplicateBytes:      h.duplicate,
+		ConflictBytes:       h.conflict,
+		DiscardedBytes:      h.discarded,
+		GapSkippedBytes:     h.gapSkipped,
+		GapEvents:           h.gapEvents,
+		WrapEvents:          h.wrapEvents,
+		PeakPendingBytes:    h.peakPending,
+		BogusRSTs:           h.bogusRST,
+		PostRSTDataSegments: h.postRSTData,
+		UndecodableFrames:   e.netLayer.Get("undecodable"),
+		DuplicateFrac:       frac(float64(h.duplicate), float64(h.ingest)),
+		ConflictFrac:        frac(float64(h.conflict), float64(h.ingest)),
+		GapFrac:             frac(float64(h.gapSkipped), float64(h.delivered+h.gapSkipped)),
+	}
 }
 
 // findings produces Table 5's qualitative summary from the measured data.

@@ -91,6 +91,14 @@ type connStreams struct {
 	// releases a connection's streams, and a serial sweep afterwards
 	// catches connections the flow table never surfaced.
 	released bool
+	// Hostile-input signals observed at packet time. rstSeen flags any
+	// RST on the connection; bogusRST counts RSTs whose sequence number
+	// disagrees with the receiver's reassembly cursor (the blind-reset /
+	// evasion shape); postRSTData counts payload segments that keep
+	// flowing after a RST was seen.
+	rstSeen     bool
+	bogusRST    int64
+	postRSTData int64
 }
 
 func newShardSink(opts *Options, monitored netip.Prefix, base time.Time) *shardSink {
@@ -139,12 +147,28 @@ func (s *shardSink) Packet(idx int64, pk *pcap.Packet, p *layers.Packet, conn *f
 		app = newConnStreams(name, conn)
 		s.conns[conn] = app
 	}
+	if len(p.Payload) > 0 && app.rstSeen {
+		app.postRSTData++
+	}
 	if !app.buffered {
+		if p.TCP.Flags&layers.TCPRst != 0 {
+			app.rstSeen = true
+		}
 		return
 	}
 	stream := &app.cliStream
 	if dir == flows.DirResp {
 		stream = &app.srvStream
+	}
+	if p.TCP.Flags&layers.TCPRst != 0 {
+		// A reset whose sequence number disagrees with the sender's own
+		// stream cursor is the blind-reset evasion shape: an injected RST
+		// would tear the monitor's state down while the endpoints (which
+		// check sequence numbers) keep talking.
+		if stream.Started() && p.TCP.Seq != stream.NextSeq() {
+			app.bogusRST++
+		}
+		app.rstSeen = true
 	}
 	if p.TCP.Flags&layers.TCPSyn != 0 {
 		stream.SetISN(p.TCP.Seq + 1)

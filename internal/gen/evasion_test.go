@@ -1,0 +1,42 @@
+package gen
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestEvasionScenariosDeterministic builds every scenario twice and
+// requires byte-identical frames and timestamps: the differential
+// harness's grid comparisons are meaningless if the input itself drifts.
+func TestEvasionScenariosDeterministic(t *testing.T) {
+	for _, sc := range EvasionScenarios() {
+		a, b := sc.Build(), sc.Build()
+		if len(a.Packets) == 0 {
+			t.Errorf("%s: empty scenario", sc.Name)
+			continue
+		}
+		if len(a.Packets) != len(b.Packets) {
+			t.Errorf("%s: %d vs %d packets across builds", sc.Name, len(a.Packets), len(b.Packets))
+			continue
+		}
+		for i := range a.Packets {
+			if !a.Packets[i].Timestamp.Equal(b.Packets[i].Timestamp) || !bytes.Equal(a.Packets[i].Data, b.Packets[i].Data) {
+				t.Errorf("%s: packet %d differs across builds", sc.Name, i)
+				break
+			}
+		}
+		if a.Prefix != b.Prefix || a.Subnet != b.Subnet {
+			t.Errorf("%s: trace metadata differs across builds", sc.Name)
+		}
+	}
+}
+
+// TestEvasionScenarioByName pins lookup behaviour for entgen.
+func TestEvasionScenarioByName(t *testing.T) {
+	if _, ok := EvasionScenarioByName("overlap-conflict"); !ok {
+		t.Error("overlap-conflict not found")
+	}
+	if _, ok := EvasionScenarioByName("nope"); ok {
+		t.Error("unknown scenario reported found")
+	}
+}

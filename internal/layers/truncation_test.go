@@ -1,0 +1,241 @@
+package layers
+
+import (
+	"net/netip"
+	"testing"
+)
+
+// This file is the hostile-input bounds audit of the frame decoder: every
+// prefix of every valid frame shape — including IP- and TCP-option-bearing
+// variants — must decode without panicking or reading past the capture,
+// either returning an error or a packet marked Truncated whose payload
+// view stays inside the buffer. Corrupt version/IHL/data-offset fields
+// must be rejected with an error, never a crash.
+
+var (
+	auditSrcMAC = MAC{0x00, 0x0b, 0xdb, 0x01, 0x02, 0x03}
+	auditDstMAC = MAC{0x00, 0x0b, 0xdb, 0x04, 0x05, 0x06}
+	auditSrcIP  = netip.MustParseAddr("128.3.2.10")
+	auditDstIP  = netip.MustParseAddr("131.243.1.20")
+	auditSrcIP6 = netip.MustParseAddr("2001:400::10")
+	auditDstIP6 = netip.MustParseAddr("2001:400::20")
+)
+
+func auditFrameOpts() FrameOpts {
+	return FrameOpts{SrcMAC: auditSrcMAC, DstMAC: auditDstMAC, SrcIP: auditSrcIP, DstIP: auditDstIP, IPID: 7}
+}
+
+func auditPayload(n int) []byte {
+	d := make([]byte, n)
+	for i := range d {
+		d[i] = byte(i*11 + 3)
+	}
+	return d
+}
+
+// withIPv4Options splices opts (length a multiple of 4) into an IHL-5
+// IPv4 frame, fixing IHL, total length and the header checksum.
+func withIPv4Options(t *testing.T, frame []byte, opts []byte) []byte {
+	t.Helper()
+	if len(opts)%4 != 0 {
+		t.Fatalf("IP options length %d not a multiple of 4", len(opts))
+	}
+	if frame[14]&0x0f != 5 {
+		t.Fatalf("base frame IHL is %d, want 5", frame[14]&0x0f)
+	}
+	out := make([]byte, 0, len(frame)+len(opts))
+	out = append(out, frame[:14+20]...)
+	out = append(out, opts...)
+	out = append(out, frame[14+20:]...)
+	ip := out[14:]
+	ip[0] = 0x40 | byte(5+len(opts)/4)
+	be.PutUint16(ip[2:4], be.Uint16(ip[2:4])+uint16(len(opts)))
+	be.PutUint16(ip[10:12], 0)
+	hlen := int(ip[0]&0x0f) * 4
+	be.PutUint16(ip[10:12], foldChecksum(internetChecksum(0, ip[:hlen])))
+	return out
+}
+
+// withTCPOptions splices opts (length a multiple of 4) into an offset-5
+// TCP header inside an IHL-5 IPv4 frame, fixing the data offset and the
+// IP total length. The TCP checksum is left stale — the decoder does not
+// verify it.
+func withTCPOptions(t *testing.T, frame []byte, opts []byte) []byte {
+	t.Helper()
+	if len(opts)%4 != 0 {
+		t.Fatalf("TCP options length %d not a multiple of 4", len(opts))
+	}
+	const tcpOff = 14 + 20
+	if frame[tcpOff+12]>>4 != 5 {
+		t.Fatalf("base frame TCP data offset is %d, want 5", frame[tcpOff+12]>>4)
+	}
+	out := make([]byte, 0, len(frame)+len(opts))
+	out = append(out, frame[:tcpOff+20]...)
+	out = append(out, opts...)
+	out = append(out, frame[tcpOff+20:]...)
+	out[tcpOff+12] = byte(5+len(opts)/4) << 4
+	ip := out[14:]
+	be.PutUint16(ip[2:4], be.Uint16(ip[2:4])+uint16(len(opts)))
+	be.PutUint16(ip[10:12], 0)
+	be.PutUint16(ip[10:12], foldChecksum(internetChecksum(0, ip[:20])))
+	return out
+}
+
+type truncFrame struct {
+	name string
+	data []byte
+}
+
+func truncFrames(t *testing.T) []truncFrame {
+	t.Helper()
+	tcp := BuildTCP(TCPOpts{FrameOpts: auditFrameOpts(), SrcPort: 2001, DstPort: 80,
+		Seq: 0x1000, Ack: 0x2000, Flags: TCPAck | TCPPsh, Payload: auditPayload(48)})
+	// MSS, two NOPs, SACK-permitted — the classic SYN option block.
+	tcpOpts := []byte{2, 4, 0x05, 0xb4, 1, 1, 4, 2}
+	ipOpts := []byte{7, 7, 4, 0, 0, 0, 0, 0} // record-route shell + padding
+
+	frag := append([]byte(nil), tcp...)
+	be.PutUint16(frag[14+6:14+8], 0x2000|185) // MF + non-zero fragment offset
+	be.PutUint16(frag[14+10:14+12], 0)
+	be.PutUint16(frag[14+10:14+12], foldChecksum(internetChecksum(0, frag[14:14+20])))
+
+	unknownEther := append([]byte(nil), tcp[:40]...)
+	be.PutUint16(unknownEther[12:14], 0x88cc) // LLDP: recognized by nothing here
+
+	v6udp := BuildUDP(UDPOpts{
+		FrameOpts: FrameOpts{SrcMAC: auditSrcMAC, DstMAC: auditDstMAC, SrcIP: auditSrcIP6, DstIP: auditDstIP6},
+		SrcPort:   5353, DstPort: 5353, Payload: auditPayload(30)})
+
+	return []truncFrame{
+		{"tcp", tcp},
+		{"tcp-ip-options", withIPv4Options(t, tcp, ipOpts)},
+		{"tcp-tcp-options", withTCPOptions(t, tcp, tcpOpts)},
+		{"tcp-both-options", withIPv4Options(t, withTCPOptions(t, tcp, tcpOpts), ipOpts)},
+		{"ipv4-fragment", frag},
+		{"udp", BuildUDP(UDPOpts{FrameOpts: auditFrameOpts(), SrcPort: 137, DstPort: 137, Payload: auditPayload(40)})},
+		{"udp-ipv6", v6udp},
+		{"icmp-echo", BuildICMP(ICMPOpts{FrameOpts: auditFrameOpts(), Type: ICMPEchoRequest, ID: 9, Seq: 1, Payload: auditPayload(32)})},
+		{"arp", BuildARP(ARPOpts{SrcMAC: auditSrcMAC, DstMAC: Broadcast, Op: 1,
+			SenderHW: auditSrcMAC, SenderIP: auditSrcIP, TargetIP: auditDstIP})},
+		{"ipx-raw8023", BuildIPX(IPXOpts{SrcMAC: auditSrcMAC, DstMAC: auditDstMAC,
+			SrcSocket: 0x4003, DstSocket: 0x0451, Raw8023: true, Payload: auditPayload(25)})},
+		{"ipx-ethertype", BuildIPX(IPXOpts{SrcMAC: auditSrcMAC, DstMAC: auditDstMAC,
+			SrcSocket: 0x4003, DstSocket: 0x0451, Payload: auditPayload(25)})},
+		{"unknown-ethertype", unknownEther},
+	}
+}
+
+// decodeNoPanic decodes and converts a panic into a test failure carrying
+// the truncation context.
+func decodeNoPanic(t *testing.T, data []byte, origLen int, p *Packet) (err error) {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("decode panicked on %d of %d bytes: %v", len(data), origLen, r)
+		}
+	}()
+	return Decode(data, origLen, p)
+}
+
+func TestDecodeTruncationAudit(t *testing.T) {
+	for _, fr := range truncFrames(t) {
+		t.Run(fr.name, func(t *testing.T) {
+			var full Packet
+			if err := Decode(fr.data, len(fr.data), &full); err != nil {
+				t.Fatalf("full frame rejected: %v", err)
+			}
+			if full.Truncated {
+				t.Fatal("full frame marked truncated")
+			}
+			for l := 0; l < len(fr.data); l++ {
+				// Exact-capacity copy: any decoder read past the capture
+				// length panics instead of silently seeing stale bytes.
+				prefix := make([]byte, l)
+				copy(prefix, fr.data[:l])
+				var p Packet
+				err := decodeNoPanic(t, prefix, len(fr.data), &p)
+				if l < 14 {
+					if err == nil {
+						t.Fatalf("truncation %d: sub-Ethernet frame not rejected", l)
+					}
+					continue
+				}
+				if err != nil {
+					continue // rejecting a truncated frame outright is fine
+				}
+				if !p.Truncated {
+					t.Fatalf("truncation %d: accepted without the Truncated mark", l)
+				}
+				if len(p.Payload) > l {
+					t.Fatalf("truncation %d: payload view %d bytes long", l, len(p.Payload))
+				}
+				if p.PayloadLen < 0 {
+					t.Fatalf("truncation %d: negative payload length %d", l, p.PayloadLen)
+				}
+				// Same prefix presented as a complete (non-truncated)
+				// capture: still no panic, no over-read.
+				standalone := make([]byte, l)
+				copy(standalone, fr.data[:l])
+				var q Packet
+				if err := decodeNoPanic(t, standalone, l, &q); err == nil && len(q.Payload) > l {
+					t.Fatalf("standalone %d: payload view %d bytes long", l, len(q.Payload))
+				}
+			}
+		})
+	}
+}
+
+// TestDecodeCorruptHeaders patches individual header fields to invalid
+// values: the decoder must return an error (or a bounded truncated parse
+// for fields that merely overstate a length), and every truncation of the
+// corrupt frame must stay panic-free too.
+func TestDecodeCorruptHeaders(t *testing.T) {
+	base := BuildTCP(TCPOpts{FrameOpts: auditFrameOpts(), SrcPort: 2001, DstPort: 80,
+		Seq: 0x1000, Flags: TCPAck, Payload: auditPayload(20)})
+	v6 := BuildUDP(UDPOpts{
+		FrameOpts: FrameOpts{SrcMAC: auditSrcMAC, DstMAC: auditDstMAC, SrcIP: auditSrcIP6, DstIP: auditDstIP6},
+		SrcPort:   53, DstPort: 53, Payload: auditPayload(12)})
+
+	cases := []struct {
+		name      string
+		data      []byte
+		mut       func([]byte)
+		wantError bool
+	}{
+		{"ipv4-version-5", base, func(b []byte) { b[14] = 0x55 }, true},
+		{"ipv4-version-0", base, func(b []byte) { b[14] = 0x05 }, true},
+		{"ipv4-ihl-4", base, func(b []byte) { b[14] = 0x44 }, true},
+		{"ipv4-ihl-0", base, func(b []byte) { b[14] = 0x40 }, true},
+		{"tcp-offset-4", base, func(b []byte) { b[14+20+12] = 4 << 4 }, true},
+		{"tcp-offset-0", base, func(b []byte) { b[14+20+12] = 0 }, true},
+		// Overstated lengths are not errors — just bounded truncated parses.
+		{"tcp-offset-15", base, func(b []byte) { b[14+20+12] = 15 << 4 }, false},
+		{"ipv4-total-overstated", base, func(b []byte) { be.PutUint16(b[14+2:14+4], 0xFFFF) }, false},
+		{"ipv6-version-4", v6, func(b []byte) { b[14] = 0x45 }, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := append([]byte(nil), tc.data...)
+			tc.mut(data)
+			var p Packet
+			err := decodeNoPanic(t, data, len(data), &p)
+			if tc.wantError && err == nil {
+				t.Error("corrupt frame accepted without error")
+			}
+			if !tc.wantError && err != nil {
+				t.Errorf("overstated-length frame rejected: %v", err)
+			}
+			if err == nil && len(p.Payload) > len(data) {
+				t.Errorf("payload view %d bytes from a %d-byte frame", len(p.Payload), len(data))
+			}
+			for l := 0; l < len(data); l++ {
+				prefix := make([]byte, l)
+				copy(prefix, data[:l])
+				var q Packet
+				if err := decodeNoPanic(t, prefix, len(data), &q); err == nil && len(q.Payload) > l {
+					t.Fatalf("truncation %d: payload view %d bytes long", l, len(q.Payload))
+				}
+			}
+		})
+	}
+}

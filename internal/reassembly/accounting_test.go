@@ -108,6 +108,96 @@ func TestSpanningSegmentSplitsAroundExisting(t *testing.T) {
 	}
 }
 
+// checkConservation asserts the package-level ledger invariant on a
+// stream at any point in its life.
+func checkConservation(t *testing.T, s *Stream) {
+	t.Helper()
+	a := s.Accounting()
+	if got := a.DeliveredBytes + a.DuplicateBytes + a.ConflictBytes + a.DiscardedBytes + int64(s.PendingBytes()); got != a.IngestBytes {
+		t.Fatalf("conservation broken: ingest %d, accounted %d (%+v)", a.IngestBytes, got, a)
+	}
+}
+
+// TestConflictingOverlapSplitsLedger pins the duplicate/conflict split:
+// a second buffered copy of a range with differing content counts its
+// differing bytes as conflicts, identical bytes as duplicates, and the
+// first copy's content is what gets delivered.
+func TestConflictingOverlapSplitsLedger(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.SetISN(0)
+	s.Segment(100, patData(100, 50)) // first copy of [100,150)
+	evil := patData(100, 50)
+	for i := 10; i < 30; i++ { // corrupt 20 bytes in the middle
+		evil[i] ^= 0xFF
+	}
+	s.Segment(100, evil) // conflicting retransmission, fully covered
+	a := s.Accounting()
+	if a.ConflictBytes != 20 || a.DuplicateBytes != 30 {
+		t.Fatalf("conflict=%d dup=%d, want 20/30", a.ConflictBytes, a.DuplicateBytes)
+	}
+	checkConservation(t, s)
+	s.Segment(0, patData(0, 100)) // fill the hole; first copy must win
+	if !bytes.Equal(c.Buf, patData(0, 150)) {
+		t.Errorf("delivered bytes are not the first copy")
+	}
+	// Overlap behind the delivery cursor counts as duplicate regardless
+	// of content: the delivered copy is gone, no comparison is possible.
+	s.Segment(120, evil[20:]) // [120,150), all behind cursor, conflicting content
+	a = s.Accounting()
+	if a.ConflictBytes != 20 {
+		t.Errorf("conflict=%d changed by past-overlap", a.ConflictBytes)
+	}
+	if a.DuplicateBytes != 30+30 {
+		t.Errorf("dup=%d, want 60", a.DuplicateBytes)
+	}
+	checkConservation(t, s)
+}
+
+// TestSequenceWrapCounted drives a stream across the 32-bit sequence
+// boundary, in order and via a gap skip, and checks WrapEvents.
+func TestSequenceWrapCounted(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	isn := uint32(0xFFFFFFF0)
+	s.SetISN(isn)
+	s.Segment(isn, patData(isn, 64)) // crosses zero in-order
+	if a := s.Accounting(); a.WrapEvents != 1 {
+		t.Fatalf("WrapEvents = %d after in-order wrap, want 1", a.WrapEvents)
+	}
+	if !bytes.Equal(c.Buf, patData(isn, 64)) {
+		t.Errorf("delivered bytes wrong across wrap")
+	}
+	// Second stream: the wrap happens inside a gap skip.
+	var c2 BufferConsumer
+	s2 := NewStream(&c2)
+	s2.MaxPending = 128
+	s2.SetISN(isn)
+	post := isn + 200 // wrapped target
+	s2.Segment(post, patData(post, 192))
+	if a := s2.Accounting(); a.WrapEvents != 1 || a.GapEvents != 1 || a.GapSkippedBytes != 200 {
+		t.Fatalf("ledger %+v, want wrap=1 gap=1 skipped=200", a)
+	}
+	checkConservation(t, s2)
+}
+
+// TestDiscardLedger checks that Discard accounts dropped pending bytes so
+// conservation holds on the unparsed end-of-trace path.
+func TestDiscardLedger(t *testing.T) {
+	var c BufferConsumer
+	s := NewStream(&c)
+	s.SetISN(0)
+	s.Segment(0, patData(0, 10))
+	s.Segment(100, patData(100, 50))
+	s.Segment(300, patData(300, 50))
+	s.Discard()
+	a := s.Accounting()
+	if a.DiscardedBytes != 100 || a.DeliveredBytes != 10 {
+		t.Fatalf("ledger %+v, want discarded=100 delivered=10", a)
+	}
+	checkConservation(t, s)
+}
+
 // TestDiscardRecyclesWithoutDelivery checks the end-of-trace path for
 // unparsed streams: nothing is delivered, accounting zeroes, stream closes.
 func TestDiscardRecyclesWithoutDelivery(t *testing.T) {

@@ -18,8 +18,10 @@ type fuzzConsumer struct {
 
 func (f *fuzzConsumer) Data(b []byte) {
 	for i, by := range b {
-		if want := patByte(f.pos + uint32(i)); by != want {
-			f.t.Fatalf("delivered byte at seq %d = %#x, want %#x", f.pos+uint32(i), by, want)
+		// Corrupted ops invert the pattern; first-wins means either copy
+		// may legitimately be the one delivered for its position.
+		if want := patByte(f.pos + uint32(i)); by != want && by != want^0xFF {
+			f.t.Fatalf("delivered byte at seq %d = %#x, want %#x or %#x", f.pos+uint32(i), by, want, want^0xFF)
 		}
 	}
 	f.pos += uint32(len(b))
@@ -36,25 +38,33 @@ func (f *fuzzConsumer) Gap(n int) {
 }
 
 // FuzzStreamSegment drives Stream with arbitrary interleavings of
-// overlapping, out-of-order, duplicated and gapped segments, all carrying
-// position-determined content, and asserts the fundamental reassembly
-// invariant: the consumer sees a consistent prefix — bytes and gaps in
-// strictly increasing sequence order, every byte correct for its position,
-// and the accounting (delivered + skipped = cursor advance, pending = 0
-// after Close) exact.
+// overlapping, out-of-order, duplicated and gapped segments — including
+// evasion-style retransmissions whose payload bytes conflict with the
+// first copy (op flag 0x40 inverts the pattern) — and asserts the
+// fundamental reassembly invariants: the consumer sees a consistent
+// prefix (bytes and gaps in strictly increasing sequence order, every
+// byte matching one of the copies sent for its position), and the
+// Accounting ledger conserves exactly (ingest = delivered + duplicate +
+// conflict + discarded + pending; cursor advance = delivered + skipped).
 func FuzzStreamSegment(f *testing.F) {
 	f.Add([]byte{0x00, 0x10, 0x20, 0x01, 0x00, 0x30}, uint32(1000), uint16(512))
 	f.Add([]byte{0xff, 0x00, 0x08, 0x10, 0x00, 0x08, 0x00, 0x00, 0x08}, uint32(0xFFFFFF00), uint16(64))
 	f.Add([]byte{0x20, 0x03, 0x40, 0x10, 0x00, 0x80, 0x30, 0x05, 0x08}, uint32(1<<31), uint16(128))
+	// Conflicting overlap: two out-of-order copies of the same range, the
+	// second inverted (0x40 flag), then the filler that drains them.
+	f.Add([]byte{0x40, 0x01, 0x1f, 0x40, 0x41, 0x1f, 0x00, 0x00, 0x3f}, uint32(2000), uint16(1024))
 	f.Fuzz(func(t *testing.T, ops []byte, isn uint32, maxPending uint16) {
 		const window = 1 << 14
 		c := &fuzzConsumer{t: t, pos: isn}
 		s := NewStream(c)
 		s.MaxPending = int(maxPending%4096) + 1
 		s.SetISN(isn)
-		// Each op is 3 bytes: a 12-bit offset into the window and a length.
+		ingest := 0
+		// Each op is 3 bytes: a 12-bit offset into the window, a corrupt
+		// flag (0x40: inverted payload content), and a length.
 		for len(ops) >= 3 {
 			off := uint32(ops[0]) | uint32(ops[1]&0x3f)<<8
+			corrupt := ops[1]&0x40 != 0
 			length := int(ops[2])%512 + 1
 			ops = ops[3:]
 			if off+uint32(length) > window {
@@ -64,17 +74,41 @@ func FuzzStreamSegment(f *testing.F) {
 				continue
 			}
 			seq := isn + off
-			s.Segment(seq, patData(seq, length))
+			data := patData(seq, length)
+			if corrupt {
+				for i := range data {
+					data[i] ^= 0xFF
+				}
+			}
+			s.Segment(seq, data)
+			ingest += length
 			if s.PendingBytes() > s.MaxPending {
 				t.Fatalf("pending %d exceeds MaxPending %d after Segment", s.PendingBytes(), s.MaxPending)
 			}
 			if s.PendingBytes() < 0 {
 				t.Fatalf("negative pending %d", s.PendingBytes())
 			}
+			a := s.Accounting()
+			if got := a.DeliveredBytes + a.DuplicateBytes + a.ConflictBytes + a.DiscardedBytes + int64(s.PendingBytes()); got != a.IngestBytes {
+				t.Fatalf("conservation broken mid-stream: ingest %d, accounted %d (%+v)", a.IngestBytes, got, a)
+			}
+			if a.PeakPendingBytes > int64(s.MaxPending) {
+				t.Fatalf("peak pending %d exceeds MaxPending %d", a.PeakPendingBytes, s.MaxPending)
+			}
 		}
 		s.Close()
 		if s.PendingBytes() != 0 {
 			t.Fatalf("pending = %d after Close", s.PendingBytes())
+		}
+		a := s.Accounting()
+		if a.IngestBytes != int64(ingest) {
+			t.Fatalf("ingest ledger %d, fed %d", a.IngestBytes, ingest)
+		}
+		if got := a.DeliveredBytes + a.DuplicateBytes + a.ConflictBytes + a.DiscardedBytes; got != a.IngestBytes {
+			t.Fatalf("conservation broken after Close: ingest %d, accounted %d (%+v)", a.IngestBytes, got, a)
+		}
+		if a.DeliveredBytes != int64(c.delivered) || a.GapSkippedBytes != int64(c.gapBytes) || a.GapEvents != int64(c.gaps) {
+			t.Fatalf("ledger %+v disagrees with consumer (delivered %d, gapBytes %d, gaps %d)", a, c.delivered, c.gapBytes, c.gaps)
 		}
 		// The cursor moved exactly by what was delivered plus what was
 		// declared lost, and never past the window.

@@ -14,9 +14,39 @@
 // at insertion, so pending memory (and the gap-skip accounting) covers
 // each missing byte exactly once no matter how heavily the trace
 // retransmits.
+//
+// # Overlap-conflict policy
+//
+// When two segments cover the same sequence range, the first copy wins —
+// the paper-era Bro policy. Concretely:
+//
+//   - Bytes at or behind the delivery cursor are never re-delivered. A
+//     retransmission overlapping already-delivered data is trimmed and the
+//     trimmed bytes counted as duplicates (the delivered copy is not
+//     retained, so a content comparison is impossible there by design).
+//   - Among buffered out-of-order segments, the copy that arrived first is
+//     kept and later arrivals for the same range are dropped at insertion.
+//     Both copies are in hand at that moment, so dropped bytes are split
+//     byte-wise into DuplicateBytes (identical content) and ConflictBytes
+//     (differing content — the signature of an evasion attempt, since a
+//     well-behaved sender retransmits the same data).
+//   - An in-order arrival is delivered immediately, even if a buffered
+//     out-of-order copy of the same range exists; the buffered copy is
+//     trimmed when the cursor passes it and counted as duplicate.
+//
+// Every stream keeps an Accounting ledger of these events; the
+// conservation invariant
+//
+//	IngestBytes == DeliveredBytes + DuplicateBytes + ConflictBytes +
+//	               DiscardedBytes + PendingBytes()
+//
+// holds after every Segment call (with PendingBytes() == 0 once the
+// stream is closed or discarded), and the delivery cursor advances by
+// exactly DeliveredBytes + GapSkippedBytes.
 package reassembly
 
 import (
+	"bytes"
 	"sort"
 )
 
@@ -35,6 +65,39 @@ type Consumer interface {
 // DefaultMaxPending is the default buffered-bytes gap-skip threshold.
 const DefaultMaxPending = 256 << 10
 
+// Accounting is a Stream's hostile-input ledger. All byte counters are in
+// payload bytes as fed to Segment; see the package comment for the
+// conservation invariants tying them together.
+type Accounting struct {
+	// IngestBytes counts every payload byte fed to Segment while the
+	// stream was open.
+	IngestBytes int64
+	// DeliveredBytes counts bytes handed to the consumer via Data.
+	DeliveredBytes int64
+	// DuplicateBytes counts overlap bytes dropped whose content matched
+	// the kept copy, or that overlapped data no longer retained (behind
+	// the delivery cursor, or trimmed while draining).
+	DuplicateBytes int64
+	// ConflictBytes counts overlap bytes dropped whose content differed
+	// from the kept first copy — a retransmission that "changed its mind",
+	// the classic reassembly-evasion signature.
+	ConflictBytes int64
+	// DiscardedBytes counts buffered bytes dropped by Discard without
+	// delivery or gap accounting (the unparsed end-of-trace path).
+	DiscardedBytes int64
+	// GapSkippedBytes counts sequence space declared lost via Gap.
+	GapSkippedBytes int64
+	// GapEvents counts Gap callbacks.
+	GapEvents int64
+	// WrapEvents counts 32-bit sequence-number wraps of the delivery
+	// cursor.
+	WrapEvents int64
+	// PeakPendingBytes is the high-water mark of buffered out-of-order
+	// bytes observed after a Segment call returned (the gap-skip policy
+	// has already run, so it never exceeds MaxPending).
+	PeakPendingBytes int64
+}
+
 // Stream reassembles one direction of a TCP connection. The zero value is
 // not ready to use; call NewStream, or Init for an embedded Stream.
 type Stream struct {
@@ -51,6 +114,7 @@ type Stream struct {
 	// declares a gap and skips forward. Default 256 KB.
 	MaxPending int
 	closed     bool
+	acct       Accounting
 }
 
 type segment struct {
@@ -92,23 +156,30 @@ func (s *Stream) Segment(seq uint32, data []byte) {
 	if s.closed || len(data) == 0 {
 		return
 	}
+	s.acct.IngestBytes += int64(len(data))
 	if !s.started {
 		s.next = seq
 		s.started = true
 	}
-	// Drop or trim data entirely in the past (retransmission).
+	// Drop or trim data entirely in the past (retransmission). The
+	// delivered copy is not retained, so these bytes count as duplicates
+	// regardless of content.
 	if seqLess(seq, s.next) {
 		overlap := s.next - seq
 		if uint32(len(data)) <= overlap {
+			s.acct.DuplicateBytes += int64(len(data))
 			return
 		}
+		s.acct.DuplicateBytes += int64(overlap)
 		data = data[overlap:]
 		seq = s.next
 	}
 	if seq == s.next {
 		s.consumer.Data(data)
-		s.next += uint32(len(data))
+		s.acct.DeliveredBytes += int64(len(data))
+		s.setNext(s.next + uint32(len(data)))
 		s.drainPending()
+		s.notePeak()
 		return
 	}
 	s.insertPending(seq, data)
@@ -117,6 +188,39 @@ func (s *Stream) Segment(seq uint32, data []byte) {
 	// several disjoint clusters.
 	for s.pendingBytes > s.MaxPending {
 		s.skipToPending()
+	}
+	s.notePeak()
+}
+
+// setNext advances the delivery cursor, recording 32-bit wraps. Every
+// advance is less than 2^31, so a wrap shows as the raw value decreasing.
+func (s *Stream) setNext(v uint32) {
+	if v < s.next {
+		s.acct.WrapEvents++
+	}
+	s.next = v
+}
+
+func (s *Stream) notePeak() {
+	if int64(s.pendingBytes) > s.acct.PeakPendingBytes {
+		s.acct.PeakPendingBytes = int64(s.pendingBytes)
+	}
+}
+
+// noteOverlap accounts for dropped overlap bytes where both the kept
+// first copy and the dropped later copy are in hand: identical bytes are
+// duplicates, differing bytes are conflicts. The slices are equal length.
+func (s *Stream) noteOverlap(kept, dropped []byte) {
+	if bytes.Equal(kept, dropped) {
+		s.acct.DuplicateBytes += int64(len(dropped))
+		return
+	}
+	for i := range dropped {
+		if dropped[i] == kept[i] {
+			s.acct.DuplicateBytes++
+		} else {
+			s.acct.ConflictBytes++
+		}
 	}
 }
 
@@ -137,9 +241,12 @@ func (s *Stream) insertPending(seq uint32, data []byte) {
 			prevEnd := prev.seq + uint32(len(prev.data))
 			if seqLess(seq, prevEnd) {
 				overlap := prevEnd - seq
+				keptOff := len(prev.data) - int(overlap)
 				if uint32(len(data)) <= overlap {
+					s.noteOverlap(prev.data[keptOff:keptOff+len(data)], data)
 					return
 				}
+				s.noteOverlap(prev.data[keptOff:], data[:overlap])
 				data = data[overlap:]
 				seq = prevEnd
 			}
@@ -152,8 +259,10 @@ func (s *Stream) insertPending(seq uint32, data []byte) {
 				// reconsider the remainder.
 				covered := uint32(len(nxt.data))
 				if uint32(len(chunk)) <= covered {
+					s.noteOverlap(nxt.data[:len(chunk)], chunk)
 					return
 				}
+				s.noteOverlap(nxt.data, data[:covered])
 				data = data[covered:]
 				seq += covered
 				continue
@@ -192,15 +301,20 @@ func (s *Stream) drainPending() {
 		s.pendingBytes -= len(seg.data)
 		data := seg.data
 		if seqLess(seg.seq, s.next) {
+			// The cursor already passed this buffered copy (a fresher
+			// in-order arrival won); the trimmed bytes are duplicates.
 			overlap := s.next - seg.seq
 			if uint32(len(data)) <= overlap {
+				s.acct.DuplicateBytes += int64(len(data))
 				PutBuffer(seg.data)
 				continue
 			}
+			s.acct.DuplicateBytes += int64(overlap)
 			data = data[overlap:]
 		}
 		s.consumer.Data(data)
-		s.next += uint32(len(data))
+		s.acct.DeliveredBytes += int64(len(data))
+		s.setNext(s.next + uint32(len(data)))
 		PutBuffer(seg.data)
 	}
 }
@@ -213,7 +327,9 @@ func (s *Stream) skipToPending() {
 	}
 	gap := s.pending[0].seq - s.next
 	s.consumer.Gap(int(gap))
-	s.next = s.pending[0].seq
+	s.acct.GapEvents++
+	s.acct.GapSkippedBytes += int64(gap)
+	s.setNext(s.pending[0].seq)
 	s.drainPending()
 }
 
@@ -233,6 +349,7 @@ func (s *Stream) Close() {
 // recycling the pooled segment buffers, and marks the stream finished.
 // It is the end-of-trace path for streams the analysis never parses.
 func (s *Stream) Discard() {
+	s.acct.DiscardedBytes += int64(s.pendingBytes)
 	for i := range s.pending {
 		PutBuffer(s.pending[i].data)
 		s.pending[i] = segment{}
@@ -244,6 +361,17 @@ func (s *Stream) Discard() {
 
 // PendingBytes reports how much distinct out-of-order data is buffered.
 func (s *Stream) PendingBytes() int { return s.pendingBytes }
+
+// Accounting returns a snapshot of the stream's hostile-input ledger.
+func (s *Stream) Accounting() Accounting { return s.acct }
+
+// NextSeq reports the sequence number of the next expected in-order byte.
+// Meaningful only once Started.
+func (s *Stream) NextSeq() uint32 { return s.next }
+
+// Started reports whether the stream's sequence origin is established
+// (via SetISN or the first data segment).
+func (s *Stream) Started() bool { return s.started }
 
 // BufferConsumer is a Consumer that accumulates the stream into memory,
 // recording gap positions. It is the consumer used by most application
