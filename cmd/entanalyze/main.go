@@ -9,11 +9,19 @@
 // server exposes the latest window, any window by index, and a health
 // endpoint while analysis streams (and the final report afterwards).
 //
+// With -gen, no trace files are read at all: frames are synthesized on
+// the fly from a gen.Schedule and streamed straight into the pipeline —
+// the in-memory load harness. -duration tiles the schedule for soak
+// runs; memory stays bounded however long it runs, and the report is
+// byte-identical to writing the same schedule to a pcap and replaying
+// it.
+//
 // Usage:
 //
 //	entanalyze [-payload] [-workers N] [-replay-workers N] [-monitored 128.3.5.0/24]
 //	           [-window 60s] [-format text|json] [-serve :8080]
 //	           trace1.pcap [trace2.pcap ...]
+//	entanalyze -gen default [-gen-dataset D3] [-duration 10m] [-window 60s] [-serve :8080]
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
 	"enttrace/internal/stats"
 )
 
@@ -40,18 +49,72 @@ func main() {
 	window := flag.Duration("window", 0, "cut per-window reports at this interval in packet time (0 = whole-run report only)")
 	format := flag.String("format", "text", "report output format: text or json")
 	serve := flag.String("serve", "", "serve reports over HTTP at this address (e.g. :8080); window endpoints need -window")
+	genSpec := flag.String("gen", "",
+		`stream a synthesized schedule instead of reading trace files: comma-separated phases `+
+			`kind:duration[:rate] with rate in sessions/minute (e.g. "steady:5m:120"), or "default" `+
+			`for the built-in day-in-miniature; frames never touch disk`)
+	genDataset := flag.String("gen-dataset", "D3", "dataset shape for -gen (D0..D4): snaplen, subnets, seed")
+	duration := flag.Duration("duration", 0, "with -gen, tile the schedule to at least this length (soak mode; 0 = run it once)")
 	flag.Parse()
-	if flag.NArg() == 0 {
-		fmt.Fprintln(os.Stderr, "usage: entanalyze [flags] trace.pcap ...")
+	if (flag.NArg() == 0) == (*genSpec == "") {
+		fmt.Fprintln(os.Stderr, "usage: entanalyze [flags] trace.pcap ...\n       entanalyze -gen <schedule|default> [flags]")
 		os.Exit(2)
 	}
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want text or json)\n", *format)
 		os.Exit(2)
 	}
+	setFlags := make(map[string]bool)
+	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	prefix, err := netip.ParsePrefix(*monitored)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	// Soak-mode setup: resolve the schedule and dataset shape up front so
+	// flag errors surface before the server starts.
+	var streamCfg gen.StreamConfig
+	if *genSpec != "" {
+		var cfg enterprise.Config
+		found := false
+		for _, c := range enterprise.AllDatasets() {
+			if c.Name == *genDataset {
+				cfg, found = c, true
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown -gen-dataset %q\n", *genDataset)
+			os.Exit(2)
+		}
+		sched := gen.DefaultSchedule()
+		if *genSpec != "default" {
+			if sched, err = gen.ParseSchedule(*genSpec); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		if *duration > 0 {
+			sched = sched.Repeat(*duration)
+		}
+		subnet := cfg.Monitored[0]
+		streamCfg = gen.StreamConfig{
+			Network:  enterprise.NewNetwork(cfg),
+			Subnet:   subnet,
+			Schedule: sched,
+			Snaplen:  cfg.Snaplen,
+		}
+		// The synthesized trace is a single monitored-subnet vantage;
+		// default the fan-in/out prefix to it unless the user said
+		// otherwise.
+		if !setFlags["monitored"] {
+			prefix = enterprise.SubnetPrefix(subnet)
+		}
+		if !setFlags["name"] {
+			*dataset = fmt.Sprintf("%s-gen", cfg.Name)
+		}
+	} else if setFlags["duration"] || setFlags["gen-dataset"] {
+		fmt.Fprintln(os.Stderr, "-duration and -gen-dataset require -gen")
 		os.Exit(2)
 	}
 	opts := core.Options{
@@ -92,6 +155,19 @@ func main() {
 		}()
 	}
 
+	if *genSpec != "" {
+		src := gen.NewStreamSource(streamCfg)
+		start := time.Now()
+		if err := a.AddTraceSource(*dataset, prefix, src); err != nil {
+			fmt.Fprintf(os.Stderr, "gen stream: %v\n", err)
+			os.Exit(1)
+		}
+		wall := time.Since(start)
+		st := src.Stats()
+		fmt.Fprintf(os.Stderr, "gen stream: %d packets over %s of schedule in %.1fs wall (%.0f pkts/s), peak %d frames buffered, %d in flight\n",
+			st.Frames, streamCfg.Schedule.Duration(), wall.Seconds(),
+			float64(st.Frames)/wall.Seconds(), st.PeakBuffered, st.PeakInFlight)
+	}
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {

@@ -37,6 +37,7 @@ func main() {
 	outDir := flag.String("out", ".", "directory for the numbered BENCH_<n>.json report")
 	outFile := flag.String("o", "", "exact output path (overrides -out)")
 	runFilter := flag.String("run", "", "regexp selecting benchmarks to run")
+	skipFilter := flag.String("skip", "", "regexp excluding benchmarks (applied after -run)")
 	against := flag.String("against", "", "baseline BENCH_*.json to compare the new report against")
 	tolerance := flag.String("tolerance", "10%", "allowed allocs/op and B/op growth vs the baseline")
 	timeTolerance := flag.String("time-tolerance", "", "allowed ns/op growth and pkts/sec decay; empty disables wall-clock gating")
@@ -52,11 +53,17 @@ func main() {
 		return
 	}
 
-	var filter *regexp.Regexp
+	var filter, skip *regexp.Regexp
 	if *runFilter != "" {
 		var err error
 		if filter, err = regexp.Compile(*runFilter); err != nil {
 			fatalf("bad -run pattern: %v", err)
+		}
+	}
+	if *skipFilter != "" {
+		var err error
+		if skip, err = regexp.Compile(*skipFilter); err != nil {
+			fatalf("bad -skip pattern: %v", err)
 		}
 	}
 	tol := bench.Tolerances{Alloc: parsePercent(*tolerance, "-tolerance")}
@@ -85,10 +92,10 @@ func main() {
 		}
 	}
 
-	rep := bench.RunSuite(filter, func(line string) { fmt.Fprintln(os.Stderr, line) })
+	rep := bench.RunSuite(filter, skip, func(line string) { fmt.Fprintln(os.Stderr, line) })
 	stopCPU()
 	if len(rep.Metrics) == 0 {
-		fatalf("no benchmarks matched -run %q", *runFilter)
+		fatalf("no benchmarks matched -run %q -skip %q", *runFilter, *skipFilter)
 	}
 
 	if *memProfile != "" {

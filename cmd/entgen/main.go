@@ -6,6 +6,7 @@
 // Usage:
 //
 //	entgen -dataset D3 -out ./traces [-scale 1.0] [-subnets N]
+//	entgen -dataset D3 -schedule default [-duration 10m] -out ./traces
 //	entgen -evasion all -out ./traces
 package main
 
@@ -28,6 +29,8 @@ func main() {
 		`emit one time-structured trace instead of the tap rotation: comma-separated phases `+
 			`kind:duration[:rate] with rate in sessions/minute, e.g. `+
 			`"ramp:60s:0-30,burst:60s:90,quiet:60s,steady:2m:18"; "default" uses the built-in day-in-miniature`)
+	duration := flag.Duration("duration", 0,
+		"with -schedule, tile the schedule to at least this length (soak-sized traces; 0 = emit it once)")
 	evasion := flag.String("evasion", "",
 		`emit adversarial evasion scenario pcaps instead of the tap rotation: a scenario name, `+
 			`"all", or "list" to print the scenario family`)
@@ -103,8 +106,10 @@ func main() {
 				os.Exit(2)
 			}
 		}
+		if *duration > 0 {
+			sched = sched.Repeat(*duration)
+		}
 		subnet := cfg.Monitored[0]
-		pkts := gen.GenerateScheduledTrace(enterprise.NewNetwork(cfg), subnet, 0, sched)
 		name := fmt.Sprintf("%s-scheduled-subnet%02d.pcap", cfg.Name, subnet)
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
@@ -112,8 +117,17 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		tr := gen.Trace{Subnet: subnet, Packets: pkts, Prefix: enterprise.SubnetPrefix(subnet)}
-		if err := gen.WriteTrace(f, cfg, tr); err != nil {
+		// Stream the frames straight to disk: a soak-length schedule never
+		// materializes in memory, and the file is byte-identical to the
+		// materialized path.
+		src := gen.NewStreamSource(gen.StreamConfig{
+			Network:  enterprise.NewNetwork(cfg),
+			Subnet:   subnet,
+			Schedule: sched,
+			Snaplen:  cfg.Snaplen,
+		})
+		n, err := gen.WriteStream(f, cfg.Snaplen, src)
+		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -121,7 +135,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		fmt.Printf("%s: %d packets over %s\n", path, len(pkts), sched.Duration())
+		fmt.Printf("%s: %d packets over %s\n", path, n, sched.Duration())
 		return
 	}
 	ds := gen.GenerateDataset(cfg)

@@ -6,6 +6,7 @@
 // Usage:
 //
 //	entreport [-scale 1.0] [-datasets D0,D1,D2,D3,D4] [-subnets N]
+//	entreport -datasets D3 -schedule default [-duration 10m] [-window 60s]
 package main
 
 import (
@@ -29,9 +30,31 @@ func main() {
 	replayWorkers := flag.Int("replay-workers", 0, "application-replay workers (0 = GOMAXPROCS); results are identical for any count")
 	window := flag.Duration("window", 0, "cut per-window reports at this interval in packet time (0 = whole-run report only)")
 	format := flag.String("format", "text", "report output format: text or json")
+	schedule := flag.String("schedule", "",
+		`analyze a time-structured schedule streamed straight from the generator (no trace `+
+			`materialized) instead of the tap rotation: phase spec or "default"`)
+	duration := flag.Duration("duration", 0, "with -schedule, tile the schedule to at least this length")
 	flag.Parse()
 	if *format != "text" && *format != "json" {
 		fmt.Fprintf(os.Stderr, "unknown -format %q (want text or json)\n", *format)
+		os.Exit(2)
+	}
+
+	var sched gen.Schedule
+	if *schedule != "" {
+		sched = gen.DefaultSchedule()
+		if *schedule != "default" {
+			var err error
+			if sched, err = gen.ParseSchedule(*schedule); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+		if *duration > 0 {
+			sched = sched.Repeat(*duration)
+		}
+	} else if *duration > 0 {
+		fmt.Fprintln(os.Stderr, "-duration requires -schedule")
 		os.Exit(2)
 	}
 
@@ -47,11 +70,6 @@ func main() {
 		if *subnets > 0 && *subnets < len(cfg.Monitored) {
 			cfg.Monitored = cfg.Monitored[:*subnets]
 		}
-		start := time.Now()
-		ds := gen.GenerateDataset(cfg)
-		genDur := time.Since(start)
-
-		start = time.Now()
 		a := core.NewAnalyzer(core.Options{
 			Dataset:         cfg.Name,
 			KnownScanners:   enterprise.KnownScanners(),
@@ -60,14 +78,39 @@ func main() {
 			ReplayWorkers:   *replayWorkers,
 			Window:          *window,
 		})
-		for _, tr := range ds.Traces {
-			if err := a.AddTrace(core.TraceInput{
-				Name:      fmt.Sprintf("%s/subnet%d/tap%d", cfg.Name, tr.Subnet, tr.Tap),
-				Monitored: tr.Prefix,
-				Packets:   tr.Packets,
-			}); err != nil {
+		var genDur time.Duration
+		var totalPkts int64
+		start := time.Now()
+		if *schedule != "" {
+			// Streamed mode: frames go straight from the generator into
+			// the pipeline, so generation and analysis share the clock.
+			subnet := cfg.Monitored[0]
+			src := gen.NewStreamSource(gen.StreamConfig{
+				Network:  enterprise.NewNetwork(cfg),
+				Subnet:   subnet,
+				Schedule: sched,
+				Snaplen:  cfg.Snaplen,
+			})
+			name := fmt.Sprintf("%s/subnet%d/scheduled", cfg.Name, subnet)
+			if err := a.AddTraceSource(name, enterprise.SubnetPrefix(subnet), src); err != nil {
 				fmt.Fprintf(os.Stderr, "analyze %s: %v\n", cfg.Name, err)
 				os.Exit(1)
+			}
+			totalPkts = src.Stats().Frames
+		} else {
+			ds := gen.GenerateDataset(cfg)
+			genDur = time.Since(start)
+			totalPkts = int64(ds.TotalPackets())
+			start = time.Now()
+			for _, tr := range ds.Traces {
+				if err := a.AddTrace(core.TraceInput{
+					Name:      fmt.Sprintf("%s/subnet%d/tap%d", cfg.Name, tr.Subnet, tr.Tap),
+					Monitored: tr.Prefix,
+					Packets:   tr.Packets,
+				}); err != nil {
+					fmt.Fprintf(os.Stderr, "analyze %s: %v\n", cfg.Name, err)
+					os.Exit(1)
+				}
 			}
 		}
 		r := a.Report()
@@ -95,7 +138,12 @@ func main() {
 		if *format == "json" {
 			dst = os.Stderr
 		}
-		fmt.Fprintf(dst, "[%s: generated %d packets in %.1fs, analyzed in %.1fs]\n\n",
-			cfg.Name, ds.TotalPackets(), genDur.Seconds(), time.Since(start).Seconds())
+		if *schedule != "" {
+			fmt.Fprintf(dst, "[%s: streamed %d packets gen→analyze in %.1fs]\n\n",
+				cfg.Name, totalPkts, time.Since(start).Seconds())
+		} else {
+			fmt.Fprintf(dst, "[%s: generated %d packets in %.1fs, analyzed in %.1fs]\n\n",
+				cfg.Name, totalPkts, genDur.Seconds(), time.Since(start).Seconds())
+		}
 	}
 }

@@ -171,7 +171,7 @@ func TestRunSuiteFiltered(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a real benchmark")
 	}
-	rep := RunSuite(regexp.MustCompile(`^decode/d3$`), nil)
+	rep := RunSuite(regexp.MustCompile(`^decode/d3$`), nil, nil)
 	if len(rep.Metrics) != 1 {
 		t.Fatalf("got %d metrics, want 1", len(rep.Metrics))
 	}

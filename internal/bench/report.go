@@ -8,7 +8,14 @@
 // host, so regressions in them are only gated when a time tolerance is
 // explicitly configured; allocation counts (allocs/op, B/op) are stable
 // for a given Go version and are the default CI gate — they are how the
-// zero-allocation hot-path contract stays enforced after this PR.
+// zero-allocation hot-path contract stays enforced.
+//
+// The suite (suite.go) spans the decode/pcap/pipeline micro-benchmarks,
+// the replay and windowed-rotation gates, per-dataset analyze entries,
+// the adversarial evasion price, and the soak/* entries pricing the
+// streamed gen→analyze load harness. No epoch obligations: benchmarks
+// construct fresh analyzers per iteration. DESIGN.md § "Perf telemetry:
+// internal/bench + entbench" is the companion prose.
 package bench
 
 import (

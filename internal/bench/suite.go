@@ -145,6 +145,9 @@ func newAnalyzerWindow(ds *gen.Dataset, workers, replayWorkers int, window time.
 //     bounded-memory gate.
 //   - analyze/D0..D4: the in-memory measured unit behind every table and
 //     figure benchmark in bench_test.go, one per paper dataset.
+//   - soak/D3-shape[/window=60s]: the streamed gen→analyze loop (the
+//     entanalyze -gen load harness) over an hour-tiled schedule, batch
+//     and minute-windowed.
 func Suite() []Benchmark {
 	var suite []Benchmark
 
@@ -311,6 +314,57 @@ func Suite() []Benchmark {
 		})
 	}
 
+	// soak/D3-shape: the gen→analyze load harness priced end to end. The
+	// default day-in-miniature schedule is tiled to an hour (~12× one
+	// suite trace) and streamed straight from gen.StreamSource into the
+	// pipeline — no pcap bytes anywhere — so the entry captures synthesis,
+	// pooling, decode, shard, and replay as one loop: the cost model for
+	// soak runs (`entanalyze -gen`). The window=60s variant adds epoch
+	// rotation at the soak shape. Both are new relative to older
+	// baselines, so -against treats them as informational until
+	// re-baselined.
+	for _, win := range []time.Duration{0, 60 * time.Second} {
+		win := win
+		name := "soak/D3-shape"
+		if win > 0 {
+			name = "soak/D3-shape/window=60s"
+		}
+		suite = append(suite, Benchmark{
+			Name: name,
+			F: func(b *testing.B) {
+				cfg := enterprise.D3()
+				sched := gen.DefaultSchedule().Repeat(time.Hour)
+				subnet := cfg.Monitored[0]
+				prefix := enterprise.SubnetPrefix(subnet)
+				b.ReportAllocs()
+				b.ResetTimer()
+				var pkts int64
+				for i := 0; i < b.N; i++ {
+					src := gen.NewStreamSource(gen.StreamConfig{
+						Network:  enterprise.NewNetwork(cfg),
+						Subnet:   subnet,
+						Schedule: sched,
+						Snaplen:  cfg.Snaplen,
+					})
+					a := core.NewAnalyzer(core.Options{
+						Dataset:         cfg.Name,
+						KnownScanners:   enterprise.KnownScanners(),
+						PayloadAnalysis: cfg.Snaplen >= 1500,
+						Workers:         4,
+						ReplayWorkers:   4,
+						Window:          win,
+					})
+					if err := a.AddTraceSource("soak", prefix, src); err != nil {
+						b.Fatal(err)
+					}
+					a.Report()
+					pkts = src.Stats().Frames
+				}
+				reportPktsPerSec(b, pkts)
+			},
+		})
+	}
+
 	// adversarial/evasion: the hostile-input price. Replays the full
 	// evasion scenario family (internal/gen) through the differential
 	// harness's replay path at the default 4×4 shape. The entry is new
@@ -423,13 +477,17 @@ func reportPktsPerSec(b *testing.B, pkts int64) {
 	}
 }
 
-// RunSuite executes the suite entries matching filter (nil = all) and
-// returns their metrics as a report. progress, when non-nil, receives a
-// line per finished benchmark.
-func RunSuite(filter *regexp.Regexp, progress func(string)) *Report {
+// RunSuite executes the suite entries matching filter (nil = all),
+// minus those matching skip (nil = none), and returns their metrics as a
+// report. progress, when non-nil, receives a line per finished
+// benchmark.
+func RunSuite(filter, skip *regexp.Regexp, progress func(string)) *Report {
 	rep := NewReport()
 	for _, bm := range Suite() {
 		if filter != nil && !filter.MatchString(bm.Name) {
+			continue
+		}
+		if skip != nil && skip.MatchString(bm.Name) {
 			continue
 		}
 		res := testing.Benchmark(bm.F)

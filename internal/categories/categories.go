@@ -10,6 +10,10 @@
 // NAV-ping, Steltor, MetaSys, IPVideo, connected-backup) are fixed,
 // documented stand-ins — the analyzer only needs generator and analyzer to
 // agree, exactly as a Bro site configuration would.
+//
+// The registry is immutable after init — per-window category breakdowns
+// come from the aggregate layer snapshotting its own counters, never from
+// state here (DESIGN.md § "Epoch snapshots and windowed reports").
 package categories
 
 import (

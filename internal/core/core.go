@@ -181,10 +181,15 @@ func (a *Analyzer) AddTraceReader(name string, monitored netip.Prefix, r io.Read
 	return a.addSource(name, monitored, pcap.NewPooledReader(rd, a.pool))
 }
 
-// AddTraceSource runs one trace from an arbitrary packet source (for
-// example a pcap.Merger over several taps) through the pipeline. If src
+// AddTraceSource runs one trace from an arbitrary packet source through
+// the pipeline — this is the analyzer's ingest seam. A source can be a
+// pcap.Merger over several taps, a replayed file, or a gen.StreamSource
+// synthesizing frames on the fly (the soak-mode load harness): the
+// analysis below the seam is source-blind, so a streamed schedule and a
+// pcap round-trip of the same frames report byte-identically. If src
 // implements pcap.Releaser, its packets are recycled as soon as analysis
-// is done with them.
+// is done with them, keeping memory bounded however long the source
+// runs. See DESIGN.md "Packet sources".
 func (a *Analyzer) AddTraceSource(name string, monitored netip.Prefix, src pcap.PacketSource) error {
 	return a.addSource(name, monitored, src)
 }

@@ -10,6 +10,11 @@
 // differences the paper repeatedly leans on — D0–D2 monitor the subnets
 // holding the main SMTP/IMAP and user-authentication servers, while D3–D4
 // monitor the subnets holding the main DNS and print servers instead.
+//
+// Everything here is static topology shared by the generator and the
+// analyzer; it carries no analysis state and so no Snapshot/Reset
+// obligations. DESIGN.md § "System inventory" maps these types to the
+// rest of the system.
 package enterprise
 
 import (

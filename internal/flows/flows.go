@@ -7,6 +7,13 @@
 // TCP connection outcomes (successful / rejected / unanswered — the
 // categories of the paper's Table 9), and detects retransmissions and TCP
 // keep-alives in sequence space (the inputs to Figure 10).
+//
+// Epoch obligations: none directly — a Table is per-shard, lives for a
+// whole trace, and connections may straddle window boundaries. The
+// windowed layer above (internal/core) banks a connection into the epoch
+// in which it closes and snapshots its own aggregates; see DESIGN.md
+// § "Epoch snapshots and windowed reports: the Snapshot/Reset/watermark
+// contract".
 package flows
 
 import (

@@ -110,6 +110,20 @@ func (e *Emitter) Packets() []*pcap.Packet {
 // Count reports frames emitted so far.
 func (e *Emitter) Count() int { return len(e.pkts) }
 
+// Drain passes every frame buffered since the last Drain to fn in
+// emission order, then clears the buffer for reuse. It is the streaming
+// alternative to Packets: Packets sorts and hands over ownership of the
+// whole trace at once, while Drain lets a caller consume frames
+// incrementally — copying whatever it keeps — so the emitter's buffer
+// never grows beyond one drain interval. The data slice must be copied
+// if kept: the emitter makes no guarantee about it after fn returns.
+func (e *Emitter) Drain(fn func(ts time.Time, data []byte)) {
+	for i := range e.pkts {
+		fn(e.pkts[i].Timestamp, e.pkts[i].Data)
+	}
+	e.pkts = e.pkts[:0]
+}
+
 func frameOpts(src, dst enterprise.Host, id uint16) layers.FrameOpts {
 	return layers.FrameOpts{
 		SrcMAC: src.MAC, DstMAC: dst.MAC,

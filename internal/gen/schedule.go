@@ -129,6 +129,23 @@ func DefaultSchedule() Schedule {
 	}}
 }
 
+// Repeat tiles the schedule's phases end to end until the total length
+// reaches at least d, so a short "shape" schedule can drive an
+// arbitrarily long soak run: Repeat never splits a phase, so the result
+// may overshoot d by up to one schedule length. A d no longer than the
+// schedule itself returns the schedule unchanged.
+func (s Schedule) Repeat(d time.Duration) Schedule {
+	total := s.Duration()
+	if total <= 0 || d <= total {
+		return s
+	}
+	out := Schedule{Phases: append([]Phase(nil), s.Phases...)}
+	for sum := total; sum < d; sum += total {
+		out.Phases = append(out.Phases, s.Phases...)
+	}
+	return out
+}
+
 // SessionOffsets returns every session's start offset from the schedule
 // origin, in order. Placement is fully deterministic: the instantaneous
 // rate integrates in fixed 100ms steps and a session fires each time the
@@ -158,12 +175,24 @@ func (s Schedule) SessionOffsets() []time.Duration {
 	return out
 }
 
-// GenerateScheduledTrace produces one monitored-subnet trace whose
-// sessions follow the schedule instead of uniform placement: a rotating
-// mix of internal HTTP, DNS lookups, and WAN browsing, each session
-// pinned to its scheduled instant. Packet contents are drawn from the
-// usual deterministic per-trace RNG; only the timeline is scheduled.
-func GenerateScheduledTrace(net *enterprise.Network, subnet, tap int, sched Schedule) []*pcap.Packet {
+// scheduleRun is the session engine shared by the materialized and
+// streamed scheduled-trace paths. Both construct it identically and emit
+// sessions in the same order, so they consume the deterministic RNG in
+// exactly the same sequence — which is what makes the streamed frame
+// sequence (gen.StreamSource) reproduce GenerateScheduledTrace's output
+// byte for byte.
+type scheduleRun struct {
+	g              *traceGen
+	clients        []enterprise.Host
+	webSrv, dnsSrv enterprise.Host
+}
+
+// newScheduleRun builds the generator state for one scheduled trace and
+// emits the anchor frames: window boundaries derive from the first
+// packet timestamp, so the opening ARP exchange pins window k exactly to
+// phase time [k·w, (k+1)·w) regardless of when the first session fires
+// inside the ramp.
+func newScheduleRun(net *enterprise.Network, subnet, tap int, sched Schedule) *scheduleRun {
 	cfg := net.Config()
 	// Offset the seed space from GenerateTrace so a scheduled trace
 	// never replays an unscheduled trace's content byte-for-byte.
@@ -180,26 +209,45 @@ func GenerateScheduledTrace(net *enterprise.Network, subnet, tap int, sched Sche
 		hours:   sched.Duration().Hours() * cfg.Scale,
 		nextEph: 32768,
 	}
-	clients := g.clients()
-	webSrv := g.net.Server(enterprise.RoleWeb)
-	dnsSrv := g.net.Server(enterprise.RoleDNS1)
-	// Anchor the trace at the schedule origin: window boundaries derive
-	// from the first packet timestamp, so this pins window k exactly to
-	// phase time [k·w, (k+1)·w) regardless of when the first session
-	// fires inside the ramp.
-	g.em.ARPExchange(clients[0], webSrv, g.start)
-	for k, off := range sched.SessionOffsets() {
-		g.pinned = g.start.Add(off)
-		c := clients[k%len(clients)]
-		switch k % 3 {
-		case 0:
-			g.httpConn(c, webSrv, g.intRTT(), 1+k%2, browserProfileEnt)
-		case 1:
-			g.dnsLookup(c, dnsSrv, g.intRTT()/2, false)
-		default:
-			g.httpConn(c, g.remote(), g.wanRTT(), 1, browserProfileWAN)
-		}
+	r := &scheduleRun{
+		g:       g,
+		clients: g.clients(),
+		webSrv:  g.net.Server(enterprise.RoleWeb),
+		dnsSrv:  g.net.Server(enterprise.RoleDNS1),
 	}
-	g.pinned = time.Time{}
-	return em.Packets()
+	g.em.ARPExchange(r.clients[0], r.webSrv, g.start)
+	return r
+}
+
+// emitSession emits the k-th scheduled session, pinned to its offset: a
+// rotating mix of internal HTTP, DNS lookups, and WAN browsing. Every
+// frame it emits carries a timestamp >= start+off, which is the
+// invariant the streaming source's bounded reorder buffer rests on.
+func (r *scheduleRun) emitSession(k int, off time.Duration) {
+	g := r.g
+	g.pinned = g.start.Add(off)
+	c := r.clients[k%len(r.clients)]
+	switch k % 3 {
+	case 0:
+		g.httpConn(c, r.webSrv, g.intRTT(), 1+k%2, browserProfileEnt)
+	case 1:
+		g.dnsLookup(c, r.dnsSrv, g.intRTT()/2, false)
+	default:
+		g.httpConn(c, g.remote(), g.wanRTT(), 1, browserProfileWAN)
+	}
+}
+
+// GenerateScheduledTrace produces one monitored-subnet trace whose
+// sessions follow the schedule instead of uniform placement, each
+// session pinned to its scheduled instant. Packet contents are drawn
+// from the usual deterministic per-trace RNG; only the timeline is
+// scheduled. For long schedules prefer NewStreamSource, which yields the
+// identical frame sequence without materializing it.
+func GenerateScheduledTrace(net *enterprise.Network, subnet, tap int, sched Schedule) []*pcap.Packet {
+	r := newScheduleRun(net, subnet, tap, sched)
+	for k, off := range sched.SessionOffsets() {
+		r.emitSession(k, off)
+	}
+	r.g.pinned = time.Time{}
+	return r.g.em.Packets()
 }

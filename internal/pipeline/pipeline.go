@@ -27,9 +27,16 @@ import (
 	"enttrace/internal/pcap"
 )
 
-// Source yields packets in capture order, ending with a bare io.EOF.
-// It is pcap's PacketSource: *pcap.Reader, pcap.SliceSource, and
-// pcap.Merger all satisfy it directly.
+// Source is the pipeline's ingest seam: anything that yields packets in
+// capture order, ending with a bare io.EOF. It is pcap's PacketSource;
+// *pcap.Reader (file replay), pcap.SliceSource (in-memory traces),
+// pcap.Merger (multi-tap merge), and gen.StreamSource (the synthetic
+// load harness) all satisfy it directly, and the pipeline cannot tell
+// them apart — a streamed generator run and a pcap replay of the same
+// frames produce byte-identical results. Sources that additionally
+// implement pcap.Releaser get each packet back as soon as its worker is
+// done, which is what keeps pooled sources' memory bounded; see
+// DESIGN.md "Packet sources".
 type Source = pcap.PacketSource
 
 // isEOF recognizes a clean end of stream. Only a bare io.EOF counts:

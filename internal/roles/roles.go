@@ -5,6 +5,14 @@
 // host as a server (high fan-in concentrated on few local ports), a
 // client (fan-out dominated), a peer (balanced, many symmetric
 // conversations — the SrvLoc pattern), or inactive.
+//
+// Epoch obligations: Partial provides the aggregate layer's
+// Snapshot/Reset pair (Snapshot returns the evidence accumulated since
+// the last Reset as an independent mergeable value). Role evidence is
+// trace-granular in the windowed design — a whole trace's Partial banks
+// into the window containing the trace's last packet rather than being
+// cut mid-trace; see DESIGN.md § "Epoch snapshots and windowed reports:
+// the Snapshot/Reset/watermark contract".
 package roles
 
 import (

@@ -5,6 +5,14 @@
 // scanners can be added explicitly. Scanner traffic is removed before all
 // of the paper's breakdowns; the fraction removed (4–18% of connections in
 // the paper) is reported by Filter.
+//
+// Epoch obligations: scanner removal is deliberately trace-granular, not
+// per-window — Filter sees a whole trace's connection summaries at once,
+// so a slow scan cannot escape detection by straddling window cuts, and
+// the removal delta banks into the window containing the trace's last
+// packet. Reset readies a Detector for the next trace, not the next
+// window. See DESIGN.md § "Epoch snapshots and windowed reports: the
+// Snapshot/Reset/watermark contract".
 package scan
 
 import (

@@ -8,6 +8,13 @@
 // rather than absolute values, so this package is deliberately exact: it
 // keeps all samples (or exact counts) rather than sketching, because the
 // reproduction operates at a scale where exactness is affordable.
+//
+// Epoch obligations: Counter and Dist implement the aggregate layer's
+// Snapshot/Reset pair (DESIGN.md § "Epoch snapshots and windowed
+// reports") — Snapshot returns the values banked since the last Reset as
+// an independent aggregate that merges elsewhere, Reset clears banked
+// values in O(1), and snapshot-merge across epochs reproduces the batch
+// aggregate exactly.
 package stats
 
 import (

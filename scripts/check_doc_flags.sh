@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Doc-drift gate: every flag that README.md / DESIGN.md / EXPERIMENTS.md
+# show on an ent* command line must actually be accepted by one of the
+# four binaries. Catches examples that outlive a flag rename or removal.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+valid="$(mktemp)"
+trap 'rm -f "$valid"' EXIT
+for cmd in entanalyze entgen entreport entbench; do
+  # -h exits non-zero by flag-package convention; the usage text is what
+  # we are after.
+  go run "./cmd/$cmd" -h 2>&1 | sed -n 's/^  -\([a-zA-Z0-9_-]*\).*/\1/p' || true
+done >"$valid"
+# go-test flags that legitimately appear in the docs' benchmark recipes.
+printf '%s\n' bench benchmem benchtime count cpu fuzz fuzztime race run short v >>"$valid"
+sort -u -o "$valid" "$valid"
+
+fail=0
+for doc in README.md DESIGN.md EXPERIMENTS.md; do
+  while read -r flag; do
+    if ! grep -qx "$flag" "$valid"; then
+      echo "$doc: flag -$flag is not accepted by any ent* binary" >&2
+      fail=1
+    fi
+  done < <(grep -oE '\bent(analyze|gen|report|bench)[^|#`]*' "$doc" |
+    grep -oE ' -[a-zA-Z][a-zA-Z0-9_-]*' | sed 's/^ -//' | sort -u)
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "doc-drift check failed: fix the examples or the flag surface" >&2
+fi
+exit "$fail"
