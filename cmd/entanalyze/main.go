@@ -16,31 +16,67 @@
 // byte-identical to writing the same schedule to a pcap and replaying
 // it.
 //
+// Resilience controls: -on-error selects the source read-error policy
+// (fail-fast, or skip poisoned records and fold a SourceError census
+// into the report), -inject drives a deterministic fault schedule
+// against any source for chaos testing, and -idle-evict/-max-conns
+// bound the connection table for indefinite runs. SIGINT/SIGTERM drain
+// gracefully: intake stops, routed packets flush, the final report is
+// emitted, and the process exits 0.
+//
 // Usage:
 //
 //	entanalyze [-payload] [-workers N] [-replay-workers N] [-monitored 128.3.5.0/24]
 //	           [-window 60s] [-format text|json] [-serve :8080]
+//	           [-on-error fail|skip] [-inject spec] [-idle-evict 5m] [-max-conns N]
 //	           trace1.pcap [trace2.pcap ...]
 //	entanalyze -gen default [-gen-dataset D3] [-duration 10m] [-window 60s] [-serve :8080]
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"net/netip"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
+	"enttrace/internal/faults"
 	"enttrace/internal/gen"
+	"enttrace/internal/pcap"
+	"enttrace/internal/pipeline"
 	"enttrace/internal/stats"
 )
 
+// usageError marks a bad invocation; main exits 2 for it (like flag
+// parse failures) and 1 for runtime errors.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
+func usagef(format string, args ...any) error {
+	return &usageError{msg: fmt.Sprintf(format, args...)}
+}
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	payload := flag.Bool("payload", true, "enable application-payload analysis")
 	monitored := flag.String("monitored", "128.3.0.0/16", "monitored prefix for fan-in/out")
 	dataset := flag.String("name", "pcap", "label for the report")
@@ -55,21 +91,47 @@ func main() {
 			`for the built-in day-in-miniature; frames never touch disk`)
 	genDataset := flag.String("gen-dataset", "D3", "dataset shape for -gen (D0..D4): snaplen, subnets, seed")
 	duration := flag.Duration("duration", 0, "with -gen, tile the schedule to at least this length (soak mode; 0 = run it once)")
+	onError := flag.String("on-error", "fail",
+		`source read-error policy: "fail" aborts on the first error (default); "skip" degrades `+
+			`and continues — poisoned records are dropped and the report carries a SourceError census`)
+	inject := flag.String("inject", "",
+		`deterministic fault injection against every source: "kind@index[:arg],..." with kinds `+
+			`read@N, short@N:cut, stall@N:dur, torn@N, eof@N — or "rand:seed:count:span"; pair with `+
+			`-on-error skip to exercise degraded runs (the census is checked against the manifest)`)
+	idleEvict := flag.Duration("idle-evict", 0,
+		"evict connections idle past this horizon, bounding memory on indefinite runs "+
+			"(0 = protocol-default timeouts only); evictions are banked as the report's AgedOut disposition")
+	maxConns := flag.Int("max-conns", 0,
+		"hard bound on live connections across all shards (0 = unbounded); a lossy backstop — "+
+			"evictions are surfaced in the report when it fires")
 	flag.Parse()
 	if (flag.NArg() == 0) == (*genSpec == "") {
-		fmt.Fprintln(os.Stderr, "usage: entanalyze [flags] trace.pcap ...\n       entanalyze -gen <schedule|default> [flags]")
-		os.Exit(2)
+		return usagef("usage: entanalyze [flags] trace.pcap ...\n       entanalyze -gen <schedule|default> [flags]")
 	}
 	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "unknown -format %q (want text or json)\n", *format)
-		os.Exit(2)
+		return usagef("unknown -format %q (want text or json)", *format)
+	}
+	var policy pipeline.ErrorPolicy
+	switch *onError {
+	case "fail":
+		policy = pipeline.FailFast
+	case "skip":
+		policy = pipeline.Degrade
+	default:
+		return usagef("unknown -on-error %q (want fail or skip)", *onError)
+	}
+	var injectSched faults.Schedule
+	if *inject != "" {
+		var err error
+		if injectSched, err = faults.ParseSpec(*inject); err != nil {
+			return &usageError{msg: err.Error()}
+		}
 	}
 	setFlags := make(map[string]bool)
 	flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
 	prefix, err := netip.ParsePrefix(*monitored)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return &usageError{msg: err.Error()}
 	}
 
 	// Soak-mode setup: resolve the schedule and dataset shape up front so
@@ -84,14 +146,12 @@ func main() {
 			}
 		}
 		if !found {
-			fmt.Fprintf(os.Stderr, "unknown -gen-dataset %q\n", *genDataset)
-			os.Exit(2)
+			return usagef("unknown -gen-dataset %q", *genDataset)
 		}
 		sched := gen.DefaultSchedule()
 		if *genSpec != "default" {
 			if sched, err = gen.ParseSchedule(*genSpec); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return &usageError{msg: err.Error()}
 			}
 		}
 		if *duration > 0 {
@@ -114,8 +174,7 @@ func main() {
 			*dataset = fmt.Sprintf("%s-gen", cfg.Name)
 		}
 	} else if setFlags["duration"] || setFlags["gen-dataset"] {
-		fmt.Fprintln(os.Stderr, "-duration and -gen-dataset require -gen")
-		os.Exit(2)
+		return usagef("-duration and -gen-dataset require -gen")
 	}
 	opts := core.Options{
 		Dataset:         *dataset,
@@ -124,6 +183,9 @@ func main() {
 		Workers:         *workers,
 		ReplayWorkers:   *replayWorkers,
 		Window:          *window,
+		OnError:         policy,
+		IdleEvict:       *idleEvict,
+		MaxConns:        *maxConns,
 	}
 	if *window > 0 {
 		// Narrate window completion as the watermark passes each
@@ -136,13 +198,40 @@ func main() {
 	}
 	a := core.NewAnalyzer(opts)
 
+	// Graceful drain: the first SIGINT/SIGTERM stops intake at the next
+	// packet boundary; routed packets flush, the final report (and, with
+	// -serve, /report/final) is emitted, and run returns nil — exit 0. A
+	// second signal gets default handling (immediate termination).
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	sigDone := make(chan struct{})
+	go func() {
+		<-sigc
+		signal.Stop(sigc)
+		fmt.Fprintln(os.Stderr, "signal: draining — stopping intake, flushing windows, emitting final report")
+		a.Stop()
+		close(sigDone)
+	}()
+
+	// wrapSource interposes the fault injector (when -inject is set) and
+	// remembers each injector so the census self-check can aggregate the
+	// manifests afterwards.
+	var injectors []*faults.Source
+	wrapSource := func(src pcap.PacketSource) pcap.PacketSource {
+		if *inject == "" {
+			return src
+		}
+		fs := faults.Wrap(src, injectSched)
+		injectors = append(injectors, fs)
+		return fs
+	}
+
 	var srv *core.ReportServer
 	if *serve != "" {
 		srv = core.NewReportServer(a)
 		ln, err := net.Listen("tcp", *serve)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Fprintf(os.Stderr, "serving reports on http://%s (/healthz, /report/latest, /report/window/<n>, /report/final)\n",
 			ln.Addr())
@@ -158,9 +247,8 @@ func main() {
 	if *genSpec != "" {
 		src := gen.NewStreamSource(streamCfg)
 		start := time.Now()
-		if err := a.AddTraceSource(*dataset, prefix, src); err != nil {
-			fmt.Fprintf(os.Stderr, "gen stream: %v\n", err)
-			os.Exit(1)
+		if err := a.AddTraceSource(*dataset, prefix, wrapSource(src)); err != nil {
+			return fmt.Errorf("gen stream: %w", err)
 		}
 		wall := time.Since(start)
 		st := src.Stats()
@@ -168,19 +256,31 @@ func main() {
 			st.Frames, streamCfg.Schedule.Duration(), wall.Seconds(),
 			float64(st.Frames)/wall.Seconds(), st.PeakBuffered, st.PeakInFlight)
 	}
+	var pool *pcap.Pool
 	for _, path := range flag.Args() {
 		f, err := os.Open(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		before := a.PacketsSeen()
-		if err := a.AddTraceReader(path, prefix, bufio.NewReaderSize(f, 1<<20)); err != nil {
-			f.Close()
-			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
-			os.Exit(1)
+		if *inject == "" {
+			err = a.AddTraceReader(path, prefix, bufio.NewReaderSize(f, 1<<20))
+		} else {
+			// Injection needs to sit between the pcap reader and the
+			// pipeline, so build the pooled source here instead of
+			// letting the analyzer do it.
+			var rd *pcap.Reader
+			if rd, err = pcap.NewReader(bufio.NewReaderSize(f, 1<<20)); err == nil {
+				if pool == nil {
+					pool = pcap.NewPool()
+				}
+				err = a.AddTraceSource(path, prefix, wrapSource(pcap.NewPooledReader(rd, pool)))
+			}
 		}
 		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
 		fmt.Fprintf(os.Stderr, "%s: %d packets\n", path, a.PacketsSeen()-before)
 	}
 
@@ -189,8 +289,7 @@ func main() {
 	switch *format {
 	case "json":
 		if err := core.WriteRunJSON(os.Stdout, windows, report); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 	default:
 		if len(windows) > 0 {
@@ -198,12 +297,56 @@ func main() {
 		}
 		fmt.Print(core.RenderText(report))
 	}
+	if len(injectors) > 0 && policy == pipeline.Degrade && !a.Stopping() {
+		if err := checkCensus(report, injectors); err != nil {
+			return err
+		}
+	}
 	if srv != nil {
 		if err := srv.SetFinal(report); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
-		fmt.Fprintln(os.Stderr, "analysis complete; still serving (Ctrl-C to exit)")
-		select {}
+		if !a.Stopping() {
+			fmt.Fprintln(os.Stderr, "analysis complete; still serving (SIGINT/SIGTERM to exit)")
+			<-sigDone
+		}
 	}
+	return nil
+}
+
+// checkCensus verifies the report's SourceError census against what the
+// injectors actually fired; the match line is stable for CI to grep.
+func checkCensus(r *core.Report, injectors []*faults.Source) error {
+	exp := faults.Expected{ByKind: make(map[string]int64)}
+	for _, fs := range injectors {
+		e := fs.Expected()
+		exp.Errors += e.Errors
+		exp.LostBytes += e.LostBytes
+		for k, n := range e.ByKind {
+			exp.ByKind[k] += n
+		}
+	}
+	got := r.SourceErrors
+	ok := got.Errors == exp.Errors && got.LostBytes == exp.LostBytes
+	if ok {
+		for k, n := range exp.ByKind {
+			if got.ByKind[k] != n {
+				ok = false
+				break
+			}
+		}
+		for k := range got.ByKind {
+			if _, want := exp.ByKind[k]; !want {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("fault census: report (%d errors, %d bytes lost) does not match injected manifest (%d errors, %d bytes lost)",
+			got.Errors, got.LostBytes, exp.Errors, exp.LostBytes)
+	}
+	fmt.Fprintf(os.Stderr, "fault census: report matches injected manifest (%d errors, %d bytes lost)\n",
+		exp.Errors, exp.LostBytes)
+	return nil
 }

@@ -19,6 +19,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -33,7 +34,20 @@ import (
 	"enttrace/internal/bench"
 )
 
+// errRegression is the regression gate's exit-1 signal; the FAIL line
+// has already been printed when it surfaces.
+var errRegression = errors.New("entbench: regression gate tripped")
+
 func main() {
+	if err := run(); err != nil {
+		if !errors.Is(err, errRegression) {
+			fmt.Fprintf(os.Stderr, "entbench: %v\n", err)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	outDir := flag.String("out", ".", "directory for the numbered BENCH_<n>.json report")
 	outFile := flag.String("o", "", "exact output path (overrides -out)")
 	runFilter := flag.String("run", "", "regexp selecting benchmarks to run")
@@ -50,20 +64,20 @@ func main() {
 		for _, bm := range bench.Suite() {
 			fmt.Println(bm.Name)
 		}
-		return
+		return nil
 	}
 
 	var filter, skip *regexp.Regexp
 	if *runFilter != "" {
 		var err error
 		if filter, err = regexp.Compile(*runFilter); err != nil {
-			fatalf("bad -run pattern: %v", err)
+			return fmt.Errorf("bad -run pattern: %w", err)
 		}
 	}
 	if *skipFilter != "" {
 		var err error
 		if skip, err = regexp.Compile(*skipFilter); err != nil {
-			fatalf("bad -skip pattern: %v", err)
+			return fmt.Errorf("bad -skip pattern: %w", err)
 		}
 	}
 	tol := bench.Tolerances{Alloc: parsePercent(*tolerance, "-tolerance")}
@@ -74,38 +88,46 @@ func main() {
 	// Profiles make a CI regression diagnosable from the uploaded
 	// artifact alone: rerun the failing entry locally with the same flags
 	// and `go tool pprof` the result. The CPU profile is stopped (and the
-	// file flushed) as soon as the suite finishes — not deferred — because
-	// the regression gate below exits with os.Exit, which would skip
-	// defers and truncate the profile exactly when it is needed.
+	// file flushed) as soon as the suite finishes — before the regression
+	// gate runs — and the deferred stop is the idempotent backstop that
+	// flushes it on every early-error return.
 	stopCPU := func() {}
 	if *cpuProfile != "" {
 		f, err := createFile(*cpuProfile)
 		if err != nil {
-			fatalf("creating -cpuprofile: %v", err)
+			return fmt.Errorf("creating -cpuprofile: %w", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("starting CPU profile: %v", err)
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
 		}
+		stopped := false
 		stopCPU = func() {
+			if stopped {
+				return
+			}
+			stopped = true
 			pprof.StopCPUProfile()
 			f.Close()
 		}
+		defer stopCPU()
 	}
 
 	rep := bench.RunSuite(filter, skip, func(line string) { fmt.Fprintln(os.Stderr, line) })
 	stopCPU()
 	if len(rep.Metrics) == 0 {
-		fatalf("no benchmarks matched -run %q -skip %q", *runFilter, *skipFilter)
+		return fmt.Errorf("no benchmarks matched -run %q -skip %q", *runFilter, *skipFilter)
 	}
 
 	if *memProfile != "" {
 		f, err := createFile(*memProfile)
 		if err != nil {
-			fatalf("creating -memprofile: %v", err)
+			return fmt.Errorf("creating -memprofile: %w", err)
 		}
 		runtime.GC() // flush accumulated allocation stats
 		if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-			fatalf("writing heap profile: %v", err)
+			f.Close()
+			return fmt.Errorf("writing heap profile: %w", err)
 		}
 		f.Close()
 	}
@@ -114,24 +136,24 @@ func main() {
 	path := *outFile
 	if path == "" {
 		if err := os.MkdirAll(*outDir, 0o755); err != nil {
-			fatalf("creating -out directory: %v", err)
+			return fmt.Errorf("creating -out directory: %w", err)
 		}
 		var err error
 		if path, err = bench.NextPath(*outDir); err != nil {
-			fatalf("choosing report path: %v", err)
+			return fmt.Errorf("choosing report path: %w", err)
 		}
 	}
 	if err := rep.WriteFile(path); err != nil {
-		fatalf("writing report: %v", err)
+		return fmt.Errorf("writing report: %w", err)
 	}
 	fmt.Printf("wrote %s (%d metrics)\n", path, len(rep.Metrics))
 
 	if *against == "" {
-		return
+		return nil
 	}
 	baseline, err := bench.ReadFile(*against)
 	if err != nil {
-		fatalf("loading baseline: %v", err)
+		return fmt.Errorf("loading baseline: %w", err)
 	}
 	cmp := bench.Compare(baseline, rep, tol)
 	for _, d := range cmp.Deltas {
@@ -145,9 +167,10 @@ func main() {
 	}
 	if cmp.Regressed() {
 		fmt.Printf("FAIL: regression vs %s (tolerance %s)\n", *against, *tolerance)
-		os.Exit(1)
+		return errRegression
 	}
 	fmt.Printf("PASS: no regression vs %s (tolerance %s)\n", *against, *tolerance)
+	return nil
 }
 
 // parsePercent accepts "10%", "10", or "0.1" (all meaning ten percent).
@@ -155,7 +178,8 @@ func parsePercent(s, flagName string) float64 {
 	trimmed := strings.TrimSuffix(strings.TrimSpace(s), "%")
 	v, err := strconv.ParseFloat(trimmed, 64)
 	if err != nil || v < 0 {
-		fatalf("bad %s value %q", flagName, s)
+		fmt.Fprintf(os.Stderr, "entbench: bad %s value %q\n", flagName, s)
+		os.Exit(2)
 	}
 	if v >= 1 || strings.HasSuffix(strings.TrimSpace(s), "%") {
 		v /= 100
@@ -172,9 +196,4 @@ func createFile(path string) (*os.File, error) {
 		}
 	}
 	return os.Create(path)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "entbench: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -20,7 +21,24 @@ import (
 	"enttrace/internal/gen"
 )
 
+// usageError marks a bad invocation; main exits 2 for it (like flag
+// parse failures) and 1 for runtime errors.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	dataset := flag.String("dataset", "D0", "dataset name (D0..D4)")
 	out := flag.String("out", ".", "output directory")
 	scale := flag.Float64("scale", 1.0, "workload scale factor")
@@ -40,7 +58,7 @@ func main() {
 		for _, sc := range gen.EvasionScenarios() {
 			fmt.Printf("%-18s %s\n", sc.Name, sc.Description)
 		}
-		return
+		return nil
 	}
 
 	var cfg enterprise.Config
@@ -51,24 +69,21 @@ func main() {
 		}
 	}
 	if !found {
-		fmt.Fprintf(os.Stderr, "unknown dataset %q\n", *dataset)
-		os.Exit(2)
+		return &usageError{msg: fmt.Sprintf("unknown dataset %q", *dataset)}
 	}
 	cfg.Scale = *scale
 	if *subnets > 0 && *subnets < len(cfg.Monitored) {
 		cfg.Monitored = cfg.Monitored[:*subnets]
 	}
 	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return err
 	}
 	if *evasion != "" {
 		scenarios := gen.EvasionScenarios()
 		if *evasion != "all" {
 			sc, ok := gen.EvasionScenarioByName(*evasion)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "unknown evasion scenario %q (try -evasion list)\n", *evasion)
-				os.Exit(2)
+				return &usageError{msg: fmt.Sprintf("unknown evasion scenario %q (try -evasion list)", *evasion)}
 			}
 			scenarios = []gen.EvasionScenario{sc}
 		}
@@ -78,32 +93,29 @@ func main() {
 			path := filepath.Join(*out, name)
 			f, err := os.Create(path)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			// Full frames: evasion pcaps carry their corrupt headers and
 			// payload bytes intact regardless of the dataset snaplen.
 			wcfg := cfg
 			wcfg.Snaplen = 65535
 			if err := gen.WriteTrace(f, wcfg, tr); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				f.Close()
+				return err
 			}
 			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
+				return err
 			}
 			fmt.Printf("%s: %d packets (%s)\n", path, len(tr.Packets), sc.Description)
 		}
-		return
+		return nil
 	}
 	if *schedule != "" {
 		sched := gen.DefaultSchedule()
 		if *schedule != "default" {
 			var err error
 			if sched, err = gen.ParseSchedule(*schedule); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return &usageError{msg: err.Error()}
 			}
 		}
 		if *duration > 0 {
@@ -114,8 +126,7 @@ func main() {
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		// Stream the frames straight to disk: a soak-length schedule never
 		// materializes in memory, and the file is byte-identical to the
@@ -128,15 +139,14 @@ func main() {
 		})
 		n, err := gen.WriteStream(f, cfg.Snaplen, src)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("%s: %d packets over %s\n", path, n, sched.Duration())
-		return
+		return nil
 	}
 	ds := gen.GenerateDataset(cfg)
 	for _, tr := range ds.Traces {
@@ -144,17 +154,16 @@ func main() {
 		path := filepath.Join(*out, name)
 		f, err := os.Create(path)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		if err := gen.WriteTrace(f, cfg, tr); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			f.Close()
+			return err
 		}
 		if err := f.Close(); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return err
 		}
 		fmt.Printf("%s: %d packets\n", path, len(tr.Packets))
 	}
+	return nil
 }

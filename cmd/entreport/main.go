@@ -10,6 +10,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -21,7 +22,24 @@ import (
 	"enttrace/internal/gen"
 )
 
+// usageError marks a bad invocation; main exits 2 for it (like flag
+// parse failures) and 1 for runtime errors.
+type usageError struct{ msg string }
+
+func (e *usageError) Error() string { return e.msg }
+
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		var ue *usageError
+		if errors.As(err, &ue) {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	scale := flag.Float64("scale", 1.0, "workload scale factor (volume knob)")
 	datasets := flag.String("datasets", "D0,D1,D2,D3,D4", "comma-separated dataset names")
 	subnets := flag.Int("subnets", 0, "limit monitored subnets per dataset (0 = all)")
@@ -36,8 +54,7 @@ func main() {
 	duration := flag.Duration("duration", 0, "with -schedule, tile the schedule to at least this length")
 	flag.Parse()
 	if *format != "text" && *format != "json" {
-		fmt.Fprintf(os.Stderr, "unknown -format %q (want text or json)\n", *format)
-		os.Exit(2)
+		return &usageError{msg: fmt.Sprintf("unknown -format %q (want text or json)", *format)}
 	}
 
 	var sched gen.Schedule
@@ -46,16 +63,14 @@ func main() {
 		if *schedule != "default" {
 			var err error
 			if sched, err = gen.ParseSchedule(*schedule); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return &usageError{msg: err.Error()}
 			}
 		}
 		if *duration > 0 {
 			sched = sched.Repeat(*duration)
 		}
 	} else if *duration > 0 {
-		fmt.Fprintln(os.Stderr, "-duration requires -schedule")
-		os.Exit(2)
+		return &usageError{msg: "-duration requires -schedule"}
 	}
 
 	want := make(map[string]bool)
@@ -93,8 +108,7 @@ func main() {
 			})
 			name := fmt.Sprintf("%s/subnet%d/scheduled", cfg.Name, subnet)
 			if err := a.AddTraceSource(name, enterprise.SubnetPrefix(subnet), src); err != nil {
-				fmt.Fprintf(os.Stderr, "analyze %s: %v\n", cfg.Name, err)
-				os.Exit(1)
+				return fmt.Errorf("analyze %s: %w", cfg.Name, err)
 			}
 			totalPkts = src.Stats().Frames
 		} else {
@@ -108,8 +122,7 @@ func main() {
 					Monitored: tr.Prefix,
 					Packets:   tr.Packets,
 				}); err != nil {
-					fmt.Fprintf(os.Stderr, "analyze %s: %v\n", cfg.Name, err)
-					os.Exit(1)
+					return fmt.Errorf("analyze %s: %w", cfg.Name, err)
 				}
 			}
 		}
@@ -117,8 +130,7 @@ func main() {
 		windows := a.WindowReports()
 		if *format == "json" {
 			if err := core.WriteRunJSON(os.Stdout, windows, r); err != nil {
-				fmt.Fprintf(os.Stderr, "json report: %v\n", err)
-				os.Exit(1)
+				return fmt.Errorf("json report: %w", err)
 			}
 		} else {
 			if len(windows) > 0 {
@@ -128,8 +140,7 @@ func main() {
 		}
 		if *figdir != "" {
 			if err := core.WriteFigureData(*figdir, r); err != nil {
-				fmt.Fprintf(os.Stderr, "figure data: %v\n", err)
-				os.Exit(1)
+				return fmt.Errorf("figure data: %w", err)
 			}
 		}
 		// Telemetry goes to stdout in text mode (as always) but must not
@@ -146,4 +157,5 @@ func main() {
 				cfg.Name, totalPkts, genDur.Seconds(), time.Since(start).Seconds())
 		}
 	}
+	return nil
 }

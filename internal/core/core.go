@@ -72,6 +72,26 @@ type Options struct {
 	// event time; WindowReports() at end of run is the canonical view.
 	// The callback runs on the analysis goroutine between traces.
 	OnWindow func(*WindowReport)
+	// OnError selects the source read-error policy. The zero value is
+	// pipeline.FailFast (any source error aborts the trace, the
+	// historical behavior); pipeline.Degrade skips poisoned records,
+	// keeps the healthy traffic, and folds a SourceError census into the
+	// report instead.
+	OnError pipeline.ErrorPolicy
+	// IdleEvict, when > 0, ends any connection idle past this horizon
+	// and sweeps it out of the live table, bounding memory on indefinite
+	// runs. Evicted-then-revived flows split deterministically (the
+	// split depends only on the flow's own timestamps), and connections
+	// still idle past the horizon at end of trace are counted as the
+	// report's AgedOut disposition — computed from the trace-wide
+	// event-time extent, so it is bit-identical for any worker count.
+	IdleEvict time.Duration
+	// MaxConns, when > 0, hard-bounds the live connection count across
+	// all shards (each shard gets an equal slice). A lossy backstop: when
+	// it fires, reports are no longer worker-count-invariant, and the
+	// eviction count is surfaced in the report so such runs are
+	// identifiable.
+	MaxConns int
 }
 
 func (o *Options) fill() {
@@ -137,9 +157,42 @@ type Analyzer struct {
 	// (the serve-mode health endpoint polls it mid-trace).
 	packetsSeen atomic.Int64
 
+	// stopFlag requests a graceful drain: the pipeline stops reading at
+	// the next packet boundary, drains what is already routed, and the
+	// in-flight Add* returns normally with everything processed so far
+	// accounted.
+	stopFlag atomic.Bool
+
+	// liveConns is the resident connection count across every shard
+	// table (serve-mode health reads it mid-trace).
+	liveConns atomic.Int64
+
+	// srcErrsLive counts source errors as the Degrade policy folds them,
+	// ahead of the end-of-trace census (health endpoints poll it).
+	srcErrsLive atomic.Int64
+
 	// pool recycles capture buffers across AddTraceReader calls.
 	pool *pcap.Pool
 }
+
+// Stop requests a graceful drain of any in-flight Add* call: intake
+// stops at the next packet boundary, already-routed packets drain, and
+// the call returns normally with everything read so far accounted.
+// Subsequent Add* calls return immediately without reading. Safe for
+// concurrent use (signal handlers, HTTP handlers).
+func (a *Analyzer) Stop() { a.stopFlag.Store(true) }
+
+// Stopping reports whether Stop has been called.
+func (a *Analyzer) Stopping() bool { return a.stopFlag.Load() }
+
+// LiveConns returns the resident (not yet finished) connection count
+// across all shard tables. Safe for concurrent use with Add*.
+func (a *Analyzer) LiveConns() int64 { return a.liveConns.Load() }
+
+// SourceErrorsSeen returns the running count of source read errors the
+// Degrade policy has folded, across all traces, updated mid-trace.
+// Safe for concurrent use with Add*.
+func (a *Analyzer) SourceErrorsSeen() int64 { return a.srcErrsLive.Load() }
 
 // locSplit separates enterprise-internal from WAN-crossing traffic.
 type locSplit struct {
@@ -201,11 +254,32 @@ func (a *Analyzer) AddTraceSource(name string, monitored netip.Prefix, src pcap.
 // replays in global first-packet order, which is identical for any
 // worker count.
 func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.Source) error {
+	// MaxConns bounds the whole run; each shard table gets an equal
+	// slice of it.
+	perShard := 0
+	if a.opts.MaxConns > 0 {
+		workers := a.opts.Workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		perShard = a.opts.MaxConns / workers
+		if perShard < 1 {
+			perShard = 1
+		}
+	}
 	var sinks []*shardSink
 	var traceBase time.Time
 	res, err := pipeline.Run(src, pipeline.Config{
 		Workers:   a.opts.Workers,
 		BatchSize: a.opts.BatchSize,
+		Flows: flows.Config{
+			IdleTimeout: a.opts.IdleEvict,
+			MaxConns:    perShard,
+			LiveGauge:   &a.liveConns,
+		},
+		OnError:    a.opts.OnError,
+		Stopped:    a.stopFlag.Load,
+		ErrCounter: &a.srcErrsLive,
 		NewSink: func(shard int, base time.Time) pipeline.Sink {
 			traceBase = base
 			s := newShardSink(&a.opts, monitored, base)
@@ -232,6 +306,29 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 	}
 	tgt.totalPackets += res.Packets
 	tgt.traceCount++
+
+	// Degraded-run accounting: the trace's source-error census and the
+	// MaxConns backstop's eviction count ride the same trace-granular
+	// delta as every other accumulator, so windowed sums reconcile with
+	// the cumulative.
+	tgt.capEvicted += res.CapEvicted
+	if len(res.SourceErrors) > 0 {
+		tse := TraceSourceErrors{
+			Trace:      name,
+			ByKind:     make(map[string]int64),
+			FirstIndex: res.SourceErrors[0].Index,
+			LastIndex:  res.SourceErrors[len(res.SourceErrors)-1].Index,
+		}
+		for _, se := range res.SourceErrors {
+			tse.Errors++
+			tse.LostBytes += se.Lost
+			tse.ByKind[se.Kind]++
+			if se.Terminal {
+				tse.Terminal = true
+			}
+		}
+		tgt.srcErrs = append(tgt.srcErrs, tse)
+	}
 
 	// Packet-level merges, in shard order. maxTS is the trace's
 	// event-time extent: every shard has drained, so the slowest
@@ -279,7 +376,7 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 			streams[c] = st
 		}
 	}
-	join := a.replayApps(recs, streams, mergeUDPEvents(sinks), keptBy, monitored, tgt)
+	join := a.replayApps(recs, streams, mergeUDPEvents(sinks), keptBy, monitored, tgt, maxTS)
 
 	// Trace load accounting overlaps the replay workers (it reads only
 	// the per-second bins and connection fields, which nothing mutates).

@@ -45,6 +45,16 @@ type epochAgg struct {
 	// signals), folded from replay workers like the connection sums.
 	hostile hostileCounters
 
+	// srcErrs is the degraded-run source-error census, one entry per
+	// trace that saw errors, in banking order.
+	srcErrs []TraceSourceErrors
+	// capEvicted counts MaxConns-backstop evictions; agedOut counts
+	// connections idle past the IdleEvict horizon at end of trace (the
+	// AgedOut disposition, folded from replay workers like the
+	// connection sums).
+	capEvicted int64
+	agedOut    int64
+
 	// apps folds banked application deltas. The batch path leaves it
 	// empty (live replay shards merge at report time instead); the
 	// windowed path banks every application snapshot here.
@@ -94,6 +104,9 @@ func (e *epochAgg) merge(other *epochAgg) {
 		e.roleCounts[role] += n
 	}
 	e.hostile.merge(&other.hostile)
+	e.srcErrs = append(e.srcErrs, other.srcErrs...)
+	e.capEvicted += other.capEvicted
+	e.agedOut += other.agedOut
 	e.apps.Merge(other.apps)
 }
 
@@ -105,6 +118,7 @@ func (e *epochAgg) foldConns(ca *connAggregates) {
 	foldLocSplit(e.catBytes, ca.catBytes)
 	foldLocSplit(e.catConns, ca.catConns)
 	e.hostile.merge(&ca.hostile)
+	e.agedOut += ca.agedOut
 }
 
 func (e *epochAgg) foldFan(fan map[netip.Addr]*flows.FanStats) {

@@ -198,6 +198,29 @@ func RenderText(r *Report) string {
 		h.GapEvents, stats.Bytes(h.GapSkippedBytes), stats.Pct(h.GapFrac), h.WrapEvents, stats.Bytes(h.PeakPendingBytes))
 	fmt.Fprintf(&b, "  bogus RSTs %d; data-after-RST segments %d; undecodable frames %d\n\n",
 		h.BogusRSTs, h.PostRSTDataSegments, h.UndecodableFrames)
+	if se := r.SourceErrors; se.Errors > 0 || se.AgedOutConns > 0 || se.CapEvictedConns > 0 {
+		fmt.Fprintf(&b, "Degraded-run census (extension):\n")
+		if se.Errors > 0 {
+			fmt.Fprintf(&b, "  source errors: %d skipped, %s lost", se.Errors, stats.Bytes(se.LostBytes))
+			for _, k := range sortedKeys(se.ByKind) {
+				fmt.Fprintf(&b, "; %s %d", k, se.ByKind[k])
+			}
+			b.WriteString("\n")
+			for _, t := range se.Traces {
+				term := ""
+				if t.Terminal {
+					term = " (trace ended early)"
+				}
+				fmt.Fprintf(&b, "    %s: %d errors, %s lost, offsets %d..%d%s\n",
+					t.Trace, t.Errors, stats.Bytes(t.LostBytes), t.FirstIndex, t.LastIndex, term)
+			}
+		}
+		if se.AgedOutConns > 0 || se.CapEvictedConns > 0 {
+			fmt.Fprintf(&b, "  conn-table: aged out %d (idle past horizon), cap-evicted %d\n",
+				se.AgedOutConns, se.CapEvictedConns)
+		}
+		b.WriteString("\n")
+	}
 	if len(r.Roles) > 0 {
 		fmt.Fprintf(&b, "Host roles (extension): servers %d, clients %d, peers %d\n\n",
 			r.Roles["server"], r.Roles["client"], r.Roles["peer"])

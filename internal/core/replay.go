@@ -3,6 +3,7 @@ package core
 import (
 	"net/netip"
 	"sync"
+	"time"
 
 	"enttrace/internal/appproto/dcerpc"
 	"enttrace/internal/appproto/dns"
@@ -62,7 +63,12 @@ import (
 // at join, and the watermark machinery decides when windows complete.
 // The per-trace distinct-peer censuses (fan, roles) stay trace-granular:
 // slicing them per window would double-count peers seen in two windows.
-func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Conn]*connStreams, events []udpEvent, kept map[*flows.Conn]bool, monitored netip.Prefix, tgt *epochAgg) (join func()) {
+// maxTS is the trace's event-time extent; connections still idle past
+// the IdleEvict horizon at that instant count toward the AgedOut
+// disposition. The check reads only the connection's own timestamps and
+// the trace-wide extent, so the count is bit-identical for any worker
+// count — whether or not the shard tables' memory sweep ever ran.
+func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Conn]*connStreams, events []udpEvent, kept map[*flows.Conn]bool, monitored netip.Prefix, tgt *epochAgg, maxTS time.Time) (join func()) {
 	shards := a.ensureReplayShards()
 	nshard := len(shards)
 
@@ -133,6 +139,13 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 			rec := recs[i]
 			conn := rec.Conn
 			app := streams[conn]
+			// AgedOut census: every connection (kept or filtered) idle
+			// past the horizon at end of trace. Idle-split predecessor
+			// segments qualify by construction (their successor's first
+			// packet already lies past Last + horizon).
+			if a.opts.IdleEvict > 0 && maxTS.Sub(conn.Last) > a.opts.IdleEvict {
+				ca.agedOut++
+			}
 			if kept[conn] {
 				*keptConns = append(*keptConns, conn)
 				a.accumulateConn(ca, conn, cats[i])
@@ -280,6 +293,9 @@ type connAggregates struct {
 	// hostile is the hostile-input census over this worker's connections
 	// (sums plus one max; see hostileCounters).
 	hostile hostileCounters
+	// agedOut counts connections idle past the IdleEvict horizon at end
+	// of trace (the report's AgedOut disposition).
+	agedOut int64
 }
 
 func newConnAggregates() *connAggregates {
@@ -300,6 +316,7 @@ func (ca *connAggregates) merge(o *connAggregates) {
 	foldLocSplit(ca.catBytes, o.catBytes)
 	foldLocSplit(ca.catConns, o.catConns)
 	ca.hostile.merge(&o.hostile)
+	ca.agedOut += o.agedOut
 }
 
 // replayResult is one worker's output for one trace: the whole-trace

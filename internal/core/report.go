@@ -44,6 +44,12 @@ type Report struct {
 	// DESIGN.md on the overlap-conflict policy).
 	Hostile HostileReport
 
+	// SourceErrors is the degraded-run census: source read failures the
+	// Degrade error policy skipped, plus the bounded-memory dispositions
+	// (extension; see DESIGN.md "Failure policy & degraded runs"). All
+	// zeros on a clean fail-fast run.
+	SourceErrors SourceErrorReport
+
 	// Roles is the host-role census (extension: the paper's cited
 	// role-classification direction), summed over traces.
 	Roles map[string]int
@@ -110,6 +116,40 @@ type HostileReport struct {
 	ConflictFrac  float64
 	// GapFrac is gap-skipped sequence space over delivered+skipped.
 	GapFrac float64
+}
+
+// SourceErrorReport is the degraded-run census for one epoch (the run,
+// or one window): every source read failure the Degrade policy folded,
+// plus the bounded-memory dispositions. Sum-of-windows equals the
+// cumulative on every field (the per-trace entries bank into the window
+// of the trace's last packet; AgedOut follows the connection banking).
+type SourceErrorReport struct {
+	// Errors and LostBytes total the per-trace entries below.
+	Errors    int64
+	LostBytes int64
+	// ByKind counts errors per census kind ("read-error", "torn-record",
+	// "short-read", "early-eof", ...).
+	ByKind map[string]int64 `json:",omitempty"`
+	// AgedOutConns counts connections idle past the IdleEvict horizon at
+	// the end of their trace; CapEvictedConns counts MaxConns-backstop
+	// evictions (nonzero only when the lossy backstop actually fired).
+	AgedOutConns    int64
+	CapEvictedConns int64
+	// Traces carries the per-trace census entries, in banking order.
+	Traces []TraceSourceErrors `json:",omitempty"`
+}
+
+// TraceSourceErrors is one trace's source-error census.
+type TraceSourceErrors struct {
+	Trace     string
+	Errors    int64
+	LostBytes int64
+	ByKind    map[string]int64
+	// FirstIndex/LastIndex are the packet-stream offsets (packets
+	// delivered before the error) of the trace's first and last errors.
+	FirstIndex, LastIndex int64
+	// Terminal marks a trace a fault ended early.
+	Terminal bool
 }
 
 // CategoryRow is one Figure 1 bar: the category's share of unicast
@@ -372,6 +412,7 @@ func buildReport(dataset string, e *epochAgg, ap *appAggregates, win *WindowMeta
 	r.Backup = backupReport(ap)
 	r.Load = e.loadReport()
 	r.Hostile = e.hostileReport()
+	r.SourceErrors = e.sourceErrorReport()
 	r.Roles = make(map[string]int)
 	for role, n := range e.roleCounts {
 		r.Roles[string(role)] = n
@@ -792,6 +833,26 @@ func (e *epochAgg) hostileReport() HostileReport {
 		ConflictFrac:        frac(float64(h.conflict), float64(h.ingest)),
 		GapFrac:             frac(float64(h.gapSkipped), float64(h.delivered+h.gapSkipped)),
 	}
+}
+
+func (e *epochAgg) sourceErrorReport() SourceErrorReport {
+	r := SourceErrorReport{
+		AgedOutConns:    e.agedOut,
+		CapEvictedConns: e.capEvicted,
+	}
+	if len(e.srcErrs) == 0 {
+		return r
+	}
+	r.ByKind = make(map[string]int64)
+	r.Traces = e.srcErrs
+	for _, t := range e.srcErrs {
+		r.Errors += t.Errors
+		r.LostBytes += t.LostBytes
+		for k, n := range t.ByKind {
+			r.ByKind[k] += n
+		}
+	}
+	return r
 }
 
 // findings produces Table 5's qualitative summary from the measured data.

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -28,12 +29,30 @@ type ReportServer struct {
 	// finalJSON is written once by SetFinal (on the analysis goroutine)
 	// and read by handlers; atomic, since the two race by design.
 	finalJSON atomic.Pointer[[]byte]
+
+	// Stall detection: /healthz tracks a progress signature (packets
+	// seen, watermark) and reports the server degraded once it stops
+	// advancing for stallAfter of wall time — a stuck source looks
+	// healthy to every other probe, since the process itself is fine.
+	mu          sync.Mutex
+	stallAfter  time.Duration
+	lastPackets int64
+	lastMark    time.Time
+	lastAdvance time.Time
 }
+
+// DefaultStallThreshold is how long /healthz lets the progress
+// signature sit still before reporting the run degraded.
+const DefaultStallThreshold = 30 * time.Second
+
+// SetStallThreshold overrides the watermark-stall threshold; d <= 0
+// disables stall detection. Call before serving.
+func (s *ReportServer) SetStallThreshold(d time.Duration) { s.stallAfter = d }
 
 // NewReportServer returns a server over a (the handlers use only the
 // Analyzer's concurrency-safe accessors).
 func NewReportServer(a *Analyzer) *ReportServer {
-	s := &ReportServer{a: a, mux: http.NewServeMux()}
+	s := &ReportServer{a: a, mux: http.NewServeMux(), stallAfter: DefaultStallThreshold}
 	s.mux.HandleFunc("/healthz", s.healthz)
 	s.mux.HandleFunc("/report/latest", s.latest)
 	s.mux.HandleFunc("/report/window/", s.window)
@@ -60,6 +79,8 @@ func (s *ReportServer) ServeHTTP(w http.ResponseWriter, req *http.Request) {
 }
 
 type healthStatus struct {
+	// Status is "ok", or "degraded" when the run has folded source
+	// errors or the progress signature has stalled past the threshold.
 	Status           string
 	Packets          int64
 	Windowing        bool
@@ -68,6 +89,33 @@ type healthStatus struct {
 	Windows          int
 	CompletedWindows int
 	FinalReady       bool
+	// LiveConns is the resident connection count; SourceErrors the
+	// running degraded-run error count.
+	LiveConns    int64
+	SourceErrors int64
+	// Draining marks a graceful shutdown in progress.
+	Draining bool `json:",omitempty"`
+	// StallSeconds is how long the progress signature has been still,
+	// present only once past the stall threshold.
+	StallSeconds float64 `json:",omitempty"`
+}
+
+// stallAge reports how long the (packets, watermark) progress signature
+// has been unchanged, or 0 while it is still advancing (or stall
+// detection is off). The clock arms at the first probe, so a server
+// nobody polls never accumulates a phantom stall.
+func (s *ReportServer) stallAge(packets int64, mark time.Time) time.Duration {
+	if s.stallAfter <= 0 {
+		return 0
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lastAdvance.IsZero() || packets != s.lastPackets || !mark.Equal(s.lastMark) {
+		s.lastPackets, s.lastMark, s.lastAdvance = packets, mark, now
+		return 0
+	}
+	return now.Sub(s.lastAdvance)
 }
 
 func (s *ReportServer) healthz(w http.ResponseWriter, req *http.Request) {
@@ -78,12 +126,27 @@ func (s *ReportServer) healthz(w http.ResponseWriter, req *http.Request) {
 		Windows:          s.a.WindowCount(),
 		CompletedWindows: s.a.LatestWindowIndex() + 1,
 		FinalReady:       s.finalJSON.Load() != nil,
+		LiveConns:        s.a.LiveConns(),
+		SourceErrors:     s.a.SourceErrorsSeen(),
+		Draining:         s.a.Stopping(),
 	}
+	wm := s.a.Watermark()
 	if h.Windowing {
 		h.WindowDuration = s.a.WindowDuration().String()
-		if wm := s.a.Watermark(); !wm.IsZero() {
+		if !wm.IsZero() {
 			h.Watermark = wm.UTC().Format(time.RFC3339Nano)
 		}
+	}
+	// A finished run can't advance and isn't stalled; a draining one is
+	// expected to stop moving.
+	if !h.FinalReady && !h.Draining {
+		if age := s.stallAge(h.Packets, wm); age > s.stallAfter {
+			h.Status = "degraded"
+			h.StallSeconds = age.Seconds()
+		}
+	}
+	if h.SourceErrors > 0 {
+		h.Status = "degraded"
 	}
 	writeJSON(w, http.StatusOK, h)
 }

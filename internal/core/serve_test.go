@@ -100,6 +100,73 @@ func TestServeWindowedRun(t *testing.T) {
 	}
 }
 
+// TestServeStallDetection drives /healthz through the watermark-stall
+// state machine: a still progress signature past the threshold degrades
+// the status, any advance resets the clock, and a published final
+// report suppresses stall reporting entirely.
+func TestServeStallDetection(t *testing.T) {
+	a := windowedAnalyzer(time.Minute)
+	srv := NewReportServer(a)
+	srv.SetStallThreshold(time.Millisecond)
+
+	health := func() healthStatus {
+		t.Helper()
+		code, body := get(t, srv, "/healthz")
+		if code != 200 {
+			t.Fatalf("healthz: %d", code)
+		}
+		var h healthStatus
+		if err := json.Unmarshal(body, &h); err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+
+	// First probe arms the clock; no stall yet.
+	if h := health(); h.Status != "ok" {
+		t.Errorf("initial status = %s, want ok", h.Status)
+	}
+	time.Sleep(5 * time.Millisecond)
+	if h := health(); h.Status != "degraded" || h.StallSeconds <= 0 {
+		t.Errorf("stalled status = %+v, want degraded with StallSeconds", h)
+	}
+
+	// Progress resets the stall clock.
+	em := gen.NewEmitter(7)
+	emitConn(em, 0, windowTestBase, 0)
+	if err := a.AddTrace(TraceInput{Name: "t0", Monitored: enterprise.SubnetPrefix(5), Packets: em.Packets()}); err != nil {
+		t.Fatal(err)
+	}
+	if h := health(); h.Status != "ok" {
+		t.Errorf("status after progress = %s, want ok", h.Status)
+	}
+
+	// A finished run cannot advance and must not read as stalled.
+	time.Sleep(5 * time.Millisecond)
+	if err := srv.SetFinal(a.Report()); err != nil {
+		t.Fatal(err)
+	}
+	if h := health(); h.Status != "ok" || !h.FinalReady {
+		t.Errorf("final status = %+v, want ok/final-ready", h)
+	}
+}
+
+// TestServeDegradedOnSourceErrors: any folded source error turns the
+// health status degraded for the rest of the run.
+func TestServeDegradedOnSourceErrors(t *testing.T) {
+	a := windowedAnalyzer(time.Minute)
+	srv := NewReportServer(a)
+	a.srcErrsLive.Add(1)
+	_, body := get(t, srv, "/healthz")
+	var h healthStatus
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.SourceErrors != 1 {
+		t.Errorf("health = %+v, want degraded with 1 source error", h)
+	}
+}
+
 // TestServeWithoutWindowing pins the degraded mode: health and final
 // work, window endpoints explain themselves with 404.
 func TestServeWithoutWindowing(t *testing.T) {

@@ -17,6 +17,7 @@
 package flows
 
 import (
+	"sync/atomic"
 	"time"
 
 	"enttrace/internal/layers"
@@ -129,6 +130,26 @@ type Config struct {
 	UDPTimeout time.Duration
 	// ICMPTimeout is the ICMP flow inactivity bound. Default 10 s.
 	ICMPTimeout time.Duration
+	// IdleTimeout, when > 0, ends any connection — TCP included — idle
+	// past it, and arms the periodic sweep that evicts such connections
+	// from the live table, bounding memory on indefinite runs. A
+	// connection that speaks again after the horizon is tracked as a
+	// new one; because the split is decided against the flow's own
+	// timestamps, it is identical for any shard count, and the sweep
+	// itself (which only reclaims memory earlier) never changes what is
+	// reported. Protocols with a shorter default timeout keep it.
+	IdleTimeout time.Duration
+	// MaxConns, when > 0, hard-bounds the live table: an insert beyond
+	// it evicts the least-recently-active connection first. This is a
+	// lossy backstop for hostile or misconfigured workloads — when it
+	// fires, which connection splits depends on shard load, so reports
+	// are no longer worker-count-invariant; the eviction count is
+	// surfaced so a run that tripped it is identifiable.
+	MaxConns int
+	// LiveGauge, when non-nil, tracks the live-connection count; shards
+	// of one analysis share a single gauge, so it reads as the whole
+	// run's resident connection total.
+	LiveGauge *atomic.Int64
 }
 
 func (c *Config) withDefaults() Config {
@@ -154,6 +175,12 @@ type Table struct {
 	// allocation count without changing lifetimes (all of a trace's
 	// connections live until the analysis drops the whole table).
 	slab []Conn
+	// lastSweep is the event time of the last idle sweep (zero until
+	// the first packet arms it).
+	lastSweep time.Time
+	// agedEvicted/capEvicted count connections removed from the live
+	// table by the idle sweep and the MaxConns backstop respectively.
+	agedEvicted, capEvicted int64
 }
 
 // NewTable returns an empty connection table.
@@ -165,6 +192,7 @@ func NewTable(cfg Config) *Table {
 // length. It returns the connection and the packet's direction within it,
 // or nil for packets with no transport flow (ARP, IPX, fragments).
 func (t *Table) Packet(ts time.Time, p *layers.Packet, wireLen int) (*Conn, Dir) {
+	t.maybeSweep(ts)
 	key, ok := layers.FlowKeyOf(p)
 	if !ok {
 		return nil, DirOrig
@@ -194,6 +222,10 @@ func (t *Table) Packet(ts time.Time, p *layers.Packet, wireLen int) (*Conn, Dir)
 			conn.Multicast = true
 		}
 		t.live[canon] = conn
+		if t.cfg.LiveGauge != nil {
+			t.cfg.LiveGauge.Add(1)
+		}
+		t.enforceCap(conn)
 	}
 	// Direction relative to the connection's originator.
 	dir := DirOrig
@@ -231,6 +263,9 @@ func (t *Table) alloc() *Conn {
 }
 
 func (t *Table) expired(c *Conn, now time.Time) bool {
+	if t.cfg.IdleTimeout > 0 && now.Sub(c.Last) > t.cfg.IdleTimeout {
+		return true
+	}
 	switch c.Proto {
 	case layers.ProtoUDP:
 		return now.Sub(c.Last) > t.cfg.UDPTimeout
@@ -239,6 +274,70 @@ func (t *Table) expired(c *Conn, now time.Time) bool {
 	}
 	return false
 }
+
+// sweep finishes every live connection idle past the IdleTimeout
+// horizon at event time now. Because shard timestamps are
+// non-decreasing, any connection the sweep evicts would also have been
+// split by expired() at its next packet — the sweep only reclaims the
+// memory earlier, so reports are unchanged by when (or whether) it
+// runs.
+func (t *Table) sweep(now time.Time) {
+	for _, c := range t.live {
+		if now.Sub(c.Last) > t.cfg.IdleTimeout {
+			t.finish(c)
+			t.agedEvicted++
+		}
+	}
+}
+
+// maybeSweep runs the idle sweep at most once per half horizon of
+// event time — often enough that the live table holds at most one
+// extra horizon's worth of dead flows, rarely enough to stay off the
+// hot path.
+func (t *Table) maybeSweep(now time.Time) {
+	if t.cfg.IdleTimeout <= 0 {
+		return
+	}
+	if t.lastSweep.IsZero() {
+		t.lastSweep = now
+		return
+	}
+	if now.Sub(t.lastSweep) >= t.cfg.IdleTimeout/2 {
+		t.sweep(now)
+		t.lastSweep = now
+	}
+}
+
+// enforceCap evicts the least-recently-active connection when an
+// insert pushed the live table over MaxConns. Ties break toward the
+// earliest-started connection; the just-inserted one is never the
+// victim.
+func (t *Table) enforceCap(just *Conn) {
+	for t.cfg.MaxConns > 0 && len(t.live) > t.cfg.MaxConns {
+		var victim *Conn
+		for _, c := range t.live {
+			if c == just {
+				continue
+			}
+			if victim == nil || c.Last.Before(victim.Last) ||
+				(c.Last.Equal(victim.Last) && c.Start.Before(victim.Start)) {
+				victim = c
+			}
+		}
+		if victim == nil {
+			return
+		}
+		t.finish(victim)
+		t.capEvicted++
+	}
+}
+
+// EvictStats returns how many connections the idle sweep (aged) and the
+// MaxConns backstop (capped) have evicted from the live table.
+func (t *Table) EvictStats() (aged, capped int64) { return t.agedEvicted, t.capEvicted }
+
+// CapEvicted returns the MaxConns backstop's eviction count alone.
+func (t *Table) CapEvicted() int64 { return t.capEvicted }
 
 func (t *Table) tcpUpdate(c *Conn, dir Dir, tcp *layers.TCP, payloadLen int, isNew bool) {
 	syn := tcp.Flags&layers.TCPSyn != 0
@@ -328,6 +427,9 @@ func (t *Table) finish(c *Conn) {
 	canon, _ := c.Key.Canonical()
 	if t.live[canon] == c {
 		delete(t.live, canon)
+		if t.cfg.LiveGauge != nil {
+			t.cfg.LiveGauge.Add(-1)
+		}
 	}
 }
 
@@ -336,6 +438,9 @@ func (t *Table) Flush() {
 	for _, c := range t.live {
 		c.finished = true
 		t.done = append(t.done, c)
+	}
+	if t.cfg.LiveGauge != nil {
+		t.cfg.LiveGauge.Add(-int64(len(t.live)))
 	}
 	t.live = make(map[layers.FlowKey]*Conn)
 }

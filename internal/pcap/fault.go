@@ -1,0 +1,55 @@
+package pcap
+
+import (
+	"errors"
+	"io"
+)
+
+// SourceFault is the optional error classification a PacketSource can
+// attach to its read errors. The pipeline's degrade-and-continue policy
+// uses it to build the SourceError census without depending on any
+// particular source implementation: the fault-injection wrapper
+// (internal/faults) implements it on every injected error, and errors
+// that do not implement it fall back to ClassifyReadError.
+type SourceFault interface {
+	error
+	// FaultKind names the failure class ("read-error", "torn-record",
+	// "short-read", "early-eof", ...). Kinds are census keys, so they
+	// must be stable strings.
+	FaultKind() string
+	// LostBytes is the capture payload lost to this fault: the dropped
+	// record's captured length, or the bytes truncated off a short read.
+	// Zero when unknown.
+	LostBytes() int64
+	// Recoverable reports whether the source can yield further packets
+	// after this error. Terminal faults end the trace; recoverable ones
+	// lose only the affected record.
+	Recoverable() bool
+}
+
+// ClassifyReadError maps a source read error without SourceFault
+// classification onto a census kind. Real pcap.Reader failures land
+// here: a record cut off by the end of the stream wraps
+// io.ErrUnexpectedEOF ("torn-record"); anything else — bad record
+// header, length exceeding snaplen, I/O failure — is a generic
+// "read-error". Reader errors are sticky, so both are terminal.
+func ClassifyReadError(err error) (kind string, recoverable bool) {
+	var sf SourceFault
+	if errors.As(err, &sf) {
+		return sf.FaultKind(), sf.Recoverable()
+	}
+	if errors.Is(err, io.ErrUnexpectedEOF) {
+		return "torn-record", false
+	}
+	return "read-error", false
+}
+
+// FaultLostBytes extracts the byte-loss estimate from a classified read
+// error (0 when the error carries none).
+func FaultLostBytes(err error) int64 {
+	var sf SourceFault
+	if errors.As(err, &sf) {
+		return sf.LostBytes()
+	}
+	return 0
+}

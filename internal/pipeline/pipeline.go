@@ -20,6 +20,7 @@ import (
 	"io"
 	"runtime"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"enttrace/internal/flows"
@@ -44,6 +45,40 @@ type Source = pcap.PacketSource
 // through a record — in descriptive errors, and those must propagate.
 func isEOF(err error) bool {
 	return err == io.EOF
+}
+
+// ErrorPolicy selects how Run treats source read errors.
+type ErrorPolicy int
+
+// Error policies.
+const (
+	// FailFast aborts the run on the first source error (the default,
+	// and the historical behavior).
+	FailFast ErrorPolicy = iota
+	// Degrade skips poisoned records and keeps going: recoverable
+	// faults (per pcap.SourceFault) lose only the affected record;
+	// terminal faults end the trace early. Either way the packets
+	// already routed are drained, every error is folded into
+	// Result.SourceErrors, and Run returns a nil error — the degraded
+	// run is an answer, not a failure.
+	Degrade
+)
+
+// SourceError is one source read failure recorded by the Degrade
+// policy. The fields mirror pcap.SourceFault; errors without that
+// classification fall back to pcap.ClassifyReadError.
+type SourceError struct {
+	// Kind is the census key ("read-error", "torn-record", ...).
+	Kind string
+	// Index is the number of packets delivered before the error — the
+	// failure's offset in the analyzed packet stream.
+	Index int64
+	// Lost is the captured bytes the failure dropped (0 when unknown).
+	Lost int64
+	// Terminal marks the error that ended the trace early.
+	Terminal bool
+	// Msg is the underlying error text.
+	Msg string
 }
 
 // Sink receives per-packet callbacks on one shard. A Sink is owned by a
@@ -77,6 +112,18 @@ type Config struct {
 	// first) before any packet is processed; base is the first packet's
 	// timestamp. May be nil for flow-tracking-only runs.
 	NewSink func(shard int, base time.Time) Sink
+	// OnError selects the source read-error policy; the zero value is
+	// FailFast.
+	OnError ErrorPolicy
+	// Stopped, when non-nil, is polled between packets; once it returns
+	// true the run stops reading, drains the packets already routed,
+	// and returns cleanly with Result.Stopped set — the graceful-drain
+	// hook for long-running sources.
+	Stopped func() bool
+	// ErrCounter, when non-nil, is incremented as the Degrade policy
+	// folds each source error — live mid-run progress for health
+	// endpoints, ahead of the end-of-trace Result.
+	ErrCounter *atomic.Int64
 }
 
 // DefaultBatchSize amortizes channel overhead without hurting locality.
@@ -106,6 +153,14 @@ type Result struct {
 	// Per-shard sinks receive it through Config.NewSink before any
 	// packet is processed.
 	Base time.Time
+	// SourceErrors is the Degrade policy's error census, in occurrence
+	// order (nil under FailFast, or when the source never failed).
+	SourceErrors []SourceError
+	// Stopped reports that Config.Stopped ended the run early.
+	Stopped bool
+	// CapEvicted counts connections the shard tables' MaxConns backstop
+	// evicted, summed over shards.
+	CapEvicted int64
 }
 
 // SortedConns merges every shard's connections into first-packet order.
@@ -265,9 +320,66 @@ func (w *worker) finish() ShardResult {
 	return ShardResult{Shard: w.shard, Sink: w.sink, Conns: recs}
 }
 
+// sourceReader wraps a source's Next with the error policy and the
+// stop check. Exactly one goroutine (the router) calls next; the policy
+// state needs no synchronization.
+type sourceReader struct {
+	src     Source
+	degrade bool
+	stopped func() bool
+	errs    *atomic.Int64
+	res     *Result
+	// err is the terminal read error under FailFast — the one Run
+	// returns after draining.
+	err error
+}
+
+// next returns the next packet, or false when the stream is over: clean
+// EOF, a stop request, a terminal fault (Degrade), or any error at all
+// (FailFast, recorded in r.err). idx is the number of packets delivered
+// so far — the offset the error census records. Under Degrade,
+// recoverable faults are folded and skipped here, invisibly to the
+// caller.
+func (r *sourceReader) next(idx int64) (*pcap.Packet, bool) {
+	for {
+		if r.stopped != nil && r.stopped() {
+			r.res.Stopped = true
+			return nil, false
+		}
+		p, err := r.src.Next()
+		if err == nil {
+			return p, true
+		}
+		if isEOF(err) {
+			return nil, false
+		}
+		if !r.degrade {
+			r.err = err
+			return nil, false
+		}
+		kind, recoverable := pcap.ClassifyReadError(err)
+		r.res.SourceErrors = append(r.res.SourceErrors, SourceError{
+			Kind:     kind,
+			Index:    idx,
+			Lost:     pcap.FaultLostBytes(err),
+			Terminal: !recoverable,
+			Msg:      err.Error(),
+		})
+		if r.errs != nil {
+			r.errs.Add(1)
+		}
+		if !recoverable {
+			return nil, false
+		}
+	}
+}
+
 // Run streams every packet from src through the sharded pipeline and
 // returns the per-shard results. On a source read error the packets
-// already routed are still drained and the error returned.
+// already routed are still drained; under the default FailFast policy
+// the error is returned, under Degrade it is folded into
+// Result.SourceErrors and the run keeps going when the fault was
+// recoverable.
 func Run(src Source, cfg Config) (*Result, error) {
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -278,15 +390,23 @@ func Run(src Source, cfg Config) (*Result, error) {
 		batchSize = DefaultBatchSize
 	}
 
-	first, err := src.Next()
-	if err != nil {
-		if isEOF(err) {
-			return &Result{}, nil
+	res := &Result{}
+	rdr := &sourceReader{
+		src:     src,
+		degrade: cfg.OnError == Degrade,
+		stopped: cfg.Stopped,
+		errs:    cfg.ErrCounter,
+		res:     res,
+	}
+	first, ok := rdr.next(0)
+	if !ok {
+		if rdr.err != nil {
+			return nil, rdr.err
 		}
-		return nil, err
+		return res, nil
 	}
 	base := first.Timestamp
-	res := &Result{Base: base}
+	res.Base = base
 
 	// Pooled sources get their packets back as soon as a worker is done
 	// with them; sinks keep buffers alive across that boundary by
@@ -297,7 +417,7 @@ func Run(src Source, cfg Config) (*Result, error) {
 	}
 
 	if workers == 1 {
-		return runSerial(src, first, cfg, res, release)
+		return runSerial(rdr, first, cfg, res, release)
 	}
 
 	batches := newBatchPool(workers, batchSize)
@@ -328,7 +448,6 @@ func Run(src Source, cfg Config) (*Result, error) {
 		}
 	}
 
-	var readErr error
 	pk := first
 	var idx int64
 	for {
@@ -338,11 +457,9 @@ func Run(src Source, cfg Config) (*Result, error) {
 			flush(s)
 		}
 		idx++
-		pk, err = src.Next()
-		if err != nil {
-			if !isEOF(err) {
-				readErr = err
-			}
+		var ok bool
+		pk, ok = rdr.next(idx)
+		if !ok {
 			break
 		}
 	}
@@ -356,16 +473,16 @@ func Run(src Source, cfg Config) (*Result, error) {
 	}
 	for _, w := range ws {
 		res.Shards = append(res.Shards, w.finish())
+		res.CapEvicted += w.tbl.CapEvicted()
 	}
-	return res, readErr
+	return res, rdr.err
 }
 
 // runSerial is the single-worker fast path: no goroutines, no channels.
 // It is the sequential baseline the parallel path is benchmarked against
 // and must produce byte-identical results to it.
-func runSerial(src Source, first *pcap.Packet, cfg Config, res *Result, release func(*pcap.Packet)) (*Result, error) {
+func runSerial(rdr *sourceReader, first *pcap.Packet, cfg Config, res *Result, release func(*pcap.Packet)) (*Result, error) {
 	w := newWorker(0, cfg, first.Timestamp)
-	var readErr error
 	pk := first
 	var idx int64
 	for {
@@ -374,16 +491,14 @@ func runSerial(src Source, first *pcap.Packet, cfg Config, res *Result, release 
 			release(pk)
 		}
 		idx++
-		var err error
-		pk, err = src.Next()
-		if err != nil {
-			if !isEOF(err) {
-				readErr = err
-			}
+		var ok bool
+		pk, ok = rdr.next(idx)
+		if !ok {
 			break
 		}
 	}
 	res.Packets = idx
 	res.Shards = []ShardResult{w.finish()}
-	return res, readErr
+	res.CapEvicted = w.tbl.CapEvicted()
+	return res, rdr.err
 }

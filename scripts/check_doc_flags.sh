@@ -27,6 +27,20 @@ for doc in README.md DESIGN.md EXPERIMENTS.md; do
     grep -oE ' -[a-zA-Z][a-zA-Z0-9_-]*' | sed 's/^ -//' | sort -u)
 done
 
+# The resilience-flag family appears in DESIGN.md's failure-policy
+# code blocks on lines that are not full ent* command lines (policy
+# tables, healthz transcripts), so the command-line pass above misses
+# them. Scan every fenced block for this family explicitly, so a rename
+# of any of the four flags cannot leave stale prose behind.
+while read -r flag; do
+  if ! grep -qx "$flag" "$valid"; then
+    echo "DESIGN.md code block: flag -$flag is not accepted by any ent* binary" >&2
+    fail=1
+  fi
+done < <(awk '/^```/ { inblk = !inblk; next } inblk' DESIGN.md |
+  grep -oE '(^| )-(inject|on-error|max-conns|idle-evict)\b' |
+  sed 's/^ *-//' | sort -u)
+
 if [ "$fail" -ne 0 ]; then
   echo "doc-drift check failed: fix the examples or the flag surface" >&2
 fi
