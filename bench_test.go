@@ -7,6 +7,7 @@
 package enttrace_test
 
 import (
+	"net/netip"
 	"sync"
 	"testing"
 	"time"
@@ -23,6 +24,13 @@ import (
 // benchScale keeps bench datasets small enough for tight iteration while
 // preserving every traffic class.
 const benchScale = 0.15
+
+// Endpoints for registry-lookup benchmarks (well-known classification is
+// host-independent; the signature carries hosts for dynamic scoping).
+var (
+	benchAddrA = netip.AddrFrom4([4]byte{128, 3, 2, 10})
+	benchAddrB = netip.AddrFrom4([4]byte{128, 3, 7, 5})
+)
 
 var (
 	dsCache   = map[string]*gen.Dataset{}
@@ -134,7 +142,7 @@ func BenchmarkTable4_CategoryRegistry(b *testing.B) {
 	reg := categories.NewRegistry()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, cat := reg.Classify(layers.ProtoTCP, 40000, 445); cat != categories.Windows {
+		if _, cat := reg.Classify(layers.ProtoTCP, benchAddrA, benchAddrB, 40000, 445); cat != categories.Windows {
 			b.Fatal("classification broken")
 		}
 	}

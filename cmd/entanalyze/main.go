@@ -24,6 +24,14 @@
 // gracefully: intake stops, routed packets flush, the final report is
 // emitted, and the process exits 0.
 //
+// Two-tier fleet mode: with -ship, a site streams its per-window
+// snapshot deltas to an aggregator over TCP (at-least-once delivery,
+// exponential-backoff reconnect); with -aggregate, the process runs as
+// the aggregator instead — it reads no traces, merges every site's
+// snapshots into fleet-wide reports, and serves them (with per-site
+// liveness) over -serve. Windowed fleet members must share a window
+// clock: pass the same -window and -window-origin to every site.
+//
 // Usage:
 //
 //	entanalyze [-payload] [-workers N] [-replay-workers N] [-monitored 128.3.5.0/24]
@@ -31,6 +39,9 @@
 //	           [-on-error fail|skip] [-inject spec] [-idle-evict 5m] [-max-conns N]
 //	           trace1.pcap [trace2.pcap ...]
 //	entanalyze -gen default [-gen-dataset D3] [-duration 10m] [-window 60s] [-serve :8080]
+//	entanalyze -ship agg:9444 -site lbl-east [-window 60s -window-origin 2005-01-06T09:00:00Z]
+//	           [-trace-base N] trace1.pcap ...
+//	entanalyze -aggregate :9444 [-expect-sites east,west] [-stale-after 30s] [-serve :8080]
 package main
 
 import (
@@ -43,12 +54,14 @@ import (
 	"net/netip"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
 	"enttrace/internal/faults"
+	"enttrace/internal/fleet"
 	"enttrace/internal/gen"
 	"enttrace/internal/pcap"
 	"enttrace/internal/pipeline"
@@ -104,9 +117,59 @@ func run() error {
 	maxConns := flag.Int("max-conns", 0,
 		"hard bound on live connections across all shards (0 = unbounded); a lossy backstop — "+
 			"evictions are surfaced in the report when it fires")
+	ship := flag.String("ship", "",
+		"stream per-window snapshot deltas to a fleet aggregator at this TCP address "+
+			"(two-tier mode; requires -site, and -window-origin when windowed)")
+	site := flag.String("site", "", "with -ship: this site's unique name in the fleet")
+	windowOrigin := flag.String("window-origin", "",
+		"with -ship and -window: the fleet's shared window-clock origin, RFC3339 "+
+			"(every site must pass the same value or the aggregator refuses the session)")
+	traceBase := flag.Int("trace-base", 0,
+		"with -ship: global ordinal of this site's first trace, so the fleet report "+
+			"orders per-trace rows exactly like a single instance over the concatenated traces")
+	aggregate := flag.String("aggregate", "",
+		"run as the fleet aggregator listening for site shippers at this TCP address; "+
+			"no traces are read — reports come from merged site snapshots (pair with -serve)")
+	expectSites := flag.String("expect-sites", "",
+		"with -aggregate: comma-separated site names the fleet is incomplete without; "+
+			"an absent site keeps /report/final unavailable and is named in /healthz")
+	staleAfter := flag.Duration("stale-after", 30*time.Second,
+		"with -aggregate -serve: degrade /healthz and name a site stale after this long "+
+			"without a frame from it (0 = never)")
 	flag.Parse()
+	if *aggregate != "" {
+		if flag.NArg() > 0 || *genSpec != "" || *ship != "" {
+			return usagef("-aggregate runs a standalone aggregator: it takes no traces, -gen, or -ship")
+		}
+		if *format != "text" && *format != "json" {
+			return usagef("unknown -format %q (want text or json)", *format)
+		}
+		return runAggregate(*aggregate, *expectSites, *dataset, *serve, *staleAfter, *format)
+	}
+	if *expectSites != "" || setOnCommandLine("stale-after") {
+		return usagef("-expect-sites and -stale-after require -aggregate")
+	}
 	if (flag.NArg() == 0) == (*genSpec == "") {
-		return usagef("usage: entanalyze [flags] trace.pcap ...\n       entanalyze -gen <schedule|default> [flags]")
+		return usagef("usage: entanalyze [flags] trace.pcap ...\n       entanalyze -gen <schedule|default> [flags]\n       entanalyze -aggregate <addr> [flags]")
+	}
+	if (*ship == "") != (*site == "") {
+		return usagef("-ship and -site go together (a fleet site needs both)")
+	}
+	if *ship == "" && *traceBase != 0 {
+		return usagef("-trace-base only applies to fleet sites (-ship)")
+	}
+	if *windowOrigin != "" && *window <= 0 {
+		return usagef("-window-origin requires -window")
+	}
+	var shipOrigin time.Time
+	if *windowOrigin != "" {
+		var err error
+		if shipOrigin, err = time.Parse(time.RFC3339, *windowOrigin); err != nil {
+			return usagef("-window-origin: %v", err)
+		}
+	}
+	if *ship != "" && *window > 0 && *windowOrigin == "" {
+		return usagef("a windowed fleet site needs -window-origin (the shared window clock; same RFC3339 instant on every site)")
 	}
 	if *format != "text" && *format != "json" {
 		return usagef("unknown -format %q (want text or json)", *format)
@@ -183,20 +246,66 @@ func run() error {
 		Workers:         *workers,
 		ReplayWorkers:   *replayWorkers,
 		Window:          *window,
+		WindowOrigin:    shipOrigin,
+		TraceBase:       *traceBase,
 		OnError:         policy,
 		IdleEvict:       *idleEvict,
 		MaxConns:        *maxConns,
 	}
+	// shipper is assigned after the analyzer exists (the HELLO carries
+	// the analyzer's snapshot schema and window config); the OnWindow
+	// closure reads it through the variable.
+	var shipper *fleet.Shipper
+	var a *core.Analyzer
 	if *window > 0 {
 		// Narrate window completion as the watermark passes each
-		// boundary, so a long streaming run shows progress.
+		// boundary, so a long streaming run shows progress — and in
+		// fleet mode, ship the completed window as a provisional
+		// snapshot (the end-of-run canonical re-export supersedes it).
 		opts.OnWindow = func(wr *core.WindowReport) {
 			fmt.Fprintf(os.Stderr, "window %d [%s, %s): %d conns, %s payload\n",
 				wr.Index, wr.Start.UTC().Format("15:04:05"), wr.End.UTC().Format("15:04:05"),
 				wr.Report.Table3.TotalConns, stats.Bytes(wr.Report.Table3.TotalBytes))
+			if shipper != nil {
+				if we, err := a.ExportWindow(wr.Index); err == nil {
+					shipper.ShipDelta(we.Window, we.Watermark, we.Payload)
+				} else {
+					fmt.Fprintf(os.Stderr, "ship window %d: %v\n", wr.Index, err)
+				}
+			}
 		}
 	}
-	a := core.NewAnalyzer(opts)
+	a = core.NewAnalyzer(opts)
+	var hbStop chan struct{}
+	if *ship != "" {
+		var err error
+		shipper, err = fleet.NewShipper(fleet.ShipperConfig{
+			Addr:  *ship,
+			Site:  *site,
+			Hello: a.FleetHello(),
+			Logf:  func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if err != nil {
+			return err
+		}
+		// Liveness heartbeats while analysis streams, so the aggregator
+		// can tell a slow site from a dead one; stopped before Close.
+		hbStop = make(chan struct{})
+		go func() {
+			tick := time.NewTicker(5 * time.Second)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					if wm := a.Watermark(); !wm.IsZero() {
+						shipper.Heartbeat(wm.UnixNano())
+					}
+				case <-hbStop:
+					return
+				}
+			}
+		}()
+	}
 
 	// Graceful drain: the first SIGINT/SIGTERM stops intake at the next
 	// packet boundary; routed packets flush, the final report (and, with
@@ -284,6 +393,30 @@ func run() error {
 		fmt.Fprintf(os.Stderr, "%s: %d packets\n", path, a.PacketsSeen()-before)
 	}
 
+	if shipper != nil {
+		close(hbStop)
+		exports, err := a.ExportAll()
+		if err != nil {
+			return fmt.Errorf("fleet export: %w", err)
+		}
+		maxWindow := -1
+		var watermark int64
+		for _, we := range exports {
+			shipper.ShipDelta(we.Window, we.Watermark, we.Payload)
+			if we.Window > maxWindow {
+				maxWindow = we.Window
+			}
+			watermark = we.Watermark
+		}
+		shipper.Fin(maxWindow, watermark)
+		if err := shipper.Close(); err != nil {
+			return fmt.Errorf("ship to %s: %w", *ship, err)
+		}
+		st := shipper.Stats()
+		fmt.Fprintf(os.Stderr, "shipped %d windows to %s as site %s (%d frames acked, %d reconnects, %d resends)\n",
+			len(exports), *ship, *site, st.Acked, st.Reconnects, st.Resends)
+	}
+
 	report := a.Report()
 	windows := a.WindowReports()
 	switch *format {
@@ -310,6 +443,100 @@ func run() error {
 			fmt.Fprintln(os.Stderr, "analysis complete; still serving (SIGINT/SIGTERM to exit)")
 			<-sigDone
 		}
+	}
+	return nil
+}
+
+// setOnCommandLine reports whether the named flag was explicitly set.
+func setOnCommandLine(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+// runAggregate is the -aggregate mode: a standalone fleet aggregator
+// that accepts site shippers on addr, merges their window snapshots
+// (idempotently — delivery is at-least-once), optionally serves
+// fleet-wide reports and per-site liveness over HTTP, and on
+// SIGINT/SIGTERM drains and emits the merged report — degraded with a
+// per-site census when sites are missing, lagging, or lost.
+func runAggregate(addr, expect, dataset, serveAddr string, staleAfter time.Duration, format string) error {
+	var sites []string
+	for _, s := range strings.Split(expect, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			sites = append(sites, s)
+		}
+	}
+	logf := func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) }
+	f := core.NewFleet(core.FleetConfig{Dataset: dataset, ExpectSites: sites, Logf: logf})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	agg := fleet.NewAggregator(ln, f, logf)
+	if len(sites) > 0 {
+		fmt.Fprintf(os.Stderr, "fleet aggregator listening on %s (expecting sites: %s)\n", ln.Addr(), strings.Join(sites, ", "))
+	} else {
+		fmt.Fprintf(os.Stderr, "fleet aggregator listening on %s\n", ln.Addr())
+	}
+	served := make(chan struct{})
+	go func() {
+		defer close(served)
+		if err := agg.Serve(); !errors.Is(err, net.ErrClosed) {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
+	var fsrv *core.FleetServer
+	if serveAddr != "" {
+		fsrv = core.NewFleetServer(f)
+		fsrv.SetStaleThreshold(staleAfter)
+		hln, err := net.Listen("tcp", serveAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "serving fleet reports on http://%s (/healthz, /report/latest, /report/window/<n>, /report/fleet, /report/final)\n",
+			hln.Addr())
+		go func() {
+			server := &http.Server{Handler: fsrv, ReadHeaderTimeout: 10 * time.Second}
+			if err := server.Serve(hln); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	<-sigc
+	signal.Stop(sigc)
+	if fsrv != nil {
+		fsrv.SetDraining(true)
+	}
+	fmt.Fprintln(os.Stderr, "signal: draining — closing shipper sessions, emitting fleet report")
+	agg.Close()
+	<-served
+
+	report := f.Report()
+	windows := f.WindowReports()
+	switch format {
+	case "json":
+		if err := core.WriteRunJSON(os.Stdout, windows, report); err != nil {
+			return err
+		}
+	default:
+		if len(windows) > 0 {
+			fmt.Print(core.RenderWindowSummary(windows) + "\n")
+		}
+		fmt.Print(core.RenderText(report))
+	}
+	if st := f.Status(); !st.FinalReady {
+		fmt.Fprintf(os.Stderr, "fleet incomplete: missing sites %v, %d windows lost — the report above carries the degradation census\n",
+			st.MissingSites, st.LostWindows)
 	}
 	return nil
 }

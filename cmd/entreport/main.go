@@ -7,6 +7,7 @@
 //
 //	entreport [-scale 1.0] [-datasets D0,D1,D2,D3,D4] [-subnets N]
 //	entreport -datasets D3 -schedule default [-duration 10m] [-window 60s]
+//	entreport -datasets D3 -on-error skip -inject "read@50,stall@100:1ms"
 package main
 
 import (
@@ -19,7 +20,10 @@ import (
 
 	"enttrace/internal/core"
 	"enttrace/internal/enterprise"
+	"enttrace/internal/faults"
 	"enttrace/internal/gen"
+	"enttrace/internal/pcap"
+	"enttrace/internal/pipeline"
 )
 
 // usageError marks a bad invocation; main exits 2 for it (like flag
@@ -52,9 +56,32 @@ func run() error {
 		`analyze a time-structured schedule streamed straight from the generator (no trace `+
 			`materialized) instead of the tap rotation: phase spec or "default"`)
 	duration := flag.Duration("duration", 0, "with -schedule, tile the schedule to at least this length")
+	onError := flag.String("on-error", "fail",
+		`source read-error policy: "fail" aborts on the first error (default); "skip" degrades `+
+			`and continues — poisoned records are dropped and the report carries a SourceError census`)
+	inject := flag.String("inject", "",
+		`deterministic fault injection against every source: "kind@index[:arg],..." with kinds `+
+			`read@N, short@N:cut, stall@N:dur, torn@N, eof@N — or "rand:seed:count:span"; pair with `+
+			`-on-error skip to exercise degraded runs (the census is checked against the manifest)`)
 	flag.Parse()
 	if *format != "text" && *format != "json" {
 		return &usageError{msg: fmt.Sprintf("unknown -format %q (want text or json)", *format)}
+	}
+	var policy pipeline.ErrorPolicy
+	switch *onError {
+	case "fail":
+		policy = pipeline.FailFast
+	case "skip":
+		policy = pipeline.Degrade
+	default:
+		return &usageError{msg: fmt.Sprintf("unknown -on-error %q (want fail or skip)", *onError)}
+	}
+	var injectSched faults.Schedule
+	if *inject != "" {
+		var err error
+		if injectSched, err = faults.ParseSpec(*inject); err != nil {
+			return &usageError{msg: err.Error()}
+		}
 	}
 
 	var sched gen.Schedule
@@ -92,7 +119,22 @@ func run() error {
 			Workers:         *workers,
 			ReplayWorkers:   *replayWorkers,
 			Window:          *window,
+			OnError:         policy,
 		})
+		// wrapSource interposes the fault injector (when -inject is set);
+		// both ingest modes route through it — dataset traces via a slice
+		// source — so a degraded rotation and a degraded stream exercise
+		// the same seam. Injectors are per-dataset: each report's census
+		// is checked against exactly the faults fired into it.
+		var injectors []*faults.Source
+		wrapSource := func(src pcap.PacketSource) pcap.PacketSource {
+			if *inject == "" {
+				return src
+			}
+			fs := faults.Wrap(src, injectSched)
+			injectors = append(injectors, fs)
+			return fs
+		}
 		var genDur time.Duration
 		var totalPkts int64
 		start := time.Now()
@@ -107,7 +149,7 @@ func run() error {
 				Snaplen:  cfg.Snaplen,
 			})
 			name := fmt.Sprintf("%s/subnet%d/scheduled", cfg.Name, subnet)
-			if err := a.AddTraceSource(name, enterprise.SubnetPrefix(subnet), src); err != nil {
+			if err := a.AddTraceSource(name, enterprise.SubnetPrefix(subnet), wrapSource(src)); err != nil {
 				return fmt.Errorf("analyze %s: %w", cfg.Name, err)
 			}
 			totalPkts = src.Stats().Frames
@@ -117,16 +159,19 @@ func run() error {
 			totalPkts = int64(ds.TotalPackets())
 			start = time.Now()
 			for _, tr := range ds.Traces {
-				if err := a.AddTrace(core.TraceInput{
-					Name:      fmt.Sprintf("%s/subnet%d/tap%d", cfg.Name, tr.Subnet, tr.Tap),
-					Monitored: tr.Prefix,
-					Packets:   tr.Packets,
-				}); err != nil {
+				name := fmt.Sprintf("%s/subnet%d/tap%d", cfg.Name, tr.Subnet, tr.Tap)
+				src := wrapSource(pcap.NewSliceSource(tr.Packets))
+				if err := a.AddTraceSource(name, tr.Prefix, src); err != nil {
 					return fmt.Errorf("analyze %s: %w", cfg.Name, err)
 				}
 			}
 		}
 		r := a.Report()
+		if len(injectors) > 0 && policy == pipeline.Degrade {
+			if err := checkCensus(r, injectors); err != nil {
+				return err
+			}
+		}
 		windows := a.WindowReports()
 		if *format == "json" {
 			if err := core.WriteRunJSON(os.Stdout, windows, r); err != nil {
@@ -157,5 +202,42 @@ func run() error {
 				cfg.Name, totalPkts, genDur.Seconds(), time.Since(start).Seconds())
 		}
 	}
+	return nil
+}
+
+// checkCensus verifies the report's SourceError census against what the
+// injectors actually fired; the match line is stable for CI to grep.
+func checkCensus(r *core.Report, injectors []*faults.Source) error {
+	exp := faults.Expected{ByKind: make(map[string]int64)}
+	for _, fs := range injectors {
+		e := fs.Expected()
+		exp.Errors += e.Errors
+		exp.LostBytes += e.LostBytes
+		for k, n := range e.ByKind {
+			exp.ByKind[k] += n
+		}
+	}
+	got := r.SourceErrors
+	ok := got.Errors == exp.Errors && got.LostBytes == exp.LostBytes
+	if ok {
+		for k, n := range exp.ByKind {
+			if got.ByKind[k] != n {
+				ok = false
+				break
+			}
+		}
+		for k := range got.ByKind {
+			if _, want := exp.ByKind[k]; !want {
+				ok = false
+				break
+			}
+		}
+	}
+	if !ok {
+		return fmt.Errorf("fault census: report (%d errors, %d bytes lost) does not match injected manifest (%d errors, %d bytes lost)",
+			got.Errors, got.LostBytes, exp.Errors, exp.LostBytes)
+	}
+	fmt.Fprintf(os.Stderr, "fault census: report matches injected manifest (%d errors, %d bytes lost)\n",
+		exp.Errors, exp.LostBytes)
 	return nil
 }

@@ -175,7 +175,7 @@ func (a *Analyzer) accumulate(iface UUID, p *PDU) {
 		a.Bytes.Add(fn, int64(p.StubLen))
 	case PTResponse:
 		if InterfaceName(iface) == "EPM" {
-			if mapped, port, ok := ParseEpmMapResponse(p); ok {
+			if mapped, _, port, ok := ParseEpmMapResponse(p); ok {
 				a.MappedPorts[port] = mapped
 			}
 		}

@@ -17,6 +17,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"net/netip"
 )
 
 // PDU types.
@@ -218,21 +219,27 @@ func Decode(data []byte) (*PDU, int, error) {
 }
 
 // EncodeEpmMapResponse builds an EPM ept_map response PDU whose stub
-// reveals that iface is reachable on the given TCP port.
-func EncodeEpmMapResponse(callID uint32, iface UUID, port uint16) []byte {
-	stub := make([]byte, 18)
+// reveals that iface is reachable at the given host and TCP port. Real
+// C706 towers carry an ip_addr floor alongside the port floor for the
+// same reason: the mapped endpoint may live on a different host than
+// the endpoint mapper itself.
+func EncodeEpmMapResponse(callID uint32, iface UUID, host netip.Addr, port uint16) []byte {
+	stub := make([]byte, 22)
 	binary.BigEndian.PutUint16(stub[0:2], port)
 	copy(stub[2:18], iface[:])
+	a4 := host.As4()
+	copy(stub[18:22], a4[:])
 	return Encode(&PDU{Type: PTResponse, CallID: callID, Stub: stub})
 }
 
-// ParseEpmMapResponse extracts (iface, port) from an EPM map response
-// stub. ok is false when the stub is too short.
-func ParseEpmMapResponse(p *PDU) (iface UUID, port uint16, ok bool) {
-	if p.Type != PTResponse || len(p.Stub) < 18 {
-		return UUID{}, 0, false
+// ParseEpmMapResponse extracts (iface, host, port) from an EPM map
+// response stub. ok is false when the stub is too short.
+func ParseEpmMapResponse(p *PDU) (iface UUID, host netip.Addr, port uint16, ok bool) {
+	if p.Type != PTResponse || len(p.Stub) < 22 {
+		return UUID{}, netip.Addr{}, 0, false
 	}
 	port = binary.BigEndian.Uint16(p.Stub[0:2])
 	copy(iface[:], p.Stub[2:18])
-	return iface, port, true
+	host = netip.AddrFrom4([4]byte(p.Stub[18:22]))
+	return iface, host, port, true
 }

@@ -2,6 +2,7 @@ package dcerpc
 
 import (
 	"bytes"
+	"net/netip"
 	"testing"
 	"testing/quick"
 )
@@ -90,14 +91,14 @@ func TestFunctionNames(t *testing.T) {
 }
 
 func TestEpmMapResponse(t *testing.T) {
-	data := EncodeEpmMapResponse(5, IfSpoolss, 1891)
+	data := EncodeEpmMapResponse(5, IfSpoolss, netip.AddrFrom4([4]byte{128, 3, 7, 5}), 1891)
 	p, _, err := Decode(data)
 	if err != nil {
 		t.Fatal(err)
 	}
-	iface, port, ok := ParseEpmMapResponse(p)
-	if !ok || iface != IfSpoolss || port != 1891 {
-		t.Errorf("parsed %v %d %v", iface, port, ok)
+	iface, host, port, ok := ParseEpmMapResponse(p)
+	if !ok || iface != IfSpoolss || port != 1891 || host != netip.AddrFrom4([4]byte{128, 3, 7, 5}) {
+		t.Errorf("parsed %v %v %d %v", iface, host, port, ok)
 	}
 }
 
@@ -138,7 +139,7 @@ func TestAnalyzerChannelsIndependent(t *testing.T) {
 func TestAnalyzerEpmRegistersPort(t *testing.T) {
 	a := NewAnalyzer()
 	a.Stream("epm", true, Encode(&PDU{Type: PTBind, CallID: 1, Iface: IfEPM}))
-	a.Stream("epm", false, EncodeEpmMapResponse(2, IfSpoolss, 2101))
+	a.Stream("epm", false, EncodeEpmMapResponse(2, IfSpoolss, netip.AddrFrom4([4]byte{128, 3, 7, 5}), 2101))
 	u, ok := a.MappedPorts[2101]
 	if !ok || u != IfSpoolss {
 		t.Errorf("mapped ports = %v", a.MappedPorts)

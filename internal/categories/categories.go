@@ -17,6 +17,7 @@
 package categories
 
 import (
+	"net/netip"
 	"sort"
 	"sync"
 
@@ -118,18 +119,32 @@ type portKey struct {
 	port      uint16
 }
 
+// hostPortKey scopes a dynamic registration to the host that announced
+// it. Endpoint-mapped and PASV ports are meaningful only on the server
+// that advertised them; a port-global mapping would misclassify
+// unrelated connections whose ephemeral ports happen to collide, and
+// would make classification depend on which other taps' traffic the
+// same process had already analyzed (breaking the fleet differential).
+// Bro's dynamic protocol expectations are host-scoped the same way.
+type hostPortKey struct {
+	host      netip.Addr
+	transport uint8
+	port      uint16
+}
+
 // Registry resolves ports to protocols. It starts with the Table 4
-// well-known set; the analyzer registers DCE/RPC endpoint-mapped ephemeral
-// ports dynamically, the way the paper's Bro analysis did.
+// well-known set; the analyzer registers DCE/RPC endpoint-mapped and FTP
+// PASV ephemeral ports dynamically, scoped to the announcing server, the
+// way the paper's Bro analysis did.
 type Registry struct {
 	mu      sync.RWMutex
 	byPort  map[portKey]*Proto
-	dynamic map[portKey]*Proto
+	dynamic map[hostPortKey]*Proto
 }
 
 // NewRegistry returns a registry loaded with Table 4.
 func NewRegistry() *Registry {
-	r := &Registry{byPort: make(map[portKey]*Proto), dynamic: make(map[portKey]*Proto)}
+	r := &Registry{byPort: make(map[portKey]*Proto), dynamic: make(map[hostPortKey]*Proto)}
 	for i := range wellKnown {
 		p := &wellKnown[i]
 		for _, port := range p.Ports {
@@ -145,37 +160,39 @@ func NewRegistry() *Registry {
 }
 
 // Register adds a dynamic port mapping (e.g. a DCE/RPC service port
-// learned from Endpoint Mapper traffic).
-func (r *Registry) Register(transport uint8, port uint16, name, category string) {
+// learned from Endpoint Mapper traffic) scoped to the host the service
+// lives on.
+func (r *Registry) Register(host netip.Addr, transport uint8, port uint16, name, category string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.dynamic[portKey{transport, port}] = &Proto{Name: name, Category: category, Transport: transport, Ports: []uint16{port}}
+	r.dynamic[hostPortKey{host, transport, port}] = &Proto{Name: name, Category: category, Transport: transport, Ports: []uint16{port}}
 }
 
-// lookup finds a protocol for a single (transport, port).
-func (r *Registry) lookup(transport uint8, port uint16) *Proto {
+// lookup finds a protocol for a single endpoint: the well-known table
+// first, then dynamic registrations for that specific host.
+func (r *Registry) lookup(host netip.Addr, transport uint8, port uint16) *Proto {
 	if p, ok := r.byPort[portKey{transport, port}]; ok {
 		return p
 	}
 	r.mu.RLock()
-	p := r.dynamic[portKey{transport, port}]
+	p := r.dynamic[hostPortKey{host, transport, port}]
 	r.mu.RUnlock()
 	return p
 }
 
 // Classify resolves a connection to (protocol name, category). The
-// responder (destination) port is consulted first, then the originator
-// port (for cases like FTP data where the server is the originator).
-// Unknown ports fall into other-tcp / other-udp; non-TCP/UDP transports
-// return ("", "").
-func (r *Registry) Classify(transport uint8, origPort, respPort uint16) (string, string) {
+// responder (destination) endpoint is consulted first, then the
+// originator (for cases like FTP data where the server is the
+// originator). Unknown ports fall into other-tcp / other-udp;
+// non-TCP/UDP transports return ("", "").
+func (r *Registry) Classify(transport uint8, orig, resp netip.Addr, origPort, respPort uint16) (string, string) {
 	if transport != layers.ProtoTCP && transport != layers.ProtoUDP {
 		return "", ""
 	}
-	if p := r.lookup(transport, respPort); p != nil {
+	if p := r.lookup(resp, transport, respPort); p != nil {
 		return p.Name, p.Category
 	}
-	if p := r.lookup(transport, origPort); p != nil {
+	if p := r.lookup(orig, transport, origPort); p != nil {
 		return p.Name, p.Category
 	}
 	if transport == layers.ProtoTCP {

@@ -1,9 +1,18 @@
 package categories
 
 import (
+	"net/netip"
 	"testing"
 
 	"enttrace/internal/layers"
+)
+
+// Test endpoints: classification is host-scoped for dynamic entries, so
+// the tests name a client, a server, and an unrelated third host.
+var (
+	tClient = netip.AddrFrom4([4]byte{128, 3, 2, 10})
+	tServer = netip.AddrFrom4([4]byte{128, 3, 7, 5})
+	tOther  = netip.AddrFrom4([4]byte{128, 3, 9, 9})
 )
 
 func TestClassifyWellKnown(t *testing.T) {
@@ -35,7 +44,7 @@ func TestClassifyWellKnown(t *testing.T) {
 		{layers.ProtoTCP, 40000, 21, "FTP", Bulk},
 	}
 	for _, c := range cases {
-		name, cat := r.Classify(c.transport, c.orig, c.resp)
+		name, cat := r.Classify(c.transport, tClient, tServer, c.orig, c.resp)
 		if name != c.wantName || cat != c.wantCat {
 			t.Errorf("Classify(%d, %d, %d) = (%q, %q), want (%q, %q)",
 				c.transport, c.orig, c.resp, name, cat, c.wantName, c.wantCat)
@@ -45,13 +54,13 @@ func TestClassifyWellKnown(t *testing.T) {
 
 func TestClassifyUnknown(t *testing.T) {
 	r := NewRegistry()
-	if _, cat := r.Classify(layers.ProtoTCP, 45000, 49999); cat != OtherTCP {
+	if _, cat := r.Classify(layers.ProtoTCP, tClient, tServer, 45000, 49999); cat != OtherTCP {
 		t.Errorf("unknown TCP → %q", cat)
 	}
-	if _, cat := r.Classify(layers.ProtoUDP, 45000, 49999); cat != OtherUDP {
+	if _, cat := r.Classify(layers.ProtoUDP, tClient, tServer, 45000, 49999); cat != OtherUDP {
 		t.Errorf("unknown UDP → %q", cat)
 	}
-	if name, cat := r.Classify(layers.ProtoICMP, 0, 0); name != "" || cat != "" {
+	if name, cat := r.Classify(layers.ProtoICMP, tClient, tServer, 0, 0); name != "" || cat != "" {
 		t.Errorf("ICMP should be unclassified, got (%q, %q)", name, cat)
 	}
 }
@@ -59,7 +68,7 @@ func TestClassifyUnknown(t *testing.T) {
 func TestClassifyOriginatorPortFallback(t *testing.T) {
 	r := NewRegistry()
 	// FTP active data: server port 20 originates to an ephemeral port.
-	name, cat := r.Classify(layers.ProtoTCP, 20, 40001)
+	name, cat := r.Classify(layers.ProtoTCP, tServer, tClient, 20, 40001)
 	if name != "FTP" || cat != Bulk {
 		t.Errorf("FTP data = (%q, %q)", name, cat)
 	}
@@ -68,20 +77,34 @@ func TestClassifyOriginatorPortFallback(t *testing.T) {
 func TestUDPOnlyProtocolNotTCP(t *testing.T) {
 	r := NewRegistry()
 	// Netbios-NS is UDP-only in the registry; TCP 137 is other-tcp.
-	if _, cat := r.Classify(layers.ProtoTCP, 40000, 137); cat != OtherTCP {
+	if _, cat := r.Classify(layers.ProtoTCP, tClient, tServer, 40000, 137); cat != OtherTCP {
 		t.Errorf("TCP 137 → %q, want other-tcp", cat)
 	}
 }
 
 func TestDynamicRegistration(t *testing.T) {
 	r := NewRegistry()
-	if _, cat := r.Classify(layers.ProtoTCP, 40000, 1891); cat != OtherTCP {
+	if _, cat := r.Classify(layers.ProtoTCP, tClient, tServer, 40000, 1891); cat != OtherTCP {
 		t.Fatal("port should start unknown")
 	}
-	r.Register(layers.ProtoTCP, 1891, "Spoolss", Windows)
-	name, cat := r.Classify(layers.ProtoTCP, 40000, 1891)
+	r.Register(tServer, layers.ProtoTCP, 1891, "Spoolss", Windows)
+	name, cat := r.Classify(layers.ProtoTCP, tClient, tServer, 40000, 1891)
 	if name != "Spoolss" || cat != Windows {
 		t.Errorf("dynamic = (%q, %q)", name, cat)
+	}
+	// Host-scoped: the same port on an unrelated host stays unknown, and
+	// an ephemeral originator port colliding with the registered number
+	// does not reclassify a connection to a different server.
+	if _, cat := r.Classify(layers.ProtoTCP, tClient, tOther, 40000, 1891); cat != OtherTCP {
+		t.Errorf("registration leaked to another host: %q", cat)
+	}
+	if _, cat := r.Classify(layers.ProtoTCP, tClient, tOther, 1891, 49999); cat != OtherTCP {
+		t.Errorf("colliding originator port reclassified: %q", cat)
+	}
+	// The originator fallback still honors the registered host (active
+	// FTP-style: the registered server originates the connection).
+	if name, _ := r.Classify(layers.ProtoTCP, tServer, tClient, 1891, 49999); name != "Spoolss" {
+		t.Errorf("originator-side dynamic lookup = %q", name)
 	}
 }
 
@@ -128,8 +151,8 @@ func TestNoPortCollisions(t *testing.T) {
 	// port.
 	r1, r2 := NewRegistry(), NewRegistry()
 	for _, p := range [...]uint16{25, 53, 80, 137, 139, 443, 445, 524, 2049} {
-		n1, c1 := r1.Classify(layers.ProtoTCP, 40000, p)
-		n2, c2 := r2.Classify(layers.ProtoTCP, 40000, p)
+		n1, c1 := r1.Classify(layers.ProtoTCP, tClient, tServer, 40000, p)
+		n2, c2 := r2.Classify(layers.ProtoTCP, tClient, tServer, 40000, p)
 		if n1 != n2 || c1 != c2 {
 			t.Errorf("port %d classification unstable", p)
 		}

@@ -169,7 +169,7 @@ func TestTransportConnBackupAccounting(t *testing.T) {
 	opts := Options{}
 	opts.fill()
 	classified := func(c *flows.Conn) string {
-		name, _ := opts.Registry.Classify(c.Proto, c.Key.SrcPort, c.Key.DstPort)
+		name, _ := opts.Registry.Classify(c.Proto, c.Key.Src, c.Key.Dst, c.Key.SrcPort, c.Key.DstPort)
 		return name
 	}
 	dantz := tcpConn(hostA, hostB, 40000, 497, flows.StateEstablished)

@@ -92,6 +92,18 @@ type Options struct {
 	// eviction count is surfaced in the report so such runs are
 	// identifiable.
 	MaxConns int
+	// WindowOrigin, when set (requires Window > 0), pins the window
+	// clock instead of aligning it to the first packet. Fleet members
+	// must share one origin so every site cuts windows on the same
+	// boundaries as the aggregator's single-instance equivalent.
+	WindowOrigin time.Time
+	// TraceBase offsets this analyzer's trace ordinals (the per-trace
+	// sequence numbers that key cross-trace application state and order
+	// FTP session lists). A fleet member analyzing traces k..k+m-1 of
+	// the logical concatenated run sets TraceBase=k so its exported
+	// snapshots merge into the same canonical order a single instance
+	// over all traces would produce.
+	TraceBase int
 }
 
 func (o *Options) fill() {
@@ -207,8 +219,10 @@ func NewAnalyzer(opts Options) *Analyzer {
 		cum:  newEpochAgg(),
 		apps: newAppAggregates(),
 	}
+	a.traceCount = opts.TraceBase
 	if opts.Window > 0 {
 		a.win = newWindowState(opts.Dataset, opts.Window, opts.OnWindow)
+		a.win.setOrigin(opts.WindowOrigin)
 	}
 	return a
 }
@@ -315,6 +329,7 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 	if len(res.SourceErrors) > 0 {
 		tse := TraceSourceErrors{
 			Trace:      name,
+			ord:        a.traceCount,
 			ByKind:     make(map[string]int64),
 			FirstIndex: res.SourceErrors[0].Index,
 			LastIndex:  res.SourceErrors[len(res.SourceErrors)-1].Index,
@@ -380,7 +395,7 @@ func (a *Analyzer) addSource(name string, monitored netip.Prefix, src pipeline.S
 
 	// Trace load accounting overlaps the replay workers (it reads only
 	// the per-second bins and connection fields, which nothing mutates).
-	tgt.load.finishTrace(perSec, kept, a.opts.IsLocal, a.opts.LinkCapacityMbps)
+	tgt.load.finishTrace(perSec, kept, a.opts.IsLocal, a.opts.LinkCapacityMbps, a.traceCount)
 	join()
 
 	if a.win != nil {

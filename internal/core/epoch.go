@@ -322,10 +322,12 @@ func (ws *windowState) finishTrace(cum *epochAgg, traceDelta *epochAgg, apDelta 
 	}
 }
 
-// windowReportLocked builds window n's report: the trace-granular
-// aggregate plus the window's worker deltas, folded in banking order.
-// Callers hold ws.mu.
-func (ws *windowState) windowReportLocked(n int) *WindowReport {
+// foldWindowLocked builds window n's standalone aggregate: the
+// trace-granular pending epoch plus the window's worker deltas, folded
+// in banking order. This is the single fold both window reports and
+// fleet snapshot exports go through, so a shipped window is exactly the
+// window a local report would describe. Callers hold ws.mu.
+func (ws *windowState) foldWindowLocked(n int) *epochAgg {
 	e := newEpochAgg()
 	if tp := ws.pending[n]; tp != nil {
 		e.merge(tp)
@@ -338,6 +340,14 @@ func (ws *windowState) windowReportLocked(n int) *WindowReport {
 			e.foldConns(d.conns)
 		}
 	}
+	return e
+}
+
+// windowReportLocked builds window n's report: the trace-granular
+// aggregate plus the window's worker deltas, folded in banking order.
+// Callers hold ws.mu.
+func (ws *windowState) windowReportLocked(n int) *WindowReport {
+	e := ws.foldWindowLocked(n)
 	meta := &WindowMeta{Index: n, Start: ws.windowStart(n), End: ws.windowEnd(n)}
 	return &WindowReport{
 		Index:  n,

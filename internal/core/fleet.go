@@ -1,0 +1,604 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"enttrace/internal/fleet"
+)
+
+// This file is the analysis half of two-tier fleet mode: encoding a
+// site analyzer's window snapshots for the wire (the shipper side), and
+// merging decoded snapshots from many sites back into fleet-wide
+// reports (the aggregator side). The transport between the two lives in
+// internal/fleet; this file owns what the payloads mean.
+//
+// The invariant the whole design leans on is the epoch contract: a
+// window snapshot is a complete epochAgg, and merging a partition of
+// epochs reproduces the aggregate that never split. A fleet of N sites
+// analyzing disjoint trace blocks therefore folds — site-major in site
+// name order, window-minor — to the same report a single instance
+// produces over the concatenated traces, byte for byte, provided the
+// sites share a window origin (Options.WindowOrigin) and disjoint
+// trace-ordinal ranges (Options.TraceBase).
+
+// SnapshotSchema is the fleet codec's schema hash for the epoch
+// snapshot type this build ships. Shipper and aggregator exchange it in
+// the HELLO handshake; a mismatch (different builds of the analyzer)
+// fails the connection instead of mis-merging silently.
+func SnapshotSchema() uint64 { return fleet.SchemaOf(&epochAgg{}) }
+
+// WindowExport is one window's encoded snapshot, ready for
+// Shipper.ShipDelta. Payload is a complete snapshot of the window, not
+// an increment: re-exporting the same window under a higher sequence
+// number replaces the earlier delivery at the aggregator, which is what
+// lets a site ship provisional windows mid-run and canonical ones at
+// the end of the run.
+type WindowExport struct {
+	Window    int
+	Watermark int64 // event-time watermark at export, unix nanoseconds
+	Payload   []byte
+}
+
+// FleetHello returns the handshake payload describing this analyzer's
+// snapshot schema and window configuration. Windowed fleet members must
+// run with Options.WindowOrigin set — the origin rides in the HELLO so
+// the aggregator can refuse sites cutting windows on different
+// boundaries.
+func (a *Analyzer) FleetHello() fleet.Hello {
+	h := fleet.Hello{Schema: SnapshotSchema()}
+	if a.win != nil {
+		h.WindowNanos = int64(a.win.dur)
+		a.win.mu.Lock()
+		if a.win.originSet {
+			h.OriginNanos = a.win.origin.UnixNano()
+		}
+		a.win.mu.Unlock()
+	}
+	return h
+}
+
+// ExportWindow encodes window n's complete folded snapshot. On a
+// windowed analyzer it is safe to call while analysis streams (the
+// window fold is read-only); a batch analyzer exports the whole run as
+// window 0 and must be quiescent. The error path is an encoding bug or
+// an out-of-range window, never data-dependent.
+func (a *Analyzer) ExportWindow(n int) (WindowExport, error) {
+	if a.win == nil {
+		if n != 0 {
+			return WindowExport{}, fmt.Errorf("batch run exports only window 0, not %d", n)
+		}
+		// Shallow copy so the merged application view rides in the
+		// snapshot without mutating the analyzer's own aggregate.
+		tmp := *a.cum
+		tmp.apps = a.mergedApps()
+		payload, err := fleet.Marshal(&tmp)
+		if err != nil {
+			return WindowExport{}, err
+		}
+		return WindowExport{Window: 0, Payload: payload}, nil
+	}
+	a.win.mu.Lock()
+	defer a.win.mu.Unlock()
+	if n < 0 || n > a.win.maxWindow {
+		return WindowExport{}, fmt.Errorf("window %d out of range (max %d)", n, a.win.maxWindow)
+	}
+	payload, err := fleet.Marshal(a.win.foldWindowLocked(n))
+	if err != nil {
+		return WindowExport{}, err
+	}
+	return WindowExport{Window: n, Watermark: wmNanos(a.win.watermark), Payload: payload}, nil
+}
+
+// ExportAll encodes every known window (0..max, empty windows
+// included — presence is how the aggregator distinguishes "no traffic"
+// from "not delivered"). A batch analyzer exports the whole run as a
+// single window 0. Call at end of run for the canonical re-export pass;
+// the slice is empty when the analyzer saw no data at all.
+func (a *Analyzer) ExportAll() ([]WindowExport, error) {
+	if a.win == nil {
+		we, err := a.ExportWindow(0)
+		if err != nil {
+			return nil, err
+		}
+		return []WindowExport{we}, nil
+	}
+	a.win.mu.Lock()
+	max := a.win.maxWindow
+	a.win.mu.Unlock()
+	out := make([]WindowExport, 0, max+1)
+	for n := 0; n <= max; n++ {
+		we, err := a.ExportWindow(n)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, we)
+	}
+	return out, nil
+}
+
+func wmNanos(t time.Time) int64 {
+	if t.IsZero() {
+		return 0
+	}
+	return t.UnixNano()
+}
+
+// decodeEpoch decodes one shipped window snapshot and validates the
+// invariants the merge fold relies on (the codec guarantees structure,
+// not non-nilness — a snapshot our own encoder produced always passes).
+func decodeEpoch(payload []byte) (*epochAgg, error) {
+	e := new(epochAgg)
+	if err := fleet.Unmarshal(payload, e); err != nil {
+		return nil, err
+	}
+	if e.netLayer == nil || e.transBytes == nil || e.transConns == nil ||
+		e.origins == nil || e.load == nil || e.apps == nil {
+		return nil, fmt.Errorf("snapshot missing required aggregates")
+	}
+	return e, nil
+}
+
+// FleetConfig configures a fleet aggregation (NewFleet).
+type FleetConfig struct {
+	// Dataset labels the merged reports.
+	Dataset string
+	// Window and Origin pin the fleet's window configuration. Leave both
+	// zero to adopt the first site's HELLO instead; either way every
+	// subsequent site must match exactly.
+	Window time.Duration
+	Origin time.Time
+	// ExpectSites, when non-empty, lists the sites the fleet is complete
+	// without — a listed site that never reports keeps the fleet from
+	// reaching FinalReady and is named in the health and degradation
+	// views.
+	ExpectSites []string
+	// Now is the wall clock seam for liveness tracking (nil = time.Now).
+	Now func() time.Time
+	// Logf receives merge-side diagnostics (nil discards).
+	Logf func(format string, args ...any)
+}
+
+// Fleet merges per-site window snapshots into fleet-wide reports. It
+// implements fleet.Sink: the transport aggregator feeds it frames, it
+// owns dedup (latest sequence number per site and window wins —
+// delivery is at-least-once and a re-export supersedes earlier
+// provisional snapshots), per-site liveness watermarks, and the
+// degradation census. Safe for concurrent use.
+type Fleet struct {
+	dataset string
+	expect  []string
+	schema  uint64
+	now     func() time.Time
+	logf    func(format string, args ...any)
+
+	mu      sync.Mutex
+	window  time.Duration
+	origin  time.Time
+	adopted bool
+	sites   map[string]*fleetSite
+}
+
+// fleetSite is one site's delivery state.
+type fleetSite struct {
+	connected bool
+	lastSeen  time.Time // wall clock of the last frame from this site
+	watermark int64     // event-time watermark, unix nanoseconds
+	windows   map[int]*fleetWindow
+	lost      map[int]uint64 // window → seq of its latest LOST declaration
+	fin       bool
+	finMax    int
+}
+
+// fleetWindow is the latest delivered snapshot for one (site, window).
+type fleetWindow struct {
+	seq uint64
+	agg *epochAgg
+}
+
+// NewFleet returns an empty fleet merger.
+func NewFleet(cfg FleetConfig) *Fleet {
+	now := cfg.Now
+	if now == nil {
+		now = time.Now
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Fleet{
+		dataset: cfg.Dataset,
+		expect:  append([]string(nil), cfg.ExpectSites...),
+		schema:  SnapshotSchema(),
+		now:     now,
+		logf:    logf,
+		window:  cfg.Window,
+		origin:  cfg.Origin,
+		adopted: cfg.Window > 0 || !cfg.Origin.IsZero(),
+		sites:   make(map[string]*fleetSite),
+	}
+}
+
+// site returns the named site's state, creating it on first contact.
+// Callers hold f.mu.
+func (f *Fleet) site(name string) *fleetSite {
+	s := f.sites[name]
+	if s == nil {
+		s = &fleetSite{
+			windows: make(map[int]*fleetWindow),
+			lost:    make(map[int]uint64),
+			finMax:  -1,
+		}
+		f.sites[name] = s
+	}
+	return s
+}
+
+func (s *fleetSite) seen(now time.Time, watermark int64) {
+	s.lastSeen = now
+	if watermark > s.watermark {
+		s.watermark = watermark
+	}
+}
+
+// Hello implements fleet.Sink: schema and window-config validation.
+func (f *Fleet) Hello(site string, h fleet.Hello) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if h.Schema != f.schema {
+		return fmt.Errorf("snapshot schema mismatch: site %s ships %#x, aggregator expects %#x (mixed builds cannot merge)",
+			site, h.Schema, f.schema)
+	}
+	win, origin := time.Duration(h.WindowNanos), originTime(h.OriginNanos)
+	if !f.adopted {
+		f.window, f.origin, f.adopted = win, origin, true
+	} else if win != f.window || !origin.Equal(f.origin) {
+		return fmt.Errorf("window config mismatch: site %s cuts %v windows from %s, fleet uses %v from %s",
+			site, win, fmtOrigin(origin), f.window, fmtOrigin(f.origin))
+	}
+	s := f.site(site)
+	s.connected = true
+	s.lastSeen = f.now()
+	f.logf("fleet: site %s connected (windows %v)", site, win)
+	return nil
+}
+
+// Delta implements fleet.Sink: decode, then keep the snapshot iff its
+// sequence number is the newest seen for (site, window) — duplicates
+// and stale redeliveries are no-ops, which is the idempotence the
+// at-least-once transport requires.
+func (f *Fleet) Delta(site string, window int, seq uint64, watermark int64, payload []byte) error {
+	e, err := decodeEpoch(payload)
+	if err != nil {
+		return fmt.Errorf("site %s window %d: %w", site, window, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.site(site)
+	s.seen(f.now(), watermark)
+	if prev := s.windows[window]; prev != nil && prev.seq >= seq {
+		return nil
+	}
+	s.windows[window] = &fleetWindow{seq: seq, agg: e}
+	return nil
+}
+
+// Lost implements fleet.Sink: the site's shipper evicted this window
+// from its bounded retry queue. A later re-export (higher sequence)
+// supersedes the loss; otherwise the window lands in the census.
+func (f *Fleet) Lost(site string, window int, seq uint64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.site(site)
+	s.seen(f.now(), 0)
+	if seq > s.lost[window] {
+		s.lost[window] = seq
+	}
+	return nil
+}
+
+// Heartbeat implements fleet.Sink.
+func (f *Fleet) Heartbeat(site string, watermark int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.site(site).seen(f.now(), watermark)
+}
+
+// Fin implements fleet.Sink: the site is complete — every window
+// 0..maxWindow was shipped or declared lost.
+func (f *Fleet) Fin(site string, maxWindow int, seq uint64, watermark int64) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	s := f.site(site)
+	s.seen(f.now(), watermark)
+	s.fin = true
+	if maxWindow > s.finMax {
+		s.finMax = maxWindow
+	}
+	f.logf("fleet: site %s fin through window %d", site, maxWindow)
+	return nil
+}
+
+// Disconnect implements fleet.Sink; the staleness clock runs from the
+// site's last delivery.
+func (f *Fleet) Disconnect(site string) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if s := f.sites[site]; s != nil {
+		s.connected = false
+	}
+}
+
+func originTime(nanos int64) time.Time {
+	if nanos == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, nanos).UTC()
+}
+
+func fmtOrigin(t time.Time) string {
+	if t.IsZero() {
+		return "unset"
+	}
+	return t.UTC().Format(time.RFC3339Nano)
+}
+
+// Windowing reports whether the fleet cuts windowed reports.
+func (f *Fleet) Windowing() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.window > 0
+}
+
+// WindowDuration returns the fleet's window length (0 for batch fleets
+// or before the first site's Hello fixes the config).
+func (f *Fleet) WindowDuration() time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.window
+}
+
+// MaxWindow returns the highest window index any site has delivered,
+// declared lost, or finned through (-1 before any data).
+func (f *Fleet) MaxWindow() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.maxWindowLocked()
+}
+
+func (f *Fleet) maxWindowLocked() int {
+	max := -1
+	for _, s := range f.sites {
+		for w := range s.windows {
+			if w > max {
+				max = w
+			}
+		}
+		for w := range s.lost {
+			if w > max {
+				max = w
+			}
+		}
+		if s.finMax > max {
+			max = s.finMax
+		}
+	}
+	return max
+}
+
+func (f *Fleet) siteNamesLocked() []string {
+	names := make([]string, 0, len(f.sites))
+	for name := range f.sites {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Report builds the fleet-wide cumulative report: every site's window
+// snapshots folded site-major (in site name order) and window-minor —
+// the concatenated-trace banking order, so a complete clean fleet
+// reproduces the single-instance report byte for byte. When any
+// expected window is missing or permanently lost, the report instead
+// carries the degradation census in its Fleet section.
+func (f *Fleet) Report() *Report {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	merged, census := f.mergedLocked()
+	r := buildReport(f.dataset, merged, merged.apps, nil)
+	if len(census.Sites) > 0 {
+		r.Fleet = census
+	}
+	return r
+}
+
+// mergedLocked folds every delivered snapshot and takes the degradation
+// census in one pass, so the two views can never disagree about which
+// windows were counted. Callers hold f.mu.
+func (f *Fleet) mergedLocked() (*epochAgg, *FleetReport) {
+	merged := newEpochAgg()
+	census := &FleetReport{}
+	maxW := f.maxWindowLocked()
+	known := make(map[string]bool, len(f.sites))
+	for _, name := range f.siteNamesLocked() {
+		known[name] = true
+		s := f.sites[name]
+		sr := FleetSiteReport{Site: name, Fin: s.fin}
+		// A finned site owes exactly windows 0..finMax; a site still
+		// running (or dead) is measured against the fleet's horizon —
+		// what it has not delivered yet is what the merged report is
+		// missing.
+		horizon := maxW
+		if s.fin {
+			horizon = s.finMax
+		}
+		for w := 0; w <= horizon; w++ {
+			dw := s.windows[w]
+			lostSeq, hasLost := s.lost[w]
+			switch {
+			case dw != nil:
+				// A LOST declaration newer than the best delivery means
+				// the canonical re-export was evicted: fold the stale
+				// provisional snapshot (best effort) but census it as
+				// lost — the data for this window is incomplete.
+				if hasLost && lostSeq > dw.seq {
+					sr.LostWindows = append(sr.LostWindows, w)
+				}
+				merged.merge(dw.agg)
+				sr.Windows++
+			case hasLost:
+				sr.LostWindows = append(sr.LostWindows, w)
+			default:
+				sr.MissingWindows = append(sr.MissingWindows, w)
+			}
+		}
+		if len(sr.LostWindows) > 0 || len(sr.MissingWindows) > 0 {
+			census.Sites = append(census.Sites, sr)
+		}
+	}
+	// Expected sites that never connected: everything the fleet knows
+	// about is missing from them.
+	for _, name := range f.expect {
+		if known[name] {
+			continue
+		}
+		sr := FleetSiteReport{Site: name}
+		for w := 0; w <= maxW; w++ {
+			sr.MissingWindows = append(sr.MissingWindows, w)
+		}
+		census.Sites = append(census.Sites, sr)
+	}
+	if len(census.Sites) > 0 {
+		sort.Slice(census.Sites, func(i, j int) bool {
+			return census.Sites[i].Site < census.Sites[j].Site
+		})
+	}
+	return merged, census
+}
+
+// WindowReport builds the fleet-wide report for one window (false when
+// out of range or the fleet is not windowed).
+func (f *Fleet) WindowReport(n int) (*WindowReport, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.window <= 0 || n < 0 || n > f.maxWindowLocked() {
+		return nil, false
+	}
+	return f.windowReportLocked(n), true
+}
+
+// WindowReports builds every fleet window report, 0..MaxWindow (nil
+// when the fleet is not windowed).
+func (f *Fleet) WindowReports() []*WindowReport {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.window <= 0 {
+		return nil
+	}
+	out := make([]*WindowReport, 0, f.maxWindowLocked()+1)
+	for n := 0; n <= f.maxWindowLocked(); n++ {
+		out = append(out, f.windowReportLocked(n))
+	}
+	return out
+}
+
+func (f *Fleet) windowReportLocked(n int) *WindowReport {
+	e := newEpochAgg()
+	for _, name := range f.siteNamesLocked() {
+		if dw := f.sites[name].windows[n]; dw != nil {
+			e.merge(dw.agg)
+		}
+	}
+	start := f.origin.Add(time.Duration(n) * f.window)
+	end := f.origin.Add(time.Duration(n+1) * f.window)
+	meta := &WindowMeta{Index: n, Start: start, End: end}
+	return &WindowReport{
+		Index:  n,
+		Start:  start,
+		End:    end,
+		Report: buildReport(f.dataset, e, e.apps, meta),
+	}
+}
+
+// FleetStatus is the operational view of a fleet merge, feeding the
+// aggregator's /healthz. Wall-clock quantities (delivery ages) are the
+// server's to derive; everything here is observed state.
+type FleetStatus struct {
+	Sites []FleetSiteStatus
+	// MissingSites are expected sites that never connected.
+	MissingSites []string
+	// FinalReady: every known site finned, every expected site present
+	// and finned, and at least one site reported.
+	FinalReady bool
+	// Windows is the fleet's window horizon (MaxWindow+1); LostWindows
+	// counts census-lost windows across sites.
+	Windows     int
+	LostWindows int
+	// WatermarkSkew is the spread between the most- and least-advanced
+	// site watermarks (0 with fewer than two reporting sites).
+	WatermarkSkew time.Duration
+}
+
+// FleetSiteStatus is one site's liveness row.
+type FleetSiteStatus struct {
+	Site         string
+	Connected    bool
+	Fin          bool
+	Windows      int
+	LostWindows  int
+	Watermark    time.Time // zero when the site has not advanced one
+	LastDelivery time.Time // wall clock of the site's last frame
+}
+
+// Status snapshots the fleet's liveness state.
+func (f *Fleet) Status() FleetStatus {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	_, census := f.mergedLocked()
+	lostBySite := make(map[string]int, len(census.Sites))
+	for _, sr := range census.Sites {
+		lostBySite[sr.Site] = len(sr.LostWindows)
+	}
+	st := FleetStatus{Windows: f.maxWindowLocked() + 1}
+	var minWM, maxWM int64
+	allFin := len(f.sites) > 0
+	for _, name := range f.siteNamesLocked() {
+		s := f.sites[name]
+		row := FleetSiteStatus{
+			Site:         name,
+			Connected:    s.connected,
+			Fin:          s.fin,
+			Windows:      len(s.windows),
+			LostWindows:  lostBySite[name],
+			LastDelivery: s.lastSeen,
+		}
+		if s.watermark != 0 {
+			row.Watermark = time.Unix(0, s.watermark).UTC()
+			if minWM == 0 || s.watermark < minWM {
+				minWM = s.watermark
+			}
+			if s.watermark > maxWM {
+				maxWM = s.watermark
+			}
+		}
+		st.LostWindows += row.LostWindows
+		allFin = allFin && s.fin
+		st.Sites = append(st.Sites, row)
+	}
+	if minWM != 0 && maxWM > minWM {
+		st.WatermarkSkew = time.Duration(maxWM - minWM)
+	}
+	for _, name := range f.expect {
+		if f.sites[name] == nil {
+			st.MissingSites = append(st.MissingSites, name)
+			allFin = false
+		} else if !f.sites[name].fin {
+			allFin = false
+		}
+	}
+	sort.Strings(st.MissingSites)
+	st.FinalReady = allFin
+	return st
+}

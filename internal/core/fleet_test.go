@@ -1,0 +1,318 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+)
+
+// fleetTestDataset generates a small but application-rich dataset:
+// four monitored subnets' worth of traces, exercising every payload
+// analyzer the snapshot codec has to round-trip. Each subnet's trace is
+// generated with its own network instance so it carries its own
+// endpoint-mapper exchanges: fleet sites own classification-
+// self-contained trace blocks (dynamic port registrations do not cross
+// sites — see DESIGN.md "Fleet aggregation"), exactly as a real
+// per-tap capture is self-contained.
+func fleetTestDataset(t *testing.T) *gen.Dataset {
+	t.Helper()
+	cfg := enterprise.D3()
+	cfg.Scale = 0.2
+	all := &gen.Dataset{Config: cfg}
+	for _, subnet := range cfg.Monitored[:4] {
+		c := cfg
+		c.Monitored = []int{subnet}
+		all.Traces = append(all.Traces, gen.GenerateDataset(c).Traces...)
+	}
+	return all
+}
+
+func datasetOrigin(ds *gen.Dataset) time.Time {
+	var origin time.Time
+	for _, tr := range ds.Traces {
+		if len(tr.Packets) == 0 {
+			continue
+		}
+		ts := tr.Packets[0].Timestamp
+		if origin.IsZero() || ts.Before(origin) {
+			origin = ts
+		}
+	}
+	return origin
+}
+
+// deliverAll feeds every export into the fleet through the Sink
+// interface, exactly as the transport would, and fins the site.
+func deliverAll(t *testing.T, f *Fleet, site string, a *Analyzer) {
+	t.Helper()
+	exports, err := a.ExportAll()
+	if err != nil {
+		t.Fatalf("site %s export: %v", site, err)
+	}
+	if err := f.Hello(site, a.FleetHello()); err != nil {
+		t.Fatalf("site %s hello: %v", site, err)
+	}
+	maxWindow := -1 // a site with no data fins through window -1: it owes nothing
+	for i, we := range exports {
+		if err := f.Delta(site, we.Window, uint64(i+1), we.Watermark, we.Payload); err != nil {
+			t.Fatalf("site %s window %d: %v", site, we.Window, err)
+		}
+		if we.Window > maxWindow {
+			maxWindow = we.Window
+		}
+	}
+	if err := f.Fin(site, maxWindow, uint64(len(exports)+1), 0); err != nil {
+		t.Fatalf("site %s fin: %v", site, err)
+	}
+	f.Disconnect(site)
+}
+
+func reportBytes(t *testing.T, r *Report) []byte {
+	t.Helper()
+	b, err := MarshalReport(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestFleetSingleSiteRoundTrip pins the snapshot codec against the
+// analyzer itself: one windowed site's exported windows, decoded and
+// folded by the fleet merger, must reproduce the site's own cumulative
+// and per-window reports byte for byte. This is the error-free base
+// case of the fleet differential — any codec field drift or fold-order
+// divergence fails here first, without transport in the way.
+func TestFleetSingleSiteRoundTrip(t *testing.T) {
+	ds := fleetTestDataset(t)
+	origin := datasetOrigin(ds)
+	a := NewAnalyzer(Options{
+		Dataset:         "fleet",
+		PayloadAnalysis: true,
+		Workers:         2,
+		ReplayWorkers:   2,
+		Window:          time.Minute,
+		WindowOrigin:    origin,
+	})
+	for i, tr := range ds.Traces {
+		if err := a.AddTrace(TraceInput{Name: traceName(i), Monitored: tr.Prefix, Packets: tr.Packets}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	f := NewFleet(FleetConfig{Dataset: "fleet"})
+	deliverAll(t, f, "site-a", a)
+
+	fleetFinal := f.Report()
+	if fleetFinal.Fleet != nil {
+		t.Fatalf("complete single-site fleet carries a degradation census: %+v", fleetFinal.Fleet)
+	}
+	localFinal := a.Report()
+	if !bytes.Equal(reportBytes(t, fleetFinal), reportBytes(t, localFinal)) {
+		t.Error("fleet cumulative report differs from the site's own report")
+	}
+	if RenderText(fleetFinal) != RenderText(localFinal) {
+		t.Error("fleet cumulative text rendering differs from the site's own")
+	}
+
+	localWindows := a.WindowReports()
+	fleetWindows := f.WindowReports()
+	if len(fleetWindows) != len(localWindows) {
+		t.Fatalf("fleet has %d windows, site has %d", len(fleetWindows), len(localWindows))
+	}
+	for n := range localWindows {
+		if !bytes.Equal(reportBytes(t, fleetWindows[n].Report), reportBytes(t, localWindows[n].Report)) {
+			t.Errorf("window %d: fleet report differs from the site's own", n)
+		}
+	}
+}
+
+// TestFleetDifferential pins the tentpole invariant without transport:
+// a fleet of sites analyzing disjoint blocks of the trace sequence —
+// each with the shared window origin and its block's trace-ordinal base
+// — merges to the byte-identical report of a single instance over the
+// concatenated traces. Both windowed and batch fleets, several site
+// counts and worker counts.
+func TestFleetDifferential(t *testing.T) {
+	ds := fleetTestDataset(t)
+	origin := datasetOrigin(ds)
+	grid := []struct {
+		sites, workers int
+		window         time.Duration
+	}{
+		{2, 1, time.Minute},
+		{2, 4, time.Minute},
+		{4, 4, time.Minute},
+		{2, 4, 0}, // batch fleet: each site ships its whole run as window 0
+	}
+	for _, g := range grid {
+		single := NewAnalyzer(Options{
+			Dataset:         "fleet",
+			PayloadAnalysis: true,
+			Workers:         g.workers,
+			ReplayWorkers:   g.workers,
+			Window:          g.window,
+			WindowOrigin:    origin,
+		})
+		for i, tr := range ds.Traces {
+			if err := single.AddTrace(TraceInput{Name: traceName(i), Monitored: tr.Prefix, Packets: tr.Packets}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		singleFinal := reportBytes(t, single.Report())
+
+		f := NewFleet(FleetConfig{Dataset: "fleet"})
+		for s := 0; s < g.sites; s++ {
+			lo := len(ds.Traces) * s / g.sites
+			hi := len(ds.Traces) * (s + 1) / g.sites
+			site := NewAnalyzer(Options{
+				Dataset:         "fleet",
+				PayloadAnalysis: true,
+				Workers:         g.workers,
+				ReplayWorkers:   g.workers,
+				Window:          g.window,
+				WindowOrigin:    origin,
+				TraceBase:       lo,
+			})
+			for i := lo; i < hi; i++ {
+				tr := ds.Traces[i]
+				if err := site.AddTrace(TraceInput{Name: traceName(i), Monitored: tr.Prefix, Packets: tr.Packets}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			deliverAll(t, f, siteName(s), site)
+		}
+
+		fleetFinal := f.Report()
+		if fleetFinal.Fleet != nil {
+			t.Errorf("sites=%d workers=%d window=%v: complete fleet carries a census: %+v",
+				g.sites, g.workers, g.window, fleetFinal.Fleet)
+		}
+		if !bytes.Equal(reportBytes(t, fleetFinal), singleFinal) {
+			t.Errorf("sites=%d workers=%d window=%v: fleet report differs from single instance",
+				g.sites, g.workers, g.window)
+		}
+		if g.window > 0 {
+			singleWins := single.WindowReports()
+			fleetWins := f.WindowReports()
+			if len(fleetWins) != len(singleWins) {
+				t.Fatalf("sites=%d workers=%d: fleet %d windows, single %d",
+					g.sites, g.workers, len(fleetWins), len(singleWins))
+			}
+			for n := range singleWins {
+				if !bytes.Equal(reportBytes(t, fleetWins[n].Report), reportBytes(t, singleWins[n].Report)) {
+					t.Errorf("sites=%d workers=%d window %d: fleet report differs from single instance",
+						g.sites, g.workers, n)
+				}
+			}
+		}
+	}
+}
+
+// TestFleetDegradationCensus pins the partial-fleet behavior: missing
+// and lost windows surface in the census exactly once, idempotently
+// under duplicate delivery, and a re-export supersedes a loss.
+func TestFleetDegradationCensus(t *testing.T) {
+	ds := fleetTestDataset(t)
+	origin := datasetOrigin(ds)
+	a := NewAnalyzer(Options{
+		Dataset: "fleet", PayloadAnalysis: true, Workers: 1, ReplayWorkers: 1,
+		Window: time.Minute, WindowOrigin: origin,
+	})
+	for i, tr := range ds.Traces {
+		if err := a.AddTrace(TraceInput{Name: traceName(i), Monitored: tr.Prefix, Packets: tr.Packets}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	exports, err := a.ExportAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(exports) < 3 {
+		t.Fatalf("dataset too small: %d windows", len(exports))
+	}
+	last := len(exports) - 1
+
+	f := NewFleet(FleetConfig{Dataset: "fleet", ExpectSites: []string{"site-a", "site-ghost"}})
+	if err := f.Hello("site-a", a.FleetHello()); err != nil {
+		t.Fatal(err)
+	}
+	// Deliver all but windows 1 (declared lost) and 2 (silently missing);
+	// duplicate every delivery to check idempotence.
+	seq := uint64(0)
+	for _, we := range exports {
+		seq++
+		if we.Window == 1 || we.Window == 2 {
+			continue
+		}
+		for range 2 {
+			if err := f.Delta("site-a", we.Window, seq, we.Watermark, we.Payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	seq++
+	if err := f.Lost("site-a", 1, seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Fin("site-a", last, seq+1, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	r := f.Report()
+	if r.Fleet == nil {
+		t.Fatal("degraded fleet report has no census")
+	}
+	if len(r.Fleet.Sites) != 2 {
+		t.Fatalf("census sites: %+v", r.Fleet.Sites)
+	}
+	sa := r.Fleet.Sites[0]
+	if sa.Site != "site-a" || !sa.Fin {
+		t.Fatalf("census[0] = %+v, want degraded fin site-a", sa)
+	}
+	if len(sa.LostWindows) != 1 || sa.LostWindows[0] != 1 {
+		t.Errorf("LostWindows = %v, want [1] exactly once", sa.LostWindows)
+	}
+	if len(sa.MissingWindows) != 1 || sa.MissingWindows[0] != 2 {
+		t.Errorf("MissingWindows = %v, want [2] exactly once", sa.MissingWindows)
+	}
+	ghost := r.Fleet.Sites[1]
+	if ghost.Site != "site-ghost" || ghost.Fin || len(ghost.MissingWindows) != len(exports) {
+		t.Errorf("expected-but-absent site census = %+v", ghost)
+	}
+
+	st := f.Status()
+	if st.FinalReady {
+		t.Error("fleet with an absent expected site reports FinalReady")
+	}
+	if len(st.MissingSites) != 1 || st.MissingSites[0] != "site-ghost" {
+		t.Errorf("MissingSites = %v", st.MissingSites)
+	}
+	if st.LostWindows != 1 {
+		t.Errorf("status LostWindows = %d, want 1", st.LostWindows)
+	}
+
+	// A canonical re-export with a higher sequence supersedes the loss:
+	// window 1 leaves the census.
+	for _, we := range exports {
+		if we.Window != 1 {
+			continue
+		}
+		if err := f.Delta("site-a", 1, seq+2, we.Watermark, we.Payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r = f.Report()
+	if r.Fleet == nil {
+		t.Fatal("census vanished while window 2 is still missing")
+	}
+	if got := r.Fleet.Sites[0]; len(got.LostWindows) != 0 {
+		t.Errorf("re-exported window still census-lost: %+v", got)
+	}
+}
+
+func traceName(i int) string { return "trace-" + string(rune('a'+i)) }
+
+func siteName(s int) string { return "site-" + string(rune('a'+s)) }

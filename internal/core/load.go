@@ -74,6 +74,12 @@ type TraceLoad struct {
 	// trace is too short to estimate).
 	Hurst   float64
 	HurstOK bool
+
+	// ord is the trace's global ordinal (TraceBase-offset). Fleet folds
+	// append rows window-major rather than trace-major; report building
+	// re-sorts by ordinal so both orders render identically. Unexported:
+	// absent from JSON, carried by the fleet snapshot codec.
+	ord int
 }
 
 // loadAgg accumulates per-trace load stats for a dataset.
@@ -98,8 +104,8 @@ func windowPeak(bins []int64, w int) float64 {
 	return float64(best) / float64(w)
 }
 
-func (l *loadAgg) finishTrace(t *traceLoad, kept []*flows.Conn, isLocal func(netip.Addr) bool, capacityMbps float64) {
-	tl := TraceLoad{Name: t.name}
+func (l *loadAgg) finishTrace(t *traceLoad, kept []*flows.Conn, isLocal func(netip.Addr) bool, capacityMbps float64, ord int) {
+	tl := TraceLoad{Name: t.name, ord: ord}
 	if len(t.bins) > 0 {
 		toMbps := func(bytesPerSec float64) float64 { return bytesPerSec * 8 / 1e6 }
 		tl.Peak1s = toMbps(windowPeak(t.bins, 1))

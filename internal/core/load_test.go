@@ -92,7 +92,7 @@ func TestFinishTraceRetransSplit(t *testing.T) {
 		Key:   layers.FlowKey{Proto: layers.ProtoUDP, Src: local1, Dst: local2},
 		Proto: layers.ProtoUDP, DataPkts: 500,
 	}
-	agg.finishTrace(tl, []*flows.Conn{ent, wan, udp}, enterprise.IsLocal, 100)
+	agg.finishTrace(tl, []*flows.Conn{ent, wan, udp}, enterprise.IsLocal, 100, 1)
 	got := agg.traces[0]
 	// Keep-alives excluded from the denominator.
 	wantEnt := 5.0 / 900.0
@@ -114,7 +114,7 @@ func TestSaturationDwell(t *testing.T) {
 	// One second at 100 Mbps (12.5 MB), then quiet.
 	tl.packet(t0, 12_500_000)
 	tl.packet(t0.Add(5*time.Second), 100)
-	agg.finishTrace(tl, nil, enterprise.IsLocal, 100)
+	agg.finishTrace(tl, nil, enterprise.IsLocal, 100, 1)
 	got := agg.traces[0]
 	if got.SaturatedSeconds != 1 {
 		t.Errorf("saturated seconds = %d", got.SaturatedSeconds)

@@ -81,7 +81,7 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 	names := make([]string, len(recs))
 	cats := make([]string, len(recs))
 	for i, rec := range recs {
-		name, cat := a.opts.Registry.Classify(rec.Conn.Proto, rec.Conn.Key.SrcPort, rec.Conn.Key.DstPort)
+		name, cat := a.opts.Registry.Classify(rec.Conn.Proto, rec.Conn.Key.Src, rec.Conn.Key.Dst, rec.Conn.Key.SrcPort, rec.Conn.Key.DstPort)
 		names[i], cats[i] = name, cat
 		if !a.opts.PayloadAnalysis {
 			continue
@@ -96,7 +96,7 @@ func (a *Analyzer) replayApps(recs []pipeline.ConnRecord, streams map[*flows.Con
 				app.cliStream.Close()
 				app.srvStream.Close()
 			}
-			a.replayFTPRegistrations(app.srvBuf.Buf)
+			a.replayFTPRegistrations(rec.Conn.Key.Dst, app.srvBuf.Buf)
 		case name == "DCE/RPC-EPM":
 			if kept[rec.Conn] {
 				// The sequential path closed kept EPM streams at trace
@@ -492,8 +492,10 @@ func replayUDPEvent(ap *appAggregates, ev udpEvent, isLocal func(netip.Addr) boo
 // replayFTPRegistrations scans complete reply lines of an FTP control
 // stream's server side and registers PASV-advertised data ports, exactly
 // as the incremental parser did at the moment each 227 reply was seen.
-// Lines are parsed in place; nothing here allocates.
-func (a *Analyzer) replayFTPRegistrations(srv []byte) {
+// Lines are parsed in place; nothing here allocates. host is the FTP
+// server (the control connection's responder): a 227 reply advertises a
+// data port on the server itself, so the registration is scoped there.
+func (a *Analyzer) replayFTPRegistrations(host netip.Addr, srv []byte) {
 	scanned := 0
 	for {
 		idx := -1
@@ -513,7 +515,7 @@ func (a *Analyzer) replayFTPRegistrations(srv []byte) {
 			continue
 		}
 		if port, ok := ftp.PasvPortFromText(text); ok {
-			a.opts.Registry.Register(layers.ProtoTCP, port, "FTP-Data", categories.Bulk)
+			a.opts.Registry.Register(host, layers.ProtoTCP, port, "FTP-Data", categories.Bulk)
 		}
 	}
 }
@@ -539,12 +541,12 @@ func (a *Analyzer) replayEPM(key dcerpc.ChanKey, fromClient bool, segs [][]byte)
 				}
 			}
 			a.apps.rpc.PDUKey(key, fromClient, p)
-			if iface, port, ok := dcerpc.ParseEpmMapResponse(p); ok {
+			if iface, host, port, ok := dcerpc.ParseEpmMapResponse(p); ok {
 				name := dcerpc.InterfaceName(iface)
 				if name == "unknown" {
 					name = "DCE/RPC"
 				}
-				a.opts.Registry.Register(layers.ProtoTCP, port, name, categories.Windows)
+				a.opts.Registry.Register(host, layers.ProtoTCP, port, name, categories.Windows)
 			}
 			buf = buf[n:]
 		}

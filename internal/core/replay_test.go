@@ -82,7 +82,7 @@ func registrationOrderTrace() TraceInput {
 			{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBind, CallID: 1, Iface: dcerpc.IfEPM})},
 			{Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBindAck, CallID: 1, Iface: dcerpc.IfEPM})},
 			{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTRequest, CallID: 2, Opnum: dcerpc.OpEpmMap, Stub: make([]byte, 24)})},
-			{Data: dcerpc.EncodeEpmMapResponse(2, dcerpc.IfSpoolss, spoolssPort)},
+			{Data: dcerpc.EncodeEpmMapResponse(2, dcerpc.IfSpoolss, dc.Addr, spoolssPort)},
 		}})
 
 	// Late connections to the now-registered ports.

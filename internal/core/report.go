@@ -54,7 +54,39 @@ type Report struct {
 	// role-classification direction), summed over traces.
 	Roles map[string]int
 
+	// Fleet is the fleet-mode degradation census: which sites are
+	// missing which windows from this merged report (extension; see
+	// DESIGN.md "Fleet aggregation"). Nil on single-instance runs and on
+	// complete fleet merges, so a clean fleet report stays byte-identical
+	// to its single-instance equivalent.
+	Fleet *FleetReport `json:",omitempty"`
+
 	Findings []string // Table 5: computed qualitative findings
+}
+
+// FleetReport is the fleet degradation census: one entry per site with
+// at least one window missing or permanently lost from the merged
+// report (complete sites are omitted — an empty census is a nil Fleet
+// section). Sites sort by name, window lists ascend, and a permanently
+// lost window appears exactly once, in its site's LostWindows.
+type FleetReport struct {
+	Sites []FleetSiteReport
+}
+
+// FleetSiteReport is one degraded site's census row.
+type FleetSiteReport struct {
+	Site string
+	// Fin reports whether the site declared itself complete.
+	Fin bool
+	// Windows counts the site's snapshots folded into the report.
+	Windows int
+	// LostWindows are windows the site's shipper declared permanently
+	// dropped (bounded-queue eviction or give-up) and never superseded
+	// with a delivery.
+	LostWindows []int `json:",omitempty"`
+	// MissingWindows are windows expected from this site but neither
+	// delivered nor declared lost — the site is lagging, stale, or dead.
+	MissingWindows []int `json:",omitempty"`
 }
 
 // DatasetStats is Table 1's per-dataset row (measured, not configured).
@@ -150,6 +182,11 @@ type TraceSourceErrors struct {
 	FirstIndex, LastIndex int64
 	// Terminal marks a trace a fault ended early.
 	Terminal bool
+
+	// ord is the trace's global ordinal (TraceBase-offset), used to
+	// restore trace order after a window-major fleet fold. Unexported:
+	// absent from JSON, carried by the fleet snapshot codec.
+	ord int
 }
 
 // CategoryRow is one Figure 1 bar: the category's share of unicast
@@ -770,8 +807,19 @@ func backupReport(ap *appAggregates) BackupReport {
 	return r
 }
 
+// tracesByOrd returns rows re-sorted into global trace order. A fleet
+// fold appends per-trace rows window-major, not trace-major; sorting by
+// the stamped ordinal makes the report canonical either way. For a
+// single instance the rows are already in ordinal order, so this is an
+// order-preserving copy.
+func tracesByOrd[T any](rows []T, ord func(T) int) []T {
+	out := append([]T(nil), rows...)
+	sort.SliceStable(out, func(i, j int) bool { return ord(out[i]) < ord(out[j]) })
+	return out
+}
+
 func (e *epochAgg) loadReport() LoadReport {
-	r := LoadReport{Traces: e.load.traces}
+	r := LoadReport{Traces: tracesByOrd(e.load.traces, func(t TraceLoad) int { return t.ord })}
 	p1, p10, p60 := stats.NewDist(), stats.NewDist(), stats.NewDist()
 	med := stats.NewDist()
 	for _, d := range []*stats.Dist{p1, p10, p60, med} {
@@ -844,7 +892,7 @@ func (e *epochAgg) sourceErrorReport() SourceErrorReport {
 		return r
 	}
 	r.ByKind = make(map[string]int64)
-	r.Traces = e.srcErrs
+	r.Traces = tracesByOrd(e.srcErrs, func(t TraceSourceErrors) int { return t.ord })
 	for _, t := range e.srcErrs {
 		r.Errors += t.Errors
 		r.LostBytes += t.LostBytes

@@ -143,7 +143,7 @@ func (s *shardSink) Packet(idx int64, pk *pcap.Packet, p *layers.Packet, conn *f
 	}
 	app := s.conns[conn]
 	if app == nil {
-		name, _ := s.opts.Registry.Classify(conn.Proto, conn.Key.SrcPort, conn.Key.DstPort)
+		name, _ := s.opts.Registry.Classify(conn.Proto, conn.Key.Src, conn.Key.Dst, conn.Key.SrcPort, conn.Key.DstPort)
 		app = newConnStreams(name, conn)
 		s.conns[conn] = app
 	}

@@ -1,0 +1,285 @@
+package faults
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// NetKind names one injected network failure class for the fleet wire
+// layer. The string values are manifest keys and must stay stable.
+type NetKind string
+
+// Network fault kinds, all indexed by the shipper's global frame-send
+// ordinal (resends count — the index space is "send operations", not
+// "distinct frames"). None of them lose data under the fleet protocol:
+// a dropped connection triggers backoff + resend of everything
+// unacknowledged, duplicates and reorders are absorbed by per-(site,
+// window) sequence dedup, and stalls only delay delivery. Permanent
+// loss comes only from the shipper's bounded-queue overflow, which is a
+// capacity decision, not an injected fault.
+const (
+	// ConnDrop severs the connection instead of sending frame N.
+	ConnDrop NetKind = "conn-drop"
+	// NetStall delays frame N's send.
+	NetStall NetKind = "net-stall"
+	// DupFrame delivers frame N twice back to back.
+	DupFrame NetKind = "dup-frame"
+	// ReorderFrame holds frame N and releases it after the next frame —
+	// adjacent frames arrive swapped.
+	ReorderFrame NetKind = "reorder-frame"
+)
+
+// NetEvent is one scheduled network fault.
+type NetEvent struct {
+	Kind  NetKind
+	Index int64
+	// Delay is NetStall's added latency.
+	Delay time.Duration
+}
+
+// NetSchedule is a set of network events, fired in Index order (ties in
+// insertion order).
+type NetSchedule struct {
+	Events []NetEvent
+}
+
+func (s NetSchedule) sorted() []NetEvent {
+	evs := make([]NetEvent, len(s.Events))
+	copy(evs, s.Events)
+	for i := 1; i < len(evs); i++ { // insertion sort keeps ties stable
+		for j := i; j > 0 && evs[j-1].Index > evs[j].Index; j-- {
+			evs[j-1], evs[j] = evs[j], evs[j-1]
+		}
+	}
+	return evs
+}
+
+// ParseNetSpec parses a network injection spec. Two forms:
+//
+//	kind@index[:arg][,kind@index[:arg]...]
+//	netrand:seed:count:span
+//
+// Explicit events: drop@10, stall@5:50ms, dup@3, reorder@7. The random
+// form draws count events of all four kinds at seeded-pseudorandom send
+// ordinals in [0, span); the same seed always yields the same schedule.
+func ParseNetSpec(spec string) (NetSchedule, error) {
+	if rest, ok := strings.CutPrefix(spec, "netrand:"); ok {
+		return parseNetRand(rest)
+	}
+	var s NetSchedule
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ev, err := parseNetEvent(part)
+		if err != nil {
+			return NetSchedule{}, err
+		}
+		s.Events = append(s.Events, ev)
+	}
+	if len(s.Events) == 0 {
+		return NetSchedule{}, fmt.Errorf("faults: empty net injection spec %q", spec)
+	}
+	return s, nil
+}
+
+func parseNetEvent(part string) (NetEvent, error) {
+	kind, rest, ok := strings.Cut(part, "@")
+	if !ok {
+		return NetEvent{}, fmt.Errorf("faults: net event %q: want kind@index[:arg]", part)
+	}
+	idxStr, arg, hasArg := strings.Cut(rest, ":")
+	idx, err := strconv.ParseInt(idxStr, 10, 64)
+	if err != nil || idx < 0 {
+		return NetEvent{}, fmt.Errorf("faults: net event %q: bad index %q", part, idxStr)
+	}
+	ev := NetEvent{Index: idx}
+	switch kind {
+	case "drop":
+		ev.Kind = ConnDrop
+	case "stall":
+		ev.Kind = NetStall
+		ev.Delay = 10 * time.Millisecond
+		if hasArg {
+			d, err := time.ParseDuration(arg)
+			if err != nil || d < 0 {
+				return NetEvent{}, fmt.Errorf("faults: net event %q: bad duration %q", part, arg)
+			}
+			ev.Delay = d
+		}
+	case "dup":
+		ev.Kind = DupFrame
+	case "reorder":
+		ev.Kind = ReorderFrame
+	default:
+		return NetEvent{}, fmt.Errorf("faults: net event %q: unknown kind %q (want drop, stall, dup, reorder)", part, kind)
+	}
+	if hasArg && ev.Kind != NetStall {
+		return NetEvent{}, fmt.Errorf("faults: net event %q: %s takes no argument", part, ev.Kind)
+	}
+	return ev, nil
+}
+
+func parseNetRand(rest string) (NetSchedule, error) {
+	fields := strings.Split(rest, ":")
+	if len(fields) != 3 {
+		return NetSchedule{}, fmt.Errorf("faults: net random spec: want netrand:seed:count:span")
+	}
+	seed, err1 := strconv.ParseUint(fields[0], 10, 64)
+	count, err2 := strconv.Atoi(fields[1])
+	span, err3 := strconv.ParseInt(fields[2], 10, 64)
+	if err1 != nil || err2 != nil || err3 != nil || count <= 0 || span <= 0 {
+		return NetSchedule{}, fmt.Errorf("faults: net random spec netrand:%s: bad field", rest)
+	}
+	return RandomNetSchedule(seed, count, span), nil
+}
+
+// RandomNetSchedule draws count network events at pseudorandom send
+// ordinals in [0, span), deterministically from seed.
+func RandomNetSchedule(seed uint64, count int, span int64) NetSchedule {
+	rng := seed | 1
+	next := func() uint64 {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return rng
+	}
+	var s NetSchedule
+	for i := 0; i < count; i++ {
+		ev := NetEvent{Index: int64(next() % uint64(span))}
+		switch next() % 4 {
+		case 0:
+			ev.Kind = ConnDrop
+		case 1:
+			ev.Kind = DupFrame
+		case 2:
+			ev.Kind = ReorderFrame
+		default:
+			ev.Kind = NetStall
+			ev.Delay = time.Duration(1+next()%4) * time.Millisecond
+		}
+		s.Events = append(s.Events, ev)
+	}
+	return s
+}
+
+// ErrInjectedDrop is the write error a ConnDrop surfaces. The shipper
+// treats it like any connection failure: tear down, back off,
+// reconnect, resend unacknowledged frames.
+type ErrInjectedDrop struct {
+	At int64 // send ordinal at which the drop fired
+}
+
+func (e *ErrInjectedDrop) Error() string {
+	return fmt.Sprintf("faults: injected connection drop at send %d", e.At)
+}
+
+// NetFired is one manifest entry for a network event that fired.
+type NetFired struct {
+	Kind NetKind
+	At   int64 // send ordinal
+}
+
+// NetInjector applies a NetSchedule to a stream of outgoing frames. It
+// sits between the shipper's send loop and the socket: every frame send
+// passes through Send, which consults the schedule at the current
+// global send ordinal. Not safe for concurrent use — the shipper's
+// single send loop owns it.
+type NetInjector struct {
+	evs   []NetEvent
+	si    int
+	idx   int64 // next send ordinal
+	held  []byte
+	fired []NetFired
+	sleep func(time.Duration)
+}
+
+// NewNetInjector returns an injector for the schedule. A nil receiver
+// is valid everywhere and injects nothing, so callers can thread an
+// optional injector without branching.
+func NewNetInjector(s NetSchedule) *NetInjector {
+	return &NetInjector{evs: s.sorted(), sleep: time.Sleep}
+}
+
+// SetSleep replaces the stall clock (tests pass a recorder so schedules
+// with stalls replay instantly).
+func (n *NetInjector) SetSleep(fn func(time.Duration)) {
+	if n != nil {
+		n.sleep = fn
+	}
+}
+
+// Send transmits raw via send, applying any scheduled fault at the
+// current send ordinal. It may call send zero times (drop, reorder
+// hold), once (clean, stall), or multiple times (dup, reorder release).
+// A ConnDrop returns *ErrInjectedDrop without calling send.
+func (n *NetInjector) Send(raw []byte, send func([]byte) error) error {
+	if n == nil {
+		return send(raw)
+	}
+	at := n.idx
+	n.idx++
+	var ev *NetEvent
+	if n.si < len(n.evs) && n.evs[n.si].Index <= at {
+		ev = &n.evs[n.si]
+		n.si++
+	}
+	if ev != nil {
+		n.fired = append(n.fired, NetFired{Kind: ev.Kind, At: at})
+		switch ev.Kind {
+		case ConnDrop:
+			return &ErrInjectedDrop{At: at}
+		case NetStall:
+			n.sleep(ev.Delay)
+		case DupFrame:
+			if err := send(raw); err != nil {
+				return err
+			}
+		case ReorderFrame:
+			// Hold this frame; the next Send (or Flush) releases it
+			// after the following frame — adjacent delivery order swaps.
+			n.held = append([]byte(nil), raw...)
+			return nil
+		}
+	}
+	if err := send(raw); err != nil {
+		return err
+	}
+	if n.held != nil {
+		held := n.held
+		n.held = nil
+		return send(held)
+	}
+	return nil
+}
+
+// Flush releases a frame held by a ReorderFrame event when no further
+// Send follows (end of stream). The shipper calls it once its queue
+// drains.
+func (n *NetInjector) Flush(send func([]byte) error) error {
+	if n == nil || n.held == nil {
+		return nil
+	}
+	held := n.held
+	n.held = nil
+	return send(held)
+}
+
+// ConnReset discards any held frame — the connection it belonged to is
+// gone, and the at-least-once resend path owns redelivery now.
+func (n *NetInjector) ConnReset() {
+	if n != nil {
+		n.held = nil
+	}
+}
+
+// Manifest returns the network events that actually fired, in order.
+func (n *NetInjector) Manifest() []NetFired {
+	if n == nil {
+		return nil
+	}
+	return n.fired
+}

@@ -1,0 +1,191 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// sendRecorder collects what actually hits the "wire".
+type sendRecorder struct {
+	sent [][]byte
+	errs []error
+}
+
+func (r *sendRecorder) send(b []byte) error {
+	if len(r.errs) > 0 {
+		err := r.errs[0]
+		r.errs = r.errs[1:]
+		if err != nil {
+			return err
+		}
+	}
+	r.sent = append(r.sent, append([]byte(nil), b...))
+	return nil
+}
+
+func frames(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte{byte(i)}
+	}
+	return out
+}
+
+func TestParseNetSpec(t *testing.T) {
+	s, err := ParseNetSpec("drop@10, stall@5:50ms, dup@3, reorder@7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Events) != 4 {
+		t.Fatalf("got %d events", len(s.Events))
+	}
+	sorted := s.sorted()
+	wantKinds := []NetKind{DupFrame, NetStall, ReorderFrame, ConnDrop}
+	for i, k := range wantKinds {
+		if sorted[i].Kind != k {
+			t.Errorf("sorted[%d] = %s, want %s", i, sorted[i].Kind, k)
+		}
+	}
+	if sorted[1].Delay != 50*time.Millisecond {
+		t.Errorf("stall delay %v", sorted[1].Delay)
+	}
+	for _, bad := range []string{"", "drop", "drop@-1", "frob@1", "dup@1:x", "netrand:1:2", "netrand:a:b:c"} {
+		if _, err := ParseNetSpec(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	r, err := ParseNetSpec("netrand:7:5:100")
+	if err != nil || len(r.Events) != 5 {
+		t.Fatalf("netrand: %v, %d events", err, len(r.Events))
+	}
+	r2, _ := ParseNetSpec("netrand:7:5:100")
+	for i := range r.Events {
+		if r.Events[i] != r2.Events[i] {
+			t.Fatal("netrand not deterministic")
+		}
+	}
+}
+
+func TestNetInjectorDup(t *testing.T) {
+	in := NewNetInjector(NetSchedule{Events: []NetEvent{{Kind: DupFrame, Index: 1}}})
+	rec := &sendRecorder{}
+	for _, f := range frames(3) {
+		if err := in.Send(f, rec.send); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []byte{0, 1, 1, 2}
+	if len(rec.sent) != len(want) {
+		t.Fatalf("sent %d frames, want %d", len(rec.sent), len(want))
+	}
+	for i, w := range want {
+		if rec.sent[i][0] != w {
+			t.Errorf("wire[%d] = %d, want %d", i, rec.sent[i][0], w)
+		}
+	}
+}
+
+func TestNetInjectorReorder(t *testing.T) {
+	in := NewNetInjector(NetSchedule{Events: []NetEvent{{Kind: ReorderFrame, Index: 0}}})
+	rec := &sendRecorder{}
+	for _, f := range frames(3) {
+		if err := in.Send(f, rec.send); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []byte{1, 0, 2} // frames 0 and 1 swapped on the wire
+	for i, w := range want {
+		if rec.sent[i][0] != w {
+			t.Fatalf("wire order %v, want %v", rec.sent, want)
+		}
+	}
+}
+
+func TestNetInjectorReorderAtTailFlushes(t *testing.T) {
+	in := NewNetInjector(NetSchedule{Events: []NetEvent{{Kind: ReorderFrame, Index: 2}}})
+	rec := &sendRecorder{}
+	for _, f := range frames(3) {
+		if err := in.Send(f, rec.send); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(rec.sent) != 2 {
+		t.Fatalf("held frame leaked early: %v", rec.sent)
+	}
+	if err := in.Flush(rec.send); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.sent) != 3 || rec.sent[2][0] != 2 {
+		t.Fatalf("flush did not release held frame: %v", rec.sent)
+	}
+	if err := in.Flush(rec.send); err != nil || len(rec.sent) != 3 {
+		t.Fatal("second flush resent")
+	}
+}
+
+func TestNetInjectorDrop(t *testing.T) {
+	in := NewNetInjector(NetSchedule{Events: []NetEvent{{Kind: ConnDrop, Index: 1}}})
+	rec := &sendRecorder{}
+	if err := in.Send(frames(1)[0], rec.send); err != nil {
+		t.Fatal(err)
+	}
+	err := in.Send([]byte{1}, rec.send)
+	var drop *ErrInjectedDrop
+	if !errors.As(err, &drop) || drop.At != 1 {
+		t.Fatalf("want ErrInjectedDrop at 1, got %v", err)
+	}
+	if len(rec.sent) != 1 {
+		t.Fatalf("dropped frame reached the wire: %v", rec.sent)
+	}
+	// After the "reconnect", subsequent sends pass through.
+	in.ConnReset()
+	if err := in.Send([]byte{1}, rec.send); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.sent) != 2 {
+		t.Fatal("post-drop send missing")
+	}
+}
+
+func TestNetInjectorStallUsesClockSeam(t *testing.T) {
+	in := NewNetInjector(NetSchedule{Events: []NetEvent{{Kind: NetStall, Index: 0, Delay: time.Hour}}})
+	var slept time.Duration
+	in.SetSleep(func(d time.Duration) { slept += d })
+	rec := &sendRecorder{}
+	if err := in.Send([]byte{0}, rec.send); err != nil {
+		t.Fatal(err)
+	}
+	if slept != time.Hour {
+		t.Fatalf("slept %v, want 1h through the seam", slept)
+	}
+	if len(rec.sent) != 1 {
+		t.Fatal("stalled frame not sent")
+	}
+}
+
+func TestNetInjectorManifestAndNil(t *testing.T) {
+	sched, _ := ParseNetSpec("dup@0,drop@2")
+	in := NewNetInjector(sched)
+	rec := &sendRecorder{}
+	for i := 0; i < 3; i++ {
+		in.Send([]byte{byte(i)}, rec.send)
+	}
+	m := in.Manifest()
+	if len(m) != 2 || m[0].Kind != DupFrame || m[0].At != 0 || m[1].Kind != ConnDrop || m[1].At != 2 {
+		t.Fatalf("manifest %v", m)
+	}
+	// nil injector is a transparent pass-through.
+	var nilIn *NetInjector
+	if err := nilIn.Send([]byte{9}, rec.send); err != nil {
+		t.Fatal(err)
+	}
+	if err := nilIn.Flush(rec.send); err != nil {
+		t.Fatal(err)
+	}
+	nilIn.ConnReset()
+	nilIn.SetSleep(nil)
+	if nilIn.Manifest() != nil {
+		t.Fatal("nil injector has a manifest")
+	}
+}

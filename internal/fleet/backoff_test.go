@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"testing"
+	"time"
+)
+
+// noJitter pins the random seam to zero so delays are exact.
+func noJitter() float64 { return 0 }
+
+func TestBackoffGrowthAndCap(t *testing.T) {
+	b := &Backoff{Base: 100 * time.Millisecond, Max: 1 * time.Second, Factor: 2, Jitter: -1, Rand: noJitter}
+	want := []time.Duration{
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+		1 * time.Second, // capped
+		1 * time.Second, // stays capped
+	}
+	for i, w := range want {
+		d, ok := b.Next()
+		if !ok {
+			t.Fatalf("attempt %d: gave up with MaxAttempts=0", i)
+		}
+		if d != w {
+			t.Errorf("attempt %d: delay %v, want %v", i, d, w)
+		}
+	}
+}
+
+func TestBackoffResetOnSuccess(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Max: time.Second, Factor: 2, Jitter: -1, Rand: noJitter}
+	for i := 0; i < 4; i++ {
+		b.Next()
+	}
+	if b.Attempt() != 4 {
+		t.Fatalf("attempt count %d, want 4", b.Attempt())
+	}
+	b.Reset()
+	if b.Attempt() != 0 {
+		t.Fatalf("attempt count after reset %d, want 0", b.Attempt())
+	}
+	d, ok := b.Next()
+	if !ok || d != 10*time.Millisecond {
+		t.Fatalf("post-reset delay %v ok=%v, want base again", d, ok)
+	}
+}
+
+func TestBackoffGiveUp(t *testing.T) {
+	b := &Backoff{Base: time.Millisecond, MaxAttempts: 3, Jitter: -1, Rand: noJitter}
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Next(); !ok {
+			t.Fatalf("gave up early at attempt %d", i)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("did not give up after MaxAttempts")
+	}
+	// Reset re-arms the budget — a successful reconnect buys a fresh
+	// retry allowance.
+	b.Reset()
+	if _, ok := b.Next(); !ok {
+		t.Fatal("still given up after Reset")
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	cases := []struct {
+		name string
+		r    float64
+		want time.Duration
+	}{
+		{"rand 0 keeps full delay", 0, 100 * time.Millisecond},
+		{"rand 1 removes full jitter fraction", 1, 50 * time.Millisecond},
+		{"rand 0.5 removes half", 0.5, 75 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		b := &Backoff{Base: 100 * time.Millisecond, Jitter: 0.5, Rand: func() float64 { return tc.r }}
+		d, ok := b.Next()
+		if !ok || d != tc.want {
+			t.Errorf("%s: delay %v ok=%v, want %v", tc.name, d, ok, tc.want)
+		}
+	}
+	// Default jitter with real randomness stays within (0.8d, d].
+	b := &Backoff{Base: 100 * time.Millisecond}
+	for i := 0; i < 100; i++ {
+		b.Reset()
+		d, _ := b.Next()
+		if d <= 80*time.Millisecond || d > 100*time.Millisecond {
+			t.Fatalf("jittered delay %v outside (80ms, 100ms]", d)
+		}
+	}
+}
+
+func TestBackoffDefaults(t *testing.T) {
+	b := &Backoff{Rand: noJitter, Jitter: -1}
+	d, ok := b.Next()
+	if !ok || d != DefaultBackoffBase {
+		t.Fatalf("zero-value first delay %v, want %v", d, DefaultBackoffBase)
+	}
+	for i := 0; i < 20; i++ {
+		d, _ = b.Next()
+	}
+	if d != DefaultBackoffMax {
+		t.Fatalf("zero-value cap %v, want %v", d, DefaultBackoffMax)
+	}
+}
+
+// fakeClock is the injectable Clock used by shipper tests: time only
+// advances when the test says so, and waits release deterministically.
+type fakeClock struct {
+	mu      chMu
+	now     time.Time
+	waiters []fakeWaiter
+}
+
+type fakeWaiter struct {
+	at time.Time
+	ch chan time.Time
+}
+
+// chMu is a tiny channel-based mutex so fakeClock has no lock ordering
+// with the code under test.
+type chMu chan struct{}
+
+func newChMu() chMu { m := make(chMu, 1); m <- struct{}{}; return m }
+
+func (m chMu) lock()   { <-m }
+func (m chMu) unlock() { m <- struct{}{} }
+
+func newFakeClock(start time.Time) *fakeClock {
+	return &fakeClock{mu: newChMu(), now: start}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.lock()
+	defer c.mu.unlock()
+	return c.now
+}
+
+func (c *fakeClock) After(d time.Duration) <-chan time.Time {
+	c.mu.lock()
+	defer c.mu.unlock()
+	ch := make(chan time.Time, 1)
+	if d <= 0 {
+		ch <- c.now
+		return ch
+	}
+	c.waiters = append(c.waiters, fakeWaiter{at: c.now.Add(d), ch: ch})
+	return ch
+}
+
+// Advance moves the clock forward, firing every waiter that comes due.
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.lock()
+	defer c.mu.unlock()
+	c.now = c.now.Add(d)
+	kept := c.waiters[:0]
+	for _, w := range c.waiters {
+		if !w.at.After(c.now) {
+			w.ch <- c.now
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	c.waiters = kept
+}
+
+func TestFakeClock(t *testing.T) {
+	c := newFakeClock(time.Unix(0, 0))
+	ch := c.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired early")
+	default:
+	}
+	c.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("fired at 9s")
+	default:
+	}
+	c.Advance(time.Second)
+	select {
+	case <-ch:
+	default:
+		t.Fatal("did not fire at 10s")
+	}
+}

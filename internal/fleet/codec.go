@@ -1,0 +1,565 @@
+// Package fleet is the two-tier aggregation wire layer: a compact,
+// versioned binary encoding for per-window epoch snapshot deltas, a
+// CRC-framed stream protocol with per-site sequence numbers, a shipper
+// that streams window deltas over TCP with exponential backoff and
+// at-least-once redelivery, and an aggregator that receives, dedups,
+// and acknowledges them. The report-level merge semantics live in
+// internal/core (which owns the aggregate types); this package owns
+// bytes on the wire and delivery semantics only.
+//
+// The payload codec is a deterministic reflection walk: it serializes
+// any acyclic value graph of plain data (structs — exported or not —
+// maps, slices, strings, numbers, netip.Addr, time.Time), producing
+// identical bytes for identical values (map entries are sorted by
+// encoded key). A 64-bit schema hash derived from the walked type
+// structure pins the layout: two builds agree on the hash exactly when
+// they agree on every field name, order, and type in the graph, so a
+// decoder can reject a frame from a mismatched build before touching
+// the payload. See DESIGN.md "Fleet aggregation".
+package fleet
+
+import (
+	"encoding"
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"math"
+	"reflect"
+	"sort"
+	"time"
+	"unsafe"
+
+	"enttrace/internal/stats"
+)
+
+// Codec errors.
+var (
+	errNotPointer = fmt.Errorf("fleet: codec target must be a non-nil pointer")
+)
+
+// Marshal serializes v (which must be a pointer to the value graph)
+// into deterministic bytes. Fields of func, chan, or unsafe.Pointer
+// type are skipped (they carry no report state); interface-typed fields
+// are rejected.
+func Marshal(v any) ([]byte, error) {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return nil, errNotPointer
+	}
+	var e encoder
+	if err := e.encode(rv.Elem()); err != nil {
+		return nil, err
+	}
+	return e.buf, nil
+}
+
+// Unmarshal decodes Marshal output into v, which must be a non-nil
+// pointer to the same type the bytes were encoded from (enforce with
+// SchemaOf before decoding). Existing contents of v are overwritten;
+// maps and pointers are allocated fresh.
+func Unmarshal(b []byte, v any) error {
+	rv := reflect.ValueOf(v)
+	if rv.Kind() != reflect.Pointer || rv.IsNil() {
+		return errNotPointer
+	}
+	d := decoder{buf: b}
+	if err := d.decode(rv.Elem()); err != nil {
+		return err
+	}
+	if len(d.buf) != 0 {
+		return fmt.Errorf("fleet: %d trailing bytes after decode", len(d.buf))
+	}
+	return nil
+}
+
+// SchemaOf returns the 64-bit schema hash of v's type graph. Any change
+// to a field name, order, kind, or to the special-cased encodings in
+// the graph changes the hash; the wire HELLO carries it so mismatched
+// builds fail loudly instead of mis-decoding.
+func SchemaOf(v any) uint64 {
+	t := reflect.TypeOf(v)
+	if t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	h := fnv.New64a()
+	hashType(h, t, map[reflect.Type]bool{})
+	return h.Sum64()
+}
+
+func hashType(h interface{ Write([]byte) (int, error) }, t reflect.Type, seen map[reflect.Type]bool) {
+	// Special-cased types hash by name, not structure: their wire form
+	// is their own MarshalBinary/runs layout, not the field walk.
+	switch {
+	case t == timeType:
+		h.Write([]byte("time.Time"))
+		return
+	case t == distType:
+		h.Write([]byte("stats.Dist:runs"))
+		return
+	case isBinaryCodec(t):
+		h.Write([]byte("binary:" + t.String()))
+		return
+	}
+	if seen[t] {
+		// Recursive type: the name already contributed where it was
+		// first seen; terminate the walk.
+		h.Write([]byte("rec:" + t.String()))
+		return
+	}
+	switch t.Kind() {
+	case reflect.Pointer:
+		h.Write([]byte("*"))
+		hashType(h, t.Elem(), seen)
+	case reflect.Slice:
+		h.Write([]byte("[]"))
+		hashType(h, t.Elem(), seen)
+	case reflect.Array:
+		fmt.Fprintf(h.(interface{ Write([]byte) (int, error) }), "[%d]", t.Len())
+		hashType(h, t.Elem(), seen)
+	case reflect.Map:
+		h.Write([]byte("map["))
+		hashType(h, t.Key(), seen)
+		h.Write([]byte("]"))
+		hashType(h, t.Elem(), seen)
+	case reflect.Struct:
+		seen[t] = true
+		h.Write([]byte("struct " + t.String() + "{"))
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if skipKind(f.Type.Kind()) {
+				continue
+			}
+			h.Write([]byte(f.Name + ":"))
+			hashType(h, f.Type, seen)
+			h.Write([]byte(";"))
+		}
+		h.Write([]byte("}"))
+		delete(seen, t)
+	default:
+		h.Write([]byte(t.Kind().String()))
+	}
+}
+
+var (
+	timeType          = reflect.TypeOf(time.Time{})
+	distType          = reflect.TypeOf(stats.Dist{})
+	binaryMarshaler   = reflect.TypeOf((*encoding.BinaryMarshaler)(nil)).Elem()
+	binaryUnmarshaler = reflect.TypeOf((*encoding.BinaryUnmarshaler)(nil)).Elem()
+)
+
+// isBinaryCodec reports whether t round-trips through encoding.Binary
+// (Un)Marshaler — netip.Addr and friends. time.Time also qualifies but
+// is matched earlier by identity for a stable schema label.
+func isBinaryCodec(t reflect.Type) bool {
+	return t.Implements(binaryMarshaler) && reflect.PointerTo(t).Implements(binaryUnmarshaler)
+}
+
+// skipKind marks field kinds that carry no serializable state.
+func skipKind(k reflect.Kind) bool {
+	return k == reflect.Func || k == reflect.Chan || k == reflect.UnsafePointer
+}
+
+// launder returns a readable+writable view of v. Values reached through
+// unexported struct fields are flagged read-only by the reflect
+// package; re-deriving the value from its address strips the flag. The
+// codec keeps every value addressable precisely so this works.
+func launder(v reflect.Value) reflect.Value {
+	if !v.CanInterface() && v.CanAddr() {
+		return reflect.NewAt(v.Type(), unsafe.Pointer(v.UnsafeAddr())).Elem()
+	}
+	return v
+}
+
+type encoder struct {
+	buf []byte
+}
+
+func (e *encoder) uvarint(x uint64)  { e.buf = binary.AppendUvarint(e.buf, x) }
+func (e *encoder) varint(x int64)    { e.buf = binary.AppendVarint(e.buf, x) }
+func (e *encoder) bytes(b []byte)    { e.uvarint(uint64(len(b))); e.buf = append(e.buf, b...) }
+func (e *encoder) fixed64(x uint64)  { e.buf = binary.LittleEndian.AppendUint64(e.buf, x) }
+func (e *encoder) float64(f float64) { e.fixed64(math.Float64bits(f)) }
+
+func (e *encoder) encode(v reflect.Value) error {
+	v = launder(v)
+	t := v.Type()
+
+	// Special cases first: exact wire forms owned by the value's own
+	// package.
+	switch {
+	case t == timeType:
+		b, err := v.Interface().(time.Time).MarshalBinary()
+		if err != nil {
+			return err
+		}
+		e.bytes(b)
+		return nil
+	case t == distType:
+		vals, counts, nan := stats.DistRuns(v.Addr().Interface().(*stats.Dist))
+		e.varint(nan)
+		e.uvarint(uint64(len(vals)))
+		for i := range vals {
+			e.float64(vals[i])
+			e.varint(counts[i])
+		}
+		return nil
+	case isBinaryCodec(t):
+		b, err := v.Interface().(encoding.BinaryMarshaler).MarshalBinary()
+		if err != nil {
+			return err
+		}
+		e.bytes(b)
+		return nil
+	}
+
+	switch t.Kind() {
+	case reflect.Bool:
+		if v.Bool() {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		e.varint(v.Int())
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		e.uvarint(v.Uint())
+	case reflect.Float32:
+		e.buf = binary.LittleEndian.AppendUint32(e.buf, math.Float32bits(float32(v.Float())))
+	case reflect.Float64:
+		e.float64(v.Float())
+	case reflect.String:
+		e.bytes([]byte(v.String()))
+	case reflect.Slice:
+		if v.IsNil() {
+			e.buf = append(e.buf, 0)
+		} else {
+			e.buf = append(e.buf, 1)
+			e.uvarint(uint64(v.Len()))
+			if t.Elem().Kind() == reflect.Uint8 {
+				e.buf = append(e.buf, v.Bytes()...)
+				return nil
+			}
+			for i := 0; i < v.Len(); i++ {
+				if err := e.encode(v.Index(i)); err != nil {
+					return err
+				}
+			}
+		}
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if err := e.encode(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		if v.IsNil() {
+			e.buf = append(e.buf, 0)
+			return nil
+		}
+		e.buf = append(e.buf, 1)
+		e.uvarint(uint64(v.Len()))
+		// Deterministic order: encode each (key, value) pair into a
+		// scratch buffer, sort the pairs by bytes, append.
+		type entry struct{ k, kv []byte }
+		entries := make([]entry, 0, v.Len())
+		iter := v.MapRange()
+		for iter.Next() {
+			var ke, ve encoder
+			// Map keys/values are not addressable; copy them into
+			// fresh addressable slots before the walk.
+			k := reflect.New(t.Key()).Elem()
+			k.Set(iter.Key())
+			if err := ke.encode(k); err != nil {
+				return err
+			}
+			val := reflect.New(t.Elem()).Elem()
+			val.Set(iter.Value())
+			if err := ve.encode(val); err != nil {
+				return err
+			}
+			entries = append(entries, entry{k: ke.buf, kv: append(ke.buf, ve.buf...)})
+		}
+		sort.Slice(entries, func(i, j int) bool {
+			return string(entries[i].k) < string(entries[j].k)
+		})
+		for _, en := range entries {
+			e.buf = append(e.buf, en.kv...)
+		}
+	case reflect.Pointer:
+		if v.IsNil() {
+			e.buf = append(e.buf, 0)
+			return nil
+		}
+		e.buf = append(e.buf, 1)
+		return e.encode(v.Elem())
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if skipKind(t.Field(i).Type.Kind()) {
+				continue
+			}
+			if err := e.encode(v.Field(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("fleet: cannot encode kind %s (%s)", t.Kind(), t)
+	}
+	return nil
+}
+
+type decoder struct {
+	buf []byte
+}
+
+var errShort = fmt.Errorf("fleet: payload truncated")
+
+func (d *decoder) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(d.buf)
+	if n <= 0 {
+		return 0, errShort
+	}
+	d.buf = d.buf[n:]
+	return x, nil
+}
+
+func (d *decoder) varint() (int64, error) {
+	x, n := binary.Varint(d.buf)
+	if n <= 0 {
+		return 0, errShort
+	}
+	d.buf = d.buf[n:]
+	return x, nil
+}
+
+func (d *decoder) take(n int) ([]byte, error) {
+	if n < 0 || n > len(d.buf) {
+		return nil, errShort
+	}
+	b := d.buf[:n]
+	d.buf = d.buf[n:]
+	return b, nil
+}
+
+func (d *decoder) bytes() ([]byte, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)) {
+		return nil, errShort
+	}
+	return d.take(int(n))
+}
+
+func (d *decoder) byteFlag() (bool, error) {
+	b, err := d.take(1)
+	if err != nil {
+		return false, err
+	}
+	switch b[0] {
+	case 0:
+		return false, nil
+	case 1:
+		return true, nil
+	}
+	return false, fmt.Errorf("fleet: bad presence flag %d", b[0])
+}
+
+// decode fills v (addressable) from the stream.
+func (d *decoder) decode(v reflect.Value) error {
+	v = launder(v)
+	t := v.Type()
+
+	switch {
+	case t == timeType:
+		b, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		var tm time.Time
+		if err := tm.UnmarshalBinary(b); err != nil {
+			return fmt.Errorf("fleet: time: %w", err)
+		}
+		v.Set(reflect.ValueOf(tm))
+		return nil
+	case t == distType:
+		nan, err := d.varint()
+		if err != nil {
+			return err
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(d.buf))/9 { // ≥ 9 bytes per run on the wire
+			return errShort
+		}
+		vals := make([]float64, n)
+		counts := make([]int64, n)
+		for i := range vals {
+			raw, err := d.take(8)
+			if err != nil {
+				return err
+			}
+			vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(raw))
+			if counts[i], err = d.varint(); err != nil {
+				return err
+			}
+		}
+		dist, err := stats.DistFromRuns(vals, counts, nan)
+		if err != nil {
+			return fmt.Errorf("fleet: dist: %w", err)
+		}
+		v.Set(reflect.ValueOf(*dist))
+		return nil
+	case isBinaryCodec(t):
+		b, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		nv := reflect.New(t)
+		if err := nv.Interface().(encoding.BinaryUnmarshaler).UnmarshalBinary(b); err != nil {
+			return fmt.Errorf("fleet: %s: %w", t, err)
+		}
+		v.Set(nv.Elem())
+		return nil
+	}
+
+	switch t.Kind() {
+	case reflect.Bool:
+		f, err := d.byteFlag()
+		if err != nil {
+			return err
+		}
+		v.SetBool(f)
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+		x, err := d.varint()
+		if err != nil {
+			return err
+		}
+		if v.OverflowInt(x) {
+			return fmt.Errorf("fleet: %d overflows %s", x, t)
+		}
+		v.SetInt(x)
+	case reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64, reflect.Uintptr:
+		x, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if v.OverflowUint(x) {
+			return fmt.Errorf("fleet: %d overflows %s", x, t)
+		}
+		v.SetUint(x)
+	case reflect.Float32:
+		raw, err := d.take(4)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(float64(math.Float32frombits(binary.LittleEndian.Uint32(raw))))
+	case reflect.Float64:
+		raw, err := d.take(8)
+		if err != nil {
+			return err
+		}
+		v.SetFloat(math.Float64frombits(binary.LittleEndian.Uint64(raw)))
+	case reflect.String:
+		b, err := d.bytes()
+		if err != nil {
+			return err
+		}
+		v.SetString(string(b))
+	case reflect.Slice:
+		present, err := d.byteFlag()
+		if err != nil {
+			return err
+		}
+		if !present {
+			v.Set(reflect.Zero(t))
+			return nil
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if t.Elem().Kind() == reflect.Uint8 {
+			b, err := d.take(int(n))
+			if err != nil {
+				return err
+			}
+			v.SetBytes(append([]byte(nil), b...))
+			return nil
+		}
+		// A decoded element costs ≥ 1 wire byte; bound the allocation.
+		if n > uint64(len(d.buf))+1 {
+			return errShort
+		}
+		s := reflect.MakeSlice(t, int(n), int(n))
+		for i := 0; i < int(n); i++ {
+			if err := d.decode(s.Index(i)); err != nil {
+				return err
+			}
+		}
+		v.Set(s)
+	case reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			if err := d.decode(v.Index(i)); err != nil {
+				return err
+			}
+		}
+	case reflect.Map:
+		present, err := d.byteFlag()
+		if err != nil {
+			return err
+		}
+		if !present {
+			v.Set(reflect.Zero(t))
+			return nil
+		}
+		n, err := d.uvarint()
+		if err != nil {
+			return err
+		}
+		if n > uint64(len(d.buf))+1 {
+			return errShort
+		}
+		m := reflect.MakeMapWithSize(t, int(n))
+		for i := 0; i < int(n); i++ {
+			k := reflect.New(t.Key()).Elem()
+			if err := d.decode(k); err != nil {
+				return err
+			}
+			val := reflect.New(t.Elem()).Elem()
+			if err := d.decode(val); err != nil {
+				return err
+			}
+			m.SetMapIndex(k, val)
+		}
+		v.Set(m)
+	case reflect.Pointer:
+		present, err := d.byteFlag()
+		if err != nil {
+			return err
+		}
+		if !present {
+			v.Set(reflect.Zero(t))
+			return nil
+		}
+		nv := reflect.New(t.Elem())
+		if err := d.decode(nv.Elem()); err != nil {
+			return err
+		}
+		v.Set(nv)
+	case reflect.Struct:
+		for i := 0; i < t.NumField(); i++ {
+			if skipKind(t.Field(i).Type.Kind()) {
+				continue
+			}
+			if err := d.decode(v.Field(i)); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("fleet: cannot decode kind %s (%s)", t.Kind(), t)
+	}
+	return nil
+}

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"bytes"
+	"math"
+	"net/netip"
+	"testing"
+	"time"
+
+	"enttrace/internal/stats"
+)
+
+// wireFixture exercises every encoding path the real snapshot graph
+// uses: unexported fields, nested structs, maps with composite keys,
+// slices of structs, pointers, special-cased types, and a func field
+// that must be skipped.
+type wireFixture struct {
+	name    string
+	count   int64
+	ratio   float64
+	small   uint16
+	flag    bool
+	addr    netip.Addr
+	when    time.Time
+	dist    stats.Dist
+	pairs   map[pairKey]uint8
+	byName  map[string]int64
+	nested  innerFixture
+	ptr     *innerFixture
+	nilPtr  *innerFixture
+	items   []innerFixture
+	raw     []byte
+	arr     [2]netip.Addr
+	Skipped func() // must not affect bytes or schema
+}
+
+type pairKey struct{ a, b netip.Addr }
+
+type innerFixture struct {
+	label string
+	n     int
+	f32   float32
+}
+
+func mkFixture() *wireFixture {
+	d := stats.Dist{}
+	for _, v := range []float64{5, 1, 1, 3, math.Inf(1), math.NaN(), 2, 2, 2} {
+		d.Observe(v)
+	}
+	return &wireFixture{
+		name:  "site-a",
+		count: -42,
+		ratio: 0.125,
+		small: 65535,
+		flag:  true,
+		addr:  netip.MustParseAddr("10.1.2.3"),
+		when:  time.Date(2026, 8, 8, 12, 0, 0, 12345, time.UTC),
+		dist:  d,
+		pairs: map[pairKey]uint8{
+			{netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")}: 3,
+			{netip.MustParseAddr("10.0.0.3"), netip.MustParseAddr("10.0.0.4")}: 1,
+		},
+		byName: map[string]int64{"tcp": 100, "udp": 7, "icmp": 1},
+		nested: innerFixture{label: "in", n: 9, f32: 1.5},
+		ptr:    &innerFixture{label: "p", n: -1},
+		items:  []innerFixture{{label: "x"}, {label: "y", n: 2}},
+		raw:    []byte{0, 1, 2, 255},
+		arr: [2]netip.Addr{
+			netip.MustParseAddr("192.168.0.1"),
+			netip.MustParseAddr("fe80::1"),
+		},
+		Skipped: func() {},
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	in := mkFixture()
+	b, err := Marshal(in)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var out wireFixture
+	if err := Unmarshal(b, &out); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if out.name != in.name || out.count != in.count || out.ratio != in.ratio ||
+		out.small != in.small || out.flag != in.flag || out.addr != in.addr ||
+		!out.when.Equal(in.when) || out.nested != in.nested ||
+		*out.ptr != *in.ptr || out.nilPtr != nil ||
+		len(out.items) != len(in.items) || out.items[1] != in.items[1] ||
+		!bytes.Equal(out.raw, in.raw) || out.arr != in.arr {
+		t.Fatalf("round-trip mismatch:\n got %+v\nwant %+v", &out, in)
+	}
+	if len(out.pairs) != len(in.pairs) || out.pairs[pairKey{netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2")}] != 3 {
+		t.Fatalf("pairs mismatch: %v", out.pairs)
+	}
+	if len(out.byName) != 3 || out.byName["tcp"] != 100 {
+		t.Fatalf("byName mismatch: %v", out.byName)
+	}
+	if out.dist.N() != in.dist.N() || out.dist.Quantile(0.5) != in.dist.Quantile(0.5) {
+		t.Fatalf("dist mismatch: n=%d median=%v", out.dist.N(), out.dist.Quantile(0.5))
+	}
+}
+
+// TestCodecDeterministic pins that two values with the same content —
+// built with different map insertion orders — encode to identical
+// bytes, and that encoding is stable across repeated calls.
+func TestCodecDeterministic(t *testing.T) {
+	a := mkFixture()
+	b := mkFixture()
+	// Rebuild b's maps in reverse insertion order.
+	m := make(map[string]int64, len(b.byName))
+	for _, k := range []string{"icmp", "udp", "tcp"} {
+		m[k] = b.byName[k]
+	}
+	b.byName = m
+	ba, err := Marshal(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		bb, err := Marshal(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatalf("iteration %d: same content, different bytes (%d vs %d)", i, len(ba), len(bb))
+		}
+	}
+}
+
+func TestCodecErrors(t *testing.T) {
+	if _, err := Marshal(wireFixture{}); err == nil {
+		t.Error("Marshal accepted a non-pointer")
+	}
+	var out wireFixture
+	if err := Unmarshal(nil, out); err == nil {
+		t.Error("Unmarshal accepted a non-pointer")
+	}
+	b, err := Marshal(mkFixture())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Unmarshal(append(b, 0xFF), &out); err == nil {
+		t.Error("Unmarshal accepted trailing bytes")
+	}
+	for cut := 0; cut < len(b); cut += 7 {
+		if err := Unmarshal(b[:cut], &out); err == nil {
+			t.Errorf("Unmarshal accepted truncation at %d", cut)
+		}
+	}
+	type withIface struct{ v any }
+	if _, err := Marshal(&withIface{v: 3}); err == nil {
+		t.Error("Marshal accepted an interface field")
+	}
+}
+
+func TestSchemaOf(t *testing.T) {
+	a := SchemaOf(&wireFixture{})
+	if a != SchemaOf(&wireFixture{}) {
+		t.Fatal("schema hash unstable")
+	}
+	if a != SchemaOf(wireFixture{}) {
+		t.Fatal("pointer vs value schema mismatch")
+	}
+	type renamed struct {
+		namex string // one field name differs from wireFixture.name
+		count int64
+	}
+	type sameShape struct {
+		name  string
+		count int64
+	}
+	if SchemaOf(&renamed{}) == SchemaOf(&sameShape{}) {
+		t.Fatal("field rename did not change schema hash")
+	}
+	type widened struct {
+		name  string
+		count int32
+	}
+	if SchemaOf(&widened{}) == SchemaOf(&sameShape{}) {
+		t.Fatal("field type change did not change schema hash")
+	}
+}
+
+// TestCodecDistMergesAfterDecode pins the property core relies on: a
+// decoded snapshot keeps merging exactly.
+func TestCodecDistMergesAfterDecode(t *testing.T) {
+	type holder struct{ d stats.Dist }
+	var h holder
+	for i := 0; i < 1000; i++ {
+		h.d.Observe(float64(i % 37))
+	}
+	b, err := Marshal(&h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got holder
+	if err := Unmarshal(b, &got); err != nil {
+		t.Fatal(err)
+	}
+	ref := h.d.Snapshot()
+	ref.Merge(h.d.Snapshot())
+	m := got.d.Snapshot()
+	m.Merge(&got.d)
+	if m.N() != ref.N() || m.Quantile(0.9) != ref.Quantile(0.9) || m.Sum() != ref.Sum() {
+		t.Fatalf("decoded dist merges differently: n=%d q90=%v", m.N(), m.Quantile(0.9))
+	}
+}

@@ -1,0 +1,338 @@
+package fleet
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Frame is one unit on the shipper↔aggregator stream. The wire layout
+// (version 1) is:
+//
+//	magic   "EFL1"                      4 bytes
+//	version 0x01                        1 byte
+//	type    FrameType                   1 byte
+//	site    uvarint length + bytes      ≤ MaxSiteLen
+//	window  zigzag varint               window index (type-dependent)
+//	seq     uvarint                     per-site sequence number
+//	mark    zigzag varint               watermark, unix nanoseconds
+//	payload uvarint length + bytes      ≤ MaxPayload
+//	crc     CRC-32 (IEEE), LE           over every preceding byte
+//
+// Every frame carries the full header so each is self-describing; a
+// reader can resynchronize after a corrupt frame only by dropping the
+// connection, which is exactly the at-least-once design: the shipper
+// resends everything unacknowledged on reconnect.
+type Frame struct {
+	Type      FrameType
+	Site      string
+	Window    int
+	Seq       uint64
+	Watermark int64 // unix nanoseconds; 0 = unset
+	Payload   []byte
+}
+
+// FrameType discriminates stream frames.
+type FrameType uint8
+
+// Frame types. Shipper→aggregator: Hello opens a connection (payload:
+// codec-encoded Hello), Delta carries one window's encoded snapshot
+// delta, Heartbeat advances the site watermark with no data, Lost
+// declares a window permanently dropped from the shipper's retry queue,
+// Fin declares the site complete through Window. Aggregator→shipper:
+// Ack acknowledges the single processed frame with this Seq (per-frame,
+// not cumulative — the shipper's retry queue is not always seq-sorted),
+// Err reports a fatal mismatch (payload: message) before close.
+const (
+	FrameHello FrameType = iota + 1
+	FrameDelta
+	FrameHeartbeat
+	FrameLost
+	FrameFin
+	FrameAck
+	FrameErr
+)
+
+func (t FrameType) String() string {
+	switch t {
+	case FrameHello:
+		return "HELLO"
+	case FrameDelta:
+		return "DELTA"
+	case FrameHeartbeat:
+		return "HEARTBEAT"
+	case FrameLost:
+		return "LOST"
+	case FrameFin:
+		return "FIN"
+	case FrameAck:
+		return "ACK"
+	case FrameErr:
+		return "ERR"
+	}
+	return fmt.Sprintf("FrameType(%d)", uint8(t))
+}
+
+// Wire limits. A frame exceeding them is rejected before allocation, so
+// a hostile or corrupt peer cannot make the reader balloon.
+const (
+	MaxSiteLen = 256
+	MaxPayload = 1 << 30
+)
+
+// Hello is the connection-opening handshake payload (codec-encoded). A
+// receiving aggregator rejects the connection unless Schema matches its
+// own build's snapshot schema hash and WindowNanos/OriginNanos match
+// its fleet configuration — mismatched builds or configs fail loudly at
+// connect instead of mis-merging silently.
+type Hello struct {
+	Schema      uint64
+	WindowNanos int64 // analysis window duration (0 = batch, single window)
+	OriginNanos int64 // shared window origin, unix nanoseconds
+}
+
+var frameMagic = [4]byte{'E', 'F', 'L', '1'}
+
+const frameVersion = 1
+
+// Frame decode errors.
+var (
+	ErrBadMagic   = errors.New("fleet: bad frame magic")
+	ErrBadVersion = errors.New("fleet: unsupported frame version")
+	ErrBadType    = errors.New("fleet: unknown frame type")
+	ErrTruncated  = errors.New("fleet: truncated frame")
+	ErrCRC        = errors.New("fleet: frame CRC mismatch")
+	ErrTooLarge   = errors.New("fleet: frame field exceeds wire limit")
+)
+
+// AppendFrame encodes f onto dst and returns the extended slice.
+func AppendFrame(dst []byte, f *Frame) ([]byte, error) {
+	if len(f.Site) > MaxSiteLen {
+		return dst, fmt.Errorf("%w: site %d bytes", ErrTooLarge, len(f.Site))
+	}
+	if len(f.Payload) > MaxPayload {
+		return dst, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, len(f.Payload))
+	}
+	if f.Type < FrameHello || f.Type > FrameErr {
+		return dst, fmt.Errorf("%w: %d", ErrBadType, f.Type)
+	}
+	start := len(dst)
+	dst = append(dst, frameMagic[:]...)
+	dst = append(dst, frameVersion, byte(f.Type))
+	dst = binary.AppendUvarint(dst, uint64(len(f.Site)))
+	dst = append(dst, f.Site...)
+	dst = binary.AppendVarint(dst, int64(f.Window))
+	dst = binary.AppendUvarint(dst, f.Seq)
+	dst = binary.AppendVarint(dst, f.Watermark)
+	dst = binary.AppendUvarint(dst, uint64(len(f.Payload)))
+	dst = append(dst, f.Payload...)
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.LittleEndian.AppendUint32(dst, crc), nil
+}
+
+// EncodeFrame returns f's wire bytes.
+func EncodeFrame(f *Frame) ([]byte, error) {
+	return AppendFrame(nil, f)
+}
+
+// DecodeFrame parses one frame from the head of b, returning the frame
+// and the number of bytes consumed. The returned frame's Site and
+// Payload are copies, safe to retain after b is reused.
+func DecodeFrame(b []byte) (*Frame, int, error) {
+	d := frameReader{buf: b}
+	f, err := d.frame()
+	if err != nil {
+		return nil, 0, err
+	}
+	return f, d.off, nil
+}
+
+// ReadFrame reads one frame from a stream. Returns io.EOF only at a
+// clean frame boundary; a connection cut mid-frame is ErrTruncated
+// (wrapping io.ErrUnexpectedEOF).
+func ReadFrame(br *bufio.Reader) (*Frame, error) {
+	// Peek the fixed prologue first so EOF-at-boundary is clean.
+	head, err := br.Peek(6)
+	if err != nil {
+		if err == io.EOF {
+			if len(head) == 0 {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("%w: %d-byte partial header", ErrTruncated, len(head))
+		}
+		return nil, err
+	}
+	if [4]byte(head[:4]) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	if head[4] != frameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[4])
+	}
+	// Accumulate the whole frame into a buffer and decode it with the
+	// slice parser, so stream and slice paths cannot diverge.
+	buf := make([]byte, 0, 64)
+	buf = append(buf, head...)
+	br.Discard(6)
+	readUvarint := func() (uint64, error) {
+		start := len(buf)
+		for {
+			c, err := br.ReadByte()
+			if err != nil {
+				return 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+			}
+			buf = append(buf, c)
+			if c < 0x80 {
+				break
+			}
+			if len(buf)-start >= binary.MaxVarintLen64 {
+				return 0, fmt.Errorf("%w: varint overflow", ErrTruncated)
+			}
+		}
+		x, _ := binary.Uvarint(buf[start:])
+		return x, nil
+	}
+	readN := func(n uint64, what string, limit uint64) error {
+		if n > limit {
+			return fmt.Errorf("%w: %s %d bytes", ErrTooLarge, what, n)
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, n)...)
+		if _, err := io.ReadFull(br, buf[start:]); err != nil {
+			return fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		return nil
+	}
+	siteLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if err := readN(siteLen, "site", MaxSiteLen); err != nil {
+		return nil, err
+	}
+	for i := 0; i < 3; i++ { // window, seq, watermark
+		if _, err := readUvarint(); err != nil {
+			return nil, err
+		}
+	}
+	payLen, err := readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	if err := readN(payLen, "payload", MaxPayload); err != nil {
+		return nil, err
+	}
+	if err := readN(4, "crc", 4); err != nil {
+		return nil, err
+	}
+	f, n, err := DecodeFrame(buf)
+	if err != nil {
+		return nil, err
+	}
+	if n != len(buf) {
+		return nil, fmt.Errorf("%w: stream frame reparse consumed %d of %d", ErrTruncated, n, len(buf))
+	}
+	return f, nil
+}
+
+// frameReader parses a frame from a byte slice, tracking the offset for
+// CRC coverage.
+type frameReader struct {
+	buf []byte
+	off int
+}
+
+func (d *frameReader) take(n int) ([]byte, error) {
+	if n < 0 || d.off+n > len(d.buf) {
+		return nil, ErrTruncated
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b, nil
+}
+
+func (d *frameReader) uvarint() (uint64, error) {
+	x, n := binary.Uvarint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return x, nil
+}
+
+func (d *frameReader) varint() (int64, error) {
+	x, n := binary.Varint(d.buf[d.off:])
+	if n <= 0 {
+		return 0, ErrTruncated
+	}
+	d.off += n
+	return x, nil
+}
+
+func (d *frameReader) frame() (*Frame, error) {
+	head, err := d.take(6)
+	if err != nil {
+		return nil, err
+	}
+	if [4]byte(head[:4]) != frameMagic {
+		return nil, ErrBadMagic
+	}
+	if head[4] != frameVersion {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, head[4])
+	}
+	f := &Frame{Type: FrameType(head[5])}
+	if f.Type < FrameHello || f.Type > FrameErr {
+		return nil, fmt.Errorf("%w: %d", ErrBadType, head[5])
+	}
+	siteLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if siteLen > MaxSiteLen {
+		return nil, fmt.Errorf("%w: site %d bytes", ErrTooLarge, siteLen)
+	}
+	site, err := d.take(int(siteLen))
+	if err != nil {
+		return nil, err
+	}
+	f.Site = string(site)
+	win, err := d.varint()
+	if err != nil {
+		return nil, err
+	}
+	if win < -1<<31 || win > 1<<31 {
+		return nil, fmt.Errorf("%w: window %d", ErrTooLarge, win)
+	}
+	f.Window = int(win)
+	if f.Seq, err = d.uvarint(); err != nil {
+		return nil, err
+	}
+	if f.Watermark, err = d.varint(); err != nil {
+		return nil, err
+	}
+	payLen, err := d.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	if payLen > MaxPayload {
+		return nil, fmt.Errorf("%w: payload %d bytes", ErrTooLarge, payLen)
+	}
+	pay, err := d.take(int(payLen))
+	if err != nil {
+		return nil, err
+	}
+	if payLen > 0 {
+		f.Payload = append([]byte(nil), pay...)
+	}
+	body := d.buf[:d.off]
+	crcBytes, err := d.take(4)
+	if err != nil {
+		return nil, err
+	}
+	if binary.LittleEndian.Uint32(crcBytes) != crc32.ChecksumIEEE(body) {
+		return nil, ErrCRC
+	}
+	return f, nil
+}

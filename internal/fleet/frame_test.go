@@ -1,0 +1,141 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/hex"
+	"errors"
+	"io"
+	"testing"
+)
+
+func testFrame() *Frame {
+	return &Frame{
+		Type:      FrameDelta,
+		Site:      "site-a",
+		Window:    3,
+		Seq:       7,
+		Watermark: 1_000_000_000,
+		Payload:   []byte{0xDE, 0xAD, 0xBE, 0xEF},
+	}
+}
+
+// TestFrameGoldenBytes pins the version-1 wire layout byte for byte. If
+// this test fails, the frame format changed: bump frameVersion and
+// regenerate — do NOT update the golden in place, or deployed shippers
+// and aggregators from different builds will mis-parse each other.
+func TestFrameGoldenBytes(t *testing.T) {
+	const golden = "45464c31010206736974652d61060780a8d6b90704deadbeefb7cd873c"
+	b, err := EncodeFrame(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := hex.EncodeToString(b); got != golden {
+		t.Fatalf("frame bytes changed:\n got  %s\n want %s\nbump frameVersion if intentional", got, golden)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []*Frame{
+		testFrame(),
+		{Type: FrameHello, Site: "x", Payload: []byte("hello")},
+		{Type: FrameAck, Seq: 1 << 40},
+		{Type: FrameHeartbeat, Site: "s", Watermark: -5}, // negative mark survives zigzag
+		{Type: FrameFin, Site: "s", Window: 0},
+		{Type: FrameLost, Site: "s", Window: 1<<31 - 1},
+		{Type: FrameErr, Payload: []byte("schema mismatch")},
+	}
+	for _, f := range cases {
+		b, err := EncodeFrame(f)
+		if err != nil {
+			t.Fatalf("%v: encode: %v", f.Type, err)
+		}
+		got, n, err := DecodeFrame(b)
+		if err != nil {
+			t.Fatalf("%v: decode: %v", f.Type, err)
+		}
+		if n != len(b) {
+			t.Fatalf("%v: consumed %d of %d", f.Type, n, len(b))
+		}
+		if got.Type != f.Type || got.Site != f.Site || got.Window != f.Window ||
+			got.Seq != f.Seq || got.Watermark != f.Watermark || !bytes.Equal(got.Payload, f.Payload) {
+			t.Fatalf("%v: round-trip mismatch: %+v vs %+v", f.Type, got, f)
+		}
+		// Stream path must agree with the slice path, including across
+		// back-to-back frames.
+		br := bufio.NewReader(bytes.NewReader(append(append([]byte(nil), b...), b...)))
+		for i := 0; i < 2; i++ {
+			sf, err := ReadFrame(br)
+			if err != nil {
+				t.Fatalf("%v: stream read %d: %v", f.Type, i, err)
+			}
+			if sf.Seq != f.Seq || sf.Site != f.Site {
+				t.Fatalf("%v: stream frame %d mismatch", f.Type, i)
+			}
+		}
+		if _, err := ReadFrame(br); err != io.EOF {
+			t.Fatalf("%v: want clean EOF at boundary, got %v", f.Type, err)
+		}
+	}
+}
+
+// TestFrameRejectsCorruption drives the full rejection table: every
+// class of damage a hostile or flaky network can inflict must map to a
+// typed error, never a mis-parsed frame.
+func TestFrameRejectsCorruption(t *testing.T) {
+	good, err := EncodeFrame(testFrame())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(b []byte) []byte) []byte {
+		return f(append([]byte(nil), good...))
+	}
+	cases := []struct {
+		name string
+		b    []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"bad magic", mut(func(b []byte) []byte { b[0] = 'X'; return b }), ErrBadMagic},
+		{"bad version", mut(func(b []byte) []byte { b[4] = 99; return b }), ErrBadVersion},
+		{"bad type zero", mut(func(b []byte) []byte { b[5] = 0; return b }), ErrBadType},
+		{"bad type high", mut(func(b []byte) []byte { b[5] = 200; return b }), ErrBadType},
+		{"flipped payload bit", mut(func(b []byte) []byte { b[len(b)-6] ^= 1; return b }), ErrCRC},
+		{"flipped crc bit", mut(func(b []byte) []byte { b[len(b)-1] ^= 1; return b }), ErrCRC},
+		{"oversized site", mut(func(b []byte) []byte {
+			b[6] = 0xFF // site length uvarint → multi-byte, huge
+			b[7] = 0x7F
+			return b
+		}), ErrTooLarge},
+		{"truncated mid-payload", good[:len(good)-7], ErrTruncated},
+		{"truncated mid-header", good[:8], ErrTruncated},
+	}
+	for _, tc := range cases {
+		if _, _, err := DecodeFrame(tc.b); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeFrame err = %v, want %v", tc.name, err, tc.want)
+		}
+		// Truncations at a frame boundary read as EOF on the stream
+		// path (empty case); everything else must error there too.
+		if len(tc.b) == 0 {
+			continue
+		}
+		if _, err := ReadFrame(bufio.NewReader(bytes.NewReader(tc.b))); err == nil {
+			t.Errorf("%s: ReadFrame accepted corrupt frame", tc.name)
+		}
+	}
+	// Every possible truncation of a valid frame is rejected.
+	for cut := 1; cut < len(good); cut++ {
+		if _, _, err := DecodeFrame(good[:cut]); err == nil {
+			t.Errorf("DecodeFrame accepted truncation at %d", cut)
+		}
+	}
+}
+
+func TestFrameEncodeLimits(t *testing.T) {
+	if _, err := EncodeFrame(&Frame{Type: FrameDelta, Site: string(make([]byte, MaxSiteLen+1))}); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized site encoded: %v", err)
+	}
+	if _, err := EncodeFrame(&Frame{Type: 0}); !errors.Is(err, ErrBadType) {
+		t.Errorf("zero type encoded: %v", err)
+	}
+}

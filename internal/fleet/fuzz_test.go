@@ -1,0 +1,73 @@
+package fleet
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// FuzzDecodeFrame hammers the frame parser with arbitrary bytes. The
+// invariants: no panic, no over-allocation (enforced by wire limits),
+// and any accepted frame re-encodes to exactly the bytes consumed —
+// i.e. the parser accepts only the canonical encoding.
+func FuzzDecodeFrame(f *testing.F) {
+	seed := func(fr *Frame) {
+		b, err := EncodeFrame(fr)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	seed(testFrame())
+	seed(&Frame{Type: FrameHello, Site: "site-b", Payload: bytes.Repeat([]byte{7}, 100)})
+	seed(&Frame{Type: FrameAck, Seq: 1 << 62})
+	seed(&Frame{Type: FrameHeartbeat, Site: "s", Watermark: -1})
+	seed(&Frame{Type: FrameFin, Site: "tail", Window: 41})
+	f.Add([]byte("EFL1"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		fr, n, err := DecodeFrame(b)
+		if err != nil {
+			if fr != nil {
+				t.Fatal("frame returned alongside error")
+			}
+		} else {
+			if n <= 0 || n > len(b) {
+				t.Fatalf("consumed %d of %d", n, len(b))
+			}
+			re, err := EncodeFrame(fr)
+			if err != nil {
+				t.Fatalf("accepted frame does not re-encode: %v", err)
+			}
+			if !bytes.Equal(re, b[:n]) {
+				t.Fatalf("non-canonical accept:\n in  %x\n out %x", b[:n], re)
+			}
+		}
+		// The stream path must agree with the slice path on accept.
+		sf, serr := ReadFrame(bufio.NewReader(bytes.NewReader(b)))
+		if (err == nil) != (serr == nil) && err == nil {
+			t.Fatalf("slice accepted but stream rejected: %v", serr)
+		}
+		if serr == nil && sf.Seq != fr.Seq {
+			t.Fatal("stream/slice disagree on accepted frame")
+		}
+	})
+}
+
+// FuzzCodecUnmarshal feeds arbitrary bytes to the payload codec against
+// the fixture type: must never panic, and errors must be returned, not
+// thrown.
+func FuzzCodecUnmarshal(f *testing.F) {
+	b, err := Marshal(mkFixture())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(b)
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		var out wireFixture
+		_ = Unmarshal(b, &out) // must not panic
+	})
+}

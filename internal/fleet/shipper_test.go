@@ -1,0 +1,409 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"enttrace/internal/faults"
+)
+
+// recordingSink captures every sink call, deduplicating deltas by
+// (site, window, seq) the way the real fleet merger does.
+type recordingSink struct {
+	mu         sync.Mutex
+	helloErr   error
+	deltaErr   func(window int) error
+	hellos     []Hello
+	deltas     map[string]map[int][]byte // site → window → last payload
+	seqs       map[string]map[uint64]int // site → seq → deliveries
+	lost       map[string]map[int]bool
+	fins       map[string]int
+	marks      map[string]int64
+	disc       int
+	deliveries int64
+}
+
+func newRecordingSink() *recordingSink {
+	return &recordingSink{
+		deltas: map[string]map[int][]byte{},
+		seqs:   map[string]map[uint64]int{},
+		lost:   map[string]map[int]bool{},
+		fins:   map[string]int{},
+		marks:  map[string]int64{},
+	}
+}
+
+func (r *recordingSink) Hello(site string, h Hello) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.helloErr != nil {
+		return r.helloErr
+	}
+	r.hellos = append(r.hellos, h)
+	return nil
+}
+
+func (r *recordingSink) Delta(site string, window int, seq uint64, mark int64, payload []byte) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.deltaErr != nil {
+		if err := r.deltaErr(window); err != nil {
+			return err
+		}
+	}
+	r.deliveries++
+	if r.seqs[site] == nil {
+		r.seqs[site] = map[uint64]int{}
+		r.deltas[site] = map[int][]byte{}
+	}
+	r.seqs[site][seq]++
+	if r.seqs[site][seq] == 1 { // idempotent apply
+		r.deltas[site][window] = append([]byte(nil), payload...)
+	}
+	r.marks[site] = mark
+	return nil
+}
+
+func (r *recordingSink) Lost(site string, window int, seq uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.lost[site] == nil {
+		r.lost[site] = map[int]bool{}
+	}
+	r.lost[site][window] = true
+	return nil
+}
+
+func (r *recordingSink) Heartbeat(site string, mark int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.marks[site] = mark
+}
+
+func (r *recordingSink) Fin(site string, maxWindow int, seq uint64, mark int64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.fins[site] = maxWindow
+	return nil
+}
+
+func (r *recordingSink) Disconnect(site string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.disc++
+}
+
+func (r *recordingSink) windows(site string) map[int][]byte {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := map[int][]byte{}
+	for w, p := range r.deltas[site] {
+		out[w] = p
+	}
+	return out
+}
+
+// startAggregator serves a recording sink on a loopback listener.
+func startAggregator(t *testing.T, sink Sink) (addr string, stop func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg := NewAggregator(ln, sink, t.Logf)
+	done := make(chan struct{})
+	go func() { agg.Serve(); close(done) }()
+	return ln.Addr().String(), func() { agg.Close(); <-done }
+}
+
+// fastBackoff keeps shipper tests quick without a fake clock: the run
+// loop's waits are microseconds.
+func fastBackoff(maxAttempts int) Backoff {
+	return Backoff{Base: 100 * time.Microsecond, Max: time.Millisecond, MaxAttempts: maxAttempts, Jitter: -1, Rand: func() float64 { return 0 }}
+}
+
+func TestShipperCleanDelivery(t *testing.T) {
+	sink := newRecordingSink()
+	addr, stop := startAggregator(t, sink)
+	defer stop()
+	sh, err := NewShipper(ShipperConfig{
+		Addr: addr, Site: "a",
+		Hello:   Hello{Schema: 42, WindowNanos: int64(time.Minute), OriginNanos: 7},
+		Backoff: fastBackoff(0),
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		sh.ShipDelta(w, int64(w)*100, []byte{byte(w), byte(w)})
+	}
+	sh.Heartbeat(999)
+	sh.Fin(4, 1000)
+	if err := sh.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := sink.windows("a")
+	if len(got) != 5 {
+		t.Fatalf("aggregator has %d windows, want 5: %v", len(got), got)
+	}
+	for w := 0; w < 5; w++ {
+		if len(got[w]) != 2 || got[w][0] != byte(w) {
+			t.Errorf("window %d payload %v", w, got[w])
+		}
+	}
+	if sink.fins["a"] != 4 {
+		t.Errorf("fin maxWindow %d, want 4", sink.fins["a"])
+	}
+	if len(sink.hellos) != 1 || sink.hellos[0].Schema != 42 {
+		t.Errorf("hellos %v", sink.hellos)
+	}
+	if lw := sh.LostWindows(); len(lw) != 0 {
+		t.Errorf("lost windows on clean run: %v", lw)
+	}
+}
+
+// TestShipperRedeliversAfterDrops pins at-least-once delivery: injected
+// connection drops must never lose a window — the shipper reconnects
+// and resends everything unacknowledged.
+func TestShipperRedeliversAfterDrops(t *testing.T) {
+	sink := newRecordingSink()
+	addr, stop := startAggregator(t, sink)
+	defer stop()
+	// Drop the connection at several send ordinals, including back to
+	// back (the resend itself gets dropped once).
+	inj := faults.NewNetInjector(faults.NetSchedule{Events: []faults.NetEvent{
+		{Kind: faults.ConnDrop, Index: 2},
+		{Kind: faults.ConnDrop, Index: 3},
+		{Kind: faults.ConnDrop, Index: 9},
+	}})
+	sh, err := NewShipper(ShipperConfig{
+		Addr: addr, Site: "a",
+		Backoff:   fastBackoff(0),
+		NetFaults: inj,
+		Logf:      t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 6; w++ {
+		sh.ShipDelta(w, int64(w), []byte{byte(w)})
+	}
+	sh.Fin(5, 6)
+	if err := sh.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := sink.windows("a")
+	for w := 0; w < 6; w++ {
+		if len(got[w]) != 1 || got[w][0] != byte(w) {
+			t.Fatalf("window %d missing or wrong after drops: %v", w, got)
+		}
+	}
+	if sink.fins["a"] != 5 {
+		t.Fatalf("fin lost: %v", sink.fins)
+	}
+	if st := sh.Stats(); st.Reconnects == 0 || st.Resends == 0 {
+		t.Errorf("drops fired but no reconnects recorded: %+v", st)
+	}
+	if len(inj.Manifest()) != 3 {
+		t.Errorf("injector fired %d events, want 3", len(inj.Manifest()))
+	}
+}
+
+// TestShipperDupAndReorder pins that duplicated and reordered frames on
+// the wire do not change what the sink ends up with.
+func TestShipperDupAndReorder(t *testing.T) {
+	sink := newRecordingSink()
+	addr, stop := startAggregator(t, sink)
+	defer stop()
+	inj := faults.NewNetInjector(faults.NetSchedule{Events: []faults.NetEvent{
+		{Kind: faults.DupFrame, Index: 1},
+		{Kind: faults.ReorderFrame, Index: 3},
+	}})
+	sh, err := NewShipper(ShipperConfig{
+		Addr: addr, Site: "a", Backoff: fastBackoff(0), NetFaults: inj, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 4; w++ {
+		sh.ShipDelta(w, int64(w), []byte{byte(w)})
+	}
+	sh.Fin(3, 4)
+	if err := sh.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := sink.windows("a")
+	for w := 0; w < 4; w++ {
+		if len(got[w]) != 1 || got[w][0] != byte(w) {
+			t.Fatalf("window %d wrong under dup/reorder: %v", w, got)
+		}
+	}
+	sink.mu.Lock()
+	deliveries := sink.deliveries
+	sink.mu.Unlock()
+	if deliveries < 5 { // 4 windows + at least one duplicate
+		t.Errorf("duplicate never reached the sink (%d deliveries)", deliveries)
+	}
+}
+
+func TestShipperGivesUpAndRecordsLoss(t *testing.T) {
+	sh, err := NewShipper(ShipperConfig{
+		Site:    "a",
+		Dial:    func() (net.Conn, error) { return nil, errors.New("refused") },
+		Backoff: fastBackoff(3),
+		Logf:    t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.ShipDelta(0, 1, []byte{0})
+	sh.ShipDelta(1, 2, []byte{1})
+	err = sh.Close()
+	if !errors.Is(err, ErrGaveUp) {
+		t.Fatalf("Close = %v, want ErrGaveUp", err)
+	}
+	lw := sh.LostWindows()
+	if len(lw) != 2 || lw[0] != 0 || lw[1] != 1 {
+		t.Fatalf("lost windows %v, want [0 1]", lw)
+	}
+}
+
+// TestShipperQueueBoundEvicts pins the bounded-queue contract: when the
+// aggregator stops acking, old deltas are evicted (recorded lost, LOST
+// frame queued) instead of growing without bound.
+func TestShipperQueueBoundEvicts(t *testing.T) {
+	// A listener that accepts and reads nothing: frames pile up unacked.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				buf := make([]byte, 4096)
+				for {
+					if _, err := c.Read(buf); err != nil {
+						return
+					}
+				}
+			}()
+		}
+	}()
+	sh, err := NewShipper(ShipperConfig{
+		Addr: ln.Addr().String(), Site: "a",
+		Backoff:    fastBackoff(0),
+		QueueLimit: 2,
+		Logf:       t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 5; w++ {
+		sh.ShipDelta(w, int64(w), []byte{byte(w)})
+	}
+	// 5 deltas through a 2-slot queue: windows 0, 1, 2 must be evicted.
+	deadline := time.After(5 * time.Second)
+	for {
+		if st := sh.Stats(); st.Evicted == 3 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatalf("evictions %d, want 3 (stats %+v)", sh.Stats().Evicted, sh.Stats())
+		case <-time.After(time.Millisecond):
+		}
+	}
+	lw := sh.LostWindows()
+	if len(lw) != 3 || lw[0] != 0 || lw[2] != 2 {
+		t.Fatalf("lost windows %v, want [0 1 2]", lw)
+	}
+	sh.Abort()
+}
+
+func TestShipperStopsOnSchemaReject(t *testing.T) {
+	sink := newRecordingSink()
+	sink.helloErr = fmt.Errorf("schema mismatch: want 1, got 2")
+	addr, stop := startAggregator(t, sink)
+	defer stop()
+	sh, err := NewShipper(ShipperConfig{
+		Addr: addr, Site: "a", Backoff: fastBackoff(0), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.ShipDelta(0, 1, []byte{0})
+	err = sh.Close()
+	if err == nil {
+		t.Fatal("Close succeeded despite peer rejection")
+	}
+	if !errors.Is(err, errPeerFatal) {
+		t.Fatalf("Close = %v, want peer-fatal", err)
+	}
+	if got := sink.windows("a"); len(got) != 0 {
+		t.Fatalf("rejected session delivered data: %v", got)
+	}
+}
+
+// TestShipperSurvivesAggregatorRestart kills the aggregator mid-stream
+// and brings a new one up on the same address: the shipper must
+// reconnect and redeliver everything unacknowledged.
+func TestShipperSurvivesAggregatorRestart(t *testing.T) {
+	sink := newRecordingSink()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	agg := NewAggregator(ln, sink, t.Logf)
+	go agg.Serve()
+
+	sh, err := NewShipper(ShipperConfig{
+		Addr: addr, Site: "a", Backoff: fastBackoff(0), Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh.ShipDelta(0, 1, []byte{0})
+	// Wait until window 0 landed, then restart the aggregator.
+	for i := 0; len(sink.windows("a")) == 0; i++ {
+		if i > 5000 {
+			t.Fatal("window 0 never arrived")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	agg.Close()
+	sh.ShipDelta(1, 2, []byte{1}) // lands while the aggregator is down
+
+	ln2, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("relisten: %v", err)
+	}
+	agg2 := NewAggregator(ln2, sink, t.Logf)
+	go agg2.Serve()
+	defer agg2.Close()
+
+	sh.ShipDelta(2, 3, []byte{2})
+	sh.Fin(2, 4)
+	if err := sh.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	got := sink.windows("a")
+	for w := 0; w < 3; w++ {
+		if len(got[w]) != 1 || got[w][0] != byte(w) {
+			t.Fatalf("window %d lost across restart: %v", w, got)
+		}
+	}
+	if sink.fins["a"] != 2 {
+		t.Fatalf("fin not redelivered: %v", sink.fins)
+	}
+}

@@ -708,18 +708,29 @@ func (g *traceGen) windowsTraffic() {
 			g.cifsSession(g.otherInternal(), printSrv, []uint16{139, 445}[g.rng.Intn(2)], true)
 		}
 	}
-	// Endpoint mapper lookups followed by stand-alone DCE/RPC.
+	// Endpoint mapper lookups followed by stand-alone DCE/RPC. The
+	// mapped connection starts after the EPM exchange finishes — a
+	// client connects to a mapped endpoint only once the mapper has
+	// answered, and the analyzer's replay (which classifies connections
+	// in first-packet order) depends on that causality to register the
+	// mapped port before the service connection is classified.
 	for i, n := 0, g.count(18); i < n; i++ {
 		c := g.client()
 		dc := g.net.Server(enterprise.RoleEPM)
 		mappedPort := uint16(2101)
+		rtt := g.intRTT()
 		epmTurns := []Turn{
 			{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBind, CallID: 1, Iface: dcerpc.IfEPM})},
 			{Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTBindAck, CallID: 1, Iface: dcerpc.IfEPM})},
 			{FromClient: true, Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTRequest, CallID: 2, Opnum: dcerpc.OpEpmMap, Stub: fillBytes(24)})},
-			{Data: dcerpc.EncodeEpmMapResponse(2, dcerpc.IfSpoolss, mappedPort)},
+			{Data: dcerpc.EncodeEpmMapResponse(2, dcerpc.IfSpoolss, printSrv.Addr, mappedPort)},
 		}
-		g.tcp(c, dc, 135, g.intRTT(), epmTurns)
+		epmStart := g.at(time.Minute)
+		g.em.TCPSession(TCPOpts{
+			Client: c, Server: dc, ClientPort: g.eph(), ServerPort: 135,
+			Start: epmStart, RTT: rtt, Turns: epmTurns,
+			LossProb: g.loss(c, dc),
+		})
 		// Stand-alone Spoolss over the mapped port.
 		var rpcTurns []Turn
 		rpcTurns = append(rpcTurns,
@@ -732,7 +743,12 @@ func (g *traceGen) windowsTraffic() {
 				Turn{Data: dcerpc.Encode(&dcerpc.PDU{Type: dcerpc.PTResponse, CallID: uint32(2 + j), Stub: fillBytes(16)})},
 			)
 		}
-		g.tcp(c, printSrv, mappedPort, g.intRTT(), rpcTurns)
+		g.em.TCPSession(TCPOpts{
+			Client: c, Server: printSrv, ClientPort: g.eph(), ServerPort: mappedPort,
+			Start: epmStart.Add(time.Duration(len(epmTurns))*rtt + 50*time.Millisecond), RTT: rtt,
+			Turns:    rpcTurns,
+			LossProb: g.loss(c, printSrv),
+		})
 	}
 	// Netbios datagram service broadcasts (minor).
 	for i, n := 0, g.count(8); i < n; i++ {

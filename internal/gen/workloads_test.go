@@ -27,7 +27,7 @@ func TestEveryCategoryGenerated(t *testing.T) {
 	reg := categories.NewRegistry()
 	seen := map[string]bool{}
 	for _, c := range tbl.Conns() {
-		_, cat := reg.Classify(c.Proto, c.Key.SrcPort, c.Key.DstPort)
+		_, cat := reg.Classify(c.Proto, c.Key.Src, c.Key.Dst, c.Key.SrcPort, c.Key.DstPort)
 		if cat != "" {
 			seen[cat] = true
 		}

@@ -1,0 +1,55 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// DistRuns exports d's canonical form — the sorted distinct values and
+// their multiplicities, plus the NaN count — for serialization. The
+// runs are the distribution's entire semantic content (staging and
+// scratch buffers are performance artifacts), so a Dist rebuilt from
+// them is equivalent under every query and under Merge. The returned
+// slices alias d's internal arrays: copy before mutating, and do not
+// Observe into d while holding them.
+func DistRuns(d *Dist) (vals []float64, counts []int64, nan int64) {
+	d.compact()
+	d.foldPending()
+	return d.vals, d.counts, d.nan
+}
+
+// DistFromRuns rebuilds a distribution from DistRuns output, validating
+// the canonical-form invariants so hostile bytes cannot construct a
+// Dist whose queries would misbehave: values strictly increasing,
+// NaN-free (NaNs live only in the dedicated counter), counts positive,
+// and the total sample count representable.
+func DistFromRuns(vals []float64, counts []int64, nan int64) (*Dist, error) {
+	if len(vals) != len(counts) {
+		return nil, fmt.Errorf("stats: %d values with %d counts", len(vals), len(counts))
+	}
+	if nan < 0 {
+		return nil, fmt.Errorf("stats: negative NaN count %d", nan)
+	}
+	n := nan
+	for i, v := range vals {
+		if math.IsNaN(v) {
+			return nil, fmt.Errorf("stats: NaN at run %d (belongs in the NaN counter)", i)
+		}
+		if i > 0 && !(vals[i-1] < v) {
+			return nil, fmt.Errorf("stats: runs not strictly increasing at %d", i)
+		}
+		if counts[i] <= 0 {
+			return nil, fmt.Errorf("stats: non-positive count %d at run %d", counts[i], i)
+		}
+		n += counts[i]
+		if n < 0 {
+			return nil, fmt.Errorf("stats: sample count overflow")
+		}
+	}
+	d := &Dist{nan: nan, n: n}
+	if len(vals) > 0 {
+		d.vals = append(make([]float64, 0, len(vals)), vals...)
+		d.counts = append(make([]int64, 0, len(counts)), counts...)
+	}
+	return d, nil
+}

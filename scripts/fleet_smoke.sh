@@ -1,0 +1,109 @@
+#!/usr/bin/env bash
+# Fleet-smoke gate: the two-tier fleet mode end to end, under the race
+# detector, with a mid-run site crash. An aggregator and two shipper
+# sites analyze a four-subnet D3 split (two pcaps per site); site-b is
+# SIGKILLed mid-stall after partial delivery, /healthz must degrade and
+# name it stale, a restart must complete the fleet, and the drained
+# aggregator's stdout report must be byte-identical to a single
+# instance analyzing all four traces — the fleet fold invariant, over
+# the real wire.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+AGG_ADDR=127.0.0.1:17871
+HTTP_ADDR=127.0.0.1:17872
+ORIGIN=2005-01-06T00:00:00Z
+
+work="$(mktemp -d)"
+agg_pid='' site_pid=''
+cleanup() {
+  [ -n "$site_pid" ] && kill -9 "$site_pid" 2>/dev/null || true
+  [ -n "$agg_pid" ] && kill -9 "$agg_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- aggregator log ---" >&2
+  cat "$work/agg.log" >&2 || true
+  echo "--- site-b crash-run log ---" >&2
+  cat "$work/sb1.log" >&2 || true
+  exit 1
+}
+
+healthz() { curl -fsS "http://$HTTP_ADDR/healthz" 2>/dev/null | tr -d ' \n' || true; }
+
+echo "== build (race) and generate the split dataset"
+go build -race -o "$work/entanalyze" ./cmd/entanalyze
+go run ./cmd/entgen -dataset D3 -scale 0.1 -subnets 4 -out "$work/traces"
+A1="$work/traces/D3-subnet02-tap0.pcap" A2="$work/traces/D3-subnet03-tap0.pcap"
+B1="$work/traces/D3-subnet04-tap0.pcap" B2="$work/traces/D3-subnet05-tap0.pcap"
+
+echo "== single-instance golden over all four traces"
+"$work/entanalyze" -window 60s -window-origin "$ORIGIN" -format json \
+  "$A1" "$A2" "$B1" "$B2" >"$work/single.json" 2>/dev/null
+
+echo "== aggregator up, expecting site-a and site-b"
+"$work/entanalyze" -aggregate "$AGG_ADDR" -expect-sites site-a,site-b \
+  -serve "$HTTP_ADDR" -stale-after 2s -format json \
+  >"$work/fleet.json" 2>"$work/agg.log" &
+agg_pid=$!
+sleep 1
+
+echo "== site-a ships cleanly; site-b stalls in its second trace"
+"$work/entanalyze" -ship "$AGG_ADDR" -site site-a -window 60s \
+  -window-origin "$ORIGIN" -trace-base 0 "$A1" "$A2" \
+  >/dev/null 2>"$work/sa.log" &
+# The per-source stall pauses site-b 20s into each trace's 100th packet:
+# its first trace completes (windows ship), then the second trace parks
+# inside the stall — a wide, deterministic window to kill it in.
+"$work/entanalyze" -ship "$AGG_ADDR" -site site-b -window 60s \
+  -window-origin "$ORIGIN" -trace-base 2 -inject 'stall@100:20s' "$B1" "$B2" \
+  >/dev/null 2>"$work/sb1.log" &
+site_pid=$!
+
+delivered=''
+for _ in $(seq 1 400); do
+  h="$(healthz)"
+  case "$h" in *'"Site":"site-b","Connected":true,"Fin":false,"Windows":'[1-9]*) delivered=yes; break ;; esac
+  sleep 0.2
+done
+[ -n "$delivered" ] || fail "site-b never delivered a window ($h)"
+
+echo "== SIGKILL site-b mid-run"
+kill -9 "$site_pid"
+site_pid=''
+
+stale=''
+for _ in $(seq 1 100); do
+  h="$(healthz)"
+  case "$h" in *'"Status":"degraded"'*'"StaleSites":["site-b"]'*) stale=yes; break ;; esac
+  sleep 0.2
+done
+[ -n "$stale" ] || fail "healthz never degraded naming the dead site ($h)"
+echo "   degraded: $h"
+
+echo "== restart site-b; the fleet must complete"
+"$work/entanalyze" -ship "$AGG_ADDR" -site site-b -window 60s \
+  -window-origin "$ORIGIN" -trace-base 2 "$B1" "$B2" \
+  >/dev/null 2>"$work/sb2.log"
+
+final=''
+for _ in $(seq 1 100); do
+  h="$(healthz)"
+  case "$h" in *'"Status":"ok"'*'"FinalReady":true'*) final=yes; break ;; esac
+  sleep 0.2
+done
+[ -n "$final" ] || fail "fleet never became final after the restart ($h)"
+curl -fsS "http://$HTTP_ADDR/report/final" >/dev/null || fail "/report/final unavailable on a complete fleet"
+
+echo "== drain the aggregator and compare to the golden"
+kill -TERM "$agg_pid"
+wait "$agg_pid" || fail "aggregator drain exited nonzero"
+agg_pid=''
+grep -q 'signal: draining' "$work/agg.log" || fail "drain line missing from the aggregator log"
+cmp "$work/single.json" "$work/fleet.json" ||
+  fail "fleet report differs from the single-instance golden"
+
+echo "PASS: fleet-of-2 with a mid-run crash drained byte-identical to the single instance"
