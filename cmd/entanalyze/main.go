@@ -96,6 +96,9 @@ func run() error {
 	workers := flag.Int("workers", 0, "pipeline shard workers (0 = GOMAXPROCS); results are identical for any count")
 	replayWorkers := flag.Int("replay-workers", 0, "application-replay workers (0 = GOMAXPROCS); results are identical for any count")
 	window := flag.Duration("window", 0, "cut per-window reports at this interval in packet time (0 = whole-run report only)")
+	mmapInput := flag.Bool("mmap", false,
+		"memory-map trace files instead of streaming through bufio (Linux; zero-copy packet views).\n"+
+			"Falls back to the streaming reader where mmap is unavailable. Reports are identical either way.")
 	format := flag.String("format", "text", "report output format: text or json")
 	serve := flag.String("serve", "", "serve reports over HTTP at this address (e.g. :8080); window endpoints need -window")
 	genSpec := flag.String("gen", "",
@@ -367,26 +370,44 @@ func run() error {
 	}
 	var pool *pcap.Pool
 	for _, path := range flag.Args() {
-		f, err := os.Open(path)
-		if err != nil {
-			return err
-		}
 		before := a.PacketsSeen()
-		if *inject == "" {
-			err = a.AddTraceReader(path, prefix, bufio.NewReaderSize(f, 1<<20))
-		} else {
+		err := func() error {
+			if *mmapInput {
+				src, err := pcap.OpenMmap(path)
+				switch {
+				case err == nil:
+					// The mapping can be dropped as soon as the run
+					// returns: the analyzer's borrow contract consumes
+					// every retained view during replay, so nothing
+					// outlives AddTraceSource.
+					defer src.Close()
+					return a.AddTraceSource(path, prefix, wrapSource(src))
+				case errors.Is(err, pcap.ErrMmapUnsupported):
+					fmt.Fprintf(os.Stderr, "%s: mmap unavailable on this platform; streaming instead\n", path)
+				default:
+					return err
+				}
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			if *inject == "" {
+				return a.AddTraceReader(path, prefix, bufio.NewReaderSize(f, 1<<20))
+			}
 			// Injection needs to sit between the pcap reader and the
 			// pipeline, so build the pooled source here instead of
 			// letting the analyzer do it.
-			var rd *pcap.Reader
-			if rd, err = pcap.NewReader(bufio.NewReaderSize(f, 1<<20)); err == nil {
-				if pool == nil {
-					pool = pcap.NewPool()
-				}
-				err = a.AddTraceSource(path, prefix, wrapSource(pcap.NewPooledReader(rd, pool)))
+			rd, err := pcap.NewReader(bufio.NewReaderSize(f, 1<<20))
+			if err != nil {
+				return err
 			}
-		}
-		f.Close()
+			if pool == nil {
+				pool = pcap.NewPool()
+			}
+			return a.AddTraceSource(path, prefix, wrapSource(pcap.NewPooledReader(rd, pool)))
+		}()
 		if err != nil {
 			return fmt.Errorf("%s: %w", path, err)
 		}

@@ -55,13 +55,26 @@ func run() error {
 	against := flag.String("against", "", "baseline BENCH_*.json to compare the new report against")
 	tolerance := flag.String("tolerance", "10%", "allowed allocs/op and B/op growth vs the baseline")
 	timeTolerance := flag.String("time-tolerance", "", "allowed ns/op growth and pkts/sec decay; empty disables wall-clock gating")
+	cpus := flag.String("cpus", "",
+		"comma-separated GOMAXPROCS values (e.g. 1,2,4,8) adding the informational scaling/D3\n"+
+			"grid: the full D3 analysis, batch and 60s-windowed, once per value. Gated entries\n"+
+			"still run at the process default; each entry's width is recorded as gomaxprocs.")
 	list := flag.Bool("list", false, "list benchmark names and exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the benchmark run to this file")
 	memProfile := flag.String("memprofile", "", "write an allocation (heap) profile taken after the run to this file")
 	flag.Parse()
 
+	entries := bench.Suite()
+	if *cpus != "" {
+		grid, err := parseCPUs(*cpus)
+		if err != nil {
+			return err
+		}
+		entries = append(entries, bench.ScalingSuite(grid)...)
+	}
+
 	if *list {
-		for _, bm := range bench.Suite() {
+		for _, bm := range entries {
 			fmt.Println(bm.Name)
 		}
 		return nil
@@ -113,7 +126,7 @@ func run() error {
 		defer stopCPU()
 	}
 
-	rep := bench.RunSuite(filter, skip, func(line string) { fmt.Fprintln(os.Stderr, line) })
+	rep := bench.RunBenchmarks(entries, filter, skip, func(line string) { fmt.Fprintln(os.Stderr, line) })
 	stopCPU()
 	if len(rep.Metrics) == 0 {
 		return fmt.Errorf("no benchmarks matched -run %q -skip %q", *runFilter, *skipFilter)
@@ -171,6 +184,19 @@ func run() error {
 	}
 	fmt.Printf("PASS: no regression vs %s (tolerance %s)\n", *against, *tolerance)
 	return nil
+}
+
+// parseCPUs parses the -cpus grid ("1,2,4,8") into GOMAXPROCS values.
+func parseCPUs(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad -cpus value %q: want positive integers, e.g. 1,2,4,8", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // parsePercent accepts "10%", "10", or "0.1" (all meaning ten percent).

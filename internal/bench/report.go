@@ -27,13 +27,19 @@ import (
 	"sort"
 )
 
-// SchemaVersion identifies the BENCH_*.json layout.
-const SchemaVersion = 1
+// SchemaVersion identifies the BENCH_*.json layout. Version 2 added
+// the per-metric gomaxprocs field (the report-level num_cpu records the
+// host's core count; gomaxprocs records what each entry actually ran
+// with, which the -cpus scaling grid varies per entry).
+const SchemaVersion = 2
 
 // Metric is one benchmark's measurement.
 type Metric struct {
 	Name       string `json:"name"`
 	Iterations int    `json:"iterations"`
+	// GoMaxProcs is the GOMAXPROCS the entry ran under. Gated entries
+	// run at the process default (1 in CI); scaling/* entries sweep it.
+	GoMaxProcs int `json:"gomaxprocs"`
 	// NsPerOp is wall time per operation (one op = the unit the
 	// benchmark defines, e.g. one full trace analysis).
 	NsPerOp     float64 `json:"ns_per_op"`

@@ -1,0 +1,71 @@
+package bench
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"enttrace/internal/core"
+)
+
+// ScalingSuite returns the multi-core scaling grid: the full D3
+// analysis — batch and minute-windowed — once per requested GOMAXPROCS
+// value, with worker counts left at their defaults so the shard and
+// replay fan-out follow the scheduler width the way a default
+// `entanalyze` invocation would. Entries are named
+// scaling/D3[/window=60s]/cpus=N.
+//
+// The grid is informational, not gated: it is absent from
+// BENCH_baseline.json (a run without -cpus never produces these names,
+// and a missing baseline entry reads as a regression), and wall-clock
+// scaling numbers only mean anything relative to the same host's other
+// entries anyway. EXPERIMENTS.md holds the pkts/sec-vs-cores table.
+func ScalingSuite(cpus []int) []Benchmark {
+	var suite []Benchmark
+	for _, n := range cpus {
+		n := n
+		for _, win := range []time.Duration{0, 60 * time.Second} {
+			win := win
+			name := fmt.Sprintf("scaling/D3/cpus=%d", n)
+			if win > 0 {
+				name = fmt.Sprintf("scaling/D3/window=60s/cpus=%d", n)
+			}
+			suite = append(suite, Benchmark{
+				Name:       name,
+				GOMAXPROCS: n,
+				F:          scalingBenchmark(win),
+			})
+		}
+	}
+	return suite
+}
+
+// scalingBenchmark is one grid cell's body: the analyze/D3 workload at
+// default (GOMAXPROCS-wide) worker counts, optionally windowed.
+func scalingBenchmark(win time.Duration) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds := suiteDataset("D3")
+		pkts := datasetPackets(ds)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			a := newAnalyzerWindow(ds, 0, 0, win)
+			for _, tr := range ds.Traces {
+				if err := a.AddTrace(core.TraceInput{
+					Name:      tr.Prefix.String(),
+					Monitored: tr.Prefix,
+					Packets:   tr.Packets,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			a.Report()
+			if win > 0 {
+				if _, ok := a.WindowReport(a.LatestWindowIndex()); !ok {
+					b.Fatal("windowed run produced no completed window")
+				}
+			}
+		}
+		reportPktsPerSec(b, pkts)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net/netip"
 	"regexp"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -32,6 +33,11 @@ var streamWorkerCounts = []int{1, 4, 8}
 type Benchmark struct {
 	Name string
 	F    func(b *testing.B)
+	// GOMAXPROCS, when non-zero, pins the scheduler width for this
+	// entry: the runner sets it before F and restores it after. Gated
+	// suite entries leave it zero (run at the process default, so the
+	// 1-CPU baseline gate is undisturbed); the scaling grid sweeps it.
+	GOMAXPROCS int
 }
 
 var (
@@ -482,18 +488,37 @@ func reportPktsPerSec(b *testing.B, pkts int64) {
 // report. progress, when non-nil, receives a line per finished
 // benchmark.
 func RunSuite(filter, skip *regexp.Regexp, progress func(string)) *Report {
+	return RunBenchmarks(Suite(), filter, skip, progress)
+}
+
+// RunBenchmarks is RunSuite over an explicit entry list — how entbench
+// composes the gated suite with the optional -cpus scaling grid. Each
+// entry runs under its pinned GOMAXPROCS (restored afterwards, so one
+// entry's width never leaks into the next), and the width it actually
+// ran with is recorded on its metric.
+func RunBenchmarks(entries []Benchmark, filter, skip *regexp.Regexp, progress func(string)) *Report {
 	rep := NewReport()
-	for _, bm := range Suite() {
+	for _, bm := range entries {
 		if filter != nil && !filter.MatchString(bm.Name) {
 			continue
 		}
 		if skip != nil && skip.MatchString(bm.Name) {
 			continue
 		}
+		procs := runtime.GOMAXPROCS(0)
+		restore := 0
+		if bm.GOMAXPROCS > 0 && bm.GOMAXPROCS != procs {
+			restore = runtime.GOMAXPROCS(bm.GOMAXPROCS)
+			procs = bm.GOMAXPROCS
+		}
 		res := testing.Benchmark(bm.F)
+		if restore > 0 {
+			runtime.GOMAXPROCS(restore)
+		}
 		m := Metric{
 			Name:        bm.Name,
 			Iterations:  res.N,
+			GoMaxProcs:  procs,
 			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
 			AllocsPerOp: res.AllocsPerOp(),
 			BytesPerOp:  res.AllocedBytesPerOp(),
@@ -501,8 +526,8 @@ func RunSuite(filter, skip *regexp.Regexp, progress func(string)) *Report {
 		}
 		rep.Add(m)
 		if progress != nil {
-			progress(fmt.Sprintf("%-30s %12.0f ns/op %10d B/op %8d allocs/op %12.0f pkts/sec",
-				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.PktsPerSec))
+			progress(fmt.Sprintf("%-30s %12.0f ns/op %10d B/op %8d allocs/op %12.0f pkts/sec  gomaxprocs=%d",
+				m.Name, m.NsPerOp, m.BytesPerOp, m.AllocsPerOp, m.PktsPerSec, m.GoMaxProcs))
 		}
 	}
 	return rep

@@ -13,6 +13,7 @@ import (
 	"enttrace/internal/appproto/sunrpc"
 	"enttrace/internal/categories"
 	"enttrace/internal/flows"
+	"enttrace/internal/kmerge"
 	"enttrace/internal/layers"
 	"enttrace/internal/pipeline"
 	"enttrace/internal/roles"
@@ -556,37 +557,13 @@ func (a *Analyzer) replayEPM(key dcerpc.ChanKey, fromClient bool, segs [][]byte)
 // mergeUDPEvents collects every shard's captured datagrams into global
 // arrival order. Each shard's slice is already sorted by global index
 // (packets route to a pipeline worker in read order), so this is a
-// k-way merge of sorted runs, not a sort.
+// k-way merge of sorted runs, not a sort. The loser tree keeps this
+// serial-path step at O(n log k) regardless of shard count; idx values
+// are unique, so the order is total.
 func mergeUDPEvents(sinks []*shardSink) []udpEvent {
-	var n int
 	runs := make([][]udpEvent, 0, len(sinks))
 	for _, s := range sinks {
-		if len(s.udp) > 0 {
-			runs = append(runs, s.udp)
-			n += len(s.udp)
-		}
+		runs = append(runs, s.udp)
 	}
-	switch len(runs) {
-	case 0:
-		return nil
-	case 1:
-		return runs[0]
-	}
-	events := make([]udpEvent, 0, n)
-	heads := make([]int, len(runs))
-	for len(events) < n {
-		best := -1
-		var bestIdx int64
-		for r, h := range heads {
-			if h >= len(runs[r]) {
-				continue
-			}
-			if best < 0 || runs[r][h].idx < bestIdx {
-				best, bestIdx = r, runs[r][h].idx
-			}
-		}
-		events = append(events, runs[best][heads[best]])
-		heads[best]++
-	}
-	return events
+	return kmerge.MergeBy(runs, func(e udpEvent) int64 { return e.idx })
 }

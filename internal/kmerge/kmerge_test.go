@@ -1,0 +1,250 @@
+package kmerge
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// elem carries enough provenance to check stability: key is the sort
+// key (deliberately colliding), run/seq identify where the element
+// came from.
+type elem struct {
+	key      int
+	run, seq int
+}
+
+func elemLess(a, b elem) bool { return a.key < b.key }
+
+func elemKey(e elem) int { return e.key }
+
+// buildRuns makes k pre-sorted runs of random lengths (some empty) with
+// keys drawn from a small space so duplicates are common.
+func buildRuns(rng *rand.Rand, k, maxLen, keySpace int) [][]elem {
+	runs := make([][]elem, k)
+	for r := range runs {
+		n := rng.Intn(maxLen + 1)
+		keys := make([]int, n)
+		for i := range keys {
+			keys[i] = rng.Intn(keySpace)
+		}
+		sort.Ints(keys)
+		run := make([]elem, n)
+		for i, key := range keys {
+			run[i] = elem{key: key, run: r, seq: i}
+		}
+		runs[r] = run
+	}
+	return runs
+}
+
+// reference is the specified behavior: append all runs in index order,
+// then stable-sort by key. Stable sort keeps equal keys in append
+// order, i.e. by (run index, within-run position) — exactly the merge's
+// tie rule.
+func reference(runs [][]elem) []elem {
+	var all []elem
+	for _, r := range runs {
+		all = append(all, r...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return all[i].key < all[j].key })
+	return all
+}
+
+// headScanMerge is the O(n·k) linear scan this package replaced
+// (pipeline.SortedConns / core.mergeUDPEvents before the loser tree):
+// every pop rescans all run heads. Kept here as the property-test
+// oracle's second witness and the micro-benchmark baseline.
+func headScanMerge(runs [][]elem) []elem {
+	var n int
+	live := make([][]elem, 0, len(runs))
+	for _, r := range runs {
+		if len(r) > 0 {
+			live = append(live, r)
+			n += len(r)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	out := make([]elem, 0, n)
+	heads := make([]int, len(live))
+	for len(out) < n {
+		best := -1
+		var bestKey int
+		for r, h := range heads {
+			if h >= len(live[r]) {
+				continue
+			}
+			if best < 0 || live[r][h].key < bestKey {
+				best, bestKey = r, live[r][h].key
+			}
+		}
+		out = append(out, live[best][heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+func checkEqual(t *testing.T, got, want []elem, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: merged %d elements, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: element %d = %+v, want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestMergeMatchesSortProperty is the package contract: for seeded
+// random run shapes — 0, 1, and many runs, empty runs mixed in, heavy
+// key duplication — Merge is element-for-element identical to
+// append-all-then-stable-sort (and to the old head scan, whose
+// first-strictly-smaller-head rule encodes the same tie order).
+func TestMergeMatchesSortProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, k := range []int{0, 1, 2, 3, 5, 8, 17, 32} {
+		for trial := 0; trial < 25; trial++ {
+			runs := buildRuns(rng, k, 50, 12)
+			want := reference(runs)
+			label := fmt.Sprintf("k=%d trial=%d", k, trial)
+			checkEqual(t, Merge(runs, elemLess), want, label)
+			checkEqual(t, MergeBy(runs, elemKey), want, label+" (MergeBy)")
+			checkEqual(t, headScanMerge(runs), want, label+" (head-scan oracle)")
+		}
+	}
+}
+
+// TestMergeEdgeShapes pins the shapes property trials may miss.
+func TestMergeEdgeShapes(t *testing.T) {
+	if got := Merge(nil, elemLess); got != nil {
+		t.Errorf("Merge(nil) = %v, want nil", got)
+	}
+	if got := Merge([][]elem{{}, nil, {}}, elemLess); got != nil {
+		t.Errorf("Merge(all empty) = %v, want nil", got)
+	}
+	if got := MergeBy(nil, elemKey); got != nil {
+		t.Errorf("MergeBy(nil) = %v, want nil", got)
+	}
+	// A single non-empty run among empties comes back as that very
+	// slice — the documented no-copy shortcut.
+	run := []elem{{key: 1}, {key: 2}}
+	got := Merge([][]elem{{}, run, nil}, elemLess)
+	if len(got) != 2 || &got[0] != &run[0] {
+		t.Error("single-run merge did not return the run itself")
+	}
+	if got := MergeBy([][]elem{nil, run}, elemKey); len(got) != 2 || &got[0] != &run[0] {
+		t.Error("single-run MergeBy did not return the run itself")
+	}
+	// All-equal keys across many runs: pure tie-breaking. Output must
+	// walk the runs in index order, each run intact.
+	equal := [][]elem{
+		{{key: 5, run: 0, seq: 0}, {key: 5, run: 0, seq: 1}},
+		{{key: 5, run: 1, seq: 0}},
+		{{key: 5, run: 2, seq: 0}, {key: 5, run: 2, seq: 1}, {key: 5, run: 2, seq: 2}},
+	}
+	checkEqual(t, Merge(equal, elemLess), reference(equal), "all-equal keys")
+	checkEqual(t, MergeBy(equal, elemKey), reference(equal), "all-equal keys (MergeBy)")
+}
+
+// TestMergeUniqueKeysTotalOrder mirrors the in-repo call sites, whose
+// keys (global packet indices) are unique: the merged sequence is the
+// fully sorted union.
+func TestMergeUniqueKeysTotalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 10; trial++ {
+		perm := rng.Perm(500)
+		k := 2 + rng.Intn(15)
+		runs := make([][]elem, k)
+		for i, v := range perm {
+			r := rng.Intn(k)
+			runs[r] = append(runs[r], elem{key: v, run: r, seq: i})
+		}
+		for r := range runs {
+			sort.Slice(runs[r], func(i, j int) bool { return runs[r][i].key < runs[r][j].key })
+		}
+		for name, got := range map[string][]elem{
+			"Merge":   Merge(runs, elemLess),
+			"MergeBy": MergeBy(runs, elemKey),
+		} {
+			if len(got) != len(perm) {
+				t.Fatalf("trial %d %s: merged %d, want %d", trial, name, len(got), len(perm))
+			}
+			for i, e := range got {
+				if e.key != i {
+					t.Fatalf("trial %d %s: position %d holds key %d", trial, name, i, e.key)
+				}
+			}
+		}
+	}
+}
+
+// benchRuns splits total elements with unique ascending keys across k
+// runs round-robin — the shape SortedConns sees (hash-sharded global
+// indices, every run interleaved with every other, worst case for a
+// merge's branch predictor).
+func benchRuns(total, k int) [][]elem {
+	runs := make([][]elem, k)
+	for i := 0; i < total; i++ {
+		r := i % k
+		runs[r] = append(runs[r], elem{key: i, run: r})
+	}
+	return runs
+}
+
+// BenchmarkMergeBy vs BenchmarkHeadScan at k∈{2,8,32} is the
+// O(n log k) vs O(n·k) pin: the EXPERIMENTS.md table records the
+// ratio, and the k=32 point is where the head scan's linear rescan
+// cost shows (the acceptance bar is ≥3× there). MergeBy is what the
+// analyzer's serial path runs; BenchmarkMerge prices the fully generic
+// less-func variant for comparison.
+func BenchmarkMergeBy(b *testing.B) {
+	const total = 65536
+	for _, k := range []int{2, 8, 32} {
+		runs := benchRuns(total, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := MergeBy(runs, elemKey); len(got) != total {
+					b.Fatal("short merge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkMerge(b *testing.B) {
+	const total = 65536
+	for _, k := range []int{2, 8, 32} {
+		runs := benchRuns(total, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := Merge(runs, elemLess); len(got) != total {
+					b.Fatal("short merge")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkHeadScan(b *testing.B) {
+	const total = 65536
+	for _, k := range []int{2, 8, 32} {
+		runs := benchRuns(total, k)
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if got := headScanMerge(runs); len(got) != total {
+					b.Fatal("short merge")
+				}
+			}
+		})
+	}
+}

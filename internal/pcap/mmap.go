@@ -1,0 +1,146 @@
+package pcap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ErrMmapUnsupported is returned by OpenMmap on platforms without a
+// memory-mapping implementation. Callers fall back to the streaming
+// Reader path, which is portable.
+var ErrMmapUnsupported = errors.New("pcap: mmap not supported on this platform")
+
+// MapSource reads a pcap trace from a byte slice that is already in
+// memory — typically a memory-mapped file (OpenMmap) — and hands out
+// packets whose Data is a view into that slice rather than a copy. It
+// implements PacketSource and Releaser with the same contract as
+// PooledReader: a packet is valid until Release, and consumers keeping
+// slices into Data past the callback must Retain it first.
+//
+// The zero-copy twist is what Release means here. A released packet's
+// Data pointed into the mapping, so Release poisons the struct (Data
+// becomes nil) before recycling it: any use-after-release fails loudly
+// with a nil-slice panic instead of silently reading whatever record
+// the view happened to cover. Retained packets are exempt — their views
+// stay valid until Close unmaps the file, which is why Close must not
+// be called until the run consuming the source has returned. The
+// analysis core's borrow contract (see connStreams.release) guarantees
+// nothing derived from packet Data outlives the run, so closing after
+// AddTraceSource returns is safe.
+//
+// Error semantics mirror Reader record for record: a clean end of the
+// slice is io.EOF; a record cut short — header or body — is a sticky
+// error wrapping io.ErrUnexpectedEOF with the packets before it already
+// delivered; an incl length over the snaplen is a sticky corruption
+// error. All of it classifies identically through ClassifyReadError.
+type MapSource struct {
+	data   []byte
+	off    int
+	order  binary.ByteOrder
+	hdr    Header
+	sticky error
+	pool   *Pool
+	// unmap releases the mapping (nil for caller-owned slices).
+	unmap func() error
+}
+
+// NewMapSource returns a MapSource over an in-memory pcap image. The
+// slice is borrowed, not copied: it must stay valid (and unmodified)
+// until the source — and every packet retained from it — is done.
+func NewMapSource(data []byte) (*MapSource, error) {
+	if len(data) < globalHeaderLen {
+		return nil, fmt.Errorf("pcap: reading global header: %w", io.ErrUnexpectedEOF)
+	}
+	var gh [globalHeaderLen]byte
+	copy(gh[:], data)
+	order, hdr, err := parseGlobalHeader(gh)
+	if err != nil {
+		return nil, err
+	}
+	return &MapSource{
+		data:  data,
+		off:   globalHeaderLen,
+		order: order,
+		hdr:   hdr,
+		pool:  NewPool(),
+	}, nil
+}
+
+// Header returns the trace's global header fields.
+func (s *MapSource) Header() Header { return s.hdr }
+
+// Next implements PacketSource. The returned packet's Data aliases the
+// mapped file — no copy — and is valid until Release (or, if Retained,
+// until Close).
+func (s *MapSource) Next() (*Packet, error) {
+	if s.sticky != nil {
+		return nil, s.sticky
+	}
+	if s.off == len(s.data) {
+		s.sticky = io.EOF
+		return nil, io.EOF
+	}
+	if len(s.data)-s.off < recordHeaderLen {
+		s.sticky = fmt.Errorf("pcap: reading record header: %w", io.ErrUnexpectedEOF)
+		return nil, s.sticky
+	}
+	rec := s.data[s.off : s.off+recordHeaderLen]
+	sec := int64(s.order.Uint32(rec[0:4]))
+	frac := int64(s.order.Uint32(rec[4:8]))
+	incl := s.order.Uint32(rec[8:12])
+	orig := s.order.Uint32(rec[12:16])
+	if incl > s.hdr.SnapLen && s.hdr.SnapLen != 0 || incl > 1<<24 {
+		s.sticky = fmt.Errorf("pcap: record length %d exceeds snaplen %d", incl, s.hdr.SnapLen)
+		return nil, s.sticky
+	}
+	body := s.off + recordHeaderLen
+	if len(s.data)-body < int(incl) {
+		s.sticky = fmt.Errorf("pcap: reading packet body: %w", io.ErrUnexpectedEOF)
+		return nil, s.sticky
+	}
+	s.off = body + int(incl)
+	nsec := frac * 1000
+	if s.hdr.Nanos {
+		nsec = frac
+	}
+	p := s.pool.Get()
+	p.Timestamp = time.Unix(sec, nsec).UTC()
+	p.Data = s.data[body : body+int(incl) : body+int(incl)]
+	p.OrigLen = int(orig)
+	return p, nil
+}
+
+// Release implements Releaser. Unlike a buffer-recycling pool, the
+// packet's Data is a borrowed view, so Release poisons it — Data nil,
+// lengths zeroed — before returning the struct for reuse. Retained
+// packets are left untouched, views and all.
+func (s *MapSource) Release(p *Packet) {
+	if p == nil || p.retained {
+		return
+	}
+	p.Data = nil
+	p.OrigLen = 0
+	p.Timestamp = time.Time{}
+	s.pool.Put(p)
+}
+
+// Close releases the underlying mapping, if any. Every view handed out
+// by Next — including retained packets — dies with it, so Close only
+// after the run consuming this source has fully returned.
+func (s *MapSource) Close() error {
+	s.data = nil
+	// Any Next after Close is a borrow-contract violation; report it as
+	// such even on a cleanly drained source (a real read error stays).
+	if s.sticky == nil || s.sticky == io.EOF {
+		s.sticky = errors.New("pcap: source closed")
+	}
+	if s.unmap == nil {
+		return nil
+	}
+	unmap := s.unmap
+	s.unmap = nil
+	return unmap()
+}

@@ -1,0 +1,49 @@
+//go:build linux
+
+package pcap
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"syscall"
+)
+
+// OpenMmap maps the trace file at path read-only and returns a
+// MapSource over it. The file descriptor is closed before returning
+// (the mapping keeps the pages alive); MapSource.Close unmaps them.
+// Callers on non-Linux platforms get ErrMmapUnsupported and should fall
+// back to the streaming Reader.
+func OpenMmap(path string) (*MapSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		// mmap rejects zero-length maps; report what a Reader would.
+		return nil, fmt.Errorf("pcap: reading global header: %w", io.ErrUnexpectedEOF)
+	}
+	if size != int64(int(size)) {
+		return nil, fmt.Errorf("pcap: %s: file too large to map", path)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("pcap: mmap %s: %w", path, err)
+	}
+	// The read path walks records front to back; tell the kernel so
+	// readahead stays aggressive. Best-effort — ignore failure.
+	_ = syscall.Madvise(data, syscall.MADV_SEQUENTIAL)
+	src, err := NewMapSource(data)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, err
+	}
+	src.unmap = func() error { return syscall.Munmap(data) }
+	return src, nil
+}

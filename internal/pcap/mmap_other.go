@@ -1,0 +1,10 @@
+//go:build !linux
+
+package pcap
+
+// OpenMmap is unsupported on this platform; callers fall back to the
+// streaming Reader path. NewMapSource over a caller-loaded slice still
+// works everywhere.
+func OpenMmap(path string) (*MapSource, error) {
+	return nil, ErrMmapUnsupported
+}

@@ -1,0 +1,240 @@
+package pcap
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+// mmapTestTrace serializes a small trace exercising the record shapes
+// the map walker must agree with the streaming Reader on: empty
+// payload, full frame, and a snaplen-truncated record.
+func mmapTestTrace(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, 96, LinkTypeEthernet)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := [][]byte{
+		{},
+		{0xde, 0xad, 0xbe, 0xef},
+		bytes.Repeat([]byte{0x55}, 64),
+		bytes.Repeat([]byte{0xab}, 1500), // truncated to 96 on write
+	}
+	for i, p := range payloads {
+		if err := w.WritePacket(ts(1000+int64(i), 250), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestMapSourceMatchesReader is the parity pin: packet for packet, the
+// zero-copy map walker and the streaming Reader agree on timestamps,
+// capture data, and original lengths — and the map source's Data really
+// is a view into the input, not a copy.
+func TestMapSourceMatchesReader(t *testing.T) {
+	raw := mmapTestTrace(t)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := NewMapSource(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.Header() != r.Header() {
+		t.Errorf("header = %+v, want %+v", src.Header(), r.Header())
+	}
+	for i, w := range want {
+		p, err := src.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if !p.Timestamp.Equal(w.Timestamp) || p.OrigLen != w.OrigLen || !bytes.Equal(p.Data, w.Data) {
+			t.Errorf("packet %d = {%v %d %x}, want {%v %d %x}",
+				i, p.Timestamp, p.OrigLen, p.Data, w.Timestamp, w.OrigLen, w.Data)
+		}
+		if len(p.Data) > 0 {
+			// Zero-copy: the view must alias raw, not a fresh buffer.
+			if &p.Data[0] != &raw[rawOffsetOf(t, raw, p.Data)] {
+				t.Errorf("packet %d: Data is a copy, want a view into the input", i)
+			}
+		}
+		src.Release(p)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Errorf("after last packet: err = %v, want io.EOF", err)
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Errorf("EOF not sticky: %v", err)
+	}
+}
+
+// rawOffsetOf locates view's backing offset inside raw by content
+// search from the front; the test traces keep payloads distinct enough
+// that the first match is the right one.
+func rawOffsetOf(t *testing.T, raw []byte, view []byte) int {
+	t.Helper()
+	off := bytes.Index(raw, view)
+	if off < 0 {
+		t.Fatal("view content not found in input")
+	}
+	return off
+}
+
+// TestMapSourceTruncatedFinalRecord pins the torn-trace contract shared
+// with Reader: every complete record is delivered, then the cut — in
+// the body or in the record header — surfaces as a sticky error
+// wrapping io.ErrUnexpectedEOF, which the degrade policy's fallback
+// classification buckets as a terminal torn-record.
+func TestMapSourceTruncatedFinalRecord(t *testing.T) {
+	raw := mmapTestTrace(t)
+	for _, cut := range []struct {
+		name string
+		drop int
+	}{
+		{"torn-body", 2},                      // last record loses 2 payload bytes
+		{"torn-header", 96 + 2},               // cut lands inside the last record header
+		{"header-only-trailing", 96 + 16 - 1}, // 15 bytes of header, no more
+	} {
+		t.Run(cut.name, func(t *testing.T) {
+			src, err := NewMapSource(raw[:len(raw)-cut.drop])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var got int
+			var readErr error
+			for {
+				p, err := src.Next()
+				if err != nil {
+					readErr = err
+					break
+				}
+				got++
+				src.Release(p)
+			}
+			if got != 3 {
+				t.Errorf("delivered %d packets before the tear, want 3", got)
+			}
+			if !errors.Is(readErr, io.ErrUnexpectedEOF) {
+				t.Errorf("err = %v, want wrapped io.ErrUnexpectedEOF", readErr)
+			}
+			if kind, recoverable := ClassifyReadError(readErr); kind != "torn-record" || recoverable {
+				t.Errorf("classified as (%q, %v), want (torn-record, false)", kind, recoverable)
+			}
+			if _, err := src.Next(); !errors.Is(err, io.ErrUnexpectedEOF) {
+				t.Errorf("sticky error lost: %v", err)
+			}
+		})
+	}
+}
+
+// TestMapSourceReleasePoisons is the use-after-release tripwire: a
+// released packet's view into the mapping must be gone (nil Data, so
+// any indexing panics immediately), while a Retained packet keeps its
+// view intact through Release.
+func TestMapSourceReleasePoisons(t *testing.T) {
+	src, err := NewMapSource(mmapTestTrace(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, err := src.Next(); err != nil {
+		t.Fatal(err)
+	} else {
+		src.Release(p)
+	}
+	released, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(released.Data) == 0 {
+		t.Fatal("test wants a non-empty record")
+	}
+	src.Release(released)
+	if released.Data != nil || released.OrigLen != 0 || !released.Timestamp.IsZero() {
+		t.Errorf("released packet not poisoned: %+v", released)
+	}
+	retained, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keep := retained.Data
+	retained.Retain()
+	src.Release(retained)
+	if !bytes.Equal(retained.Data, keep) || &retained.Data[0] != &keep[0] {
+		t.Error("retained packet lost its view on Release")
+	}
+}
+
+// TestMapSourceHeaderErrors pins the constructor's failure modes to the
+// Reader's shapes: too short for a global header wraps
+// io.ErrUnexpectedEOF, a wrong magic is ErrBadMagic.
+func TestMapSourceHeaderErrors(t *testing.T) {
+	if _, err := NewMapSource([]byte{1, 2, 3}); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("short header: err = %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+	bad := make([]byte, 24)
+	copy(bad, "not a pcap file.........")
+	if _, err := NewMapSource(bad); !errors.Is(err, ErrBadMagic) {
+		t.Errorf("bad magic: err = %v, want ErrBadMagic", err)
+	}
+}
+
+// TestOpenMmapReadsFile exercises the real mmap path end to end on
+// Linux: map a trace file, drain it, Close unmaps without error. On
+// other platforms OpenMmap must report ErrMmapUnsupported.
+func TestOpenMmapReadsFile(t *testing.T) {
+	raw := mmapTestTrace(t)
+	path := filepath.Join(t.TempDir(), "trace.pcap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	src, err := OpenMmap(path)
+	if runtime.GOOS != "linux" {
+		if !errors.Is(err, ErrMmapUnsupported) {
+			t.Fatalf("err = %v, want ErrMmapUnsupported off Linux", err)
+		}
+		return
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		n++
+		src.Release(p)
+	}
+	if n != 4 {
+		t.Errorf("read %d packets, want 4", n)
+	}
+	if err := src.Close(); err != nil {
+		t.Errorf("Close: %v", err)
+	}
+	if _, err := src.Next(); err == nil || err == io.EOF {
+		t.Errorf("Next after Close: err = %v, want a closed error", err)
+	}
+
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenMmap(path); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Errorf("empty file: err = %v, want wrapped io.ErrUnexpectedEOF", err)
+	}
+}

@@ -98,33 +98,43 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if _, err := io.ReadFull(r, gh[:]); err != nil {
 		return nil, fmt.Errorf("pcap: reading global header: %w", err)
 	}
+	order, hdr, err := parseGlobalHeader(gh)
+	if err != nil {
+		return nil, err
+	}
+	return &Reader{
+		r:     r,
+		order: order,
+		nanos: hdr.Nanos,
+		hdr:   hdr,
+	}, nil
+}
+
+// parseGlobalHeader decodes a 24-byte pcap global header: magic (either
+// byte order, µs or ns timestamp variant), snaplen, link type. Shared
+// by the streaming Reader and the memory-mapped MapSource.
+func parseGlobalHeader(gh [globalHeaderLen]byte) (binary.ByteOrder, Header, error) {
 	var order binary.ByteOrder
 	var nanos bool
-	switch m := binary.LittleEndian.Uint32(gh[0:4]); m {
+	switch binary.LittleEndian.Uint32(gh[0:4]) {
 	case MagicMicroseconds:
 		order = binary.LittleEndian
 	case MagicNanoseconds:
 		order, nanos = binary.LittleEndian, true
 	default:
-		switch m := binary.BigEndian.Uint32(gh[0:4]); m {
+		switch binary.BigEndian.Uint32(gh[0:4]) {
 		case MagicMicroseconds:
 			order = binary.BigEndian
 		case MagicNanoseconds:
 			order, nanos = binary.BigEndian, true
 		default:
-			_ = m
-			return nil, ErrBadMagic
+			return nil, Header{}, ErrBadMagic
 		}
 	}
-	return &Reader{
-		r:     r,
-		order: order,
-		nanos: nanos,
-		hdr: Header{
-			SnapLen:  order.Uint32(gh[16:20]),
-			LinkType: order.Uint32(gh[20:24]),
-			Nanos:    nanos,
-		},
+	return order, Header{
+		SnapLen:  order.Uint32(gh[16:20]),
+		LinkType: order.Uint32(gh[20:24]),
+		Nanos:    nanos,
 	}, nil
 }
 

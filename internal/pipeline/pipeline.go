@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"enttrace/internal/flows"
+	"enttrace/internal/kmerge"
 	"enttrace/internal/layers"
 	"enttrace/internal/pcap"
 )
@@ -166,39 +167,17 @@ type Result struct {
 // SortedConns merges every shard's connections into first-packet order.
 // The order is identical for any worker count. Each shard's list is
 // already sorted (worker.finish sorts in parallel before the workers
-// join), so this is a k-way merge of sorted runs.
+// join), so this is a k-way merge of sorted runs — a loser tree, not
+// the O(n·k) head scan this used to be: the merge runs on the serial
+// path after the workers join, so its cost is Amdahl residue that used
+// to grow with the worker count. FirstIdx values are unique global
+// packet indices, so the merge order is total.
 func (r *Result) SortedConns() []ConnRecord {
-	var n int
 	runs := make([][]ConnRecord, 0, len(r.Shards))
 	for _, s := range r.Shards {
-		if len(s.Conns) > 0 {
-			runs = append(runs, s.Conns)
-			n += len(s.Conns)
-		}
+		runs = append(runs, s.Conns)
 	}
-	switch len(runs) {
-	case 0:
-		return nil
-	case 1:
-		return runs[0]
-	}
-	out := make([]ConnRecord, 0, n)
-	heads := make([]int, len(runs))
-	for len(out) < n {
-		best := -1
-		var bestIdx int64
-		for r, h := range heads {
-			if h >= len(runs[r]) {
-				continue
-			}
-			if best < 0 || runs[r][h].FirstIdx < bestIdx {
-				best, bestIdx = r, runs[r][h].FirstIdx
-			}
-		}
-		out = append(out, runs[best][heads[best]])
-		heads[best]++
-	}
-	return out
+	return kmerge.MergeBy(runs, func(c ConnRecord) int64 { return c.FirstIdx })
 }
 
 // item is one routed packet.

@@ -1,0 +1,87 @@
+// Source equivalence for the memory-mapped pcap path: analyzing a D3
+// trace through pcap.OpenMmap (zero-copy record views) must produce run
+// JSON byte-identical to streaming the same file through the buffered
+// Reader, at every point of the worker grid, batch and windowed. This
+// is the differential that lets `entanalyze -mmap` claim "reports are
+// identical either way".
+package enttrace_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"enttrace/internal/core"
+	"enttrace/internal/enterprise"
+	"enttrace/internal/gen"
+	"enttrace/internal/pcap"
+)
+
+// TestMmapRunJSONMatchesBufio is the mmap differential: for each
+// {workers}×{replay-workers}×{batch,60s-window} grid point, one
+// analyzer reads the trace file via AddTraceReader (bufio path) and one
+// via an OpenMmap source; their full-run JSON must match byte for byte.
+// The mmap source is Closed between the run and the report render,
+// proving no report state borrows the mapping.
+func TestMmapRunJSONMatchesBufio(t *testing.T) {
+	if testing.Short() {
+		t.Skip("end-to-end analysis in -short mode")
+	}
+	cfg := enterprise.D3()
+	raw := scheduledPcap(t, cfg, gen.DefaultSchedule())
+	path := filepath.Join(t.TempDir(), "d3.pcap")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pcap.OpenMmap(path); errors.Is(err, pcap.ErrMmapUnsupported) {
+		t.Skip("mmap unsupported on this platform")
+	}
+	subnet := cfg.Monitored[0]
+	prefix := enterprise.SubnetPrefix(subnet)
+	name := "sched"
+	newAnalyzer := func(workers, replayWorkers int, window time.Duration) *core.Analyzer {
+		return core.NewAnalyzer(core.Options{
+			Dataset:         cfg.Name,
+			KnownScanners:   enterprise.KnownScanners(),
+			PayloadAnalysis: cfg.Snaplen >= 1500,
+			Workers:         workers,
+			ReplayWorkers:   replayWorkers,
+			Window:          window,
+		})
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, replayWorkers := range []int{1, 4} {
+			for _, window := range []time.Duration{0, 60 * time.Second} {
+				t.Run(fmt.Sprintf("workers=%d/replay=%d/window=%s", workers, replayWorkers, window), func(t *testing.T) {
+					ref := newAnalyzer(workers, replayWorkers, window)
+					if err := ref.AddTraceReader(name, prefix, bytes.NewReader(raw)); err != nil {
+						t.Fatal(err)
+					}
+					want := runJSON(t, ref)
+
+					mapped := newAnalyzer(workers, replayWorkers, window)
+					src, err := pcap.OpenMmap(path)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := mapped.AddTraceSource(name, prefix, src); err != nil {
+						t.Fatal(err)
+					}
+					if err := src.Close(); err != nil {
+						t.Fatal(err)
+					}
+					got := runJSON(t, mapped)
+
+					if !bytes.Equal(got, want) {
+						t.Errorf("mmap run JSON differs from bufio replay (%d vs %d bytes)", len(got), len(want))
+					}
+				})
+			}
+		}
+	}
+}

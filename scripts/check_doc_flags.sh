@@ -27,18 +27,19 @@ for doc in README.md DESIGN.md EXPERIMENTS.md; do
     grep -oE ' -[a-zA-Z][a-zA-Z0-9_-]*' | sed 's/^ -//' | sort -u)
 done
 
-# The resilience-flag family appears in DESIGN.md's failure-policy
+# The resilience- and scaling-flag families appear in DESIGN.md's
 # code blocks on lines that are not full ent* command lines (policy
-# tables, healthz transcripts), so the command-line pass above misses
-# them. Scan every fenced block for this family explicitly, so a rename
-# of any of the four flags cannot leave stale prose behind.
+# tables, healthz transcripts, bench recipes), so the command-line pass
+# above misses them. Scan every fenced block for these families
+# explicitly, so a rename of any of the flags cannot leave stale prose
+# behind.
 while read -r flag; do
   if ! grep -qx "$flag" "$valid"; then
     echo "DESIGN.md code block: flag -$flag is not accepted by any ent* binary" >&2
     fail=1
   fi
 done < <(awk '/^```/ { inblk = !inblk; next } inblk' DESIGN.md |
-  grep -oE '(^| )-(inject|on-error|max-conns|idle-evict)\b' |
+  grep -oE '(^| )-(inject|on-error|max-conns|idle-evict|mmap|cpus)\b' |
   sed 's/^ *-//' | sort -u)
 
 if [ "$fail" -ne 0 ]; then
